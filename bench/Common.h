@@ -1,0 +1,163 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the benchmark binaries: lazy corpus construction at
+/// a configurable scale, simple wall-clock timing (median of repeated
+/// runs, as in §7.1), and cached JIT-compiled conversions.
+///
+/// Environment knobs:
+///   CONVGEN_BENCH_SCALE  fraction of the paper's matrix sizes (default 0.2;
+///                        1.0 reproduces Table 2 sizes exactly)
+///   CONVGEN_BENCH_REPS   timing repetitions per cell (default 5; the paper
+///                        uses 50)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_BENCH_COMMON_H
+#define CONVGEN_BENCH_COMMON_H
+
+#include "codegen/Generator.h"
+#include "formats/Standard.h"
+#include "jit/Jit.h"
+#include "tensor/Corpus.h"
+#include "tensor/Oracle.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace bench {
+
+inline double benchScale() {
+  static double Scale = [] {
+    const char *Env = std::getenv("CONVGEN_BENCH_SCALE");
+    double S = Env ? std::atof(Env) : 0.2;
+    return S > 0 && S <= 1.0 ? S : 0.2;
+  }();
+  return Scale;
+}
+
+inline int benchReps() {
+  static int Reps = [] {
+    const char *Env = std::getenv("CONVGEN_BENCH_REPS");
+    int R = Env ? std::atoi(Env) : 5;
+    return R > 0 ? R : 5;
+  }();
+  return Reps;
+}
+
+/// Times \p Fn over benchReps() runs and returns the median seconds.
+inline double medianSeconds(const std::function<void()> &Fn) {
+  std::vector<double> Times;
+  for (int Rep = 0; Rep < benchReps(); ++Rep) {
+    auto Begin = std::chrono::steady_clock::now();
+    Fn();
+    Times.push_back(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Begin)
+                        .count());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// One corpus matrix, prepared in the formats the experiments read.
+struct MatrixInputs {
+  std::string Name;
+  tensor::Triplets T;
+  tensor::SparseTensor Coo, Csr, Csc;
+  int64_t Diagonals = 0;
+  int64_t MaxRow = 0;
+  bool Symmetric = true;
+};
+
+/// Builds (and caches) a corpus matrix at the bench scale.
+inline const MatrixInputs &corpusInputs(const std::string &Name) {
+  static std::map<std::string, std::unique_ptr<MatrixInputs>> Cache;
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return *It->second;
+  const tensor::CorpusEntry &E = tensor::corpusEntry(Name);
+  auto In = std::make_unique<MatrixInputs>();
+  In->Name = Name;
+  In->T = E.Generate(benchScale());
+  In->Coo = tensor::buildFromTriplets(formats::makeCOO(), In->T);
+  In->Csr = tensor::buildFromTriplets(formats::makeCSR(), In->T);
+  In->Csc = tensor::buildFromTriplets(formats::makeCSC(), In->T);
+  In->Diagonals = In->T.countDiagonals();
+  In->MaxRow = In->T.maxRowCount();
+  In->Symmetric = E.Symmetric;
+  return *(Cache[Name] = std::move(In));
+}
+
+/// The paper omits DIA/ELL conversions when the padded layout would be
+/// more than 75% explicit zeros.
+inline bool diaViable(const MatrixInputs &In) {
+  double Stored = static_cast<double>(In.Diagonals) *
+                  static_cast<double>(In.T.NumRows);
+  return Stored > 0 &&
+         static_cast<double>(In.T.nnz()) >= 0.25 * Stored;
+}
+
+inline bool ellViable(const MatrixInputs &In) {
+  double Stored = static_cast<double>(In.MaxRow) *
+                  static_cast<double>(In.T.NumRows);
+  return Stored > 0 &&
+         static_cast<double>(In.T.nnz()) >= 0.25 * Stored;
+}
+
+/// Lazily generated + JIT-compiled conversion for a format pair.
+inline const jit::JitConversion &
+jitConversion(const std::string &Src, const std::string &Dst,
+              codegen::Options Opts = codegen::Options()) {
+  static std::map<std::string, std::unique_ptr<jit::JitConversion>> Cache;
+  std::string Key = Src + "->" + Dst +
+                    (Opts.OptimizeQueries ? "" : "|noq") +
+                    (Opts.CounterReuse ? "" : "|noc") +
+                    (Opts.ForceUnseqEdges ? "|unseq" : "") +
+                    (Opts.MaterializeRemap ? "|mat" : "");
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return *It->second;
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::standardFormat(Src), formats::standardFormat(Dst), Opts);
+  auto Compiled = std::make_unique<jit::JitConversion>(Conv);
+  return *(Cache[Key] = std::move(Compiled));
+}
+
+/// Times one run of a JIT conversion on a marshalled input (frees outputs).
+inline double timeJit(const jit::JitConversion &Conv,
+                      const tensor::SparseTensor &In) {
+  jit::CTensor A;
+  jit::marshalInput(In, &A);
+  return medianSeconds([&] {
+    jit::CTensor B;
+    Conv.runRaw(&A, &B);
+    jit::freeOutput(&B);
+  });
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+} // namespace bench
+} // namespace convgen
+
+#endif // CONVGEN_BENCH_COMMON_H

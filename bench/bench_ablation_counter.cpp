@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+// Ablation for §4.2's counter-reuse optimization: when the counter's index
+// variables are iterated in order by the source's outer loops (CSR rows),
+// the generated code reuses one scalar instead of an N-element counter
+// array. CSC sources iterate columns, so csc_ell always pays for the
+// array — the structural reason Table 3's csc_ell trails csr_ell.
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include <cstdio>
+
+using namespace convgen;
+using namespace convgen::bench;
+
+int main() {
+  if (!jit::jitAvailable()) {
+    std::fprintf(stderr, "no system C compiler\n");
+    return 1;
+  }
+  std::printf("Ablation: scalar counter reuse vs counter arrays (csr_ell)\n"
+              "(scale %.2f, %d reps; milliseconds; ratio >1 means the "
+              "array is slower)\n\n",
+              benchScale(), benchReps());
+  codegen::Options NoReuse;
+  NoReuse.CounterReuse = false;
+
+  std::printf("%-18s %10s %12s %8s | %12s\n", "Matrix", "scalar", "array",
+              "ratio", "csc_ell(array)");
+  for (const char *Name :
+       {"jnlbrng1", "denormal", "majorbasis", "mac_econ_fwd500"}) {
+    const MatrixInputs &In = corpusInputs(Name);
+    if (!ellViable(In))
+      continue;
+    double Scalar = timeJit(jitConversion("csr", "ell"), In.Csr);
+    double Array = timeJit(jitConversion("csr", "ell", NoReuse), In.Csr);
+    double Csc = timeJit(jitConversion("csc", "ell"), In.Csc);
+    std::printf("%-18s %10.3f %12.3f %8.2f | %12.3f\n", Name, Scalar * 1e3,
+                Array * 1e3, Array / Scalar, Csc * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+// Ablation for §5.2's attribute-query optimizations (Table 1): with the
+// transformations disabled, csr_ell computes K through a full histogram
+// over the nonzeros instead of reading pos-array widths, and count queries
+// materialize their dedup temporaries. Measures the end-to-end conversion
+// cost both ways.
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include <cstdio>
+
+using namespace convgen;
+using namespace convgen::bench;
+
+int main() {
+  if (!jit::jitAvailable()) {
+    std::fprintf(stderr, "no system C compiler\n");
+    return 1;
+  }
+  std::printf("Ablation: Table 1 query optimizations on vs off\n"
+              "(scale %.2f, %d reps; milliseconds; ratio >1 means the "
+              "unoptimized queries are slower)\n\n",
+              benchScale(), benchReps());
+  codegen::Options NoOpt;
+  NoOpt.OptimizeQueries = false;
+
+  // Canonical count queries materialize an M x N dedup temporary (the very
+  // cost the transformations eliminate), so this ablation caps the matrix
+  // scale to keep the unoptimized variant inside memory.
+  double Scale = std::min(benchScale(), 0.1);
+  std::printf("(matrix scale capped at %.2f: canonical count queries "
+              "allocate M x N temporaries)\n\n",
+              Scale);
+
+  std::printf("%-10s %-18s %12s %12s %8s\n", "Conversion", "Matrix",
+              "optimized", "canonical", "ratio");
+  struct PairSpec {
+    const char *Src, *Dst;
+  };
+  for (PairSpec P : {PairSpec{"csr", "ell"}, PairSpec{"csr", "csc"},
+                     PairSpec{"csr", "coo"}}) {
+    for (const char *Name : {"jnlbrng1", "majorbasis", "scircuit"}) {
+      tensor::Triplets T = tensor::corpusEntry(Name).Generate(Scale);
+      tensor::SparseTensor Csr =
+          tensor::buildFromTriplets(formats::makeCSR(), T);
+      if (std::string(P.Dst) == "ell" &&
+          static_cast<double>(T.nnz()) <
+              0.25 * static_cast<double>(T.maxRowCount() * T.NumRows))
+        continue;
+      double Opt = timeJit(jitConversion(P.Src, P.Dst), Csr);
+      double Canon = timeJit(jitConversion(P.Src, P.Dst, NoOpt), Csr);
+      std::printf("%s_%-6s %-18s %12.3f %12.3f %8.2f\n", P.Src, P.Dst, Name,
+                  Opt * 1e3, Canon * 1e3, Canon / Opt);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+// One-time cost of the technique itself: generating a conversion routine
+// (remapping + query compilation + assembly emission) and compiling it
+// with the system C compiler, versus the per-run conversion time it then
+// delivers. §1 argues conversion must be cheap because tensors may be
+// converted only a few times; the same holds for generating the converter,
+// which is amortized across all tensors of a format pair.
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace convgen;
+using namespace convgen::bench;
+
+int main() {
+  if (!jit::jitAvailable()) {
+    std::fprintf(stderr, "no system C compiler\n");
+    return 1;
+  }
+  std::printf("Generation + JIT compilation overhead per format pair\n"
+              "(run time measured on jnlbrng1 at scale %.2f)\n\n",
+              benchScale());
+  std::printf("%-12s %14s %14s %14s %10s\n", "Pair", "generate (ms)",
+              "compile (ms)", "run (ms)", "LoC");
+
+  const MatrixInputs &In = corpusInputs("jnlbrng1");
+  struct PairSpec {
+    const char *Src, *Dst;
+  };
+  for (PairSpec P :
+       {PairSpec{"coo", "csr"}, PairSpec{"coo", "dia"}, PairSpec{"csr", "csc"},
+        PairSpec{"csr", "dia"}, PairSpec{"csr", "ell"}, PairSpec{"csc", "dia"},
+        PairSpec{"csc", "ell"}}) {
+    auto Begin = std::chrono::steady_clock::now();
+    codegen::Conversion Conv = codegen::generateConversion(
+        formats::standardFormat(P.Src), formats::standardFormat(P.Dst));
+    double GenMs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count() *
+                   1e3;
+    jit::JitConversion Native(Conv);
+    const tensor::SparseTensor &Input =
+        std::string(P.Src) == "coo" ? In.Coo
+        : std::string(P.Src) == "csr" ? In.Csr
+                                      : In.Csc;
+    double RunMs = timeJit(Native, Input) * 1e3;
+    std::string C = Conv.cSource();
+    long Lines = static_cast<long>(std::count(C.begin(), C.end(), '\n'));
+    std::printf("%s_%-8s %14.2f %14.2f %14.3f %10ld\n", P.Src, P.Dst, GenMs,
+                Native.compileSeconds() * 1e3, RunMs, Lines);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+// Extensibility (the paper's central promise): adding a new format takes
+// one specification — a coordinate remapping plus level choices — and the
+// compiler generates conversions to it from every existing source format,
+// with no per-pair code.
+//
+// Here we define ELLR, a row-major variant of ELL that stores each row's
+// k-th nonzero at position i*K + k (the transpose of Figure 2d's layout):
+//
+//   remapping:  (i,j) -> (i, k=#i in k, j)
+//   levels:     dense (rows), sliced (K slots per row), singleton (cols)
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+#include "formats/Standard.h"
+#include "remap/RemapParser.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <cstdio>
+
+using namespace convgen;
+
+static formats::Format makeELLR() {
+  formats::Format F;
+  F.Name = "ellr";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (i,k=#i in k,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1,d2) -> (d0,d2)");
+  F.Levels = {
+      formats::LevelSpec{formats::LevelKind::Dense, 0, true, false, {-1, -1}},
+      formats::LevelSpec{formats::LevelKind::Sliced, 1, true, false, {-1, -1}},
+      formats::LevelSpec{
+          formats::LevelKind::Singleton, 2, true, /*Padded=*/true, {-1, -1}},
+  };
+  F.PaddedVals = true;
+  formats::validateFormat(F);
+  return F;
+}
+
+int main() {
+  formats::Format Ellr = makeELLR();
+  std::printf("custom format: %s\n\n", Ellr.summary().c_str());
+
+  tensor::Triplets T;
+  T.NumRows = 4;
+  T.NumCols = 6;
+  T.Entries = {{0, 0, 5}, {0, 1, 1}, {1, 1, 7}, {1, 2, 3}, {2, 0, 8},
+               {2, 2, 2}, {2, 3, 4}, {3, 1, 9}, {3, 4, 6}};
+
+  // Conversions from every canonical source — all generated from the one
+  // specification above.
+  for (const char *Src : {"coo", "csr", "csc"}) {
+    formats::Format From = formats::standardFormat(Src);
+    convert::Converter Conv(From, Ellr);
+    tensor::SparseTensor In = tensor::buildFromTriplets(From, T);
+    tensor::SparseTensor Out = Conv.run(In);
+    Out.validate();
+    std::printf("from %s: K=%lld, vals[0..7] =", Src,
+                static_cast<long long>(Out.Levels[1].SizeParam));
+    for (size_t P = 0; P < 8 && P < Out.Vals.size(); ++P)
+      std::printf(" %g", Out.Vals[P]);
+    std::printf("  (row-major: row 0 occupies slots 0..K-1)\n");
+  }
+
+  // The generated csr->ellr routine, for inspection.
+  convert::Converter Conv(formats::makeCSR(), Ellr);
+  std::printf("\ngenerated csr->ellr:\n%s", Conv.conversion().pretty().c_str());
+
+  // Round trip: the custom format also works as a *source*, again with no
+  // extra specification.
+  convert::Converter Back(Ellr, formats::makeCSR());
+  tensor::SparseTensor Csr = tensor::buildFromTriplets(formats::makeCSR(), T);
+  tensor::SparseTensor Round = Back.run(Conv.run(Csr));
+  std::printf("\nround trip csr -> ellr -> csr preserves the matrix: %s\n",
+              tensor::equal(tensor::toTriplets(Round), T) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+// The motivating application pipeline of paper §1: data is imported in COO
+// (cheap appends), converted once to a compute-friendly format, and then
+// used in an iterative solver whose inner loop is SpMV. On a 2-D Poisson
+// stencil system, DIA SpMV beats CSR, and the one-time conversion cost is
+// amortized within a few iterations.
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+#include "formats/Standard.h"
+#include "kernels/SpMV.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+using namespace convgen;
+
+namespace {
+
+double seconds(const std::function<void()> &Fn) {
+  auto Begin = std::chrono::steady_clock::now();
+  Fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Begin)
+      .count();
+}
+
+/// Jacobi iteration for A x = b with A = D - R: x' = D^-1 (b - R x).
+/// Runs SpMV with the full A and corrects the diagonal term.
+int jacobi(const tensor::SparseTensor &A, const std::vector<double> &Diag,
+           const std::vector<double> &B, std::vector<double> &X, int MaxIt) {
+  int It = 0;
+  for (; It < MaxIt; ++It) {
+    std::vector<double> Ax = kernels::spmv(A, X);
+    double Residual = 0;
+    for (size_t I = 0; I < X.size(); ++I) {
+      double R = B[I] - Ax[I];
+      Residual += R * R;
+      X[I] += R / Diag[I];
+    }
+    if (std::sqrt(Residual) < 1e-8)
+      break;
+  }
+  return It;
+}
+
+} // namespace
+
+int main() {
+  // Assemble a 2-D 5-point Poisson system on a 160x160 grid in COO.
+  int64_t Grid = 160;
+  int64_t N = Grid * Grid;
+  tensor::Triplets T;
+  T.NumRows = T.NumCols = N;
+  for (int64_t I = 0; I < N; ++I) {
+    T.Entries.push_back({I, I, 4.0});
+    if (I % Grid != 0)
+      T.Entries.push_back({I, I - 1, -1.0});
+    if (I % Grid != Grid - 1)
+      T.Entries.push_back({I, I + 1, -1.0});
+    if (I >= Grid)
+      T.Entries.push_back({I, I - Grid, -1.0});
+    if (I + Grid < N)
+      T.Entries.push_back({I, I + Grid, -1.0});
+  }
+  tensor::SparseTensor Coo = tensor::buildFromTriplets(formats::makeCOO(), T);
+  std::printf("system: %lld unknowns, %lld nonzeros (5-point stencil)\n",
+              static_cast<long long>(N), static_cast<long long>(T.nnz()));
+
+  std::vector<double> Diag(static_cast<size_t>(N), 4.0);
+  std::vector<double> B(static_cast<size_t>(N), 1.0);
+
+  // Convert the imported COO matrix with generated routines.
+  tensor::SparseTensor Csr, Dia;
+  double CsrConv = seconds([&] {
+    convert::Converter Conv(formats::makeCOO(), formats::makeCSR());
+    Csr = Conv.run(Coo);
+  });
+  double DiaConv = seconds([&] {
+    convert::Converter Conv(formats::makeCOO(), formats::makeDIA());
+    Dia = Conv.run(Coo);
+  });
+  std::printf("conversions (interpreter backend, includes codegen): "
+              "coo->csr %.1f ms, coo->dia %.1f ms\n",
+              CsrConv * 1e3, DiaConv * 1e3);
+  std::printf("DIA stores %lld diagonals\n",
+              static_cast<long long>(Dia.Levels[0].SizeParam));
+
+  for (const auto &[Name, A] :
+       {std::pair<const char *, const tensor::SparseTensor &>{"coo", Coo},
+        {"csr", Csr},
+        {"dia", Dia}}) {
+    std::vector<double> X(static_cast<size_t>(N), 0.0);
+    int Iters = 0;
+    double Secs =
+        seconds([&] { Iters = jacobi(A, Diag, B, X, /*MaxIt=*/200); });
+    std::printf("jacobi on %s: %3d iterations in %7.1f ms (%.3f ms/iter), "
+                "x[0] = %.6f\n",
+                Name, Iters, Secs * 1e3, Secs * 1e3 / Iters, X[0]);
+  }
+  std::printf("\nthe format used for import (COO) is the slowest to compute "
+              "with;\nconverting once into DIA pays for itself within a few "
+              "iterations.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "formats/Standard.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace convgen;
+using namespace convgen::baselines;
+
+RawCoo baselines::viewCoo(const tensor::SparseTensor &T) {
+  CONVGEN_ASSERT(T.Format.Name == "coo", "viewCoo requires a COO tensor");
+  RawCoo Out;
+  Out.Rows = T.numRows();
+  Out.Cols = T.numCols();
+  Out.Nnz = static_cast<int64_t>(T.Vals.size());
+  Out.RowIdx = T.Levels[0].Crd.data();
+  Out.ColIdx = T.Levels[1].Crd.data();
+  Out.Vals = T.Vals.data();
+  return Out;
+}
+
+RawCsr baselines::viewCsr(const tensor::SparseTensor &T) {
+  CONVGEN_ASSERT(T.Format.Name == "csr", "viewCsr requires a CSR tensor");
+  RawCsr Out;
+  Out.Rows = T.numRows();
+  Out.Cols = T.numCols();
+  Out.Pos = const_cast<int32_t *>(T.Levels[1].Pos.data());
+  Out.Crd = const_cast<int32_t *>(T.Levels[1].Crd.data());
+  Out.Vals = const_cast<double *>(T.Vals.data());
+  return Out;
+}
+
+RawCsr baselines::viewCscAsTransposedCsr(const tensor::SparseTensor &T) {
+  CONVGEN_ASSERT(T.Format.Name == "csc", "requires a CSC tensor");
+  RawCsr Out;
+  Out.Rows = T.numCols(); // rows of A^T
+  Out.Cols = T.numRows();
+  Out.Pos = const_cast<int32_t *>(T.Levels[1].Pos.data());
+  Out.Crd = const_cast<int32_t *>(T.Levels[1].Crd.data());
+  Out.Vals = const_cast<double *>(T.Vals.data());
+  return Out;
+}
+
+tensor::SparseTensor baselines::toCsrTensor(const RawCsr &A) {
+  tensor::SparseTensor Out;
+  Out.Format = formats::makeCSR();
+  Out.Dims = {A.Rows, A.Cols};
+  Out.Levels.resize(2);
+  Out.Levels[1].Pos.assign(A.Pos, A.Pos + A.Rows + 1);
+  Out.Levels[1].Crd.assign(A.Crd, A.Crd + A.nnz());
+  Out.Vals.assign(A.Vals, A.Vals + A.nnz());
+  return Out;
+}
+
+tensor::SparseTensor baselines::toCscTensor(const RawCsr &AT) {
+  // AT is the CSR of A^T, i.e. the CSC arrays of A.
+  tensor::SparseTensor Out;
+  Out.Format = formats::makeCSC();
+  Out.Dims = {AT.Cols, AT.Rows};
+  Out.Levels.resize(2);
+  Out.Levels[1].Pos.assign(AT.Pos, AT.Pos + AT.Rows + 1);
+  Out.Levels[1].Crd.assign(AT.Crd, AT.Crd + AT.nnz());
+  Out.Vals.assign(AT.Vals, AT.Vals + AT.nnz());
+  return Out;
+}
+
+tensor::SparseTensor baselines::toDiaTensor(const RawDia &A) {
+  // The generated/oracle DIA keeps perm ascending; baselines may select
+  // diagonals in density order, so sort and permute for comparison.
+  std::vector<int64_t> Order(static_cast<size_t>(A.NDiag));
+  for (int64_t S = 0; S < A.NDiag; ++S)
+    Order[static_cast<size_t>(S)] = S;
+  std::sort(Order.begin(), Order.end(), [&](int64_t X, int64_t Y) {
+    return A.Offsets[X] < A.Offsets[Y];
+  });
+  tensor::SparseTensor Out;
+  Out.Format = formats::makeDIA();
+  Out.Dims = {A.Rows, A.Cols};
+  Out.Levels.resize(3);
+  Out.Levels[0].SizeParam = A.NDiag;
+  Out.Vals.resize(static_cast<size_t>(A.NDiag * A.Rows));
+  for (int64_t S = 0; S < A.NDiag; ++S) {
+    int64_t From = Order[static_cast<size_t>(S)];
+    Out.Levels[0].Perm.push_back(A.Offsets[From]);
+    std::copy(A.Diag + From * A.Rows, A.Diag + (From + 1) * A.Rows,
+              Out.Vals.begin() + S * A.Rows);
+  }
+  return Out;
+}
+
+tensor::SparseTensor baselines::toEllTensor(const RawEll &A) {
+  tensor::SparseTensor Out;
+  Out.Format = formats::makeELL();
+  Out.Dims = {A.Rows, A.Cols};
+  Out.Levels.resize(3);
+  Out.Levels[0].SizeParam = A.NCMax;
+  Out.Levels[2].Crd.assign(A.JCoef, A.JCoef + A.NCMax * A.Rows);
+  Out.Vals.assign(A.Coef, A.Coef + A.NCMax * A.Rows);
+  return Out;
+}

@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C++ ports of SPARSKIT's FORMATS module conversion routines (Saad,
+/// "SPARSKIT: a basic tool kit for sparse matrix computations", v2).
+/// Algorithmic structure follows the Fortran sources; array indexing is
+/// rebased to 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+
+#include "support/Assert.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace convgen;
+using namespace convgen::baselines;
+
+namespace {
+
+int32_t *allocI32(int64_t N) {
+  return static_cast<int32_t *>(std::malloc(sizeof(int32_t) *
+                                            static_cast<size_t>(N > 0 ? N : 1)));
+}
+
+double *allocF64(int64_t N) {
+  return static_cast<double *>(
+      std::malloc(sizeof(double) * static_cast<size_t>(N > 0 ? N : 1)));
+}
+
+} // namespace
+
+void RawCsr::release() {
+  std::free(Pos);
+  std::free(Crd);
+  std::free(Vals);
+  Pos = Crd = nullptr;
+  Vals = nullptr;
+}
+
+void RawDia::release() {
+  std::free(Offsets);
+  std::free(Diag);
+  Offsets = nullptr;
+  Diag = nullptr;
+}
+
+void RawEll::release() {
+  std::free(JCoef);
+  std::free(Coef);
+  JCoef = nullptr;
+  Coef = nullptr;
+}
+
+// SPARSKIT coocsr: histogram row counts into iao, prefix-sum, scatter with
+// cursor stored in iao, then shift iao back.
+RawCsr baselines::skitCooCsr(const RawCoo &A) {
+  RawCsr B;
+  B.Rows = A.Rows;
+  B.Cols = A.Cols;
+  B.Pos = allocI32(A.Rows + 1);
+  B.Crd = allocI32(A.Nnz);
+  B.Vals = allocF64(A.Nnz);
+  int32_t *Pos = B.Pos;
+  std::memset(Pos, 0, sizeof(int32_t) * static_cast<size_t>(A.Rows + 1));
+  for (int64_t P = 0; P < A.Nnz; ++P)
+    ++Pos[A.RowIdx[P]];
+  int32_t Cum = 0;
+  for (int64_t I = 0; I <= A.Rows; ++I) {
+    int32_t Count = Pos[I];
+    Pos[I] = Cum;
+    Cum += Count;
+  }
+  for (int64_t P = 0; P < A.Nnz; ++P) {
+    int32_t I = A.RowIdx[P];
+    int32_t Slot = Pos[I];
+    B.Crd[Slot] = A.ColIdx[P];
+    B.Vals[Slot] = A.Vals[P];
+    Pos[I] = Slot + 1;
+  }
+  for (int64_t I = A.Rows; I > 0; --I)
+    Pos[I] = Pos[I - 1];
+  Pos[0] = 0;
+  return B;
+}
+
+// SPARSKIT csrcsc (Gustavson's permuted transposition).
+RawCsr baselines::skitCsrCsc(const RawCsr &A) {
+  RawCsr B;
+  B.Rows = A.Cols; // transpose
+  B.Cols = A.Rows;
+  int64_t Nnz = A.nnz();
+  B.Pos = allocI32(A.Cols + 1);
+  B.Crd = allocI32(Nnz);
+  B.Vals = allocF64(Nnz);
+  std::memset(B.Pos, 0, sizeof(int32_t) * static_cast<size_t>(A.Cols + 1));
+  for (int64_t P = 0; P < Nnz; ++P)
+    ++B.Pos[A.Crd[P]];
+  int32_t Cum = 0;
+  for (int64_t J = 0; J <= A.Cols; ++J) {
+    int32_t Count = B.Pos[J];
+    B.Pos[J] = Cum;
+    Cum += Count;
+  }
+  for (int64_t I = 0; I < A.Rows; ++I)
+    for (int32_t P = A.Pos[I]; P < A.Pos[I + 1]; ++P) {
+      int32_t J = A.Crd[P];
+      int32_t Slot = B.Pos[J];
+      B.Crd[Slot] = static_cast<int32_t>(I);
+      B.Vals[Slot] = A.Vals[P];
+      B.Pos[J] = Slot + 1;
+    }
+  for (int64_t J = A.Cols; J > 0; --J)
+    B.Pos[J] = B.Pos[J - 1];
+  B.Pos[0] = 0;
+  return B;
+}
+
+// SPARSKIT csrdia with idiag = all nonzero diagonals. Follows the Fortran
+// structure: infdia-style distance counts, then the repeated-max selection
+// scan over all 2n-1 candidate diagonals per selected diagonal — the
+// inefficiency §7.2 measures — then a row-wise fill of the padded output.
+RawDia baselines::skitCsrDia(const RawCsr &A) {
+  int64_t Span = A.Rows + A.Cols - 1;
+  int32_t *Dist = allocI32(Span);
+  std::memset(Dist, 0, sizeof(int32_t) * static_cast<size_t>(Span));
+  int64_t NDiag = 0;
+  for (int64_t I = 0; I < A.Rows; ++I)
+    for (int32_t P = A.Pos[I]; P < A.Pos[I + 1]; ++P) {
+      int64_t K = A.Crd[P] - I + (A.Rows - 1);
+      if (Dist[K] == 0)
+        ++NDiag;
+      ++Dist[K];
+    }
+
+  RawDia B;
+  B.Rows = A.Rows;
+  B.Cols = A.Cols;
+  B.NDiag = NDiag;
+  B.Offsets = allocI32(NDiag);
+  // Selection: repeatedly scan all 2n-1 counts for the current maximum
+  // (SPARSKIT keeps the diagonals sorted by density, not by offset).
+  int32_t *Rank = allocI32(Span); // offset+n-1 -> selected slot, or -1
+  for (int64_t K = 0; K < Span; ++K)
+    Rank[K] = -1;
+  for (int64_t S = 0; S < NDiag; ++S) {
+    int64_t Best = -1;
+    int32_t BestCount = 0;
+    for (int64_t K = 0; K < Span; ++K)
+      if (Dist[K] > BestCount) {
+        BestCount = Dist[K];
+        Best = K;
+      }
+    CONVGEN_ASSERT(Best >= 0, "diagonal selection ran out of candidates");
+    B.Offsets[S] = static_cast<int32_t>(Best - (A.Rows - 1));
+    Rank[Best] = static_cast<int32_t>(S);
+    Dist[Best] = 0;
+  }
+
+  B.Diag = allocF64(NDiag * A.Rows);
+  // SPARSKIT zero-fills the dense diagonal array before scattering.
+  std::memset(B.Diag, 0,
+              sizeof(double) * static_cast<size_t>(NDiag * A.Rows));
+  // The Fortran fill loop locates each element's diagonal by scanning the
+  // selected-offset list (`do jj=1,idiag / if (l.eq.ioff(jj))`): a linear
+  // membership test per nonzero, with no inverse-permutation array. This
+  // is the second inefficiency behind Table 3's csr_dia column.
+  for (int64_t I = 0; I < A.Rows; ++I)
+    for (int32_t P = A.Pos[I]; P < A.Pos[I + 1]; ++P) {
+      int32_t L = static_cast<int32_t>(A.Crd[P] - I);
+      for (int64_t S = 0; S < NDiag; ++S)
+        if (B.Offsets[S] == L) {
+          B.Diag[S * A.Rows + I] = A.Vals[P];
+          break;
+        }
+    }
+  std::free(Dist);
+  std::free(Rank);
+  return B;
+}
+
+// SPARSKIT csrell (ITPACK ELLPACK): the caller allocates coef/jcoef, and
+// the routine initializes them in a separate pass before filling — the
+// extra traffic §7.2 attributes SPARSKIT's csr_ell slowdown to.
+RawEll baselines::skitCsrEll(const RawCsr &A) {
+  RawEll B;
+  B.Rows = A.Rows;
+  B.Cols = A.Cols;
+  int64_t NCMax = 0;
+  for (int64_t I = 0; I < A.Rows; ++I)
+    NCMax = std::max<int64_t>(NCMax, A.Pos[I + 1] - A.Pos[I]);
+  B.NCMax = NCMax;
+  B.JCoef = allocI32(NCMax * A.Rows);
+  B.Coef = allocF64(NCMax * A.Rows);
+  // Separate initialization pass (csrell's "initialize coef, jcoef").
+  for (int64_t P = 0; P < NCMax * A.Rows; ++P) {
+    B.Coef[P] = 0.0;
+    B.JCoef[P] = 0;
+  }
+  for (int64_t I = 0; I < A.Rows; ++I) {
+    int64_t K = 0;
+    for (int32_t P = A.Pos[I]; P < A.Pos[I + 1]; ++P, ++K) {
+      B.JCoef[K * A.Rows + I] = A.Crd[P];
+      B.Coef[K * A.Rows + I] = A.Vals[P];
+    }
+  }
+  return B;
+}

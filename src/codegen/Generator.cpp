@@ -1,0 +1,511 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Generator.h"
+
+#include "ir/CEmitter.h"
+#include "levels/Levels.h"
+#include "levels/SourceIterator.h"
+#include "query/Compile.h"
+#include "remap/Bounds.h"
+#include "remap/Lower.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace convgen;
+using namespace convgen::codegen;
+using formats::LevelKind;
+
+std::string Conversion::cSource() const { return ir::emitC(Func); }
+
+std::string Conversion::pretty() const { return ir::printFunction(Func); }
+
+namespace {
+
+/// True if destination dims 0..UpTo (inclusive) plainly cover every
+/// canonical index variable — in that case a compressed level at UpTo+1
+/// sees each coordinate tuple at most once and needs no deduplication.
+bool prefixCoversAllIVars(const remap::RemapStmt &Remap, int UpTo) {
+  std::set<std::string> Covered;
+  for (int D = 0; D <= UpTo && D < static_cast<int>(Remap.dstOrder()); ++D) {
+    std::string Name;
+    if (remap::dimIsPlainVar(Remap, static_cast<size_t>(D), &Name))
+      Covered.insert(Name);
+  }
+  for (const std::string &V : Remap.SrcVars)
+    if (!Covered.count(V))
+      return false;
+  return true;
+}
+
+/// Index variables a remap dimension expression depends on.
+void collectDimIVars(const remap::Expr &E, std::set<std::string> &Out) {
+  if (!E)
+    return;
+  if (E->Kind == remap::ExprKind::IVar)
+    Out.insert(E->Name);
+  for (const std::string &V : E->CounterIndices)
+    Out.insert(V);
+  collectDimIVars(E->A, Out);
+  collectDimIVars(E->B, Out);
+}
+
+/// One counter of the target remapping and how it is realized.
+struct CounterPlan {
+  std::vector<std::string> IVars;
+  bool Scalar = false;      ///< Reuse one scalar (reset per outer row).
+  int ResetLevel = 0;       ///< Source level whose body resets the scalar.
+  std::string Var;          ///< Scalar name or array name.
+};
+
+struct Generator {
+  const formats::Format &Src;
+  const formats::Format &Dst;
+  const Options &Opts;
+
+  levels::SourceIterator SrcIt;
+  std::vector<std::unique_ptr<levels::LevelFormat>> Levels;
+  levels::AsmCtx Ctx;
+  query::TargetShape Shape;
+  std::vector<CounterPlan> Counters;
+  std::vector<ir::Expr> LevelSizes; ///< sz0..szn as size variables.
+
+  Generator(const formats::Format &Src, const formats::Format &Dst,
+            const Options &Opts)
+      : Src(Src), Dst(Dst), Opts(Opts), SrcIt(Src) {}
+
+  Conversion run();
+
+  ir::Stmt emitParentLoop(
+      int K,
+      const std::function<ir::Stmt(ir::Expr, const std::vector<ir::Expr> &)>
+          &Body);
+  void planCounters();
+  void checkSupported();
+
+  /// Lowers all destination coordinate expressions for the current
+  /// nonzero; appends let/counter statements to \p Out.
+  std::vector<ir::Expr> dstCoords(const levels::IterEnv &Env,
+                                  ir::BlockBuilder &Out,
+                                  bool UseMaterialized) const;
+
+  /// Declares counter state (scalars or calloc'd arrays) and registers the
+  /// per-loop-level scalar resets of the counter-reuse optimization.
+  void emitCounterSetup(
+      ir::BlockBuilder &Out,
+      std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>>
+          &Resets) const;
+
+  /// Reads each counter's current value into <name>_v and increments it.
+  void emitCounterAdvance(const levels::IterEnv &Env,
+                          ir::BlockBuilder &Out) const;
+
+  void freeCounters(ir::BlockBuilder &Out) const;
+
+  /// Linearized counter-array index from the counter's index variables.
+  ir::Expr counterIndex(const CounterPlan &Plan,
+                        const levels::IterEnv &Env) const;
+
+  /// Size of a counter array: product of the index variables' dimensions.
+  ir::Expr counterArraySize(const CounterPlan &Plan) const;
+};
+
+ir::Expr Generator::counterArraySize(const CounterPlan &Plan) const {
+  ir::Expr Size = ir::intImm(1);
+  for (const std::string &IV : Plan.IVars) {
+    auto It = std::find(Src.Remap.SrcVars.begin(), Src.Remap.SrcVars.end(),
+                        IV);
+    CONVGEN_ASSERT(It != Src.Remap.SrcVars.end(),
+                   "counter over unknown index variable");
+    int D = static_cast<int>(It - Src.Remap.SrcVars.begin());
+    Size = ir::mul(Size, ir::var("dim" + std::to_string(D)));
+  }
+  return Size;
+}
+
+ir::Expr Generator::counterIndex(const CounterPlan &Plan,
+                                 const levels::IterEnv &Env) const {
+  ir::Expr Index = ir::intImm(0);
+  for (const std::string &IV : Plan.IVars) {
+    auto It = std::find(Src.Remap.SrcVars.begin(), Src.Remap.SrcVars.end(),
+                        IV);
+    int D = static_cast<int>(It - Src.Remap.SrcVars.begin());
+    Index = ir::add(ir::mul(Index, ir::var("dim" + std::to_string(D))),
+                    Env.Canonical.at(IV));
+  }
+  return Index;
+}
+
+void Generator::emitCounterSetup(
+    ir::BlockBuilder &Out,
+    std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>> &Resets)
+    const {
+  std::map<int, std::vector<std::string>> ScalarResets;
+  for (const CounterPlan &Plan : Counters) {
+    if (Plan.Scalar) {
+      Out.add(ir::decl(Plan.Var, ir::intImm(0)));
+      if (Plan.ResetLevel > 0)
+        ScalarResets[Plan.ResetLevel].push_back(Plan.Var);
+    } else {
+      Out.add(ir::alloc(Plan.Var, ir::ScalarKind::Int,
+                        counterArraySize(Plan), true));
+    }
+  }
+  for (auto &[Level, Vars] : ScalarResets) {
+    std::vector<std::string> Copy = Vars;
+    Resets[Level] = [Copy](const levels::IterEnv &) -> ir::Stmt {
+      ir::BlockBuilder B;
+      for (const std::string &V : Copy)
+        B.add(ir::assign(V, ir::intImm(0)));
+      return B.build();
+    };
+  }
+}
+
+void Generator::emitCounterAdvance(const levels::IterEnv &Env,
+                                   ir::BlockBuilder &Out) const {
+  for (const CounterPlan &Plan : Counters) {
+    std::string Val = Plan.Var + "_v";
+    if (Plan.Scalar) {
+      Out.add(ir::decl(Val, ir::var(Plan.Var)));
+      Out.add(ir::assign(Plan.Var, ir::add(ir::var(Plan.Var),
+                                           ir::intImm(1))));
+    } else {
+      ir::Expr Index = counterIndex(Plan, Env);
+      std::string IdxVar = Plan.Var + "_i";
+      Out.add(ir::decl(IdxVar, Index));
+      Out.add(ir::decl(Val, ir::load(Plan.Var, ir::var(IdxVar))));
+      Out.add(ir::store(Plan.Var, ir::var(IdxVar),
+                        ir::add(ir::var(Val), ir::intImm(1))));
+    }
+  }
+}
+
+void Generator::freeCounters(ir::BlockBuilder &Out) const {
+  for (const CounterPlan &Plan : Counters)
+    if (!Plan.Scalar)
+      Out.add(ir::freeBuffer(Plan.Var));
+}
+
+std::string unsupportedReason(const formats::Format &Src,
+                              const formats::Format &Dst,
+                              const levels::SourceIterator &SrcIt) {
+  // Single-group assembly: a level with edge insertion must be able to
+  // enumerate its parent positions before any coordinate insertion ran,
+  // which requires all enclosing levels to be dense (or the root).
+  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
+    bool Edges = Dst.Levels[K].Kind == LevelKind::Compressed ||
+                 Dst.Levels[K].Kind == LevelKind::Skyline;
+    if (!Edges)
+      continue;
+    for (size_t P = 0; P < K; ++P)
+      if (Dst.Levels[P].Kind != LevelKind::Dense)
+        return strfmt("conversion to %s requires multi-pass assembly "
+                      "(level %zu needs edge insertion below a non-dense "
+                      "level), which is not supported",
+                      Dst.Name.c_str(), K);
+  }
+  // Dedup levels rely on a version-stamp workspace, which requires every
+  // nonzero of one parent to be visited contiguously: the parent dims must
+  // depend only on the ivars of some *prefix* of the source's lexicographic
+  // iteration order (and the set must be exactly that prefix, so the
+  // parent value cannot reset when an outer variable advances).
+  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
+    if (Dst.Levels[K].Kind != LevelKind::Compressed || !Dst.Levels[K].Unique)
+      continue;
+    if (prefixCoversAllIVars(Dst.Remap, static_cast<int>(K)))
+      continue;
+    std::vector<std::string> Ordered = SrcIt.lexOrderedIVars();
+    std::set<std::string> Needed;
+    for (size_t D = 0; D < K; ++D)
+      collectDimIVars(remap::inlineLets(Dst.Remap.DstDims[D]), Needed);
+    std::set<std::string> PrefixSet;
+    bool Supported = Needed.empty();
+    for (const std::string &V : Ordered) {
+      PrefixSet.insert(V);
+      if (PrefixSet == Needed) {
+        Supported = true;
+        break;
+      }
+    }
+    if (!Supported)
+      return strfmt("conversion %s -> %s needs deduplicating assembly, "
+                    "which requires the source to iterate the grouping "
+                    "coordinates as an ordered prefix",
+                    Src.Name.c_str(), Dst.Name.c_str());
+  }
+  return "";
+}
+
+void Generator::checkSupported() {
+  std::string Reason = unsupportedReason(Src, Dst, SrcIt);
+  if (!Reason.empty())
+    fatalError(Reason.c_str());
+}
+
+ir::Stmt Generator::emitParentLoop(
+    int K,
+    const std::function<ir::Stmt(ir::Expr, const std::vector<ir::Expr> &)>
+        &Body) {
+  // Enumerate positions of levels 1..K-1 (all dense; checked above) with
+  // nested loops; coordinates are absolute (lo + loop var).
+  std::function<ir::Stmt(int, ir::Expr, std::vector<ir::Expr>)> Emit =
+      [&](int Level, ir::Expr Pos, std::vector<ir::Expr> Coords) -> ir::Stmt {
+    if (Level >= K)
+      return Body(Pos, Coords);
+    const formats::LevelSpec &Spec =
+        Dst.Levels[static_cast<size_t>(Level - 1)];
+    CONVGEN_ASSERT(Spec.Kind == LevelKind::Dense,
+                   "edge-insertion parents must be dense");
+    std::string Var = "e" + std::to_string(Level);
+    ir::Expr Extent = Ctx.dimExtent(Spec.Dim);
+    ir::Expr Lo = Ctx.dimLo(Spec.Dim);
+    std::vector<ir::Expr> NewCoords = Coords;
+    NewCoords.push_back(ir::add(ir::var(Var), Lo));
+    ir::Expr NewPos = ir::add(ir::mul(Pos, Extent), ir::var(Var));
+    return ir::forRange(Var, ir::intImm(0), Extent,
+                        Emit(Level + 1, NewPos, NewCoords));
+  };
+  return Emit(1, ir::intImm(0), {});
+}
+
+void Generator::planCounters() {
+  std::vector<std::string> LoopOrdered = SrcIt.orderedLoopIVars();
+  int Index = 0;
+  for (const std::vector<std::string> &IVars :
+       remap::collectCounters(Dst.Remap)) {
+    CounterPlan Plan;
+    Plan.IVars = IVars;
+    Plan.Var = "cnt" + std::to_string(Index++);
+    // A counter reuses one scalar when its index variables are exactly a
+    // prefix of the ordered outer loops (§4.2): the scalar resets whenever
+    // the innermost of those loops advances.
+    if (Opts.CounterReuse && !IVars.empty() &&
+        IVars.size() <= LoopOrdered.size() &&
+        std::equal(IVars.begin(), IVars.end(), LoopOrdered.begin())) {
+      Plan.Scalar = true;
+      Plan.ResetLevel = static_cast<int>(IVars.size());
+    }
+    Counters.push_back(Plan);
+  }
+}
+
+std::vector<ir::Expr> Generator::dstCoords(const levels::IterEnv &Env,
+                                           ir::BlockBuilder &Out,
+                                           bool UseMaterialized) const {
+  std::vector<ir::Expr> Coords;
+  remap::LowerEnv LEnv;
+  LEnv.IVars = Env.Canonical;
+  for (const CounterPlan &Plan : Counters)
+    LEnv.Counters[remap::counterKey(Plan.IVars)] =
+        ir::var(Plan.Var + "_v");
+  for (size_t D = 0; D < Dst.Remap.DstDims.size(); ++D) {
+    std::string PlainVar;
+    if (remap::dimIsPlainVar(Dst.Remap, D, &PlainVar)) {
+      Coords.push_back(Env.Canonical.at(PlainVar));
+      continue;
+    }
+    if (UseMaterialized) {
+      Coords.push_back(
+          ir::load("mc" + std::to_string(D), Env.LastPos));
+      continue;
+    }
+    LEnv.NamePrefix = "d" + std::to_string(D) + "_";
+    std::vector<ir::Stmt> LetDecls;
+    ir::Expr E = remap::lowerDimExpr(Dst.Remap.DstDims[D], LEnv, &LetDecls);
+    Out.addAll(LetDecls);
+    // Name the coordinate so positions below read like Figure 6.
+    std::string CVar = "cB" + std::to_string(D);
+    if (E->Kind == ir::ExprKind::Var) {
+      Coords.push_back(E);
+    } else {
+      Out.add(ir::decl(CVar, E));
+      Coords.push_back(ir::var(CVar));
+    }
+  }
+  return Coords;
+}
+
+Conversion Generator::run() {
+  checkSupported();
+  planCounters();
+
+  // Target shape: bounds of the remapped dimensions over dim0/dim1.
+  std::vector<ir::Expr> SrcDims;
+  for (int D = 0; D < Dst.SrcOrder; ++D)
+    SrcDims.push_back(ir::var("dim" + std::to_string(D)));
+  Shape.Remap = Dst.Remap;
+  Shape.Bounds = remap::analyzeBounds(Dst.Remap, SrcDims);
+
+  // Level formats with dedup decisions.
+  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
+    bool Dedup = Dst.Levels[K].Kind == LevelKind::Compressed &&
+                 Dst.Levels[K].Unique &&
+                 !prefixCoversAllIVars(Dst.Remap, static_cast<int>(K));
+    Levels.push_back(levels::LevelFormat::create(
+        Dst.Levels[K], static_cast<int>(K) + 1, Dedup, Dst.order()));
+  }
+
+  // Compile the attribute queries the levels declare.
+  std::vector<std::pair<int, query::Query>> LevelQueries;
+  for (const auto &LF : Levels)
+    for (const query::Query &Q : LF->queries())
+      LevelQueries.push_back({LF->level(), Q});
+  query::CompiledQueries Compiled = query::compileQueries(
+      LevelQueries, Shape, SrcIt, Opts.OptimizeQueries);
+
+  Ctx.Fmt = &Dst;
+  Ctx.Bounds = Shape.Bounds;
+  Ctx.ForceUnseqEdges = Opts.ForceUnseqEdges;
+  Ctx.Result = [&](int Level, const std::string &Label) {
+    auto It = Compiled.Refs.find(strfmt("q%d_%s", Level, Label.c_str()));
+    CONVGEN_ASSERT(It != Compiled.Refs.end(), "missing query result");
+    return It->second;
+  };
+  Ctx.ParentLoop = [this](int K, const auto &Body) {
+    return emitParentLoop(K, Body);
+  };
+
+  ir::BlockBuilder Fn;
+  Fn.add(ir::comment(strfmt("convert %s -> %s", Src.Name.c_str(),
+                            Dst.Name.c_str())));
+
+  // Optional pre-pass: materialize non-plain remapped coordinates per
+  // stored position (§3's strategy for complex orderings).
+  bool Materialize = Opts.MaterializeRemap;
+  if (Materialize) {
+    Fn.add(ir::comment("remap: materialize remapped coordinates"));
+    ir::Expr Stored = SrcIt.storedSizeExpr();
+    std::vector<int> MatDims;
+    for (size_t D = 0; D < Dst.Remap.DstDims.size(); ++D)
+      if (!remap::dimIsPlainVar(Dst.Remap, D))
+        MatDims.push_back(static_cast<int>(D));
+    for (int D : MatDims)
+      Fn.add(ir::alloc("mc" + std::to_string(D), ir::ScalarKind::Int,
+                       Stored, false));
+    // Counters advance inside this pass; later passes read the arrays.
+    ir::BlockBuilder CounterInit;
+    std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>> Resets;
+    emitCounterSetup(CounterInit, Resets);
+    Fn.add(CounterInit.build());
+    Fn.add(SrcIt.build(
+        [&](const levels::IterEnv &Env) -> ir::Stmt {
+          ir::BlockBuilder Body;
+          emitCounterAdvance(Env, Body);
+          std::vector<ir::Expr> Coords =
+              dstCoords(Env, Body, /*UseMaterialized=*/false);
+          for (int D : MatDims)
+            Body.add(ir::store("mc" + std::to_string(D), Env.LastPos,
+                               Coords[static_cast<size_t>(D)]));
+          return Body.build();
+        },
+        Resets));
+    freeCounters(Fn);
+  }
+
+  // Phase 1: analysis.
+  Fn.add(Compiled.Code);
+
+  // Phase 2: per-level initialization (edge insertion, perm/K, arrays).
+  Fn.add(ir::comment("assembly: edge insertion and initialization"));
+  LevelSizes.push_back(ir::intImm(1));
+  for (size_t K = 0; K < Levels.size(); ++K) {
+    Levels[K]->emitInit(Ctx, LevelSizes.back(), Fn);
+    std::string SzVar = "szB" + std::to_string(K + 1);
+    Fn.add(ir::decl(SzVar, Levels[K]->getSize(Ctx, LevelSizes.back())));
+    LevelSizes.push_back(ir::var(SzVar));
+  }
+  Fn.add(ir::alloc("B_vals", ir::ScalarKind::Float, LevelSizes.back(),
+                   Dst.PaddedVals));
+  for (size_t K = 0; K < Levels.size(); ++K)
+    Levels[K]->emitInitPos(Ctx, LevelSizes[K], Fn);
+
+  // Phase 3: coordinate insertion — one fused pass over the source.
+  Fn.add(ir::comment("assembly: coordinate insertion"));
+  std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>> Resets;
+  if (!Materialize) {
+    ir::BlockBuilder CounterInit;
+    emitCounterSetup(CounterInit, Resets);
+    Fn.add(CounterInit.build());
+  }
+  Fn.add(SrcIt.build(
+      [&](const levels::IterEnv &Env) -> ir::Stmt {
+        ir::BlockBuilder Body;
+        if (!Materialize)
+          emitCounterAdvance(Env, Body);
+        std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
+        levels::PosEnv PEnv{ir::intImm(0), Coords};
+        for (size_t K = 0; K < Levels.size(); ++K) {
+          ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
+          if (Pk->Kind != ir::ExprKind::Var &&
+              Pk->Kind != ir::ExprKind::IntImm) {
+            std::string PVar = "pB" + std::to_string(K + 1) + "c";
+            Body.add(ir::decl(PVar, Pk));
+            Pk = ir::var(PVar);
+          }
+          Levels[K]->emitInsertCoord(Ctx, PEnv, Pk, Body);
+          PEnv.ParentPos = Pk;
+        }
+        Body.add(ir::store("B_vals", PEnv.ParentPos,
+                           ir::load("A_vals", Env.LastPos,
+                                    ir::ScalarKind::Float)));
+        return Body.build();
+      },
+      Resets));
+  if (!Materialize)
+    freeCounters(Fn);
+
+  // Finalizers, temp frees, yields.
+  Fn.add(ir::comment("finalize and publish outputs"));
+  for (size_t K = 0; K < Levels.size(); ++K)
+    Levels[K]->emitFinalize(Ctx, LevelSizes[K], Fn);
+  for (const auto &[Name, Ref] : Compiled.Refs)
+    Fn.add(ir::freeBuffer(Name));
+  if (Materialize)
+    for (size_t D = 0; D < Dst.Remap.DstDims.size(); ++D)
+      if (!remap::dimIsPlainVar(Dst.Remap, D))
+        Fn.add(ir::freeBuffer("mc" + std::to_string(D)));
+  for (size_t K = 0; K < Levels.size(); ++K)
+    Levels[K]->emitYield(Ctx, LevelSizes[K], Fn);
+  Fn.add(ir::yieldBuffer("B_vals", "B_vals", LevelSizes.back()));
+
+  Conversion Out;
+  Out.Source = Src;
+  Out.Target = Dst;
+  Out.Opts = Opts;
+  Out.Func.Name = "convert_" + Src.Name + "_to_" + Dst.Name;
+  Out.Func.Params = SrcIt.params();
+  Out.Func.Body = Fn.build();
+  Out.Queries = Compiled.Stmts;
+  return Out;
+}
+
+} // namespace
+
+bool codegen::conversionSupported(const formats::Format &Source,
+                                  const formats::Format &Target,
+                                  std::string *Why) {
+  levels::SourceIterator SrcIt(Source);
+  std::string Reason = unsupportedReason(Source, Target, SrcIt);
+  if (Why)
+    *Why = Reason;
+  return Reason.empty();
+}
+
+Conversion codegen::generateConversion(const formats::Format &Source,
+                                       const formats::Format &Target,
+                                       const Options &Opts) {
+  formats::validateFormat(Source);
+  formats::validateFormat(Target);
+  if (Source.SrcOrder != Target.SrcOrder)
+    fatalError("source and target formats must have the same canonical "
+               "order");
+  Generator G(Source, Target, Opts);
+  return G.run();
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conversion code generator: combines a source format's iteration
+/// level functions with a target format's coordinate remapping, attribute
+/// queries, and assembly level functions to emit a complete conversion
+/// routine (paper §3, §6.2). The emitted function has the three logical
+/// phases of Figure 6 — analysis (fused attribute-query sweeps), per-level
+/// initialization/edge insertion, and a single fused coordinate-insertion
+/// pass over the source — plus finalizers and output yields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_CODEGEN_GENERATOR_H
+#define CONVGEN_CODEGEN_GENERATOR_H
+
+#include "formats/Format.h"
+#include "ir/IR.h"
+#include "query/Cin.h"
+
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace codegen {
+
+/// Generation options; the defaults reproduce the paper's technique, the
+/// toggles drive the ablation studies.
+struct Options {
+  /// Apply the Table 1 attribute-query optimizations (§5.2).
+  bool OptimizeQueries = true;
+  /// Reuse a scalar for counters whose index variables are bound by the
+  /// source's ordered outer loops (§4.2); otherwise counter arrays.
+  bool CounterReuse = true;
+  /// Use unsequenced edge insertion (scatter + prefix sum) even where the
+  /// sequenced variant applies (§6.1); exercised by tests/ablations.
+  bool ForceUnseqEdges = false;
+  /// Materialize remapped coordinates in a separate pre-pass instead of
+  /// fusing remapping into assembly (§3's discussion of complex orderings).
+  bool MaterializeRemap = false;
+};
+
+/// A generated conversion routine.
+struct Conversion {
+  formats::Format Source;
+  formats::Format Target;
+  Options Opts;
+  ir::Function Func;
+  /// Optimized attribute queries, for inspection and golden tests.
+  std::vector<std::pair<std::string, query::CinStmt>> Queries;
+
+  /// Complete C99 translation unit (JIT input).
+  std::string cSource() const;
+  /// C-like body text (the "Figure 6 view").
+  std::string pretty() const;
+};
+
+/// Generates the conversion routine from \p Source to \p Target. Aborts
+/// with a diagnostic for unsupported combinations (documented in
+/// DESIGN.md): multi-pass targets whose edge insertion needs coordinates
+/// assembled by an earlier compressed level, or dedup targets fed by
+/// sources without the required iteration order.
+Conversion generateConversion(const formats::Format &Source,
+                              const formats::Format &Target,
+                              const Options &Opts = Options());
+
+/// True when generateConversion supports the pair; otherwise false with a
+/// human-readable reason in \p Why. Lets callers (and the all-pairs test
+/// suite) distinguish documented limitations from bugs.
+bool conversionSupported(const formats::Format &Source,
+                         const formats::Format &Target,
+                         std::string *Why = nullptr);
+
+} // namespace codegen
+} // namespace convgen
+
+#endif // CONVGEN_CODEGEN_GENERATOR_H

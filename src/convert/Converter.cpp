@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+
+#include "ir/Interpreter.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::convert;
+using formats::LevelKind;
+
+Converter::Converter(formats::Format Source, formats::Format Target,
+                     codegen::Options Opts)
+    : Conv(codegen::generateConversion(Source, Target, Opts)) {}
+
+void convert::bindSourceTensor(ir::Interpreter &Interp,
+                               const tensor::SparseTensor &In) {
+  for (size_t D = 0; D < In.Dims.size(); ++D)
+    Interp.bindScalar("dim" + std::to_string(D), In.Dims[D]);
+  for (size_t K = 0; K < In.Format.Levels.size(); ++K) {
+    const tensor::LevelStorage &L = In.Levels[K];
+    std::string Base = "A" + std::to_string(K + 1);
+    switch (In.Format.Levels[K].Kind) {
+    case LevelKind::Compressed:
+      Interp.bindIntBuffer(Base + "_pos", L.Pos);
+      Interp.bindIntBuffer(Base + "_crd", L.Crd);
+      break;
+    case LevelKind::Singleton:
+      Interp.bindIntBuffer(Base + "_crd", L.Crd);
+      break;
+    case LevelKind::Squeezed:
+      Interp.bindIntBuffer(Base + "_perm", L.Perm);
+      Interp.bindScalar(Base + "_param", L.SizeParam);
+      break;
+    case LevelKind::Sliced:
+      Interp.bindScalar(Base + "_param", L.SizeParam);
+      break;
+    case LevelKind::Skyline:
+      Interp.bindIntBuffer(Base + "_pos", L.Pos);
+      break;
+    case LevelKind::Dense:
+    case LevelKind::Offset:
+      break;
+    }
+  }
+  Interp.bindFloatBuffer("A_vals", In.Vals);
+}
+
+tensor::SparseTensor
+convert::collectTargetTensor(const formats::Format &Target,
+                             const std::vector<int64_t> &Dims,
+                             ir::RunResult &Result) {
+  tensor::SparseTensor Out;
+  Out.Format = Target;
+  Out.Dims = Dims;
+  Out.Levels.resize(Target.Levels.size());
+  for (size_t K = 0; K < Target.Levels.size(); ++K) {
+    std::string Base = "B" + std::to_string(K + 1);
+    tensor::LevelStorage &L = Out.Levels[K];
+    auto takeInts = [&](const std::string &Slot, std::vector<int32_t> &Dest) {
+      auto It = Result.Buffers.find(Slot);
+      if (It == Result.Buffers.end())
+        fatalError(("conversion did not yield " + Slot).c_str());
+      Dest = std::move(It->second.Ints);
+    };
+    switch (Target.Levels[K].Kind) {
+    case LevelKind::Compressed:
+      takeInts(Base + "_pos", L.Pos);
+      takeInts(Base + "_crd", L.Crd);
+      break;
+    case LevelKind::Singleton:
+      takeInts(Base + "_crd", L.Crd);
+      break;
+    case LevelKind::Squeezed:
+      takeInts(Base + "_perm", L.Perm);
+      L.SizeParam = Result.Scalars.at(Base + "_param");
+      break;
+    case LevelKind::Sliced:
+      L.SizeParam = Result.Scalars.at(Base + "_param");
+      break;
+    case LevelKind::Skyline:
+      takeInts(Base + "_pos", L.Pos);
+      break;
+    case LevelKind::Dense:
+    case LevelKind::Offset:
+      break;
+    }
+  }
+  auto It = Result.Buffers.find("B_vals");
+  if (It == Result.Buffers.end())
+    fatalError("conversion did not yield B_vals");
+  Out.Vals = std::move(It->second.Floats);
+  return Out;
+}
+
+tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
+  if (In.Format.Name != Conv.Source.Name)
+    fatalError(strfmt("converter compiled for source '%s' got a '%s' tensor",
+                      Conv.Source.Name.c_str(), In.Format.Name.c_str())
+                   .c_str());
+  ir::Interpreter Interp;
+  bindSourceTensor(Interp, In);
+  ir::RunResult Result = Interp.run(Conv.Func);
+  return collectTargetTensor(Conv.Target, In.Dims, Result);
+}

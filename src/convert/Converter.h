@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing conversion API: compile once per (source, target)
+/// format pair, then convert tensors. This header's Converter executes
+/// through the reference interpreter; the JIT backend (jit/Jit.h) runs the
+/// same generated routine as native code.
+///
+/// \code
+///   Converter Conv(formats::makeCOO(), formats::makeCSR());
+///   tensor::SparseTensor Csr = Conv.run(Coo);
+///   std::fputs(Conv.conversion().pretty().c_str(), stdout);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_CONVERT_CONVERTER_H
+#define CONVGEN_CONVERT_CONVERTER_H
+
+#include "codegen/Generator.h"
+#include "ir/Interpreter.h"
+#include "tensor/SparseTensor.h"
+
+namespace convgen {
+namespace convert {
+
+class Converter {
+public:
+  Converter(formats::Format Source, formats::Format Target,
+            codegen::Options Opts = codegen::Options());
+
+  const codegen::Conversion &conversion() const { return Conv; }
+
+  /// Converts \p In (which must be in the source format) by interpreting
+  /// the generated routine. The result is fully validated in debug use via
+  /// SparseTensor::validate by the caller if desired.
+  tensor::SparseTensor run(const tensor::SparseTensor &In) const;
+
+private:
+  codegen::Conversion Conv;
+};
+
+/// Binds \p In's arrays/dims/params as interpreter inputs under the "A"
+/// naming convention (shared with the JIT runner's marshalling).
+void bindSourceTensor(ir::Interpreter &Interp, const tensor::SparseTensor &In);
+
+/// Assembles the output tensor from interpreter yields.
+tensor::SparseTensor collectTargetTensor(const formats::Format &Target,
+                                         const std::vector<int64_t> &Dims,
+                                         ir::RunResult &Result);
+
+} // namespace convert
+} // namespace convgen
+
+#endif // CONVGEN_CONVERT_CONVERTER_H

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Format.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::formats;
+
+const char *formats::levelKindName(LevelKind Kind) {
+  switch (Kind) {
+  case LevelKind::Dense:
+    return "dense";
+  case LevelKind::Compressed:
+    return "compressed";
+  case LevelKind::Singleton:
+    return "singleton";
+  case LevelKind::Squeezed:
+    return "squeezed";
+  case LevelKind::Sliced:
+    return "sliced";
+  case LevelKind::Skyline:
+    return "skyline";
+  case LevelKind::Offset:
+    return "offset";
+  }
+  convgen_unreachable("unknown level kind");
+}
+
+std::string Format::summary() const {
+  std::vector<std::string> Kinds;
+  Kinds.reserve(Levels.size());
+  for (const LevelSpec &L : Levels) {
+    std::string Kind = levelKindName(L.Kind);
+    if (L.Kind == LevelKind::Compressed && !L.Unique)
+      Kind += "(non-unique)";
+    Kinds.push_back(Kind);
+  }
+  std::string Out =
+      Name + ": " + remap::printRemap(Remap) + "; " + join(Kinds, ",");
+  if (PaddedVals)
+    Out += "; padded";
+  return Out;
+}
+
+void formats::validateFormat(const Format &F) {
+  auto failFmt = [&](const std::string &Msg) {
+    fatalError(("format '" + F.Name + "': " + Msg).c_str());
+  };
+  if (F.Levels.empty())
+    failFmt("must have at least one level");
+  if (static_cast<int>(F.Remap.srcOrder()) != F.SrcOrder)
+    failFmt("remap source arity does not match the canonical order");
+  if (F.Remap.dstOrder() != F.Levels.size())
+    failFmt("one level per remapped dimension is required");
+  if (static_cast<int>(F.Inverse.srcOrder()) != F.order())
+    failFmt("inverse must be over the stored dimensions d0..dn-1");
+  if (static_cast<int>(F.Inverse.dstOrder()) != F.SrcOrder)
+    failFmt("inverse must produce one canonical coordinate per source "
+            "variable");
+  for (size_t K = 0; K < F.Levels.size(); ++K) {
+    const LevelSpec &L = F.Levels[K];
+    if (L.Dim != static_cast<int>(K))
+      failFmt(strfmt("level %zu must store dimension %zu", K, K));
+    if (L.Kind == LevelKind::Offset) {
+      if (L.AddendDims[0] < 0 || L.AddendDims[1] < 0 ||
+          L.AddendDims[0] >= static_cast<int>(K) ||
+          L.AddendDims[1] >= static_cast<int>(K))
+        failFmt("offset level addends must name two earlier dimensions");
+    }
+    if (L.Kind == LevelKind::Compressed && !L.Unique && K != 0)
+      failFmt("non-unique compressed levels are only supported at the root "
+              "(COO-style formats)");
+  }
+}

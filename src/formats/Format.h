@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tensor format descriptions. Following the paper (§2, §3), a sparse
+/// tensor format is specified by
+///
+///   * a coordinate remapping that maps canonical coordinates to the
+///     (possibly higher-order) stored dimensions, capturing how the format
+///     groups and orders nonzeros (e.g. DIA: `(i,j) -> (j-i,i,j)`), and
+///   * one level format per stored dimension, describing the data
+///     structure that encodes that dimension (dense, compressed, singleton,
+///     squeezed, sliced, skyline, or offset).
+///
+/// The inverse mapping (stored dimensions back to canonical coordinates) is
+/// part of the specification so that generated code can iterate a tensor in
+/// any source format and recover canonical coordinates to feed the target
+/// format's remapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_FORMATS_FORMAT_H
+#define CONVGEN_FORMATS_FORMAT_H
+
+#include "remap/Remap.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace formats {
+
+/// The level formats the library implements. Dense/Compressed/Singleton are
+/// the classic trio from Chou et al. [2018]; Squeezed stores DIA's set of
+/// nonzero diagonal offsets in a perm array; Sliced stores ELL's K implicit
+/// slices; Skyline stores the banded column structure of the skyline
+/// format; Offset stores a dimension whose coordinate is the sum of two
+/// ancestor coordinates (DIA's column dimension, j = k + i).
+enum class LevelKind : uint8_t {
+  Dense,
+  Compressed,
+  Singleton,
+  Squeezed,
+  Sliced,
+  Skyline,
+  Offset,
+};
+
+const char *levelKindName(LevelKind Kind);
+
+struct LevelSpec {
+  LevelKind Kind;
+  int Dim = 0; ///< The destination (remapped) dimension this level stores.
+  /// Compressed only: false permits duplicate coordinates under one parent
+  /// (COO's row level stores every nonzero's row).
+  bool Unique = true;
+  /// Singleton only: coordinate array is zero-initialized because padding
+  /// slots must hold valid coordinates (ELL).
+  bool Padded = false;
+  /// Offset only: the two destination dimensions whose coordinates sum to
+  /// this level's coordinate.
+  std::array<int, 2> AddendDims = {-1, -1};
+};
+
+/// A complete tensor format specification.
+struct Format {
+  std::string Name;
+  /// Canonical order (2 for the matrix formats shipped with the library).
+  int SrcOrder = 2;
+  /// Canonical coordinates -> stored dimensions (identity for COO/CSR).
+  remap::RemapStmt Remap;
+  /// Stored dimensions -> canonical coordinates. Expressed as a remap
+  /// statement over variables d0..d{n-1} so the parser can be reused; its
+  /// DstDims are the canonical coordinate expressions in order.
+  remap::RemapStmt Inverse;
+  /// One level per stored dimension, outermost first.
+  std::vector<LevelSpec> Levels;
+  /// The values array contains explicit zero padding (DIA/ELL/BCSR/SKY).
+  /// Iterating such a format as a conversion source filters zeros out.
+  bool PaddedVals = false;
+  /// Format-specific constants baked into the remapping (BCSR's block
+  /// dimensions), kept here so runtime builders need not re-derive them.
+  std::vector<int64_t> StaticParams;
+
+  int order() const { return static_cast<int>(Levels.size()); }
+
+  /// True if level \p K (0-based) requires per-level runtime size metadata
+  /// (Squeezed's and Sliced's K parameter).
+  bool levelHasSizeParam(int K) const {
+    return Levels[static_cast<size_t>(K)].Kind == LevelKind::Squeezed ||
+           Levels[static_cast<size_t>(K)].Kind == LevelKind::Sliced;
+  }
+
+  /// Renders a one-line summary, e.g.
+  /// "dia: (i,j) -> (j-i,i,j); squeezed,dense,offset; padded".
+  std::string summary() const;
+};
+
+/// Validates internal consistency (arities, level dims, addends) and aborts
+/// with a diagnostic on malformed specifications. Called by the registry.
+void validateFormat(const Format &F);
+
+} // namespace formats
+} // namespace convgen
+
+#endif // CONVGEN_FORMATS_FORMAT_H

@@ -1,0 +1,143 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Standard.h"
+
+#include "remap/RemapParser.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::formats;
+
+Format formats::makeCOO() {
+  Format F;
+  F.Name = "coo";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (i,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d0,d1)");
+  F.Levels = {
+      LevelSpec{LevelKind::Compressed, 0, /*Unique=*/false, false, {-1, -1}},
+      LevelSpec{LevelKind::Singleton, 1, true, false, {-1, -1}},
+  };
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeCSR() {
+  Format F;
+  F.Name = "csr";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (i,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d0,d1)");
+  F.Levels = {
+      LevelSpec{LevelKind::Dense, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Compressed, 1, true, false, {-1, -1}},
+  };
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeCSC() {
+  Format F;
+  F.Name = "csc";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (j,i)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d1,d0)");
+  F.Levels = {
+      LevelSpec{LevelKind::Dense, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Compressed, 1, true, false, {-1, -1}},
+  };
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeDIA() {
+  Format F;
+  F.Name = "dia";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (j-i,i,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1,d2) -> (d1,d2)");
+  F.Levels = {
+      LevelSpec{LevelKind::Squeezed, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Dense, 1, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Offset, 2, true, false, {0, 1}},
+  };
+  F.PaddedVals = true;
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeELL() {
+  Format F;
+  F.Name = "ell";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (k=#i in k,i,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1,d2) -> (d1,d2)");
+  F.Levels = {
+      LevelSpec{LevelKind::Sliced, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Dense, 1, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Singleton, 2, true, /*Padded=*/true, {-1, -1}},
+  };
+  F.PaddedVals = true;
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeBCSR(int BlockRows, int BlockCols) {
+  CONVGEN_ASSERT(BlockRows > 0 && BlockCols > 0,
+                 "BCSR block dimensions must be positive");
+  Format F;
+  F.Name = strfmt("bcsr%dx%d", BlockRows, BlockCols);
+  F.Remap = remap::parseRemapOrDie(
+      strfmt("(i,j) -> (i/%d,j/%d,i%%%d,j%%%d)", BlockRows, BlockCols,
+             BlockRows, BlockCols));
+  F.Inverse = remap::parseRemapOrDie(
+      strfmt("(d0,d1,d2,d3) -> (d0*%d+d2,d1*%d+d3)", BlockRows, BlockCols));
+  F.Levels = {
+      LevelSpec{LevelKind::Dense, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Compressed, 1, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Dense, 2, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Dense, 3, true, false, {-1, -1}},
+  };
+  F.PaddedVals = true;
+  F.StaticParams = {BlockRows, BlockCols};
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeSKY() {
+  Format F;
+  F.Name = "sky";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (i,j)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d0,d1)");
+  F.Levels = {
+      LevelSpec{LevelKind::Dense, 0, true, false, {-1, -1}},
+      LevelSpec{LevelKind::Skyline, 1, true, false, {-1, -1}},
+  };
+  F.PaddedVals = true;
+  validateFormat(F);
+  return F;
+}
+
+std::vector<Format> formats::allStandardFormats() {
+  // Placed after makeSKY; see header for the stable ordering contract.
+  return {makeCOO(), makeCSR(),      makeCSC(), makeDIA(),
+          makeELL(), makeBCSR(4, 4), makeSKY()};
+}
+
+Format formats::standardFormat(const std::string &Name) {
+  if (Name == "coo")
+    return makeCOO();
+  if (Name == "csr")
+    return makeCSR();
+  if (Name == "csc")
+    return makeCSC();
+  if (Name == "dia")
+    return makeDIA();
+  if (Name == "ell")
+    return makeELL();
+  if (Name == "bcsr")
+    return makeBCSR(4, 4);
+  if (Name == "sky")
+    return makeSKY();
+  fatalError(("unknown standard format '" + Name + "'").c_str());
+}

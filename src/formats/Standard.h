@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard matrix format specifications shipped with the library, and
+/// a registry through which user-defined formats participate in conversion
+/// generation on equal footing (the paper's extensibility claim: one
+/// specification per format, not per format pair).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_FORMATS_STANDARD_H
+#define CONVGEN_FORMATS_STANDARD_H
+
+#include "formats/Format.h"
+
+#include <vector>
+
+namespace convgen {
+namespace formats {
+
+/// COO, sorted row-major: compressed(non-unique) row level + singleton
+/// column level. Supports efficient appends; stores redundant row coords.
+Format makeCOO();
+
+/// CSR: dense rows + compressed columns.
+Format makeCSR();
+
+/// CSC: column-major CSR; remapping (i,j) -> (j,i).
+Format makeCSC();
+
+/// DIA: nonzeros grouped by diagonal; remapping (i,j) -> (j-i,i,j) with
+/// squeezed offsets, dense rows, and an implicit offset column level.
+/// Values are padded to K*M.
+Format makeDIA();
+
+/// ELL: up to one nonzero per row per slice; remapping (i,j) -> (#i,i,j)
+/// with a sliced level, dense rows, and a padded singleton column level.
+Format makeELL();
+
+/// BCSR with BlockRows x BlockCols dense blocks; remapping
+/// (i,j) -> (i/R, j/C, i%R, j%C).
+Format makeBCSR(int BlockRows, int BlockCols);
+
+/// Lower-triangular skyline (profile) storage: for every row, all
+/// components from the first nonzero through the diagonal are stored.
+Format makeSKY();
+
+/// All formats above with default parameters (BCSR uses 4x4), in a stable
+/// order; useful for all-pairs conversion tests.
+std::vector<Format> allStandardFormats();
+
+/// Looks up a standard format by name ("coo", "csr", "csc", "dia", "ell",
+/// "bcsr", "sky"); aborts on unknown names.
+Format standardFormat(const std::string &Name);
+
+} // namespace formats
+} // namespace convgen
+
+#endif // CONVGEN_FORMATS_STANDARD_H

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits a generated conversion routine as a self-contained C99 translation
+/// unit. The JIT compiles this source with the system compiler and loads it
+/// with dlopen, which is the same execution model taco uses for generated
+/// kernels. The ABI is a single `cvg_tensor_t` struct per tensor (dims,
+/// per-level pos/crd/perm arrays with lengths, per-level size parameters,
+/// and the values array).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_IR_CEMITTER_H
+#define CONVGEN_IR_CEMITTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace convgen {
+namespace ir {
+
+/// Maximum tensor order the C ABI supports. Level indices are 1-based, so
+/// arrays have kMaxLevels + 1 entries.
+constexpr int kMaxLevels = 7;
+
+/// The C declaration of the tensor ABI struct (also consumed by the JIT
+/// runner, which lays out a bit-compatible struct in C++).
+std::string cTensorStructDecl();
+
+/// Emits a complete C99 translation unit defining
+/// `void <F.Name>(const cvg_tensor_t *A, cvg_tensor_t *B)`.
+std::string emitC(const Function &F);
+
+} // namespace ir
+} // namespace convgen
+
+#endif // CONVGEN_IR_CEMITTER_H

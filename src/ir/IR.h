@@ -1,0 +1,253 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The imperative intermediate representation that conversion routines are
+/// generated into. The IR is deliberately small: scalar expressions over
+/// int64/double/bool, loads from named buffers, and structured statements
+/// (loops, conditionals, allocation, stores with optional reduction). One IR
+/// serves three backends: a C-like pretty printer (for Figure 6-style
+/// inspection and golden tests), a reference interpreter (used by the test
+/// suite), and a C99 emitter compiled at runtime by the JIT (used by the
+/// benchmarks, mirroring how taco executes generated kernels).
+///
+/// Buffer elements are int32 (pos/crd/perm arrays, matching the paper's C
+/// code and the baselines), double (values), or bool (bit sets from id()
+/// attribute queries). All scalar arithmetic is int64 so positions into
+/// padded formats such as ELL cannot overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_IR_IR_H
+#define CONVGEN_IR_IR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace ir {
+
+/// The scalar value kinds the IR computes with.
+enum class ScalarKind : uint8_t { Int, Float, Bool };
+
+/// Returns a human-readable name ("int", "float", "bool").
+const char *scalarKindName(ScalarKind Kind);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntImm,
+  FloatImm,
+  BoolImm,
+  Var,
+  Load,   ///< BufferName[A]
+  Binary, ///< A op B
+  Unary,  ///< op A
+  Select, ///< A ? B : C
+};
+
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div, ///< C semantics: truncates toward zero.
+  Rem, ///< C semantics: sign follows the dividend.
+  Min,
+  Max,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LAnd,
+  LOr,
+};
+
+enum class UnOp : uint8_t { Neg, LNot };
+
+struct ExprNode;
+/// Expressions are immutable and freely shared.
+using Expr = std::shared_ptr<const ExprNode>;
+
+struct ExprNode {
+  ExprKind Kind;
+  ScalarKind Type = ScalarKind::Int;
+  int64_t IntVal = 0;
+  double FloatVal = 0;
+  std::string Name; ///< Variable name, or buffer name for Load.
+  Expr A, B, C;
+  BinOp BOp = BinOp::Add;
+  UnOp UOp = UnOp::Neg;
+};
+
+// Factory functions. Binary factories constant-fold integer immediates and
+// apply simple identities (x+0, x*1, x*0) so generated code stays readable.
+Expr intImm(int64_t Value);
+Expr floatImm(double Value);
+Expr boolImm(bool Value);
+Expr var(const std::string &Name, ScalarKind Kind = ScalarKind::Int);
+Expr load(const std::string &Buffer, Expr Index,
+          ScalarKind Elem = ScalarKind::Int);
+Expr binop(BinOp Op, Expr A, Expr B);
+Expr add(Expr A, Expr B);
+Expr sub(Expr A, Expr B);
+Expr mul(Expr A, Expr B);
+Expr div(Expr A, Expr B);
+Expr rem(Expr A, Expr B);
+Expr min(Expr A, Expr B);
+Expr max(Expr A, Expr B);
+Expr eq(Expr A, Expr B);
+Expr ne(Expr A, Expr B);
+Expr lt(Expr A, Expr B);
+Expr le(Expr A, Expr B);
+Expr gt(Expr A, Expr B);
+Expr ge(Expr A, Expr B);
+Expr logicalAnd(Expr A, Expr B);
+Expr logicalOr(Expr A, Expr B);
+Expr neg(Expr A);
+Expr logicalNot(Expr A);
+Expr select(Expr Cond, Expr IfTrue, Expr IfFalse);
+
+/// Returns true (and sets \p Value) if \p E is an integer immediate.
+bool isIntConst(const Expr &E, int64_t *Value = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,   ///< type Name = A;
+  Assign, ///< Name = A;
+  Store,  ///< Buffer[A] = B;  (or reduction, see ReduceOp)
+  For,    ///< for (Name = A; Name < B; Name++) Body
+  While,  ///< while (A) Body
+  If,     ///< if (A) Body else Else
+  Alloc,  ///< Buffer = malloc/calloc(A elements)
+  Free,
+  Comment,
+  YieldBuffer, ///< Publish Buffer (length A) to output slot Slot.
+  YieldScalar, ///< Publish scalar A to output slot Slot.
+};
+
+/// Reduction applied by a Store: Buffer[I] op= V.
+enum class ReduceOp : uint8_t { None, Add, Or, Max, Min };
+
+struct StmtNode;
+using Stmt = std::shared_ptr<const StmtNode>;
+
+struct StmtNode {
+  StmtKind Kind;
+  std::vector<Stmt> Stmts; ///< Block members.
+  std::string Name;        ///< Variable or buffer name; comment text.
+  std::string Slot;        ///< Yield output slot.
+  ScalarKind Type = ScalarKind::Int;
+  Expr A, B;
+  Stmt Body, Else;
+  ReduceOp Reduce = ReduceOp::None;
+  bool ZeroInit = false;
+};
+
+Stmt block(std::vector<Stmt> Stmts);
+Stmt decl(const std::string &Name, Expr Init,
+          ScalarKind Kind = ScalarKind::Int);
+Stmt assign(const std::string &Name, Expr Value);
+Stmt store(const std::string &Buffer, Expr Index, Expr Value,
+           ReduceOp Reduce = ReduceOp::None);
+Stmt forRange(const std::string &Var, Expr Lo, Expr Hi, Stmt Body);
+Stmt whileLoop(Expr Cond, Stmt Body);
+Stmt ifThen(Expr Cond, Stmt Then, Stmt Else = nullptr);
+Stmt alloc(const std::string &Buffer, ScalarKind Elem, Expr Size,
+           bool ZeroInit);
+Stmt freeBuffer(const std::string &Buffer);
+Stmt comment(const std::string &Text);
+Stmt yieldBuffer(const std::string &Slot, const std::string &Buffer,
+                 Expr Length);
+Stmt yieldScalar(const std::string &Slot, Expr Value);
+
+/// Convenience accumulator for building statement sequences.
+class BlockBuilder {
+public:
+  void add(Stmt S) {
+    if (S)
+      Stmts.push_back(std::move(S));
+  }
+  void addAll(const std::vector<Stmt> &More) {
+    for (const Stmt &S : More)
+      add(S);
+  }
+  bool empty() const { return Stmts.empty(); }
+  /// Consumes the accumulated statements as a single block.
+  Stmt build() { return block(std::move(Stmts)); }
+
+private:
+  std::vector<Stmt> Stmts;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions
+//===----------------------------------------------------------------------===//
+
+/// A function parameter: either a scalar (dimension, size parameter) or a
+/// buffer (pos/crd/perm/vals array). The conversion code generator uses the
+/// naming convention "A<k>_pos", "A<k>_crd", "A<k>_perm", "A_vals",
+/// "dim<d>", and "A<k>_param" for inputs; outputs are published through
+/// YieldBuffer / YieldScalar slots named "B<k>_pos", "B<k>_crd",
+/// "B<k>_perm", "B_vals", and "B<k>_param".
+struct Param {
+  std::string Name;
+  ScalarKind Elem = ScalarKind::Int;
+  bool IsBuffer = false;
+};
+
+struct Function {
+  std::string Name;
+  std::vector<Param> Params;
+  Stmt Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+/// A decomposed conventional parameter or yield-slot name. The conversion
+/// code generator names inputs/outputs "A1_pos", "B_vals", "dim0",
+/// "B2_param", etc.; this helper recovers the structure so the C emitter and
+/// the runtime can marshal tensors without hard-coding each name.
+struct SlotRef {
+  enum class RoleKind { Dim, Param, Pos, Crd, Perm, Vals, Unknown };
+  RoleKind Role = RoleKind::Unknown;
+  char Tensor = '\0'; ///< 'A' (input) or 'B' (output); '\0' for dims.
+  int Level = 0;      ///< Level index for pos/crd/perm/param; dim index.
+};
+
+/// Parses a conventional name; Role is Unknown if it does not conform.
+SlotRef parseSlotName(const std::string &Name);
+
+/// Renders \p E as C-like text.
+std::string printExpr(const Expr &E);
+
+/// Renders \p S as C-like text with \p Indent leading spaces per level.
+std::string printStmt(const Stmt &S, int Indent = 0);
+
+/// Renders the whole function (signature comment plus body) as C-like text.
+/// This is the "Figure 6 view" of a generated conversion routine.
+std::string printFunction(const Function &F);
+
+} // namespace ir
+} // namespace convgen
+
+#endif // CONVGEN_IR_IR_H

@@ -1,0 +1,412 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+
+using namespace convgen;
+using namespace convgen::ir;
+
+int64_t RuntimeBuffer::size() const {
+  switch (Elem) {
+  case ScalarKind::Int:
+    return static_cast<int64_t>(Ints.size());
+  case ScalarKind::Float:
+    return static_cast<int64_t>(Floats.size());
+  case ScalarKind::Bool:
+    return static_cast<int64_t>(Bools.size());
+  }
+  convgen_unreachable("unknown buffer kind");
+}
+
+namespace {
+
+/// A scalar runtime value.
+struct Value {
+  ScalarKind Kind = ScalarKind::Int;
+  int64_t I = 0;
+  double F = 0;
+
+  static Value makeInt(int64_t V) { return {ScalarKind::Int, V, 0}; }
+  static Value makeBool(bool V) { return {ScalarKind::Bool, V ? 1 : 0, 0}; }
+  static Value makeFloat(double V) { return {ScalarKind::Float, 0, V}; }
+
+  bool isFloat() const { return Kind == ScalarKind::Float; }
+  double asFloat() const { return isFloat() ? F : static_cast<double>(I); }
+  int64_t asInt() const {
+    return isFloat() ? static_cast<int64_t>(F) : I;
+  }
+  bool asBool() const { return isFloat() ? F != 0 : I != 0; }
+};
+
+/// The mutable execution state of one run: scalar environment, live buffers,
+/// and the collected yields.
+class ExecState {
+public:
+  ExecState(std::map<std::string, int64_t> Scalars,
+            std::map<std::string, RuntimeBuffer> Buffers)
+      : Buffers(std::move(Buffers)) {
+    for (const auto &[Name, V] : Scalars)
+      Env[Name] = Value::makeInt(V);
+  }
+
+  [[noreturn]] void fail(const std::string &Msg) {
+    fatalError(("interpreter: " + Msg).c_str());
+  }
+
+  Value eval(const Expr &E);
+  void exec(const Stmt &S);
+
+  RunResult takeResult() { return std::move(Result); }
+
+private:
+  RuntimeBuffer &buffer(const std::string &Name) {
+    auto It = Buffers.find(Name);
+    if (It == Buffers.end())
+      fail("use of unknown buffer '" + Name + "'");
+    return It->second;
+  }
+
+  Value loadElem(const std::string &Name, int64_t Index) {
+    RuntimeBuffer &Buf = buffer(Name);
+    if (Index < 0 || Index >= Buf.size())
+      fail(strfmt("load out of bounds: %s[%lld], size %lld", Name.c_str(),
+                  static_cast<long long>(Index),
+                  static_cast<long long>(Buf.size())));
+    switch (Buf.Elem) {
+    case ScalarKind::Int:
+      return Value::makeInt(Buf.Ints[static_cast<size_t>(Index)]);
+    case ScalarKind::Float:
+      return Value::makeFloat(Buf.Floats[static_cast<size_t>(Index)]);
+    case ScalarKind::Bool:
+      return Value::makeBool(Buf.Bools[static_cast<size_t>(Index)] != 0);
+    }
+    convgen_unreachable("unknown buffer kind");
+  }
+
+  void storeElem(const std::string &Name, int64_t Index, Value V,
+                 ReduceOp Reduce);
+
+  std::unordered_map<std::string, Value> Env;
+  std::map<std::string, RuntimeBuffer> Buffers;
+  RunResult Result;
+};
+
+Value ExecState::eval(const Expr &E) {
+  CONVGEN_ASSERT(E != nullptr, "evaluating null expression");
+  switch (E->Kind) {
+  case ExprKind::IntImm:
+    return Value::makeInt(E->IntVal);
+  case ExprKind::FloatImm:
+    return Value::makeFloat(E->FloatVal);
+  case ExprKind::BoolImm:
+    return Value::makeBool(E->IntVal != 0);
+  case ExprKind::Var: {
+    auto It = Env.find(E->Name);
+    if (It == Env.end())
+      fail("use of undefined variable '" + E->Name + "'");
+    return It->second;
+  }
+  case ExprKind::Load:
+    return loadElem(E->Name, eval(E->A).asInt());
+  case ExprKind::Unary: {
+    Value A = eval(E->A);
+    if (E->UOp == UnOp::LNot)
+      return Value::makeBool(!A.asBool());
+    if (A.isFloat())
+      return Value::makeFloat(-A.asFloat());
+    return Value::makeInt(-A.asInt());
+  }
+  case ExprKind::Select:
+    return eval(E->A).asBool() ? eval(E->B) : eval(E->C);
+  case ExprKind::Binary: {
+    Value A = eval(E->A);
+    Value B = eval(E->B);
+    if (A.isFloat() || B.isFloat()) {
+      double X = A.asFloat(), Y = B.asFloat();
+      switch (E->BOp) {
+      case BinOp::Add:
+        return Value::makeFloat(X + Y);
+      case BinOp::Sub:
+        return Value::makeFloat(X - Y);
+      case BinOp::Mul:
+        return Value::makeFloat(X * Y);
+      case BinOp::Div:
+        return Value::makeFloat(X / Y);
+      case BinOp::Min:
+        return Value::makeFloat(X < Y ? X : Y);
+      case BinOp::Max:
+        return Value::makeFloat(X > Y ? X : Y);
+      case BinOp::Eq:
+        return Value::makeBool(X == Y);
+      case BinOp::Ne:
+        return Value::makeBool(X != Y);
+      case BinOp::Lt:
+        return Value::makeBool(X < Y);
+      case BinOp::Le:
+        return Value::makeBool(X <= Y);
+      case BinOp::Gt:
+        return Value::makeBool(X > Y);
+      case BinOp::Ge:
+        return Value::makeBool(X >= Y);
+      default:
+        fail("invalid float binary operation");
+      }
+    }
+    int64_t X = A.asInt(), Y = B.asInt();
+    switch (E->BOp) {
+    case BinOp::Add:
+      return Value::makeInt(X + Y);
+    case BinOp::Sub:
+      return Value::makeInt(X - Y);
+    case BinOp::Mul:
+      return Value::makeInt(X * Y);
+    case BinOp::Div:
+      if (Y == 0)
+        fail("integer division by zero");
+      return Value::makeInt(X / Y);
+    case BinOp::Rem:
+      if (Y == 0)
+        fail("integer remainder by zero");
+      return Value::makeInt(X % Y);
+    case BinOp::Min:
+      return Value::makeInt(X < Y ? X : Y);
+    case BinOp::Max:
+      return Value::makeInt(X > Y ? X : Y);
+    case BinOp::BitAnd:
+      return Value::makeInt(X & Y);
+    case BinOp::BitOr:
+      return Value::makeInt(X | Y);
+    case BinOp::BitXor:
+      return Value::makeInt(X ^ Y);
+    case BinOp::Shl:
+      return Value::makeInt(X << Y);
+    case BinOp::Shr:
+      return Value::makeInt(X >> Y);
+    case BinOp::Eq:
+      return Value::makeBool(X == Y);
+    case BinOp::Ne:
+      return Value::makeBool(X != Y);
+    case BinOp::Lt:
+      return Value::makeBool(X < Y);
+    case BinOp::Le:
+      return Value::makeBool(X <= Y);
+    case BinOp::Gt:
+      return Value::makeBool(X > Y);
+    case BinOp::Ge:
+      return Value::makeBool(X >= Y);
+    case BinOp::LAnd:
+      return Value::makeBool(X != 0 && Y != 0);
+    case BinOp::LOr:
+      return Value::makeBool(X != 0 || Y != 0);
+    }
+    convgen_unreachable("unknown binary op");
+  }
+  }
+  convgen_unreachable("unknown expression kind");
+}
+
+void ExecState::storeElem(const std::string &Name, int64_t Index, Value V,
+                          ReduceOp Reduce) {
+  RuntimeBuffer &Buf = buffer(Name);
+  if (Index < 0 || Index >= Buf.size())
+    fail(strfmt("store out of bounds: %s[%lld], size %lld", Name.c_str(),
+                static_cast<long long>(Index),
+                static_cast<long long>(Buf.size())));
+  size_t I = static_cast<size_t>(Index);
+  switch (Buf.Elem) {
+  case ScalarKind::Int: {
+    int64_t New = V.asInt();
+    int64_t Old = Buf.Ints[I];
+    switch (Reduce) {
+    case ReduceOp::None:
+      break;
+    case ReduceOp::Add:
+      New = Old + New;
+      break;
+    case ReduceOp::Or:
+      New = Old | New;
+      break;
+    case ReduceOp::Max:
+      New = Old > New ? Old : New;
+      break;
+    case ReduceOp::Min:
+      New = Old < New ? Old : New;
+      break;
+    }
+    Buf.Ints[I] = static_cast<int32_t>(New);
+    return;
+  }
+  case ScalarKind::Float: {
+    double New = V.asFloat();
+    double Old = Buf.Floats[I];
+    switch (Reduce) {
+    case ReduceOp::None:
+      break;
+    case ReduceOp::Add:
+      New = Old + New;
+      break;
+    case ReduceOp::Max:
+      New = Old > New ? Old : New;
+      break;
+    case ReduceOp::Min:
+      New = Old < New ? Old : New;
+      break;
+    case ReduceOp::Or:
+      fail("bitwise-or reduction on a float buffer");
+    }
+    Buf.Floats[I] = New;
+    return;
+  }
+  case ScalarKind::Bool: {
+    bool New = V.asBool();
+    if (Reduce == ReduceOp::Or)
+      New = New || (Buf.Bools[I] != 0);
+    else if (Reduce != ReduceOp::None)
+      fail("unsupported reduction on a bool buffer");
+    Buf.Bools[I] = New ? 1 : 0;
+    return;
+  }
+  }
+  convgen_unreachable("unknown buffer kind");
+}
+
+void ExecState::exec(const Stmt &S) {
+  CONVGEN_ASSERT(S != nullptr, "executing null statement");
+  switch (S->Kind) {
+  case StmtKind::Block:
+    for (const Stmt &Sub : S->Stmts)
+      exec(Sub);
+    return;
+  case StmtKind::Decl:
+  case StmtKind::Assign:
+    Env[S->Name] = eval(S->A);
+    return;
+  case StmtKind::Store:
+    storeElem(S->Name, eval(S->A).asInt(), eval(S->B), S->Reduce);
+    return;
+  case StmtKind::For: {
+    int64_t Lo = eval(S->A).asInt();
+    int64_t Hi = eval(S->B).asInt();
+    // The loop variable shadows any outer binding for the loop's duration.
+    auto Saved = Env.find(S->Name) != Env.end()
+                     ? std::optional<Value>(Env[S->Name])
+                     : std::nullopt;
+    for (int64_t I = Lo; I < Hi; ++I) {
+      Env[S->Name] = Value::makeInt(I);
+      exec(S->Body);
+    }
+    if (Saved)
+      Env[S->Name] = *Saved;
+    else
+      Env.erase(S->Name);
+    return;
+  }
+  case StmtKind::While:
+    while (eval(S->A).asBool())
+      exec(S->Body);
+    return;
+  case StmtKind::If:
+    if (eval(S->A).asBool())
+      exec(S->Body);
+    else if (S->Else)
+      exec(S->Else);
+    return;
+  case StmtKind::Alloc: {
+    int64_t Size = eval(S->A).asInt();
+    if (Size < 0)
+      fail("allocation with negative size for '" + S->Name + "'");
+    RuntimeBuffer Buf;
+    Buf.Elem = S->Type;
+    // malloc'd int buffers are filled with a poison pattern so tests catch
+    // reads of uninitialized storage that calloc would have hidden.
+    switch (S->Type) {
+    case ScalarKind::Int:
+      Buf.Ints.assign(static_cast<size_t>(Size),
+                      S->ZeroInit ? 0 : INT32_MIN / 2);
+      break;
+    case ScalarKind::Float:
+      Buf.Floats.assign(static_cast<size_t>(Size), 0.0);
+      break;
+    case ScalarKind::Bool:
+      Buf.Bools.assign(static_cast<size_t>(Size), 0);
+      break;
+    }
+    Buffers[S->Name] = std::move(Buf);
+    return;
+  }
+  case StmtKind::Free:
+    // Keep freed buffers alive if they were yielded; a yield transfers
+    // ownership to the result, so Free on a yielded buffer is an error in
+    // generated code and is diagnosed here.
+    if (Buffers.erase(S->Name) == 0)
+      fail("free of unknown buffer '" + S->Name + "'");
+    return;
+  case StmtKind::Comment:
+    return;
+  case StmtKind::YieldBuffer: {
+    RuntimeBuffer &Buf = buffer(S->Name);
+    int64_t Len = eval(S->A).asInt();
+    if (Len < 0 || Len > Buf.size())
+      fail(strfmt("yield length %lld out of range for buffer %s (size %lld)",
+                  static_cast<long long>(Len), S->Name.c_str(),
+                  static_cast<long long>(Buf.size())));
+    RuntimeBuffer Out;
+    Out.Elem = Buf.Elem;
+    switch (Buf.Elem) {
+    case ScalarKind::Int:
+      Out.Ints.assign(Buf.Ints.begin(), Buf.Ints.begin() + Len);
+      break;
+    case ScalarKind::Float:
+      Out.Floats.assign(Buf.Floats.begin(), Buf.Floats.begin() + Len);
+      break;
+    case ScalarKind::Bool:
+      Out.Bools.assign(Buf.Bools.begin(), Buf.Bools.begin() + Len);
+      break;
+    }
+    Result.Buffers[S->Slot] = std::move(Out);
+    return;
+  }
+  case StmtKind::YieldScalar:
+    Result.Scalars[S->Slot] = eval(S->A).asInt();
+    return;
+  }
+  convgen_unreachable("unknown statement kind");
+}
+
+} // namespace
+
+void Interpreter::bindScalar(const std::string &Name, int64_t Value) {
+  BoundScalars[Name] = Value;
+}
+
+void Interpreter::bindIntBuffer(const std::string &Name,
+                                std::vector<int32_t> Data) {
+  RuntimeBuffer Buf;
+  Buf.Elem = ScalarKind::Int;
+  Buf.Ints = std::move(Data);
+  BoundBuffers[Name] = std::move(Buf);
+}
+
+void Interpreter::bindFloatBuffer(const std::string &Name,
+                                  std::vector<double> Data) {
+  RuntimeBuffer Buf;
+  Buf.Elem = ScalarKind::Float;
+  Buf.Floats = std::move(Data);
+  BoundBuffers[Name] = std::move(Buf);
+}
+
+RunResult Interpreter::run(const Function &F) {
+  ExecState State(BoundScalars, BoundBuffers);
+  State.exec(F.Body);
+  return State.takeResult();
+}

@@ -1,0 +1,166 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dlfcn.h>
+#include <unistd.h>
+
+using namespace convgen;
+using namespace convgen::jit;
+using formats::LevelKind;
+
+static const char *compilerCommand() {
+  static const char *Cc = [] {
+    const char *Env = std::getenv("CONVGEN_CC");
+    if (Env && *Env)
+      return Env;
+    return "cc";
+  }();
+  return Cc;
+}
+
+bool jit::jitAvailable() {
+  static bool Available = [] {
+    std::string Cmd =
+        std::string(compilerCommand()) + " --version > /dev/null 2>&1";
+    return std::system(Cmd.c_str()) == 0;
+  }();
+  return Available;
+}
+
+JitConversion::JitConversion(const codegen::Conversion &Conversion,
+                             const std::string &ExtraFlags)
+    : Conv(Conversion) {
+  char Template[] = "/tmp/convgen-jit-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir)
+    fatalError("jit: cannot create a temporary directory");
+  WorkDir = Dir;
+
+  std::string CPath = WorkDir + "/conv.c";
+  std::string SoPath = WorkDir + "/conv.so";
+  std::FILE *File = std::fopen(CPath.c_str(), "w");
+  if (!File)
+    fatalError("jit: cannot write the generated source");
+  std::string Source = Conv.cSource();
+  std::fwrite(Source.data(), 1, Source.size(), File);
+  std::fclose(File);
+
+  std::string Cmd = strfmt("%s -O3 -march=native -std=c11 -shared -fPIC %s "
+                           "-o %s %s 2> %s/cc.log",
+                           compilerCommand(), ExtraFlags.c_str(),
+                           SoPath.c_str(), CPath.c_str(), WorkDir.c_str());
+  auto Begin = std::chrono::steady_clock::now();
+  int Rc = std::system(Cmd.c_str());
+  CompileSecs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Begin)
+                    .count();
+  if (Rc != 0) {
+    std::string Log;
+    if (std::FILE *LogFile = std::fopen((WorkDir + "/cc.log").c_str(), "r")) {
+      char Buf[4096];
+      size_t Got = std::fread(Buf, 1, sizeof(Buf) - 1, LogFile);
+      Buf[Got] = '\0';
+      Log = Buf;
+      std::fclose(LogFile);
+    }
+    fatalError(("jit: compilation failed:\n" + Log).c_str());
+  }
+
+  Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    fatalError(("jit: dlopen failed: " + std::string(dlerror())).c_str());
+  Fn = reinterpret_cast<void (*)(const CTensor *, CTensor *)>(
+      dlsym(Handle, Conv.Func.Name.c_str()));
+  if (!Fn)
+    fatalError(("jit: dlsym cannot find " + Conv.Func.Name).c_str());
+}
+
+JitConversion::~JitConversion() {
+  if (Handle)
+    dlclose(Handle);
+  if (!WorkDir.empty()) {
+    std::remove((WorkDir + "/conv.c").c_str());
+    std::remove((WorkDir + "/conv.so").c_str());
+    std::remove((WorkDir + "/cc.log").c_str());
+    rmdir(WorkDir.c_str());
+  }
+}
+
+void JitConversion::runRaw(const CTensor *A, CTensor *B) const {
+  CONVGEN_ASSERT(Fn != nullptr, "jit function not loaded");
+  Fn(A, B);
+}
+
+void jit::marshalInput(const tensor::SparseTensor &In, CTensor *Out) {
+  *Out = CTensor();
+  for (size_t D = 0; D < In.Dims.size(); ++D)
+    Out->dims[D] = In.Dims[D];
+  for (size_t K = 0; K < In.Levels.size(); ++K) {
+    const tensor::LevelStorage &L = In.Levels[K];
+    size_t Slot = K + 1;
+    Out->pos[Slot] = const_cast<int32_t *>(L.Pos.data());
+    Out->pos_len[Slot] = static_cast<int64_t>(L.Pos.size());
+    Out->crd[Slot] = const_cast<int32_t *>(L.Crd.data());
+    Out->crd_len[Slot] = static_cast<int64_t>(L.Crd.size());
+    Out->perm[Slot] = const_cast<int32_t *>(L.Perm.data());
+    Out->perm_len[Slot] = static_cast<int64_t>(L.Perm.size());
+    Out->params[Slot] = L.SizeParam;
+  }
+  Out->vals = const_cast<double *>(In.Vals.data());
+  Out->vals_len = static_cast<int64_t>(In.Vals.size());
+}
+
+tensor::SparseTensor jit::collectOutput(const formats::Format &Target,
+                                        const std::vector<int64_t> &Dims,
+                                        CTensor *B) {
+  tensor::SparseTensor Out;
+  Out.Format = Target;
+  Out.Dims = Dims;
+  Out.Levels.resize(Target.Levels.size());
+  for (size_t K = 0; K < Target.Levels.size(); ++K) {
+    size_t Slot = K + 1;
+    tensor::LevelStorage &L = Out.Levels[K];
+    if (B->pos[Slot])
+      L.Pos.assign(B->pos[Slot], B->pos[Slot] + B->pos_len[Slot]);
+    if (B->crd[Slot])
+      L.Crd.assign(B->crd[Slot], B->crd[Slot] + B->crd_len[Slot]);
+    if (B->perm[Slot])
+      L.Perm.assign(B->perm[Slot], B->perm[Slot] + B->perm_len[Slot]);
+    if (Target.levelHasSizeParam(static_cast<int>(K)))
+      L.SizeParam = B->params[Slot];
+  }
+  if (B->vals)
+    Out.Vals.assign(B->vals, B->vals + B->vals_len);
+  freeOutput(B);
+  return Out;
+}
+
+void jit::freeOutput(CTensor *B) {
+  for (size_t Slot = 0; Slot <= ir::kMaxLevels; ++Slot) {
+    std::free(B->pos[Slot]);
+    std::free(B->crd[Slot]);
+    std::free(B->perm[Slot]);
+    B->pos[Slot] = B->crd[Slot] = B->perm[Slot] = nullptr;
+  }
+  std::free(B->vals);
+  B->vals = nullptr;
+}
+
+tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
+  CTensor A, B;
+  marshalInput(In, &A);
+  runRaw(&A, &B);
+  return collectOutput(Conv.Target, In.Dims, &B);
+}

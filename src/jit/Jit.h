@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native execution of generated conversion routines: the emitted C99 is
+/// compiled with the system compiler into a shared object and loaded with
+/// dlopen — the same execution model taco uses for its generated kernels
+/// (paper §7.1). The benchmarks run conversions through this backend; the
+/// test suite checks it agrees bit-for-bit with the reference interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_JIT_JIT_H
+#define CONVGEN_JIT_JIT_H
+
+#include "codegen/Generator.h"
+#include "ir/CEmitter.h"
+#include "tensor/SparseTensor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace convgen {
+namespace jit {
+
+/// Bit-compatible with the cvg_tensor_t struct the C emitter declares.
+struct CTensor {
+  int64_t dims[ir::kMaxLevels + 1] = {};
+  int64_t params[ir::kMaxLevels + 1] = {};
+  int32_t *pos[ir::kMaxLevels + 1] = {};
+  int64_t pos_len[ir::kMaxLevels + 1] = {};
+  int32_t *crd[ir::kMaxLevels + 1] = {};
+  int64_t crd_len[ir::kMaxLevels + 1] = {};
+  int32_t *perm[ir::kMaxLevels + 1] = {};
+  int64_t perm_len[ir::kMaxLevels + 1] = {};
+  double *vals = nullptr;
+  int64_t vals_len = 0;
+};
+
+/// True if a working C compiler is available (checked once).
+bool jitAvailable();
+
+/// A conversion routine compiled to native code.
+class JitConversion {
+public:
+  /// Emits C for \p Conv, compiles it (default flags -O3), and loads it.
+  /// Aborts with the compiler's diagnostics on failure.
+  explicit JitConversion(const codegen::Conversion &Conv,
+                         const std::string &ExtraFlags = "");
+  ~JitConversion();
+
+  JitConversion(const JitConversion &) = delete;
+  JitConversion &operator=(const JitConversion &) = delete;
+
+  /// Converts via the native routine (marshals in/out of SparseTensor).
+  tensor::SparseTensor run(const tensor::SparseTensor &In) const;
+
+  /// Raw invocation for benchmarking: \p A must be marshalled with
+  /// marshalInput; \p B receives malloc'd arrays that the caller releases
+  /// with freeOutput (or adopts via collectOutput).
+  void runRaw(const CTensor *A, CTensor *B) const;
+
+  /// Wall-clock seconds spent in the external compiler.
+  double compileSeconds() const { return CompileSecs; }
+
+  const codegen::Conversion &conversion() const { return Conv; }
+
+private:
+  codegen::Conversion Conv;
+  void *Handle = nullptr;
+  void (*Fn)(const CTensor *, CTensor *) = nullptr;
+  std::string WorkDir;
+  double CompileSecs = 0;
+};
+
+/// Points \p Out's arrays at \p In's storage (no copies).
+void marshalInput(const tensor::SparseTensor &In, CTensor *Out);
+
+/// Adopts the malloc'd arrays of \p B into a SparseTensor (copies, then
+/// frees them).
+tensor::SparseTensor collectOutput(const formats::Format &Target,
+                                   const std::vector<int64_t> &Dims,
+                                   CTensor *B);
+
+/// Releases the malloc'd arrays of \p B (benchmark loops).
+void freeOutput(CTensor *B);
+
+} // namespace jit
+} // namespace convgen
+
+#endif // CONVGEN_JIT_JIT_H

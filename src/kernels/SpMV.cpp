@@ -1,0 +1,181 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SpMV.h"
+
+#include "support/Assert.h"
+#include "tensor/Oracle.h"
+
+#include <algorithm>
+
+using namespace convgen;
+using namespace convgen::kernels;
+
+namespace {
+
+std::vector<double> spmvCoo(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  const int32_t *Rows = A.Levels[0].Crd.data();
+  const int32_t *Cols = A.Levels[1].Crd.data();
+  const double *Vals = A.Vals.data();
+  size_t Nnz = A.Vals.size();
+  for (size_t P = 0; P < Nnz; ++P)
+    Y[static_cast<size_t>(Rows[P])] +=
+        Vals[P] * X[static_cast<size_t>(Cols[P])];
+  return Y;
+}
+
+std::vector<double> spmvCsr(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()));
+  const int32_t *Pos = A.Levels[1].Pos.data();
+  const int32_t *Crd = A.Levels[1].Crd.data();
+  const double *Vals = A.Vals.data();
+  int64_t M = A.numRows();
+  for (int64_t I = 0; I < M; ++I) {
+    double Acc = 0;
+    for (int32_t P = Pos[I]; P < Pos[I + 1]; ++P)
+      Acc += Vals[P] * X[static_cast<size_t>(Crd[P])];
+    Y[static_cast<size_t>(I)] = Acc;
+  }
+  return Y;
+}
+
+std::vector<double> spmvCsc(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  const int32_t *Pos = A.Levels[1].Pos.data();
+  const int32_t *Crd = A.Levels[1].Crd.data();
+  const double *Vals = A.Vals.data();
+  int64_t N = A.numCols();
+  for (int64_t J = 0; J < N; ++J) {
+    double Xj = X[static_cast<size_t>(J)];
+    for (int32_t P = Pos[J]; P < Pos[J + 1]; ++P)
+      Y[static_cast<size_t>(Crd[P])] += Vals[P] * Xj;
+  }
+  return Y;
+}
+
+std::vector<double> spmvDia(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  int64_t M = A.numRows();
+  int64_t N = A.numCols();
+  int64_t K = A.Levels[0].SizeParam;
+  const int32_t *Perm = A.Levels[0].Perm.data();
+  const double *Vals = A.Vals.data();
+  for (int64_t S = 0; S < K; ++S) {
+    int64_t Offset = Perm[S];
+    int64_t Lo = std::max<int64_t>(0, -Offset);
+    int64_t Hi = std::min<int64_t>(M, N - Offset);
+    const double *Slice = Vals + S * M;
+    for (int64_t I = Lo; I < Hi; ++I)
+      Y[static_cast<size_t>(I)] +=
+          Slice[I] * X[static_cast<size_t>(I + Offset)];
+  }
+  return Y;
+}
+
+std::vector<double> spmvEll(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  int64_t M = A.numRows();
+  int64_t K = A.Levels[0].SizeParam;
+  const int32_t *Crd = A.Levels[2].Crd.data();
+  const double *Vals = A.Vals.data();
+  for (int64_t S = 0; S < K; ++S) {
+    const int32_t *CrdSlice = Crd + S * M;
+    const double *ValSlice = Vals + S * M;
+    for (int64_t I = 0; I < M; ++I)
+      Y[static_cast<size_t>(I)] +=
+          ValSlice[I] * X[static_cast<size_t>(CrdSlice[I])];
+  }
+  return Y;
+}
+
+std::vector<double> spmvBcsr(const tensor::SparseTensor &A,
+                             const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  int64_t R = A.Format.StaticParams.at(0);
+  int64_t C = A.Format.StaticParams.at(1);
+  int64_t BlockRows = (A.numRows() + R - 1) / R;
+  const int32_t *Pos = A.Levels[1].Pos.data();
+  const int32_t *Crd = A.Levels[1].Crd.data();
+  const double *Vals = A.Vals.data();
+  int64_t M = A.numRows();
+  int64_t N = A.numCols();
+  for (int64_t IB = 0; IB < BlockRows; ++IB)
+    for (int32_t P = Pos[IB]; P < Pos[IB + 1]; ++P) {
+      int64_t JB = Crd[P];
+      const double *Block = Vals + static_cast<int64_t>(P) * R * C;
+      for (int64_t IL = 0; IL < R; ++IL) {
+        int64_t Row = IB * R + IL;
+        if (Row >= M)
+          break;
+        double Acc = 0;
+        for (int64_t JL = 0; JL < C; ++JL) {
+          int64_t Col = JB * C + JL;
+          if (Col >= N)
+            break;
+          Acc += Block[IL * C + JL] * X[static_cast<size_t>(Col)];
+        }
+        Y[static_cast<size_t>(Row)] += Acc;
+      }
+    }
+  return Y;
+}
+
+std::vector<double> spmvSky(const tensor::SparseTensor &A,
+                            const std::vector<double> &X) {
+  std::vector<double> Y(static_cast<size_t>(A.numRows()), 0.0);
+  const int32_t *Pos = A.Levels[1].Pos.data();
+  const double *Vals = A.Vals.data();
+  int64_t M = A.numRows();
+  for (int64_t I = 0; I < M; ++I) {
+    double Acc = 0;
+    int32_t Begin = Pos[I];
+    int32_t End = Pos[I + 1];
+    // Columns run w..i, i.e. j = p - End + i + 1.
+    for (int32_t P = Begin; P < End; ++P)
+      Acc += Vals[P] * X[static_cast<size_t>(P - End + I + 1)];
+    Y[static_cast<size_t>(I)] = Acc;
+  }
+  return Y;
+}
+
+} // namespace
+
+std::vector<double> kernels::spmv(const tensor::SparseTensor &A,
+                                  const std::vector<double> &X) {
+  if (static_cast<int64_t>(X.size()) != A.numCols())
+    fatalError("spmv: x must have one entry per column of A");
+  const std::string &Name = A.Format.Name;
+  if (Name == "coo")
+    return spmvCoo(A, X);
+  if (Name == "csr")
+    return spmvCsr(A, X);
+  if (Name == "csc")
+    return spmvCsc(A, X);
+  if (Name == "dia")
+    return spmvDia(A, X);
+  if (Name == "ell")
+    return spmvEll(A, X);
+  if (Name.rfind("bcsr", 0) == 0)
+    return spmvBcsr(A, X);
+  if (Name == "sky")
+    return spmvSky(A, X);
+  fatalError(("no SpMV kernel for format '" + Name + "'").c_str());
+}
+
+std::vector<double> kernels::spmvReference(const tensor::SparseTensor &A,
+                                           const std::vector<double> &X) {
+  tensor::Triplets T = tensor::toTriplets(A);
+  std::vector<double> Y(static_cast<size_t>(T.NumRows), 0.0);
+  for (const tensor::Entry &E : T.Entries)
+    Y[static_cast<size_t>(E.Row)] += E.Val * X[static_cast<size_t>(E.Col)];
+  return Y;
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse matrix-vector multiplication kernels for every shipped format.
+/// These are the computations that motivate format conversion in the first
+/// place (paper §1: CSR SpMV is ~2x COO SpMV; DIA improves further on
+/// banded matrices), and they power the solver example and the motivation
+/// benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_KERNELS_SPMV_H
+#define CONVGEN_KERNELS_SPMV_H
+
+#include "tensor/SparseTensor.h"
+
+#include <vector>
+
+namespace convgen {
+namespace kernels {
+
+/// y = A * x. Dispatches on A's format (COO/CSR/CSC/DIA/ELL/BCSR/SKY);
+/// aborts with a diagnostic for formats without a kernel. \p X must have
+/// numCols entries; the result has numRows entries.
+std::vector<double> spmv(const tensor::SparseTensor &A,
+                         const std::vector<double> &X);
+
+/// Dense reference (for tests): builds the dense matrix and multiplies.
+std::vector<double> spmvReference(const tensor::SparseTensor &A,
+                                  const std::vector<double> &X);
+
+} // namespace kernels
+} // namespace convgen
+
+#endif // CONVGEN_KERNELS_SPMV_H

@@ -1,0 +1,521 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "levels/Levels.h"
+
+#include "support/Assert.h"
+
+using namespace convgen;
+using namespace convgen::levels;
+using formats::LevelKind;
+using formats::LevelSpec;
+
+ir::Expr levels::readQueryRaw(const QueryResultRef &Ref,
+                              const std::vector<ir::Expr> &GroupCoords) {
+  CONVGEN_ASSERT(GroupCoords.size() == Ref.GroupDims.size(),
+                 "group coordinate arity mismatch");
+  // Row-major linearization of (coord - lo) over the group extents.
+  ir::Expr Index = ir::intImm(0);
+  for (size_t G = 0; G < GroupCoords.size(); ++G) {
+    ir::Expr Rel = ir::sub(GroupCoords[G], Ref.GroupLo[G]);
+    Index = ir::add(ir::mul(Index, Ref.GroupExtent[G]), Rel);
+  }
+  return ir::load(Ref.Buffer, Index, Ref.Elem);
+}
+
+ir::Expr levels::readQueryValue(const QueryResultRef &Ref,
+                                const std::vector<ir::Expr> &GroupCoords) {
+  ir::Expr Raw = readQueryRaw(Ref, GroupCoords);
+  if (!Ref.Shift)
+    return Raw;
+  ir::Expr Signed = Ref.Sign < 0 ? ir::neg(Raw) : Raw;
+  return ir::add(Signed, Ref.Shift);
+}
+
+ir::Expr AsmCtx::dimLo(int D) const {
+  const remap::DimBounds &B = Bounds.at(static_cast<size_t>(D));
+  if (!B.Known)
+    fatalError("assembly requires static bounds for a remapped dimension");
+  return B.Lo;
+}
+
+ir::Expr AsmCtx::dimHi(int D) const {
+  const remap::DimBounds &B = Bounds.at(static_cast<size_t>(D));
+  if (!B.Known)
+    fatalError("assembly requires static bounds for a remapped dimension");
+  return B.Hi;
+}
+
+ir::Expr AsmCtx::dimExtent(int D) const {
+  return Bounds.at(static_cast<size_t>(D)).extent();
+}
+
+LevelFormat::~LevelFormat() = default;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// dense
+//===----------------------------------------------------------------------===//
+
+class DenseLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    return ir::mul(ParentSize, Ctx.dimExtent(Spec.Dim));
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Out;
+    ir::Expr Rel = ir::sub(Env.DstCoords[static_cast<size_t>(Spec.Dim)],
+                           Ctx.dimLo(Spec.Dim));
+    return ir::add(ir::mul(Env.ParentPos, Ctx.dimExtent(Spec.Dim)), Rel);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// compressed
+//===----------------------------------------------------------------------===//
+
+class CompressedLevel : public LevelFormat {
+public:
+  CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, int Order)
+      : LevelFormat(Spec, K), Dedup(Dedup), Order(Order) {}
+
+  std::vector<query::Query> queries() const override {
+    query::Query Q;
+    for (int D = 0; D < Spec.Dim; ++D)
+      Q.GroupDims.push_back(D);
+    query::Agg A;
+    A.Kind = query::AggKind::Count;
+    A.Label = "nir";
+    if (Spec.Unique) {
+      A.Dims = {Spec.Dim};
+    } else {
+      // Non-unique root level (COO): every nonzero is stored, so count over
+      // all remaining dimensions (distinct full tuples = all nonzeros).
+      CONVGEN_ASSERT(Spec.Dim == 0, "non-unique levels are root-only");
+      for (int D = Spec.Dim; D < Order; ++D)
+        A.Dims.push_back(D);
+    }
+    Q.Aggs = {A};
+    return {Q};
+  }
+
+  bool needsEdgeInsertion() const override { return true; }
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    return ir::load(Ctx.posName(K), ParentSize);
+  }
+
+  void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                ir::BlockBuilder &Out) const override {
+    std::string Pos = Ctx.posName(K);
+    QueryResultRef Count = Ctx.Result(K, "nir");
+    if (!Ctx.ForceUnseqEdges) {
+      // Sequenced edge insertion: parent positions are enumerated in order.
+      Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
+                        ir::add(ParentSize, ir::intImm(1)), false));
+      Out.add(ir::store(Pos, ir::intImm(0), ir::intImm(0)));
+      Out.add(Ctx.ParentLoop(
+          K, [&](ir::Expr P, const std::vector<ir::Expr> &Coords) {
+            return ir::store(
+                Pos, ir::add(P, ir::intImm(1)),
+                ir::add(ir::load(Pos, P), readQueryRaw(Count, Coords)));
+          }));
+    } else {
+      // Unsequenced: scatter per-parent counts, then prefix-sum.
+      Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
+                        ir::add(ParentSize, ir::intImm(1)), true));
+      Out.add(Ctx.ParentLoop(
+          K, [&](ir::Expr P, const std::vector<ir::Expr> &Coords) {
+            return ir::store(Pos, ir::add(P, ir::intImm(1)),
+                             readQueryRaw(Count, Coords));
+          }));
+      Out.add(ir::forRange(
+          scanVar(), ir::intImm(0), ParentSize,
+          ir::store(Pos, ir::add(ir::var(scanVar()), ir::intImm(1)),
+                    ir::add(ir::load(Pos, ir::var(scanVar())),
+                            ir::load(Pos, ir::add(ir::var(scanVar()),
+                                                  ir::intImm(1)))))));
+    }
+    Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
+                      ir::load(Pos, ParentSize), false));
+  }
+
+  void emitInitPos(AsmCtx &Ctx, ir::Expr ParentSize,
+                   ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    if (!Dedup)
+      return;
+    // Version-stamped workspace: get_pos semantics over yield_pos storage.
+    Out.add(ir::alloc(wsStamp(), ir::ScalarKind::Int, Ctx.dimExtent(Spec.Dim),
+                      true));
+    Out.add(ir::alloc(wsPos(), ir::ScalarKind::Int, Ctx.dimExtent(Spec.Dim),
+                      false));
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    std::string Pos = Ctx.posName(K);
+    std::string PVar = "pB" + std::to_string(K);
+    if (!Dedup) {
+      // yield_pos: pB = pos[parent]++ (cursor trick, shifted in finalize).
+      Out.add(ir::decl(PVar, ir::load(Pos, Env.ParentPos)));
+      Out.add(ir::store(Pos, Env.ParentPos,
+                        ir::add(ir::var(PVar), ir::intImm(1))));
+      return ir::var(PVar);
+    }
+    ir::Expr CIdx = ir::sub(Env.DstCoords[static_cast<size_t>(Spec.Dim)],
+                            Ctx.dimLo(Spec.Dim));
+    ir::Expr Stamp = ir::add(Env.ParentPos, ir::intImm(1));
+    ir::BlockBuilder Fresh;
+    Fresh.add(ir::assign(PVar, ir::load(Pos, Env.ParentPos)));
+    Fresh.add(ir::store(Pos, Env.ParentPos,
+                        ir::add(ir::var(PVar), ir::intImm(1))));
+    Fresh.add(ir::store(wsStamp(), CIdx, Stamp));
+    Fresh.add(ir::store(wsPos(), CIdx, ir::var(PVar)));
+    Out.add(ir::decl(PVar, ir::intImm(0)));
+    Out.add(ir::ifThen(ir::ne(ir::load(wsStamp(), CIdx), Stamp),
+                       Fresh.build(),
+                       ir::assign(PVar, ir::load(wsPos(), CIdx))));
+    return ir::var(PVar);
+  }
+
+  void emitInsertCoord(AsmCtx &Ctx, const PosEnv &Env, ir::Expr Pk,
+                       ir::BlockBuilder &Out) const override {
+    Out.add(ir::store(Ctx.crdName(K), Pk,
+                      Env.DstCoords[static_cast<size_t>(Spec.Dim)]));
+  }
+
+  void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
+                    ir::BlockBuilder &Out) const override {
+    // Shift the consumed cursors back: pos[p] = pos[p-1], pos[0] = 0.
+    std::string Pos = Ctx.posName(K);
+    std::string S = scanVar();
+    ir::Expr Idx = ir::sub(ParentSize, ir::var(S));
+    Out.add(ir::forRange(S, ir::intImm(0), ParentSize,
+                         ir::store(Pos, Idx,
+                                   ir::load(Pos, ir::sub(Idx, ir::intImm(1))))));
+    Out.add(ir::store(Pos, ir::intImm(0), ir::intImm(0)));
+    if (Dedup) {
+      Out.add(ir::freeBuffer(wsStamp()));
+      Out.add(ir::freeBuffer(wsPos()));
+    }
+  }
+
+  void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                 ir::BlockBuilder &Out) const override {
+    Out.add(ir::yieldBuffer(Ctx.posName(K), Ctx.posName(K),
+                            ir::add(ParentSize, ir::intImm(1))));
+    Out.add(ir::yieldBuffer(Ctx.crdName(K), Ctx.crdName(K),
+                            ir::load(Ctx.posName(K), ParentSize)));
+  }
+
+private:
+  std::string scanVar() const { return "s" + std::to_string(K); }
+  std::string wsStamp() const { return "ws" + std::to_string(K) + "_stamp"; }
+  std::string wsPos() const { return "ws" + std::to_string(K) + "_pos"; }
+
+  bool Dedup;
+  int Order;
+};
+
+//===----------------------------------------------------------------------===//
+// singleton
+//===----------------------------------------------------------------------===//
+
+class SingletonLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    (void)Ctx;
+    return ParentSize;
+  }
+
+  void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                ir::BlockBuilder &Out) const override {
+    // Padded singleton levels (ELL) zero-initialize so padding slots hold
+    // valid coordinates (Figure 7's calloc).
+    Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int, ParentSize,
+                      Spec.Padded));
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Ctx;
+    (void)Out;
+    return Env.ParentPos;
+  }
+
+  void emitInsertCoord(AsmCtx &Ctx, const PosEnv &Env, ir::Expr Pk,
+                       ir::BlockBuilder &Out) const override {
+    Out.add(ir::store(Ctx.crdName(K), Pk,
+                      Env.DstCoords[static_cast<size_t>(Spec.Dim)]));
+  }
+
+  void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                 ir::BlockBuilder &Out) const override {
+    Out.add(ir::yieldBuffer(Ctx.crdName(K), Ctx.crdName(K), ParentSize));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// squeezed
+//===----------------------------------------------------------------------===//
+
+class SqueezedLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  std::vector<query::Query> queries() const override {
+    query::Query Q;
+    Q.GroupDims = {Spec.Dim};
+    Q.Aggs = {query::Agg{query::AggKind::Id, {}, "nz"}};
+    return {Q};
+  }
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    return ir::mul(ParentSize, ir::var(Ctx.paramVar(K)));
+  }
+
+  void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    // Build perm: the ascending list of coordinates whose slice is nonzero
+    // (Figure 11, squeezed init_coords).
+    QueryResultRef Nz = Ctx.Result(K, "nz");
+    std::string KVar = Ctx.paramVar(K);
+    std::string O = "o" + std::to_string(K);
+    ir::Expr Extent = Ctx.dimExtent(Spec.Dim);
+    ir::Expr Lo = Ctx.dimLo(Spec.Dim);
+    Out.add(ir::alloc(Ctx.permName(K), ir::ScalarKind::Int, Extent, false));
+    Out.add(ir::decl(KVar, ir::intImm(0)));
+    ir::BlockBuilder Body;
+    Body.add(ir::store(Ctx.permName(K), ir::var(KVar),
+                       ir::add(ir::var(O), Lo)));
+    Body.add(ir::assign(KVar, ir::add(ir::var(KVar), ir::intImm(1))));
+    Out.add(ir::forRange(
+        O, ir::intImm(0), Extent,
+        ir::ifThen(ir::load(Nz.Buffer, ir::var(O), Nz.Elem), Body.build())));
+  }
+
+  void emitInitPos(AsmCtx &Ctx, ir::Expr ParentSize,
+                   ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    // rperm inverts perm for O(1) get_pos (Figure 6a lines 16-19).
+    std::string S = "s" + std::to_string(K);
+    Out.add(ir::alloc(rperm(Ctx), ir::ScalarKind::Int,
+                      Ctx.dimExtent(Spec.Dim), false));
+    Out.add(ir::forRange(
+        S, ir::intImm(0), ir::var(Ctx.paramVar(K)),
+        ir::store(rperm(Ctx),
+                  ir::sub(ir::load(Ctx.permName(K), ir::var(S)),
+                          Ctx.dimLo(Spec.Dim)),
+                  ir::var(S))));
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Out;
+    ir::Expr Rel = ir::sub(Env.DstCoords[static_cast<size_t>(Spec.Dim)],
+                           Ctx.dimLo(Spec.Dim));
+    return ir::add(ir::mul(Env.ParentPos, ir::var(Ctx.paramVar(K))),
+                   ir::load(rperm(Ctx), Rel));
+  }
+
+  void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
+                    ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    Out.add(ir::freeBuffer(rperm(Ctx)));
+  }
+
+  void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                 ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    Out.add(ir::yieldBuffer(Ctx.permName(K), Ctx.permName(K),
+                            ir::var(Ctx.paramVar(K))));
+    Out.add(ir::yieldScalar("B" + std::to_string(K) + "_param",
+                            ir::var(Ctx.paramVar(K))));
+  }
+
+private:
+  std::string rperm(const AsmCtx &) const {
+    return "B" + std::to_string(K) + "_rperm";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// sliced
+//===----------------------------------------------------------------------===//
+
+class SlicedLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  std::vector<query::Query> queries() const override {
+    query::Query Q;
+    Q.Aggs = {query::Agg{query::AggKind::Max, {Spec.Dim}, "max_crd"}};
+    return {Q};
+  }
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    return ir::mul(ParentSize, ir::var(Ctx.paramVar(K)));
+  }
+
+  void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    // K = max_crd + 1 (Figure 7's sliced init_coords). The decoded query
+    // value is -1 on an all-empty tensor, giving K = 0.
+    QueryResultRef MaxCrd = Ctx.Result(K, "max_crd");
+    Out.add(ir::decl(Ctx.paramVar(K),
+                     ir::add(readQueryValue(MaxCrd, {}), ir::intImm(1))));
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Out;
+    return ir::add(ir::mul(Env.ParentPos, ir::var(Ctx.paramVar(K))),
+                   Env.DstCoords[static_cast<size_t>(Spec.Dim)]);
+  }
+
+  void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                 ir::BlockBuilder &Out) const override {
+    (void)ParentSize;
+    Out.add(ir::yieldScalar("B" + std::to_string(K) + "_param",
+                            ir::var(Ctx.paramVar(K))));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// skyline
+//===----------------------------------------------------------------------===//
+
+class SkylineLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  std::vector<query::Query> queries() const override {
+    query::Query Q;
+    for (int D = 0; D < Spec.Dim; ++D)
+      Q.GroupDims.push_back(D);
+    Q.Aggs = {query::Agg{query::AggKind::Min, {Spec.Dim}, "w"}};
+    return {Q};
+  }
+
+  bool needsEdgeInsertion() const override { return true; }
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    return ir::load(Ctx.posName(K), ParentSize);
+  }
+
+  void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                ir::BlockBuilder &Out) const override {
+    // pos[p+1] = pos[p] + max(i - w + 1, 0): stores all components between
+    // the first nonzero (w) and the diagonal (Figure 11, banded). Rows
+    // without nonzeros decode w past the diagonal, so the count is 0.
+    std::string Pos = Ctx.posName(K);
+    QueryResultRef W = Ctx.Result(K, "w");
+    auto rowCount = [&](const std::vector<ir::Expr> &Coords) {
+      ir::Expr I = Coords.back();
+      return ir::max(
+          ir::add(ir::sub(I, readQueryValue(W, Coords)), ir::intImm(1)),
+          ir::intImm(0));
+    };
+    if (!Ctx.ForceUnseqEdges) {
+      Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
+                        ir::add(ParentSize, ir::intImm(1)), false));
+      Out.add(ir::store(Pos, ir::intImm(0), ir::intImm(0)));
+      Out.add(Ctx.ParentLoop(
+          K, [&](ir::Expr P, const std::vector<ir::Expr> &Coords) {
+            return ir::store(Pos, ir::add(P, ir::intImm(1)),
+                             ir::add(ir::load(Pos, P), rowCount(Coords)));
+          }));
+    } else {
+      Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
+                        ir::add(ParentSize, ir::intImm(1)), true));
+      Out.add(Ctx.ParentLoop(
+          K, [&](ir::Expr P, const std::vector<ir::Expr> &Coords) {
+            return ir::store(Pos, ir::add(P, ir::intImm(1)),
+                             rowCount(Coords));
+          }));
+      std::string S = "s" + std::to_string(K);
+      Out.add(ir::forRange(
+          S, ir::intImm(0), ParentSize,
+          ir::store(Pos, ir::add(ir::var(S), ir::intImm(1)),
+                    ir::add(ir::load(Pos, ir::var(S)),
+                            ir::load(Pos, ir::add(ir::var(S),
+                                                  ir::intImm(1)))))));
+    }
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Out;
+    // get_pos = pos[p+1] + j - i - 1 (avoids re-reading w; Figure 11).
+    ir::Expr J = Env.DstCoords[static_cast<size_t>(Spec.Dim)];
+    ir::Expr I = Env.DstCoords[static_cast<size_t>(Spec.Dim) - 1];
+    return ir::sub(
+        ir::add(ir::load(Ctx.posName(K),
+                         ir::add(Env.ParentPos, ir::intImm(1))),
+                ir::sub(J, I)),
+        ir::intImm(1));
+  }
+
+  void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                 ir::BlockBuilder &Out) const override {
+    Out.add(ir::yieldBuffer(Ctx.posName(K), Ctx.posName(K),
+                            ir::add(ParentSize, ir::intImm(1))));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// offset
+//===----------------------------------------------------------------------===//
+
+class OffsetLevel : public LevelFormat {
+public:
+  using LevelFormat::LevelFormat;
+
+  ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
+    (void)Ctx;
+    return ParentSize;
+  }
+
+  ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                   ir::BlockBuilder &Out) const override {
+    (void)Ctx;
+    (void)Out;
+    return Env.ParentPos;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<LevelFormat> LevelFormat::create(const LevelSpec &Spec, int K,
+                                                 bool Dedup, int Order) {
+  switch (Spec.Kind) {
+  case LevelKind::Dense:
+    return std::make_unique<DenseLevel>(Spec, K);
+  case LevelKind::Compressed:
+    return std::make_unique<CompressedLevel>(Spec, K, Dedup, Order);
+  case LevelKind::Singleton:
+    return std::make_unique<SingletonLevel>(Spec, K);
+  case LevelKind::Squeezed:
+    return std::make_unique<SqueezedLevel>(Spec, K);
+  case LevelKind::Sliced:
+    return std::make_unique<SlicedLevel>(Spec, K);
+  case LevelKind::Skyline:
+    return std::make_unique<SkylineLevel>(Spec, K);
+  case LevelKind::Offset:
+    return std::make_unique<OffsetLevel>(Spec, K);
+  }
+  convgen_unreachable("unknown level kind");
+}

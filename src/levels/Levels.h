@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinate-hierarchy level formats and the paper's assembly
+/// abstraction (§6.1, Figures 7, 11, 12). Each level format implements a
+/// fixed static interface of *level functions* — get_size, edge insertion
+/// (sequenced and unsequenced), init_coords, get_pos / yield_pos,
+/// insert_coord, and finalizers — as IR *emitters*: the conversion code
+/// generator calls them to splice specialized code into the routine it is
+/// building, which is exactly how the paper's compiler inlines level
+/// function implementations (§6.2).
+///
+/// Each level format also declares the attribute queries its assembly
+/// requires (a compressed level needs per-parent nonzero counts, a squeezed
+/// level the set of nonzero coordinates, a sliced level the maximum
+/// coordinate, a skyline level the minimum).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_LEVELS_LEVELS_H
+#define CONVGEN_LEVELS_LEVELS_H
+
+#include "formats/Format.h"
+#include "ir/IR.h"
+#include "query/Query.h"
+#include "remap/Bounds.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace levels {
+
+/// Where a compiled attribute query's result lives and how to decode it.
+/// Raw stored values of max/min queries are shifted so that zero means
+/// "empty" (§5.2); actual = Sign * raw + Shift recovers the aggregate.
+struct QueryResultRef {
+  std::string Buffer;
+  ir::ScalarKind Elem = ir::ScalarKind::Int;
+  std::vector<int> GroupDims;
+  std::vector<ir::Expr> GroupLo;     ///< Per group dim: coordinate lower bound.
+  std::vector<ir::Expr> GroupExtent; ///< Per group dim: extent (for strides).
+  int Sign = 1;
+  ir::Expr Shift; ///< Null when raw values need no decoding (count/id).
+};
+
+/// Raw element load at the given group coordinates (row-major layout).
+ir::Expr readQueryRaw(const QueryResultRef &Ref,
+                      const std::vector<ir::Expr> &GroupCoords);
+
+/// Decoded aggregate value (applies Sign/Shift).
+ir::Expr readQueryValue(const QueryResultRef &Ref,
+                        const std::vector<ir::Expr> &GroupCoords);
+
+/// Shared emission context for one conversion. Owned by the generator;
+/// level formats use it for naming, dimension bounds, query results, and
+/// parent-position enumeration during edge insertion.
+struct AsmCtx {
+  const formats::Format *Fmt = nullptr;
+  /// Symbolic bounds per destination dimension (over dim0/dim1 vars).
+  std::vector<remap::DimBounds> Bounds;
+
+  /// Query result lookup: (1-based level, label) -> ref.
+  std::function<QueryResultRef(int, const std::string &)> Result;
+
+  /// Enumerates the positions of level K's parent in order, invoking Body
+  /// with (parent position, destination coords of dims 0..K-2). The
+  /// generator implements this with loops over the enclosing levels; it is
+  /// the "for position pk-1 in parent level" of Figure 12.
+  std::function<ir::Stmt(
+      int, const std::function<ir::Stmt(ir::Expr,
+                                        const std::vector<ir::Expr> &)> &)>
+      ParentLoop;
+
+  /// Use unsequenced edge insertion (calloc + scatter + prefix sum) even
+  /// where sequenced insertion is available; exercised by tests/ablations.
+  bool ForceUnseqEdges = false;
+
+  // Naming helpers (1-based levels, matching the "B1_pos" ABI convention).
+  std::string posName(int K) const { return "B" + std::to_string(K) + "_pos"; }
+  std::string crdName(int K) const { return "B" + std::to_string(K) + "_crd"; }
+  std::string permName(int K) const {
+    return "B" + std::to_string(K) + "_perm";
+  }
+  std::string paramVar(int K) const { return "B" + std::to_string(K) + "_K"; }
+
+  ir::Expr dimLo(int D) const;
+  ir::Expr dimHi(int D) const;
+  ir::Expr dimExtent(int D) const;
+};
+
+/// Per-nonzero state during coordinate insertion (Figure 12, right).
+struct PosEnv {
+  ir::Expr ParentPos;
+  /// Destination coordinates c0..cn-1 of the nonzero being inserted.
+  std::vector<ir::Expr> DstCoords;
+};
+
+/// Abstract level format: assembly-side code emitters.
+class LevelFormat {
+public:
+  /// \p K is the 1-based level number; \p Dedup requests get_pos semantics
+  /// over yield_pos storage for levels where several nonzeros share a
+  /// coordinate (BCSR's block-column level); \p Order is the format's
+  /// stored order (for root-level count queries).
+  static std::unique_ptr<LevelFormat> create(const formats::LevelSpec &Spec,
+                                             int K, bool Dedup, int Order);
+
+  virtual ~LevelFormat();
+
+  int level() const { return K; }
+  const formats::LevelSpec &spec() const { return Spec; }
+
+  /// Attribute queries this level's assembly requires (possibly none).
+  /// Labels are unique per level.
+  virtual std::vector<query::Query> queries() const { return {}; }
+
+  virtual bool needsEdgeInsertion() const { return false; }
+
+  /// get_size: number of positions in this level given the parent's.
+  virtual ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const = 0;
+
+  /// Edge insertion + init_coords: everything that must run before
+  /// coordinate insertion (allocations, perm/K computation, pos arrays).
+  virtual void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                        ir::BlockBuilder &Out) const {
+    (void)Ctx;
+    (void)ParentSize;
+    (void)Out;
+  }
+
+  /// init_get_pos / init_yield_pos: auxiliary structures used only during
+  /// coordinate insertion (squeezed's rperm, dedup workspaces).
+  virtual void emitInitPos(AsmCtx &Ctx, ir::Expr ParentSize,
+                           ir::BlockBuilder &Out) const {
+    (void)Ctx;
+    (void)ParentSize;
+    (void)Out;
+  }
+
+  /// get_pos / yield_pos: emits statements computing this nonzero's
+  /// position at this level and returns the position expression.
+  virtual ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
+                           ir::BlockBuilder &Out) const = 0;
+
+  /// insert_coord: stores the coordinate (no-op for implicit levels).
+  virtual void emitInsertCoord(AsmCtx &Ctx, const PosEnv &Env, ir::Expr Pk,
+                               ir::BlockBuilder &Out) const {
+    (void)Ctx;
+    (void)Env;
+    (void)Pk;
+    (void)Out;
+  }
+
+  /// finalize_get_pos / finalize_yield_pos: pos-shift loops, frees.
+  virtual void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
+                            ir::BlockBuilder &Out) const {
+    (void)Ctx;
+    (void)ParentSize;
+    (void)Out;
+  }
+
+  /// Publishes this level's output arrays/parameters (YieldBuffer/Scalar).
+  virtual void emitYield(AsmCtx &Ctx, ir::Expr ParentSize,
+                         ir::BlockBuilder &Out) const {
+    (void)Ctx;
+    (void)ParentSize;
+    (void)Out;
+  }
+
+  LevelFormat(const formats::LevelSpec &Spec, int K) : Spec(Spec), K(K) {}
+
+protected:
+  formats::LevelSpec Spec;
+  int K;
+};
+
+} // namespace levels
+} // namespace convgen
+
+#endif // CONVGEN_LEVELS_LEVELS_H

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Cin.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::query;
+
+namespace {
+
+std::string printAccess(const Access &A) {
+  std::string Out = A.Tensor + "[";
+  for (size_t I = 0; I < A.Idx.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += A.Idx[I] ? remap::printExpr(A.Idx[I]) : "*";
+  }
+  return Out + "]";
+}
+
+const char *opSpelling(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign:
+    return "=";
+  case AssignOp::Or:
+    return "|=";
+  case AssignOp::Add:
+    return "+=";
+  case AssignOp::Max:
+    return "max=";
+  }
+  convgen_unreachable("unknown assign op");
+}
+
+std::string printRhs(const RhsExpr &R) {
+  switch (R.Kind) {
+  case RhsExpr::RhsKind::MapSource: {
+    std::string Payload;
+    if (R.Value) {
+      Payload = remap::printExpr(R.Value);
+      if (R.ValueSign < 0)
+        Payload = "-(" + Payload + ")";
+      if (R.ValueShift)
+        Payload += " + " + ir::printExpr(R.ValueShift);
+    } else {
+      Payload = R.ValueShift ? ir::printExpr(R.ValueShift) : "0";
+    }
+    std::string Out = "map(B, " + Payload + ")";
+    if (R.Scale != 1)
+      Out += " * " + std::to_string(R.Scale);
+    return Out;
+  }
+  case RhsExpr::RhsKind::ReadTemp: {
+    std::string Out = R.Temp.Tensor + "[*]";
+    if (R.Scale != 1)
+      Out += " * " + std::to_string(R.Scale);
+    return Out;
+  }
+  case RhsExpr::RhsKind::RowNnz: {
+    std::string Out = strfmt("nnz(B, level %d)", R.RowNnzLevel);
+    if (R.Scale != 1)
+      Out += " * " + std::to_string(R.Scale);
+    return Out;
+  }
+  case RhsExpr::RhsKind::Const:
+    return std::to_string(R.Scale);
+  }
+  convgen_unreachable("unknown rhs kind");
+}
+
+} // namespace
+
+std::string query::printCin(const CinStmt &Stmt) {
+  std::string Out;
+  for (const Forall &F : Stmt.Stmts) {
+    switch (F.Space) {
+    case Forall::IterSpace::SourceAll:
+      Out += "forall(src) ";
+      break;
+    case Forall::IterSpace::SourcePrefix:
+      Out += strfmt("forall(src:%d) ", F.PrefixLevels);
+      break;
+    case Forall::IterSpace::TempDense:
+      Out += "forall(" + F.TempIterated + ") ";
+      break;
+    }
+    Out += printAccess(F.Lhs) + " " + opSpelling(F.Op) + " " +
+           printRhs(F.Rhs) + "\n";
+  }
+  return Out;
+}

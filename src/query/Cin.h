@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete index notation (CIN) for attribute queries (paper §5.2).
+/// A lowered query is a chain of forall statements — temporaries (`where`)
+/// first, the final statement last — each of the shape
+///
+///   forall <space>  Lhs[idx...] op= rhs
+///
+/// where the iteration space is either the source tensor's nonzeros
+/// (SourceAll), a prefix of its levels (SourcePrefix, produced by
+/// simplify-width-count), or the dense domain of a temporary (TempDense).
+/// Index expressions are remap expressions over the source's canonical
+/// index variables (and counters), i.e. the target format's remapped
+/// dimension expressions.
+///
+/// The Table 1 transformations (Transforms.h) rewrite these statements; the
+/// compiler (Compile.h) then emits IR specialized to the source format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_CIN_H
+#define CONVGEN_QUERY_CIN_H
+
+#include "ir/IR.h"
+#include "query/Query.h"
+#include "remap/Remap.h"
+
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace query {
+
+/// An access into a query result or temporary: the tensor name plus one
+/// index expression per dimension (over source canonical ivars/counters).
+struct Access {
+  std::string Tensor;
+  std::vector<remap::Expr> Idx;
+};
+
+enum class AssignOp : uint8_t { Assign, Or, Add, Max };
+
+/// Right-hand sides take one of four shapes.
+struct RhsExpr {
+  enum class RhsKind : uint8_t {
+    MapSource, ///< map(B[...], Value): Value for each source nonzero.
+    ReadTemp,  ///< Temp[...] * Scale, read over the temp's dense domain.
+    RowNnz,    ///< Dynamically computed slice width of source level
+               ///< RowNnzLevel, times Scale (simplify-width-count).
+    Const,     ///< A constant (after folding).
+  };
+  RhsKind Kind = RhsKind::MapSource;
+  /// MapSource payload = ValueSign * Value + ValueShift; Value may be null
+  /// (pure constant payloads like map(B, 1)). The shift implements the
+  /// §5.2 encoding that reserves raw 0 for "empty".
+  remap::Expr Value;
+  int ValueSign = 1;
+  ir::Expr ValueShift;
+  Access Temp;         ///< ReadTemp operand.
+  int64_t Scale = 1;   ///< ReadTemp / RowNnz multiplier.
+  int RowNnzLevel = 0; ///< 1-based source level for RowNnz.
+};
+
+/// One forall statement.
+struct Forall {
+  enum class IterSpace : uint8_t { SourceAll, SourcePrefix, TempDense };
+  IterSpace Space = IterSpace::SourceAll;
+  /// SourcePrefix: number of source levels iterated.
+  int PrefixLevels = 0;
+  /// TempDense: the temp iterated (loops over all its dims in order); the
+  /// Lhs is indexed by the first Lhs.Idx.size() loop variables.
+  std::string TempIterated;
+
+  Access Lhs;
+  AssignOp Op = AssignOp::Or;
+  RhsExpr Rhs;
+};
+
+/// Dimension domain of a temporary or result buffer: one destination
+/// dimension of the target remap per axis.
+struct BufferInfo {
+  std::string Name;
+  std::vector<int> Dims; ///< Destination dimension indices.
+  ir::ScalarKind Elem = ir::ScalarKind::Int;
+};
+
+/// A query statement in CIN: temporaries (producers) in dependency order,
+/// then the final statement computing the query result.
+struct CinStmt {
+  std::vector<BufferInfo> Temps;
+  BufferInfo Result;
+  std::vector<Forall> Stmts; ///< Last statement writes Result.
+  /// Decoding of raw max/min results: actual = Sign * raw + Shift
+  /// (both null/1 for count and id).
+  int Sign = 1;
+  ir::Expr Shift;
+};
+
+/// Renders a CIN statement chain for golden tests, e.g.
+/// "forall(src) q2_nir[i] += map(B, 1)".
+std::string printCin(const CinStmt &Stmt);
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_CIN_H

@@ -1,0 +1,262 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Compile.h"
+
+#include "query/Transforms.h"
+#include "remap/Lower.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::query;
+
+namespace {
+
+ir::ReduceOp toReduceOp(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Assign:
+    return ir::ReduceOp::None;
+  case AssignOp::Or:
+    return ir::ReduceOp::Or;
+  case AssignOp::Add:
+    return ir::ReduceOp::Add;
+  case AssignOp::Max:
+    return ir::ReduceOp::Max;
+  }
+  convgen_unreachable("unknown assign op");
+}
+
+/// Compilation context shared by all statements of one query batch.
+struct Compiler {
+  const TargetShape &Target;
+  const levels::SourceIterator &Src;
+
+  /// Buffer layouts: name -> (dims, lo exprs, extent exprs, elem).
+  struct Layout {
+    std::vector<int> Dims;
+    std::vector<ir::Expr> Lo, Extent;
+    ir::ScalarKind Elem;
+  };
+  std::map<std::string, Layout> Layouts;
+
+  void registerBuffer(const BufferInfo &B) {
+    Layout L;
+    L.Dims = B.Dims;
+    L.Elem = B.Elem;
+    for (int D : B.Dims) {
+      const remap::DimBounds &Bd =
+          Target.Bounds[static_cast<size_t>(D)];
+      if (!Bd.Known)
+        fatalError("query buffer over a dimension without static bounds");
+      L.Lo.push_back(Bd.Lo);
+      L.Extent.push_back(Bd.extent());
+    }
+    Layouts[B.Name] = L;
+  }
+
+  ir::Expr bufferSize(const std::string &Name) const {
+    const Layout &L = Layouts.at(Name);
+    ir::Expr Size = ir::intImm(1);
+    for (const ir::Expr &E : L.Extent)
+      Size = ir::mul(Size, E);
+    return Size;
+  }
+
+  /// Linearizes absolute coordinates into the buffer's row-major layout.
+  ir::Expr linearize(const std::string &Name,
+                     const std::vector<ir::Expr> &Coords) const {
+    const Layout &L = Layouts.at(Name);
+    CONVGEN_ASSERT(Coords.size() == L.Dims.size(),
+                   "buffer index arity mismatch");
+    ir::Expr Index = ir::intImm(0);
+    for (size_t D = 0; D < Coords.size(); ++D)
+      Index = ir::add(ir::mul(Index, L.Extent[D]),
+                      ir::sub(Coords[D], L.Lo[D]));
+    return Index;
+  }
+
+  /// Emits one statement of a query.
+  ir::Stmt emitForall(const Forall &F) const;
+};
+
+ir::Stmt Compiler::emitForall(const Forall &F) const {
+  switch (F.Space) {
+  case Forall::IterSpace::SourceAll:
+  case Forall::IterSpace::SourcePrefix: {
+    auto Body = [&](const levels::IterEnv &Env) -> ir::Stmt {
+      remap::LowerEnv LEnv;
+      LEnv.IVars = Env.Canonical;
+      std::vector<ir::Expr> Coords;
+      for (const remap::Expr &E : F.Lhs.Idx)
+        Coords.push_back(remap::lowerExpr(E, LEnv));
+      ir::Expr Value;
+      if (F.Rhs.Kind == RhsExpr::RhsKind::MapSource) {
+        ir::Expr Base =
+            F.Rhs.Value ? remap::lowerExpr(F.Rhs.Value, LEnv) : nullptr;
+        if (Base && F.Rhs.ValueSign < 0)
+          Base = ir::neg(Base);
+        Value = Base ? (F.Rhs.ValueShift ? ir::add(Base, F.Rhs.ValueShift)
+                                         : Base)
+                     : (F.Rhs.ValueShift ? F.Rhs.ValueShift : ir::intImm(0));
+        if (F.Rhs.Scale != 1)
+          Value = ir::mul(Value, ir::intImm(F.Rhs.Scale));
+      } else if (F.Rhs.Kind == RhsExpr::RhsKind::RowNnz) {
+        Value = Src.rowNnz(F.Rhs.RowNnzLevel, Env);
+        if (F.Rhs.Scale != 1)
+          Value = ir::mul(Value, ir::intImm(F.Rhs.Scale));
+      } else {
+        fatalError("unsupported rhs in a source-space forall");
+      }
+      return ir::store(F.Lhs.Tensor, linearize(F.Lhs.Tensor, Coords), Value,
+                       toReduceOp(F.Op));
+    };
+    if (F.Space == Forall::IterSpace::SourceAll)
+      return Src.build(Body);
+    return Src.buildPrefix(F.PrefixLevels, Body);
+  }
+  case Forall::IterSpace::TempDense: {
+    // Nested loops over the temp's (relative) coordinates t0..tn-1; the
+    // lhs takes the leading loop variables.
+    const Layout &L = Layouts.at(F.TempIterated);
+    CONVGEN_ASSERT(F.Rhs.Kind == RhsExpr::RhsKind::ReadTemp,
+                   "dense foralls read their temp");
+    std::vector<ir::Expr> TempIdx, LhsIdx;
+    for (size_t D = 0; D < L.Dims.size(); ++D) {
+      ir::Expr T = ir::var("t" + std::to_string(D));
+      // linearize() subtracts lo, so feed absolute coords back in.
+      TempIdx.push_back(ir::add(T, L.Lo[D]));
+      if (D < F.Lhs.Idx.size())
+        LhsIdx.push_back(ir::add(T, Layouts.at(F.Lhs.Tensor).Lo[D]));
+    }
+    ir::Expr Value = ir::load(F.TempIterated,
+                              linearize(F.TempIterated, TempIdx),
+                              L.Elem);
+    if (F.Rhs.Scale != 1)
+      Value = ir::mul(Value, ir::intImm(F.Rhs.Scale));
+    ir::Stmt Body = ir::store(F.Lhs.Tensor,
+                              linearize(F.Lhs.Tensor, LhsIdx), Value,
+                              toReduceOp(F.Op));
+    for (size_t D = L.Dims.size(); D-- > 0;)
+      Body = ir::forRange("t" + std::to_string(D), ir::intImm(0),
+                          L.Extent[D], Body);
+    return Body;
+  }
+  }
+  convgen_unreachable("unknown forall space");
+}
+
+} // namespace
+
+CompiledQueries
+query::compileQueries(const std::vector<std::pair<int, Query>> &LevelQueries,
+                      const TargetShape &Target,
+                      const levels::SourceIterator &Src, bool Optimize) {
+  CompiledQueries Out;
+  Compiler C{Target, Src, {}};
+
+  // Lower and optimize every aggregation.
+  for (const auto &[Level, Q] : LevelQueries) {
+    for (const Agg &A : Q.Aggs) {
+      std::string Name = strfmt("q%d_%s", Level, A.Label.c_str());
+      CinStmt Stmt = lowerToCanonical(Q, A, Target, Name);
+      if (Optimize) {
+        optimize(Stmt, Src, Target);
+      } else {
+        // counter-to-histogram is a lowering necessity, not merely an
+        // optimization: canonical counter payloads cannot be evaluated
+        // inside an analysis sweep (Table 1 gives it no preconditions).
+        while (counterToHistogram(Stmt, Src, Target)) {
+        }
+      }
+      Out.Stmts.push_back({Name, Stmt});
+    }
+  }
+
+  ir::BlockBuilder Code;
+  Code.add(ir::comment("analysis: compute attribute queries"));
+
+  // Allocate result and temp buffers (always zero-initialized: raw zero
+  // encodes "empty" across all aggregations).
+  for (auto &[Name, Stmt] : Out.Stmts) {
+    C.registerBuffer(Stmt.Result);
+    Code.add(ir::alloc(Stmt.Result.Name, Stmt.Result.Elem,
+                       C.bufferSize(Stmt.Result.Name), true));
+    for (const BufferInfo &W : Stmt.Temps) {
+      C.registerBuffer(W);
+      Code.add(ir::alloc(W.Name, W.Elem, C.bufferSize(W.Name), true));
+    }
+  }
+
+  // Fuse all SourceAll sweeps into one pass over the source's nonzeros.
+  std::vector<const Forall *> Fused;
+  for (auto &[Name, Stmt] : Out.Stmts)
+    for (const Forall &F : Stmt.Stmts)
+      if (F.Space == Forall::IterSpace::SourceAll)
+        Fused.push_back(&F);
+  if (!Fused.empty()) {
+    // Re-emit through one iterator walk: bodies concatenate.
+    Code.add(Src.build([&](const levels::IterEnv &Env) -> ir::Stmt {
+      ir::BlockBuilder Body;
+      for (const Forall *F : Fused) {
+        // Reuse the single-statement path with a fixed environment.
+        Forall Single = *F;
+        remap::LowerEnv LEnv;
+        LEnv.IVars = Env.Canonical;
+        std::vector<ir::Expr> Coords;
+        for (const remap::Expr &E : Single.Lhs.Idx)
+          Coords.push_back(remap::lowerExpr(E, LEnv));
+        ir::Expr Base = Single.Rhs.Value
+                            ? remap::lowerExpr(Single.Rhs.Value, LEnv)
+                            : nullptr;
+        if (Base && Single.Rhs.ValueSign < 0)
+          Base = ir::neg(Base);
+        ir::Expr Value =
+            Base ? (Single.Rhs.ValueShift
+                        ? ir::add(Base, Single.Rhs.ValueShift)
+                        : Base)
+                 : (Single.Rhs.ValueShift ? Single.Rhs.ValueShift
+                                          : ir::intImm(0));
+        if (Single.Rhs.Scale != 1)
+          Value = ir::mul(Value, ir::intImm(Single.Rhs.Scale));
+        Body.add(ir::store(Single.Lhs.Tensor,
+                           C.linearize(Single.Lhs.Tensor, Coords), Value,
+                           toReduceOp(Single.Op)));
+      }
+      return Body.build();
+    }));
+  }
+
+  // Emit the remaining statements (prefix sweeps, temp reductions) in
+  // order; producers precede consumers within each query by construction.
+  for (auto &[Name, Stmt] : Out.Stmts)
+    for (const Forall &F : Stmt.Stmts)
+      if (F.Space != Forall::IterSpace::SourceAll)
+        Code.add(C.emitForall(F));
+
+  // Free temporaries and publish the result references.
+  for (auto &[Name, Stmt] : Out.Stmts)
+    for (const BufferInfo &W : Stmt.Temps)
+      Code.add(ir::freeBuffer(W.Name));
+
+  for (auto &[Name, Stmt] : Out.Stmts) {
+    levels::QueryResultRef Ref;
+    Ref.Buffer = Name;
+    Ref.Elem = Stmt.Result.Elem;
+    Ref.GroupDims = Stmt.Result.Dims;
+    for (int D : Stmt.Result.Dims) {
+      const remap::DimBounds &B = Target.Bounds[static_cast<size_t>(D)];
+      Ref.GroupLo.push_back(B.Lo);
+      Ref.GroupExtent.push_back(B.extent());
+    }
+    Ref.Sign = Stmt.Sign;
+    Ref.Shift = Stmt.Shift;
+    Out.Refs[Name] = Ref;
+  }
+
+  Out.Code = Code.build();
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles optimized attribute queries to IR specialized to the source
+/// format (paper §5.2): SourceAll sweeps from every query fuse into a
+/// single pass over the source's nonzeros; prefix sweeps (the pos-array
+/// fast paths) and dense temp reductions are emitted separately in
+/// dependency order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_COMPILE_H
+#define CONVGEN_QUERY_COMPILE_H
+
+#include "levels/Levels.h"
+#include "levels/SourceIterator.h"
+#include "query/Lower.h"
+
+#include <map>
+
+namespace convgen {
+namespace query {
+
+struct CompiledQueries {
+  /// Optimized CIN per (level, label) in emission order — for inspection
+  /// and golden tests.
+  std::vector<std::pair<std::string, CinStmt>> Stmts;
+  /// Where each query's result lives: key is "q<level>_<label>".
+  std::map<std::string, levels::QueryResultRef> Refs;
+  /// Allocations + analysis sweeps, ready to prepend to a conversion.
+  ir::Stmt Code;
+};
+
+/// Lowers, optimizes (unless \p Optimize is false), and compiles the
+/// attribute queries declared by the target's levels. \p LevelQueries
+/// pairs each query with its owning 1-based level.
+CompiledQueries
+compileQueries(const std::vector<std::pair<int, Query>> &LevelQueries,
+               const TargetShape &Target, const levels::SourceIterator &Src,
+               bool Optimize);
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_COMPILE_H

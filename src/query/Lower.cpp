@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Lower.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+using namespace convgen;
+using namespace convgen::query;
+
+namespace {
+
+/// The inlined destination-dimension expression for dim \p D.
+remap::Expr dimExpr(const TargetShape &Target, int D) {
+  return remap::inlineLets(
+      Target.Remap.DstDims[static_cast<size_t>(D)]);
+}
+
+std::vector<remap::Expr> dimExprs(const TargetShape &Target,
+                                  const std::vector<int> &Dims) {
+  std::vector<remap::Expr> Out;
+  Out.reserve(Dims.size());
+  for (int D : Dims)
+    Out.push_back(dimExpr(Target, D));
+  return Out;
+}
+
+} // namespace
+
+CinStmt query::lowerToCanonical(const Query &Q, const Agg &A,
+                                const TargetShape &Target,
+                                const std::string &ResultName) {
+  CinStmt Out;
+  Out.Result.Name = ResultName;
+  Out.Result.Dims = Q.GroupDims;
+
+  switch (A.Kind) {
+  case AggKind::Id: {
+    // forall(src) Q[g...] |= map(B, 1)
+    Out.Result.Elem = ir::ScalarKind::Bool;
+    Forall F;
+    F.Space = Forall::IterSpace::SourceAll;
+    F.Lhs = Access{ResultName, dimExprs(Target, Q.GroupDims)};
+    F.Op = AssignOp::Or;
+    F.Rhs.Kind = RhsExpr::RhsKind::MapSource;
+    F.Rhs.ValueShift = ir::intImm(1);
+    Out.Stmts = {F};
+    return Out;
+  }
+  case AggKind::Count: {
+    // (forall(src) W[g...,c...] |= map(B, 1))
+    // (forall(W)   Q[g...]      += W[g...,c...])
+    Out.Result.Elem = ir::ScalarKind::Int;
+    BufferInfo W;
+    W.Name = ResultName + "_w";
+    W.Dims = Q.GroupDims;
+    for (int D : A.Dims)
+      W.Dims.push_back(D);
+    W.Elem = ir::ScalarKind::Bool;
+    Out.Temps = {W};
+
+    Forall Produce;
+    Produce.Space = Forall::IterSpace::SourceAll;
+    Produce.Lhs = Access{W.Name, dimExprs(Target, W.Dims)};
+    Produce.Op = AssignOp::Or;
+    Produce.Rhs.Kind = RhsExpr::RhsKind::MapSource;
+    Produce.Rhs.ValueShift = ir::intImm(1);
+
+    Forall Consume;
+    Consume.Space = Forall::IterSpace::TempDense;
+    Consume.TempIterated = W.Name;
+    // TempDense statements index with the loop variables implicitly: the
+    // Lhs takes the first |GroupDims| of the temp's loop coordinates.
+    Consume.Lhs.Tensor = ResultName;
+    Consume.Lhs.Idx.resize(Q.GroupDims.size());
+    Consume.Op = AssignOp::Add;
+    Consume.Rhs.Kind = RhsExpr::RhsKind::ReadTemp;
+    Consume.Rhs.Temp = Access{W.Name, {}};
+    Out.Stmts = {Produce, Consume};
+    return Out;
+  }
+  case AggKind::Max:
+  case AggKind::Min: {
+    CONVGEN_ASSERT(A.Dims.size() == 1, "max/min aggregate one dimension");
+    Out.Result.Elem = ir::ScalarKind::Int;
+    int D = A.Dims[0];
+    const remap::DimBounds &B =
+        Target.Bounds[static_cast<size_t>(D)];
+    Forall F;
+    F.Space = Forall::IterSpace::SourceAll;
+    F.Lhs = Access{ResultName, dimExprs(Target, Q.GroupDims)};
+    F.Op = AssignOp::Max;
+    F.Rhs.Kind = RhsExpr::RhsKind::MapSource;
+    F.Rhs.Value = dimExpr(Target, D);
+    if (A.Kind == AggKind::Max) {
+      // Q' max= map(B, i - s + 1); Q = Q' + s - 1. Counter dimensions have
+      // s = 0 (counters start at zero).
+      ir::Expr Lo = B.IsCounter ? ir::intImm(0) : B.Lo;
+      if (!Lo)
+        fatalError("max query over a dimension without static bounds");
+      F.Rhs.ValueSign = 1;
+      F.Rhs.ValueShift = ir::sub(ir::intImm(1), Lo);
+      Out.Sign = 1;
+      Out.Shift = ir::sub(Lo, ir::intImm(1));
+    } else {
+      // Q' max= map(B, -i + t + 1); Q = -Q' + t + 1.
+      if (B.IsCounter || !B.Hi)
+        fatalError("min query over a dimension without static bounds");
+      F.Rhs.ValueSign = -1;
+      F.Rhs.ValueShift = ir::add(B.Hi, ir::intImm(1));
+      Out.Sign = -1;
+      Out.Shift = ir::add(B.Hi, ir::intImm(1));
+    }
+    Out.Stmts = {F};
+    return Out;
+  }
+  }
+  convgen_unreachable("unknown aggregation kind");
+}

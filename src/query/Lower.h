@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers attribute queries to their canonical concrete-index-notation
+/// forms (paper §5.2): id becomes a boolean-or sweep, count a dedup
+/// temporary plus a sum, and max/min shifted max-reductions whose raw zero
+/// means "empty subtensor".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_LOWER_H
+#define CONVGEN_QUERY_LOWER_H
+
+#include "query/Cin.h"
+#include "remap/Bounds.h"
+
+namespace convgen {
+namespace query {
+
+/// The target format's remapping and per-dimension bounds, which define the
+/// coordinate space queries aggregate over.
+struct TargetShape {
+  remap::RemapStmt Remap;
+  std::vector<remap::DimBounds> Bounds;
+};
+
+/// Lowers one aggregation of \p Q to canonical CIN. \p ResultName is the
+/// result buffer name (convention: "q<level>_<label>").
+CinStmt lowerToCanonical(const Query &Q, const Agg &A,
+                         const TargetShape &Target,
+                         const std::string &ResultName);
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_LOWER_H

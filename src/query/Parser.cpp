@@ -1,0 +1,171 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "query/Parser.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace convgen;
+using namespace convgen::query;
+
+namespace {
+
+/// Minimal cursor-based scanner; the query grammar is regular enough that
+/// a token class would be overkill.
+class Scanner {
+public:
+  explicit Scanner(const std::string &Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool consume(const std::string &Word) {
+    skipSpace();
+    if (Text.compare(Pos, Word.size(), Word) == 0) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ident(std::string *Out) {
+    skipSpace();
+    size_t Begin = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    if (Pos == Begin)
+      return false;
+    *Out = Text.substr(Begin, Pos - Begin);
+    return true;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  std::string rest() { return Text.substr(Pos); }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+int dimIndex(const std::vector<std::string> &DimNames,
+             const std::string &Name) {
+  for (size_t I = 0; I < DimNames.size(); ++I)
+    if (DimNames[I] == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+} // namespace
+
+QueryParseResult query::parseQuery(const std::string &Text,
+                                   const std::vector<std::string> &DimNames) {
+  QueryParseResult Result;
+  Scanner S(Text);
+  auto failParse = [&](const std::string &Msg) {
+    Result.Error = Msg;
+    return Result;
+  };
+
+  if (!S.consume("select"))
+    return failParse("expected 'select'");
+  if (!S.consume("["))
+    return failParse("expected '[' after select");
+  if (!S.consume("]")) {
+    while (true) {
+      std::string Name;
+      if (!S.ident(&Name))
+        return failParse("expected a dimension variable in the group list");
+      int D = dimIndex(DimNames, Name);
+      if (D < 0)
+        return failParse("unknown dimension variable '" + Name + "'");
+      Result.Parsed.GroupDims.push_back(D);
+      if (S.consume(","))
+        continue;
+      if (S.consume("]"))
+        break;
+      return failParse("expected ',' or ']' in the group list");
+    }
+  }
+  if (!S.consume("->"))
+    return failParse("expected '->' after the group list");
+
+  while (true) {
+    std::string Fn;
+    if (!S.ident(&Fn))
+      return failParse("expected an aggregation function");
+    Agg A;
+    if (Fn == "count")
+      A.Kind = AggKind::Count;
+    else if (Fn == "max")
+      A.Kind = AggKind::Max;
+    else if (Fn == "min")
+      A.Kind = AggKind::Min;
+    else if (Fn == "id")
+      A.Kind = AggKind::Id;
+    else
+      return failParse("unknown aggregation '" + Fn + "'");
+    if (!S.consume("("))
+      return failParse("expected '(' after " + Fn);
+    if (!S.consume(")")) {
+      while (true) {
+        std::string Name;
+        if (!S.ident(&Name))
+          return failParse("expected a dimension variable in " + Fn);
+        int D = dimIndex(DimNames, Name);
+        if (D < 0)
+          return failParse("unknown dimension variable '" + Name + "'");
+        A.Dims.push_back(D);
+        if (S.consume(","))
+          continue;
+        if (S.consume(")"))
+          break;
+        return failParse("expected ',' or ')' in " + Fn);
+      }
+    }
+    if (A.Kind == AggKind::Id && !A.Dims.empty())
+      return failParse("id() takes no arguments");
+    if ((A.Kind == AggKind::Max || A.Kind == AggKind::Min) &&
+        A.Dims.size() != 1)
+      return failParse(Fn + " aggregates exactly one dimension");
+    if (A.Kind == AggKind::Count && A.Dims.empty())
+      return failParse("count requires at least one dimension");
+    if (!S.consume("as"))
+      return failParse("expected 'as <label>' after " + Fn);
+    if (!S.ident(&A.Label))
+      return failParse("expected a label after 'as'");
+    Result.Parsed.Aggs.push_back(A);
+    if (S.consume(","))
+      continue;
+    break;
+  }
+  if (!S.atEnd())
+    return failParse("unexpected trailing input '" + S.rest() + "'");
+  Result.Ok = true;
+  return Result;
+}
+
+Query query::parseQueryOrDie(const std::string &Text, int NumDims) {
+  std::vector<std::string> Names;
+  for (int D = 0; D < NumDims; ++D)
+    Names.push_back("d" + std::to_string(D));
+  QueryParseResult R = parseQuery(Text, Names);
+  if (!R.Ok)
+    fatalError(("invalid attribute query '" + Text + "': " + R.Error)
+                   .c_str());
+  return R.Parsed;
+}

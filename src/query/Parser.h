@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual attribute query language (paper §5.1):
+///
+///   select [i1,...,im] -> <aggr1> as label1, ..., <aggrn> as labeln
+///
+/// with aggregations count(i...), max(i), min(i), and id(). Dimension
+/// variables are resolved against a caller-supplied name list (custom
+/// level formats name the remapped dimensions d0..dn-1 by default).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_PARSER_H
+#define CONVGEN_QUERY_PARSER_H
+
+#include "query/Query.h"
+
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace query {
+
+struct QueryParseResult {
+  bool Ok = false;
+  Query Parsed;
+  std::string Error;
+};
+
+/// Parses \p Text; \p DimNames maps variable names to dimension indices
+/// (position in the vector).
+QueryParseResult parseQuery(const std::string &Text,
+                            const std::vector<std::string> &DimNames);
+
+/// Parsing with the default dimension names d0..d{NumDims-1}; aborts with
+/// a diagnostic on malformed input.
+Query parseQueryOrDie(const std::string &Text, int NumDims);
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_PARSER_H

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attribute query language (paper §5). Queries aggregate over the
+/// coordinates of a tensor's nonzeros, *after* the target format's
+/// coordinate remapping:
+///
+///   select [i1,...,im] -> <aggr1> as label1, ...
+///
+/// with aggregations count(...), max(i), min(i), and id(). Every level
+/// format declares the queries its assembly functions need (Figures 7 and
+/// 11); the compiler lowers them to concrete index notation, optimizes them
+/// with the Table 1 transformations, and emits IR specialized to the source
+/// format (see Cin.h / Compile.h).
+///
+/// This header is dependency-free (used by the level formats) — the
+/// lowering and compilation pipeline lives in the convgen_query library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_QUERY_H
+#define CONVGEN_QUERY_QUERY_H
+
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace query {
+
+enum class AggKind : uint8_t { Count, Max, Min, Id };
+
+inline const char *aggKindName(AggKind Kind) {
+  switch (Kind) {
+  case AggKind::Count:
+    return "count";
+  case AggKind::Max:
+    return "max";
+  case AggKind::Min:
+    return "min";
+  case AggKind::Id:
+    return "id";
+  }
+  return "?";
+}
+
+/// One aggregation call with its result label.
+struct Agg {
+  AggKind Kind = AggKind::Id;
+  /// Destination dimensions aggregated over (empty for id; one dim for
+  /// max/min; one or more for count).
+  std::vector<int> Dims;
+  std::string Label;
+};
+
+/// A full attribute query over the remapped (destination) dimensions of the
+/// tensor being assembled.
+struct Query {
+  /// Group-by dimensions: the result is a map keyed by these coordinates.
+  std::vector<int> GroupDims;
+  std::vector<Agg> Aggs;
+};
+
+/// Renders a query using destination dimension names d0..dn-1, e.g.
+/// "select [d0] -> count(d1) as nir".
+inline std::string printQuery(const Query &Q) {
+  std::string Out = "select [";
+  for (size_t I = 0; I < Q.GroupDims.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += "d" + std::to_string(Q.GroupDims[I]);
+  }
+  Out += "] -> ";
+  for (size_t A = 0; A < Q.Aggs.size(); ++A) {
+    if (A)
+      Out += ", ";
+    const Agg &G = Q.Aggs[A];
+    Out += std::string(aggKindName(G.Kind)) + "(";
+    for (size_t I = 0; I < G.Dims.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += "d" + std::to_string(G.Dims[I]);
+    }
+    Out += ") as " + G.Label;
+  }
+  return Out;
+}
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_QUERY_H

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attribute-query optimizations of paper Table 1, implemented as
+/// rewrites over CIN statements. `optimize` applies them eagerly to a
+/// fixpoint (§5.2); the individual transformations are exposed so tests
+/// can check each precondition and rewrite in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_QUERY_TRANSFORMS_H
+#define CONVGEN_QUERY_TRANSFORMS_H
+
+#include "levels/SourceIterator.h"
+#include "query/Cin.h"
+#include "query/Lower.h"
+
+namespace convgen {
+namespace query {
+
+/// counter-to-histogram: a max over a counter expression becomes a
+/// histogram temporary plus a max over the histogram (Table 1, row 4).
+bool counterToHistogram(CinStmt &Stmt, const levels::SourceIterator &Src,
+                        const TargetShape &Target);
+
+/// reduction-to-assign: a reduction whose left-hand side is indexed by
+/// every iteration variable writes each cell at most once, so the
+/// reduction operator degrades to plain assignment (Table 1, row 1).
+/// Requires the source to store distinct coordinates (checked by caller).
+bool reductionToAssign(CinStmt &Stmt, const levels::SourceIterator &Src);
+
+/// simplify-width-count: a count over the trailing dimension(s) of a
+/// source that stores only nonzeros is answered by the source's own
+/// metadata (pos-array differences) without touching nonzeros
+/// (Table 1, row 3).
+bool simplifyWidthCount(CinStmt &Stmt, const levels::SourceIterator &Src);
+
+/// inline-temporary: a temporary defined by plain assignment is
+/// substituted into its consumer, eliminating the temporary
+/// (Table 1, row 2).
+bool inlineTemporary(CinStmt &Stmt, const levels::SourceIterator &Src);
+
+/// Applies all transformations eagerly until none fires.
+void optimize(CinStmt &Stmt, const levels::SourceIterator &Src,
+              const TargetShape &Target);
+
+} // namespace query
+} // namespace convgen
+
+#endif // CONVGEN_QUERY_TRANSFORMS_H

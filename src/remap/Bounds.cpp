@@ -1,0 +1,195 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remap/Bounds.h"
+
+#include "support/Assert.h"
+
+#include <map>
+
+using namespace convgen;
+using namespace convgen::remap;
+
+ir::Expr DimBounds::extent() const {
+  CONVGEN_ASSERT(Known, "extent of unknown bounds");
+  return ir::add(ir::sub(Hi, Lo), ir::intImm(1));
+}
+
+namespace {
+
+/// An inclusive symbolic interval; invalid (null) exprs mean "unknown".
+struct Interval {
+  ir::Expr Lo, Hi;
+
+  bool known() const { return Lo != nullptr && Hi != nullptr; }
+  static Interval unknown() { return {nullptr, nullptr}; }
+  static Interval point(int64_t C) {
+    return {ir::intImm(C), ir::intImm(C)};
+  }
+
+  /// The interval's single constant value, if it is a constant point.
+  bool constPoint(int64_t *C) const {
+    int64_t L = 0, H = 0;
+    if (!known() || !ir::isIntConst(Lo, &L) || !ir::isIntConst(Hi, &H) ||
+        L != H)
+      return false;
+    *C = L;
+    return true;
+  }
+
+  /// True if the lower bound is a known nonnegative constant.
+  bool nonNegative() const {
+    int64_t L = 0;
+    return known() && ir::isIntConst(Lo, &L) && L >= 0;
+  }
+};
+
+/// Smallest (2^k - 1) >= C, for bounding bitwise or/xor of nonnegatives.
+int64_t allOnesCover(int64_t C) {
+  int64_t Cover = 0;
+  while (Cover < C)
+    Cover = Cover * 2 + 1;
+  return Cover;
+}
+
+Interval combine(BinOp Op, const Interval &A, const Interval &B) {
+  if (!A.known() || !B.known())
+    return Interval::unknown();
+  int64_t CA = 0, CB = 0;
+  bool AConst = A.constPoint(&CA);
+  bool BConst = B.constPoint(&CB);
+  switch (Op) {
+  case BinOp::Add:
+    return {ir::add(A.Lo, B.Lo), ir::add(A.Hi, B.Hi)};
+  case BinOp::Sub:
+    return {ir::sub(A.Lo, B.Hi), ir::sub(A.Hi, B.Lo)};
+  case BinOp::Mul:
+    if (BConst)
+      return CB >= 0 ? Interval{ir::mul(A.Lo, B.Lo), ir::mul(A.Hi, B.Hi)}
+                     : Interval{ir::mul(A.Hi, B.Lo), ir::mul(A.Lo, B.Hi)};
+    if (AConst)
+      return combine(Op, B, A);
+    return Interval::unknown();
+  case BinOp::Div:
+    // C's truncating division only coincides with the floor the bound
+    // needs when the dividend range is nonnegative.
+    if (BConst && CB > 0 && A.nonNegative())
+      return {ir::div(A.Lo, B.Lo), ir::div(A.Hi, B.Lo)};
+    return Interval::unknown();
+  case BinOp::Rem:
+    if (BConst && CB > 0 && A.nonNegative())
+      return {ir::intImm(0), ir::intImm(CB - 1)};
+    return Interval::unknown();
+  case BinOp::Shl:
+    if (BConst && CB >= 0 && A.nonNegative())
+      return {ir::binop(ir::BinOp::Shl, A.Lo, B.Lo),
+              ir::binop(ir::BinOp::Shl, A.Hi, B.Lo)};
+    return Interval::unknown();
+  case BinOp::Shr:
+    if (BConst && CB >= 0 && A.nonNegative())
+      return {ir::binop(ir::BinOp::Shr, A.Lo, B.Lo),
+              ir::binop(ir::BinOp::Shr, A.Hi, B.Lo)};
+    return Interval::unknown();
+  case BinOp::BitAnd:
+    // x & mask for nonnegative x is within [0, mask].
+    if (BConst && CB >= 0 && A.nonNegative())
+      return {ir::intImm(0), ir::intImm(CB)};
+    if (AConst && CA >= 0 && B.nonNegative())
+      return {ir::intImm(0), ir::intImm(CA)};
+    return Interval::unknown();
+  case BinOp::BitOr:
+  case BinOp::BitXor: {
+    // For nonnegative operands with constant upper bounds, or/xor cannot
+    // set bits above the highest bit of either bound.
+    int64_t HA = 0, HB = 0;
+    if (A.nonNegative() && B.nonNegative() && ir::isIntConst(A.Hi, &HA) &&
+        ir::isIntConst(B.Hi, &HB))
+      return {ir::intImm(0),
+              ir::intImm(allOnesCover(HA > HB ? HA : HB))};
+    return Interval::unknown();
+  }
+  }
+  convgen_unreachable("unknown remap binary op");
+}
+
+Interval analyzeExpr(const Expr &E,
+                     const std::map<std::string, Interval> &IVarBounds) {
+  switch (E->Kind) {
+  case ExprKind::Const:
+    return Interval::point(E->Value);
+  case ExprKind::IVar: {
+    auto It = IVarBounds.find(E->Name);
+    CONVGEN_ASSERT(It != IVarBounds.end(), "unbound source variable");
+    return It->second;
+  }
+  case ExprKind::LetVar:
+    convgen_unreachable("bounds analysis requires lets to be inlined");
+  case ExprKind::Counter:
+    return Interval::unknown();
+  case ExprKind::Binary:
+    return combine(E->Op, analyzeExpr(E->A, IVarBounds),
+                   analyzeExpr(E->B, IVarBounds));
+  }
+  convgen_unreachable("unknown remap expression kind");
+}
+
+} // namespace
+
+std::vector<NumericDimBounds>
+remap::analyzeBoundsNumeric(const RemapStmt &Stmt,
+                            const std::vector<int64_t> &SrcDimSizes) {
+  std::vector<ir::Expr> Sizes;
+  Sizes.reserve(SrcDimSizes.size());
+  for (int64_t S : SrcDimSizes)
+    Sizes.push_back(ir::intImm(S));
+  std::vector<DimBounds> Symbolic = analyzeBounds(Stmt, Sizes);
+
+  // With constant inputs every known symbolic bound folds to an immediate.
+  std::vector<NumericDimBounds> Out;
+  Out.reserve(Symbolic.size());
+  for (const DimBounds &B : Symbolic) {
+    NumericDimBounds N;
+    N.IsCounter = B.IsCounter;
+    int64_t Lo = 0, Hi = 0;
+    if (B.Known && ir::isIntConst(B.Lo, &Lo) && ir::isIntConst(B.Hi, &Hi)) {
+      N.Known = true;
+      N.Lo = Lo;
+      N.Hi = Hi;
+    }
+    Out.push_back(N);
+  }
+  return Out;
+}
+
+std::vector<DimBounds>
+remap::analyzeBounds(const RemapStmt &Stmt,
+                     const std::vector<ir::Expr> &SrcDimSizes) {
+  CONVGEN_ASSERT(SrcDimSizes.size() == Stmt.SrcVars.size(),
+                 "one dimension size per source variable required");
+  std::map<std::string, Interval> IVarBounds;
+  for (size_t I = 0; I < Stmt.SrcVars.size(); ++I)
+    IVarBounds[Stmt.SrcVars[I]] =
+        Interval{ir::intImm(0), ir::sub(SrcDimSizes[I], ir::intImm(1))};
+
+  std::vector<DimBounds> Out;
+  Out.reserve(Stmt.DstDims.size());
+  for (size_t D = 0; D < Stmt.DstDims.size(); ++D) {
+    DimBounds B;
+    if (dimIsPlainCounter(Stmt, D)) {
+      B.IsCounter = true;
+      Out.push_back(B);
+      continue;
+    }
+    Interval I = analyzeExpr(inlineLets(Stmt.DstDims[D]), IVarBounds);
+    if (I.known()) {
+      B.Known = true;
+      B.Lo = I.Lo;
+      B.Hi = I.Hi;
+    }
+    Out.push_back(B);
+  }
+  return Out;
+}

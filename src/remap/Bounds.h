@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic interval analysis over remapped dimensions. Given the source
+/// tensor's dimension sizes (as IR expressions such as `dim0`), computes
+/// inclusive coordinate bounds for every destination dimension of a remap
+/// statement. DIA's offset dimension k = j-i, for instance, gets bounds
+/// [1-dim0, dim1-1], which sizes the analysis-phase bit set and the
+/// squeezed level's perm array exactly as Figure 6a's `2N-1` does.
+///
+/// Counter dimensions (#i) have data-dependent extents; they are flagged so
+/// that the owning level format can obtain its size from an attribute query
+/// (e.g. ELL's `select [] -> max(i1) as max_crd`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_REMAP_BOUNDS_H
+#define CONVGEN_REMAP_BOUNDS_H
+
+#include "ir/IR.h"
+#include "remap/Remap.h"
+
+#include <vector>
+
+namespace convgen {
+namespace remap {
+
+/// Inclusive bounds of one destination dimension.
+struct DimBounds {
+  /// Static bounds are available (Lo/Hi valid).
+  bool Known = false;
+  /// The dimension is a plain counter; extent comes from a max query.
+  bool IsCounter = false;
+  ir::Expr Lo, Hi;
+
+  /// Extent as an IR expression (Hi - Lo + 1); requires Known.
+  ir::Expr extent() const;
+};
+
+/// Computes bounds for every destination dimension of \p Stmt given the
+/// source dimension sizes \p SrcDimSizes (parallel to Stmt.SrcVars).
+/// Dimensions whose expressions resist the analysis (e.g. bit-interleaving
+/// of unbounded operands) come back with Known=false; the code generator
+/// rejects such formats with a diagnostic rather than guessing.
+std::vector<DimBounds> analyzeBounds(const RemapStmt &Stmt,
+                                     const std::vector<ir::Expr> &SrcDimSizes);
+
+/// Numeric counterpart of \ref analyzeBounds for concrete dimension sizes;
+/// used by the runtime validator and the oracle builders.
+struct NumericDimBounds {
+  bool Known = false;
+  bool IsCounter = false;
+  int64_t Lo = 0;
+  int64_t Hi = -1;
+
+  int64_t extent() const { return Hi - Lo + 1; }
+};
+
+std::vector<NumericDimBounds>
+analyzeBoundsNumeric(const RemapStmt &Stmt,
+                     const std::vector<int64_t> &SrcDimSizes);
+
+} // namespace remap
+} // namespace convgen
+
+#endif // CONVGEN_REMAP_BOUNDS_H

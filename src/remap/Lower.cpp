@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remap/Lower.h"
+
+#include "support/Assert.h"
+
+using namespace convgen;
+using namespace convgen::remap;
+
+namespace {
+
+ir::BinOp toIrOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return ir::BinOp::Add;
+  case BinOp::Sub:
+    return ir::BinOp::Sub;
+  case BinOp::Mul:
+    return ir::BinOp::Mul;
+  case BinOp::Div:
+    return ir::BinOp::Div;
+  case BinOp::Rem:
+    return ir::BinOp::Rem;
+  case BinOp::BitAnd:
+    return ir::BinOp::BitAnd;
+  case BinOp::BitOr:
+    return ir::BinOp::BitOr;
+  case BinOp::BitXor:
+    return ir::BinOp::BitXor;
+  case BinOp::Shl:
+    return ir::BinOp::Shl;
+  case BinOp::Shr:
+    return ir::BinOp::Shr;
+  }
+  convgen_unreachable("unknown remap binary op");
+}
+
+ir::Expr lowerWithLocals(const Expr &E, const LowerEnv &Env,
+                         const std::map<std::string, std::string> &Locals) {
+  switch (E->Kind) {
+  case ExprKind::Const:
+    return ir::intImm(E->Value);
+  case ExprKind::IVar: {
+    auto It = Env.IVars.find(E->Name);
+    if (It == Env.IVars.end())
+      fatalError(("remap lowering: no binding for index variable '" +
+                  E->Name + "'")
+                     .c_str());
+    return It->second;
+  }
+  case ExprKind::LetVar: {
+    auto It = Locals.find(E->Name);
+    CONVGEN_ASSERT(It != Locals.end(), "let variable lowered before binding");
+    return ir::var(It->second);
+  }
+  case ExprKind::Counter: {
+    auto It = Env.Counters.find(counterKey(E->CounterIndices));
+    if (It == Env.Counters.end())
+      fatalError(("remap lowering: no binding for counter '" +
+                  counterKey(E->CounterIndices) + "'")
+                     .c_str());
+    return It->second;
+  }
+  case ExprKind::Binary:
+    return ir::binop(toIrOp(E->Op), lowerWithLocals(E->A, Env, Locals),
+                     lowerWithLocals(E->B, Env, Locals));
+  }
+  convgen_unreachable("unknown remap expression kind");
+}
+
+} // namespace
+
+ir::Expr remap::lowerExpr(const Expr &E, const LowerEnv &Env) {
+  return lowerWithLocals(E, Env, {});
+}
+
+ir::Expr remap::lowerDimExpr(const DimExpr &Dim, const LowerEnv &Env,
+                             std::vector<ir::Stmt> *LetDecls) {
+  CONVGEN_ASSERT(LetDecls != nullptr || Dim.Lets.empty(),
+                 "dimension with lets requires a declaration sink");
+  std::map<std::string, std::string> Locals;
+  for (const LetBinding &L : Dim.Lets) {
+    std::string Unique = Env.NamePrefix + L.Name;
+    LetDecls->push_back(
+        ir::decl(Unique, lowerWithLocals(L.Value, Env, Locals)));
+    Locals[L.Name] = Unique;
+  }
+  return lowerWithLocals(Dim.Value, Env, Locals);
+}

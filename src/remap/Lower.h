@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers remap dimension expressions to conversion IR (paper §4.2).
+/// Arithmetic and bitwise expressions inline directly; let bindings become
+/// local variable declarations; counters are resolved through caller-
+/// provided bindings (a scalar `count` when the counter's indices are
+/// iterated in order, a counter array element otherwise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_REMAP_LOWER_H
+#define CONVGEN_REMAP_LOWER_H
+
+#include "ir/IR.h"
+#include "remap/Remap.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace remap {
+
+/// Bindings used while lowering: source index variables map to the IR
+/// expressions that hold their coordinates at the current loop level, and
+/// counters (keyed by counterKey) map to the IR expression holding the
+/// current counter value.
+struct LowerEnv {
+  std::map<std::string, ir::Expr> IVars;
+  std::map<std::string, ir::Expr> Counters;
+  /// Prefix that keeps let-local declarations unique per lowering site.
+  std::string NamePrefix;
+};
+
+/// Lowers \p Dim to an IR expression. Let bindings append declarations to
+/// \p LetDecls (in order); the returned expression refers to those locals.
+ir::Expr lowerDimExpr(const DimExpr &Dim, const LowerEnv &Env,
+                      std::vector<ir::Stmt> *LetDecls);
+
+/// Lowers a let-free expression (as produced by inlineLets).
+ir::Expr lowerExpr(const Expr &E, const LowerEnv &Env);
+
+} // namespace remap
+} // namespace convgen
+
+#endif // CONVGEN_REMAP_LOWER_H

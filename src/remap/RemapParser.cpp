@@ -1,0 +1,364 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "remap/RemapParser.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <set>
+
+using namespace convgen;
+using namespace convgen::remap;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  KwIn,
+  LParen,
+  RParen,
+  Comma,
+  Arrow,
+  Assign,
+  Hash,
+  Pipe,
+  Caret,
+  Amp,
+  Shl,
+  Shr,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  End,
+  Invalid,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Invalid;
+  std::string Text;
+  int64_t Number = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos >= Text.size())
+      return {TokKind::End, "", 0};
+    char C = Text[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Begin = Pos;
+      while (Pos < Text.size() &&
+             (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+              Text[Pos] == '_'))
+        ++Pos;
+      std::string Word = Text.substr(Begin, Pos - Begin);
+      if (Word == "in")
+        return {TokKind::KwIn, Word, 0};
+      return {TokKind::Ident, Word, 0};
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Begin = Pos;
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+      Token T{TokKind::Number, Text.substr(Begin, Pos - Begin), 0};
+      T.Number = std::stoll(T.Text);
+      return T;
+    }
+    ++Pos;
+    switch (C) {
+    case '(':
+      return {TokKind::LParen, "(", 0};
+    case ')':
+      return {TokKind::RParen, ")", 0};
+    case ',':
+      return {TokKind::Comma, ",", 0};
+    case '=':
+      return {TokKind::Assign, "=", 0};
+    case '#':
+      return {TokKind::Hash, "#", 0};
+    case '|':
+      return {TokKind::Pipe, "|", 0};
+    case '^':
+      return {TokKind::Caret, "^", 0};
+    case '&':
+      return {TokKind::Amp, "&", 0};
+    case '+':
+      return {TokKind::Plus, "+", 0};
+    case '*':
+      return {TokKind::Star, "*", 0};
+    case '/':
+      return {TokKind::Slash, "/", 0};
+    case '%':
+      return {TokKind::Percent, "%", 0};
+    case '-':
+      if (Pos < Text.size() && Text[Pos] == '>') {
+        ++Pos;
+        return {TokKind::Arrow, "->", 0};
+      }
+      return {TokKind::Minus, "-", 0};
+    case '<':
+      if (Pos < Text.size() && Text[Pos] == '<') {
+        ++Pos;
+        return {TokKind::Shl, "<<", 0};
+      }
+      return {TokKind::Invalid, "<", 0};
+    case '>':
+      if (Pos < Text.size() && Text[Pos] == '>') {
+        ++Pos;
+        return {TokKind::Shr, ">>", 0};
+      }
+      return {TokKind::Invalid, ">", 0};
+    default:
+      return {TokKind::Invalid, std::string(1, C), 0};
+    }
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+/// The recursive-descent parser. Errors are recorded and parsing unwinds by
+/// returning null expressions; the first error message wins.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Lex(Text) {
+    Cur = Lex.next();
+    Ahead = Lex.next();
+  }
+
+  ParseResult run() {
+    ParseResult Result;
+    parseSrcIndices(Result.Stmt);
+    expect(TokKind::Arrow, "'->'");
+    parseDstIndices(Result.Stmt);
+    if (ErrorMsg.empty() && Cur.Kind != TokKind::End)
+      fail("unexpected trailing input '" + Cur.Text + "'");
+    Result.Ok = ErrorMsg.empty();
+    Result.Error = ErrorMsg;
+    return Result;
+  }
+
+private:
+  void advance() {
+    Cur = Ahead;
+    Ahead = Lex.next();
+  }
+
+  void fail(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Msg;
+  }
+
+  bool expect(TokKind Kind, const char *What) {
+    if (Cur.Kind != Kind) {
+      fail(std::string("expected ") + What + " but found '" +
+           (Cur.Kind == TokKind::End ? "<end>" : Cur.Text) + "'");
+      return false;
+    }
+    advance();
+    return true;
+  }
+
+  void parseSrcIndices(RemapStmt &Stmt) {
+    if (!expect(TokKind::LParen, "'('"))
+      return;
+    while (true) {
+      if (Cur.Kind != TokKind::Ident) {
+        fail("expected source index variable");
+        return;
+      }
+      if (SrcVars.count(Cur.Text)) {
+        fail("duplicate source index variable '" + Cur.Text + "'");
+        return;
+      }
+      SrcVars.insert(Cur.Text);
+      Stmt.SrcVars.push_back(Cur.Text);
+      advance();
+      if (Cur.Kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokKind::RParen, "')'");
+  }
+
+  void parseDstIndices(RemapStmt &Stmt) {
+    if (!expect(TokKind::LParen, "'('"))
+      return;
+    while (ErrorMsg.empty()) {
+      Stmt.DstDims.push_back(parseIVarLet());
+      if (Cur.Kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokKind::RParen, "')'");
+  }
+
+  DimExpr parseIVarLet() {
+    DimExpr Dim;
+    LetVars.clear();
+    // `name = expr in ...` chains; lookahead distinguishes a binding from an
+    // expression that merely begins with an identifier.
+    while (Cur.Kind == TokKind::Ident && Ahead.Kind == TokKind::Assign) {
+      std::string Name = Cur.Text;
+      if (SrcVars.count(Name)) {
+        fail("let variable '" + Name + "' shadows a source index variable");
+        return Dim;
+      }
+      advance(); // name
+      advance(); // '='
+      Expr Value = parseExpr();
+      if (!ErrorMsg.empty())
+        return Dim;
+      if (!expect(TokKind::KwIn, "'in'"))
+        return Dim;
+      Dim.Lets.push_back(LetBinding{Name, Value});
+      LetVars.insert(Name);
+    }
+    Dim.Value = parseExpr();
+    return Dim;
+  }
+
+  Expr parseExpr() { return parseBinary(1); }
+
+  /// Precedence-climbing over the ladder of Figure 8.
+  Expr parseBinary(int MinPrec) {
+    Expr Lhs = MinPrec >= 7 ? parseFactor() : parseBinary(MinPrec + 1);
+    if (!Lhs)
+      return nullptr;
+    while (ErrorMsg.empty()) {
+      BinOp Op;
+      int Prec;
+      switch (Cur.Kind) {
+      case TokKind::Pipe:
+        Op = BinOp::BitOr;
+        Prec = 1;
+        break;
+      case TokKind::Caret:
+        Op = BinOp::BitXor;
+        Prec = 2;
+        break;
+      case TokKind::Amp:
+        Op = BinOp::BitAnd;
+        Prec = 3;
+        break;
+      case TokKind::Shl:
+        Op = BinOp::Shl;
+        Prec = 4;
+        break;
+      case TokKind::Shr:
+        Op = BinOp::Shr;
+        Prec = 4;
+        break;
+      case TokKind::Plus:
+        Op = BinOp::Add;
+        Prec = 5;
+        break;
+      case TokKind::Minus:
+        Op = BinOp::Sub;
+        Prec = 5;
+        break;
+      case TokKind::Star:
+        Op = BinOp::Mul;
+        Prec = 6;
+        break;
+      case TokKind::Slash:
+        Op = BinOp::Div;
+        Prec = 6;
+        break;
+      case TokKind::Percent:
+        Op = BinOp::Rem;
+        Prec = 6;
+        break;
+      default:
+        return Lhs;
+      }
+      if (Prec != MinPrec)
+        return Lhs;
+      advance();
+      Expr Rhs = parseBinary(MinPrec + 1);
+      if (!Rhs)
+        return nullptr;
+      Lhs = binary(Op, Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  Expr parseFactor() {
+    switch (Cur.Kind) {
+    case TokKind::LParen: {
+      advance();
+      Expr E = parseExpr();
+      expect(TokKind::RParen, "')'");
+      return E;
+    }
+    case TokKind::Number: {
+      Expr E = constant(Cur.Number);
+      advance();
+      return E;
+    }
+    case TokKind::Hash: {
+      advance();
+      std::vector<std::string> Indices;
+      while (Cur.Kind == TokKind::Ident && SrcVars.count(Cur.Text)) {
+        Indices.push_back(Cur.Text);
+        advance();
+      }
+      return counter(std::move(Indices));
+    }
+    case TokKind::Ident: {
+      std::string Name = Cur.Text;
+      advance();
+      if (SrcVars.count(Name))
+        return ivar(Name);
+      if (LetVars.count(Name))
+        return letVar(Name);
+      fail("unknown variable '" + Name + "'");
+      return nullptr;
+    }
+    default:
+      fail("expected expression but found '" +
+           (Cur.Kind == TokKind::End ? "<end>" : Cur.Text) + "'");
+      return nullptr;
+    }
+  }
+
+  Lexer Lex;
+  Token Cur, Ahead;
+  std::set<std::string> SrcVars;
+  std::set<std::string> LetVars;
+  std::string ErrorMsg;
+};
+
+} // namespace
+
+ParseResult remap::parseRemap(const std::string &Text) {
+  Parser P(Text);
+  return P.run();
+}
+
+RemapStmt remap::parseRemapOrDie(const std::string &Text) {
+  ParseResult R = parseRemap(Text);
+  if (!R.Ok)
+    fatalError(
+        ("invalid remap statement '" + Text + "': " + R.Error).c_str());
+  return R.Stmt;
+}

@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for coordinate remapping notation, implementing
+/// the grammar of paper Figure 8 with the precedence ladder
+/// `| < ^ < & < shifts < additive < multiplicative`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_REMAP_REMAPPARSER_H
+#define CONVGEN_REMAP_REMAPPARSER_H
+
+#include "remap/Remap.h"
+
+#include <string>
+
+namespace convgen {
+namespace remap {
+
+/// Outcome of a parse; Error is a human-readable diagnostic when !Ok.
+struct ParseResult {
+  bool Ok = false;
+  RemapStmt Stmt;
+  std::string Error;
+};
+
+/// Parses a full remap statement, e.g. "(i,j) -> (j-i,i,j)".
+ParseResult parseRemap(const std::string &Text);
+
+/// Parses a remap statement that is known to be valid (format definitions
+/// in this library); aborts with a diagnostic otherwise.
+RemapStmt parseRemapOrDie(const std::string &Text);
+
+} // namespace remap
+} // namespace convgen
+
+#endif // CONVGEN_REMAP_REMAPPARSER_H

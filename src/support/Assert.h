@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen, a reimplementation of "Automatic Generation of Efficient
+// Sparse Tensor Format Conversion Routines" (Chou, Kjolstad, Amarasinghe,
+// PLDI 2020). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and unreachable-marker macros used across the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_SUPPORT_ASSERT_H
+#define CONVGEN_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Asserts \p Cond with an explanatory message; compiled out in NDEBUG builds.
+#define CONVGEN_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+/// Marks a point in code that must never be reached. Unlike assert, this also
+/// aborts in release builds, since continuing past it would mis-generate code.
+#define convgen_unreachable(Msg)                                               \
+  do {                                                                         \
+    std::fprintf(stderr, "convgen fatal: unreachable reached at %s:%d: %s\n",  \
+                 __FILE__, __LINE__, (Msg));                                   \
+    std::abort();                                                              \
+  } while (false)
+
+namespace convgen {
+
+/// Reports an unrecoverable user-facing error (malformed specification,
+/// unsupported conversion) and aborts. The library avoids exceptions per the
+/// project coding standard, so hard errors terminate with a clear message.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "convgen fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace convgen
+
+#endif // CONVGEN_SUPPORT_ASSERT_H

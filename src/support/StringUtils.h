@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string helpers shared by the parsers, printers, and emitters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_SUPPORT_STRINGUTILS_H
+#define CONVGEN_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace convgen {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Splits \p Text on the single character \p Sep; empty fields are kept.
+std::vector<std::string> split(const std::string &Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string trim(const std::string &Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace convgen
+
+#endif // CONVGEN_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus: one synthetic stand-in per matrix of paper
+/// Table 2, parameterized by the published statistics (dimensions, nnz,
+/// nonzero diagonals, max nnz/row) and the structural family the matrix
+/// belongs to. `bench_table2` prints achieved vs. target statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_CORPUS_H
+#define CONVGEN_TENSOR_CORPUS_H
+
+#include "tensor/Triplets.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace convgen {
+namespace tensor {
+
+struct CorpusEntry {
+  std::string Name;
+  /// Published Table 2 statistics (targets for the generator).
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  int64_t Nnz = 0;
+  int64_t Diagonals = 0;
+  int64_t MaxNnzPerRow = 0;
+  /// Table 2 highlights non-symmetric matrices; Table 3 reports csr_csc
+  /// only for those and folds csc_* into csr_* for symmetric ones.
+  bool Symmetric = true;
+  /// Generates the matrix at \p Scale in (0, 1]: row count and nnz shrink
+  /// proportionally, preserving per-row structure.
+  std::function<Triplets(double Scale)> Generate;
+};
+
+/// All 21 Table 2 entries, in the paper's order.
+const std::vector<CorpusEntry> &table2Corpus();
+
+/// Finds an entry by name; aborts if absent.
+const CorpusEntry &corpusEntry(const std::string &Name);
+
+/// Small matrices exercising edge cases (empty, singleton, dense row/col,
+/// rectangular, single diagonal, ...) shared by the conversion tests.
+std::vector<std::pair<std::string, Triplets>> testMatrices();
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_CORPUS_H

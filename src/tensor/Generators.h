@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic sparse matrix generators. The benchmark corpus
+/// (Corpus.h) uses these to approximate the structural statistics of the 21
+/// SuiteSparse matrices in paper Table 2 (dimensions, nnz, nonzero
+/// diagonals, max nnz/row), since the originals cannot ship with the
+/// repository. All generators produce duplicate-free triplets with nonzero
+/// values and are reproducible from their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_GENERATORS_H
+#define CONVGEN_TENSOR_GENERATORS_H
+
+#include "tensor/Triplets.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace convgen {
+namespace tensor {
+
+/// A matrix whose nonzeros lie exactly on \p Offsets (j - i values), each
+/// diagonal filled with probability \p Fill. Fill = 1 gives stencil
+/// matrices like jnlbrng1/ecology1 (5-point) or Lin (7-point).
+Triplets genDiagonals(int64_t Rows, int64_t Cols,
+                      const std::vector<int64_t> &Offsets, double Fill,
+                      uint64_t Seed);
+
+/// Banded random matrix: each row receives ~AvgPerRow entries (capped at
+/// MaxPerRow) uniformly within [i - HalfBand, i + HalfBand]. Models the FEM
+/// matrices (cant, consph, pdb1HYS, ...): many nonzero diagonals inside a
+/// band, moderate row counts.
+Triplets genBandedRandom(int64_t Rows, int64_t Cols, double AvgPerRow,
+                         int64_t MaxPerRow, int64_t HalfBand, uint64_t Seed);
+
+/// Uniform random matrix: each row receives ~AvgPerRow entries (capped at
+/// MaxPerRow) at uniform column positions (scircuit-like scatter).
+Triplets genRandomUniform(int64_t Rows, int64_t Cols, double AvgPerRow,
+                          int64_t MaxPerRow, uint64_t Seed);
+
+/// Power-law rows: row counts follow a Zipf-like distribution capped at
+/// MaxPerRow and scaled to ~TotalNnz entries (webbase-like).
+Triplets genPowerLawRows(int64_t Rows, int64_t Cols, int64_t TotalNnz,
+                         int64_t MaxPerRow, uint64_t Seed);
+
+/// Fully dense matrix (small sizes; edge-case testing).
+Triplets genDense(int64_t Rows, int64_t Cols);
+
+/// Lower-triangular banded random matrix (skyline-compatible).
+Triplets genLowerBanded(int64_t Rows, double AvgPerRow, int64_t HalfBand,
+                        uint64_t Seed);
+
+/// Mirrors entries to make the pattern and values symmetric (square
+/// matrices); keeps the diagonal as-is.
+Triplets symmetrized(const Triplets &T);
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_GENERATORS_H

@@ -1,0 +1,104 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/MatrixMarket.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace convgen;
+using namespace convgen::tensor;
+
+bool tensor::readMatrixMarket(const std::string &Text, Triplets *Out,
+                              std::string *Error) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  auto failRead = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  if (!std::getline(In, Line))
+    return failRead("empty input");
+  std::vector<std::string> Header = split(trim(Line), ' ');
+  if (Header.size() < 5 || Header[0] != "%%MatrixMarket" ||
+      Header[1] != "matrix" || Header[2] != "coordinate")
+    return failRead("unsupported header: " + Line);
+  const std::string &Field = Header[3];
+  if (Field != "real" && Field != "integer" && Field != "pattern")
+    return failRead("unsupported field type: " + Field);
+  const std::string &Symmetry = Header[4];
+  if (Symmetry != "general" && Symmetry != "symmetric")
+    return failRead("unsupported symmetry: " + Symmetry);
+  bool Pattern = Field == "pattern";
+  bool Symmetric = Symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  while (std::getline(In, Line)) {
+    Line = trim(Line);
+    if (!Line.empty() && Line[0] != '%')
+      break;
+  }
+  long long Rows = 0, Cols = 0, Nnz = 0;
+  if (std::sscanf(Line.c_str(), "%lld %lld %lld", &Rows, &Cols, &Nnz) != 3)
+    return failRead("malformed size line: " + Line);
+
+  Triplets T;
+  T.NumRows = Rows;
+  T.NumCols = Cols;
+  T.Entries.reserve(static_cast<size_t>(Nnz));
+  for (long long N = 0; N < Nnz; ++N) {
+    if (!std::getline(In, Line))
+      return failRead(strfmt("expected %lld entries, found %lld", Nnz, N));
+    long long R = 0, C = 0;
+    double V = 1.0;
+    int Matched = Pattern
+                      ? std::sscanf(Line.c_str(), "%lld %lld", &R, &C)
+                      : std::sscanf(Line.c_str(), "%lld %lld %lf", &R, &C, &V);
+    if (Matched != (Pattern ? 2 : 3))
+      return failRead("malformed entry: " + Line);
+    if (R < 1 || R > Rows || C < 1 || C > Cols)
+      return failRead("entry out of bounds: " + Line);
+    T.Entries.push_back(Entry{R - 1, C - 1, V});
+    if (Symmetric && R != C)
+      T.Entries.push_back(Entry{C - 1, R - 1, V});
+  }
+  T.sortRowMajor();
+  *Out = std::move(T);
+  return true;
+}
+
+bool tensor::readMatrixMarketFile(const std::string &Path, Triplets *Out,
+                                  std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t Got = 0;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  return readMatrixMarket(Text, Out, Error);
+}
+
+std::string tensor::writeMatrixMarket(const Triplets &T) {
+  std::string Out = "%%MatrixMarket matrix coordinate real general\n";
+  Out += strfmt("%lld %lld %lld\n", static_cast<long long>(T.NumRows),
+                static_cast<long long>(T.NumCols),
+                static_cast<long long>(T.nnz()));
+  for (const Entry &E : T.Entries)
+    Out += strfmt("%lld %lld %.17g\n", static_cast<long long>(E.Row + 1),
+                  static_cast<long long>(E.Col + 1), E.Val);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Matrix Market (.mtx) coordinate-format I/O, so the benchmark corpus can
+/// be swapped for the real SuiteSparse matrices when they are available.
+/// Supports `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_MATRIXMARKET_H
+#define CONVGEN_TENSOR_MATRIXMARKET_H
+
+#include "tensor/Triplets.h"
+
+#include <string>
+
+namespace convgen {
+namespace tensor {
+
+/// Parses Matrix Market text. Returns false (with a diagnostic in
+/// \p Error) on malformed input; symmetric inputs are expanded.
+bool readMatrixMarket(const std::string &Text, Triplets *Out,
+                      std::string *Error);
+
+/// Reads a .mtx file from disk; false with diagnostic on failure.
+bool readMatrixMarketFile(const std::string &Path, Triplets *Out,
+                          std::string *Error);
+
+/// Renders as `matrix coordinate real general` text (1-based indices).
+std::string writeMatrixMarket(const Triplets &T);
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_MATRIXMARKET_H

@@ -1,0 +1,280 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Oracle.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace convgen;
+using namespace convgen::tensor;
+
+namespace {
+
+SparseTensor makeBase(const formats::Format &Format, const Triplets &T) {
+  SparseTensor Out;
+  Out.Format = Format;
+  Out.Dims = {T.NumRows, T.NumCols};
+  Out.Levels.resize(Format.Levels.size());
+  return Out;
+}
+
+SparseTensor buildCOO(const formats::Format &Format, Triplets T) {
+  T.sortRowMajor();
+  SparseTensor Out = makeBase(Format, T);
+  Out.Levels[0].Pos = {0, static_cast<int32_t>(T.nnz())};
+  Out.Levels[0].Crd.reserve(T.Entries.size());
+  Out.Levels[1].Crd.reserve(T.Entries.size());
+  Out.Vals.reserve(T.Entries.size());
+  for (const Entry &E : T.Entries) {
+    Out.Levels[0].Crd.push_back(static_cast<int32_t>(E.Row));
+    Out.Levels[1].Crd.push_back(static_cast<int32_t>(E.Col));
+    Out.Vals.push_back(E.Val);
+  }
+  return Out;
+}
+
+SparseTensor buildCSRLike(const formats::Format &Format, Triplets T,
+                          bool ByColumn) {
+  if (ByColumn)
+    T.sortColMajor();
+  else
+    T.sortRowMajor();
+  int64_t Outer = ByColumn ? T.NumCols : T.NumRows;
+  SparseTensor Out = makeBase(Format, T);
+  Out.Levels[1].Pos.assign(static_cast<size_t>(Outer) + 1, 0);
+  for (const Entry &E : T.Entries)
+    ++Out.Levels[1].Pos[static_cast<size_t>((ByColumn ? E.Col : E.Row) + 1)];
+  for (size_t I = 1; I < Out.Levels[1].Pos.size(); ++I)
+    Out.Levels[1].Pos[I] += Out.Levels[1].Pos[I - 1];
+  Out.Levels[1].Crd.reserve(T.Entries.size());
+  Out.Vals.reserve(T.Entries.size());
+  for (const Entry &E : T.Entries) {
+    Out.Levels[1].Crd.push_back(
+        static_cast<int32_t>(ByColumn ? E.Row : E.Col));
+    Out.Vals.push_back(E.Val);
+  }
+  return Out;
+}
+
+SparseTensor buildDIA(const formats::Format &Format, Triplets T) {
+  T.sortRowMajor();
+  std::set<int64_t> Offsets;
+  for (const Entry &E : T.Entries)
+    Offsets.insert(E.Col - E.Row);
+  SparseTensor Out = makeBase(Format, T);
+  int64_t K = static_cast<int64_t>(Offsets.size());
+  Out.Levels[0].SizeParam = K;
+  std::map<int64_t, int64_t> OffsetSlot;
+  for (int64_t Offset : Offsets) {
+    OffsetSlot[Offset] = static_cast<int64_t>(Out.Levels[0].Perm.size());
+    Out.Levels[0].Perm.push_back(static_cast<int32_t>(Offset));
+  }
+  Out.Vals.assign(static_cast<size_t>(K * T.NumRows), 0.0);
+  for (const Entry &E : T.Entries) {
+    int64_t Slot = OffsetSlot[E.Col - E.Row];
+    Out.Vals[static_cast<size_t>(Slot * T.NumRows + E.Row)] = E.Val;
+  }
+  return Out;
+}
+
+SparseTensor buildELL(const formats::Format &Format, Triplets T) {
+  T.sortRowMajor();
+  SparseTensor Out = makeBase(Format, T);
+  int64_t K = T.maxRowCount();
+  Out.Levels[0].SizeParam = K;
+  Out.Levels[2].Crd.assign(static_cast<size_t>(K * T.NumRows), 0);
+  Out.Vals.assign(static_cast<size_t>(K * T.NumRows), 0.0);
+  std::vector<int64_t> RowFill(static_cast<size_t>(T.NumRows), 0);
+  for (const Entry &E : T.Entries) {
+    int64_t Slice = RowFill[static_cast<size_t>(E.Row)]++;
+    size_t P = static_cast<size_t>(Slice * T.NumRows + E.Row);
+    Out.Levels[2].Crd[P] = static_cast<int32_t>(E.Col);
+    Out.Vals[P] = E.Val;
+  }
+  return Out;
+}
+
+SparseTensor buildBCSR(const formats::Format &Format, Triplets T) {
+  CONVGEN_ASSERT(Format.StaticParams.size() == 2,
+                 "BCSR format must carry its block dimensions");
+  int64_t R = Format.StaticParams[0];
+  int64_t C = Format.StaticParams[1];
+  int64_t BlockRows = (T.NumRows + R - 1) / R;
+  SparseTensor Out = makeBase(Format, T);
+
+  // Distinct nonzero blocks per block row, in (block row, block col) order.
+  std::set<std::pair<int64_t, int64_t>> Blocks;
+  for (const Entry &E : T.Entries)
+    Blocks.insert({E.Row / R, E.Col / C});
+
+  Out.Levels[1].Pos.assign(static_cast<size_t>(BlockRows) + 1, 0);
+  std::map<std::pair<int64_t, int64_t>, int64_t> BlockSlot;
+  for (const auto &B : Blocks) {
+    BlockSlot[B] = static_cast<int64_t>(Out.Levels[1].Crd.size());
+    Out.Levels[1].Crd.push_back(static_cast<int32_t>(B.second));
+    ++Out.Levels[1].Pos[static_cast<size_t>(B.first) + 1];
+  }
+  for (size_t I = 1; I < Out.Levels[1].Pos.size(); ++I)
+    Out.Levels[1].Pos[I] += Out.Levels[1].Pos[I - 1];
+
+  Out.Vals.assign(Blocks.size() * static_cast<size_t>(R * C), 0.0);
+  for (const Entry &E : T.Entries) {
+    int64_t Slot = BlockSlot[{E.Row / R, E.Col / C}];
+    int64_t P = (Slot * R + E.Row % R) * C + E.Col % C;
+    Out.Vals[static_cast<size_t>(P)] = E.Val;
+  }
+  return Out;
+}
+
+SparseTensor buildSKY(const formats::Format &Format, Triplets T) {
+  T.sortRowMajor();
+  SparseTensor Out = makeBase(Format, T);
+  // First nonzero column per row; rows without nonzeros store nothing.
+  std::vector<int64_t> FirstCol(static_cast<size_t>(T.NumRows), -1);
+  for (const Entry &E : T.Entries) {
+    if (E.Col > E.Row)
+      fatalError("skyline oracle requires a lower-triangular matrix");
+    int64_t &W = FirstCol[static_cast<size_t>(E.Row)];
+    if (W < 0 || E.Col < W)
+      W = E.Col;
+  }
+  Out.Levels[1].Pos.assign(static_cast<size_t>(T.NumRows) + 1, 0);
+  for (int64_t I = 0; I < T.NumRows; ++I) {
+    int64_t Count =
+        FirstCol[static_cast<size_t>(I)] < 0
+            ? 0
+            : I - FirstCol[static_cast<size_t>(I)] + 1;
+    Out.Levels[1].Pos[static_cast<size_t>(I) + 1] =
+        Out.Levels[1].Pos[static_cast<size_t>(I)] +
+        static_cast<int32_t>(Count);
+  }
+  Out.Vals.assign(static_cast<size_t>(Out.Levels[1].Pos.back()), 0.0);
+  for (const Entry &E : T.Entries) {
+    int64_t P = Out.Levels[1].Pos[static_cast<size_t>(E.Row) + 1] + E.Col -
+                E.Row - 1;
+    Out.Vals[static_cast<size_t>(P)] = E.Val;
+  }
+  return Out;
+}
+
+} // namespace
+
+SparseTensor tensor::buildFromTriplets(const formats::Format &Format,
+                                       const Triplets &T) {
+  if (T.hasDuplicates())
+    fatalError("oracle: input triplets contain duplicate coordinates");
+  for (const Entry &E : T.Entries)
+    if (E.Row < 0 || E.Row >= T.NumRows || E.Col < 0 || E.Col >= T.NumCols)
+      fatalError("oracle: triplet coordinates out of bounds");
+
+  SparseTensor Out = [&] {
+    if (Format.Name == "coo")
+      return buildCOO(Format, T);
+    if (Format.Name == "csr")
+      return buildCSRLike(Format, T, /*ByColumn=*/false);
+    if (Format.Name == "csc")
+      return buildCSRLike(Format, T, /*ByColumn=*/true);
+    if (Format.Name == "dia")
+      return buildDIA(Format, T);
+    if (Format.Name == "ell")
+      return buildELL(Format, T);
+    if (Format.Name.rfind("bcsr", 0) == 0)
+      return buildBCSR(Format, T);
+    if (Format.Name == "sky")
+      return buildSKY(Format, T);
+    fatalError(("oracle: no builder for format '" + Format.Name + "'")
+                   .c_str());
+  }();
+  Out.validate();
+  return Out;
+}
+
+Triplets tensor::toTriplets(const SparseTensor &T) {
+  Triplets Out;
+  Out.NumRows = T.Dims.at(0);
+  Out.NumCols = T.Dims.at(1);
+  const formats::Format &F = T.Format;
+  auto keep = [&](int64_t Row, int64_t Col, double Val) {
+    if (!F.PaddedVals || Val != 0)
+      Out.Entries.push_back(Entry{Row, Col, Val});
+  };
+
+  if (F.Name == "coo") {
+    for (size_t P = 0; P < T.Vals.size(); ++P)
+      keep(T.Levels[0].Crd[P], T.Levels[1].Crd[P], T.Vals[P]);
+    return Out;
+  }
+  if (F.Name == "csr" || F.Name == "csc") {
+    bool ByColumn = F.Name == "csc";
+    int64_t Outer = ByColumn ? Out.NumCols : Out.NumRows;
+    for (int64_t I = 0; I < Outer; ++I)
+      for (int32_t P = T.Levels[1].Pos[static_cast<size_t>(I)];
+           P < T.Levels[1].Pos[static_cast<size_t>(I) + 1]; ++P) {
+        int64_t J = T.Levels[1].Crd[static_cast<size_t>(P)];
+        keep(ByColumn ? J : I, ByColumn ? I : J, T.Vals[static_cast<size_t>(P)]);
+      }
+    return Out;
+  }
+  if (F.Name == "dia") {
+    int64_t K = T.Levels[0].SizeParam;
+    int64_t M = Out.NumRows;
+    for (int64_t S = 0; S < K; ++S) {
+      int64_t Offset = T.Levels[0].Perm[static_cast<size_t>(S)];
+      for (int64_t I = 0; I < M; ++I) {
+        int64_t J = I + Offset;
+        if (J < 0 || J >= Out.NumCols)
+          continue;
+        keep(I, J, T.Vals[static_cast<size_t>(S * M + I)]);
+      }
+    }
+    return Out;
+  }
+  if (F.Name == "ell") {
+    int64_t K = T.Levels[0].SizeParam;
+    int64_t M = Out.NumRows;
+    for (int64_t S = 0; S < K; ++S)
+      for (int64_t I = 0; I < M; ++I) {
+        size_t P = static_cast<size_t>(S * M + I);
+        keep(I, T.Levels[2].Crd[P], T.Vals[P]);
+      }
+    return Out;
+  }
+  if (F.Name.rfind("bcsr", 0) == 0) {
+    int64_t R = F.StaticParams.at(0);
+    int64_t C = F.StaticParams.at(1);
+    int64_t BlockRows = (Out.NumRows + R - 1) / R;
+    for (int64_t IB = 0; IB < BlockRows; ++IB)
+      for (int32_t P = T.Levels[1].Pos[static_cast<size_t>(IB)];
+           P < T.Levels[1].Pos[static_cast<size_t>(IB) + 1]; ++P) {
+        int64_t JB = T.Levels[1].Crd[static_cast<size_t>(P)];
+        for (int64_t IL = 0; IL < R; ++IL)
+          for (int64_t JL = 0; JL < C; ++JL) {
+            int64_t Row = IB * R + IL;
+            int64_t Col = JB * C + JL;
+            if (Row >= Out.NumRows || Col >= Out.NumCols)
+              continue;
+            keep(Row, Col, T.Vals[static_cast<size_t>((P * R + IL) * C + JL)]);
+          }
+      }
+    return Out;
+  }
+  if (F.Name == "sky") {
+    for (int64_t I = 0; I < Out.NumRows; ++I) {
+      int64_t Begin = T.Levels[1].Pos[static_cast<size_t>(I)];
+      int64_t End = T.Levels[1].Pos[static_cast<size_t>(I) + 1];
+      for (int64_t P = Begin; P < End; ++P) {
+        int64_t J = P - End + I + 1; // inverse of pos[i+1] + j - i - 1
+        keep(I, J, T.Vals[static_cast<size_t>(P)]);
+      }
+    }
+    return Out;
+  }
+  fatalError(("oracle: no reader for format '" + F.Name + "'").c_str());
+}

@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written builders between the canonical triplet form and every
+/// standard format. These are deliberately simple, independent
+/// implementations: the test suite validates generated conversion routines
+/// against `buildFromTriplets(target, toTriplets(source))`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_ORACLE_H
+#define CONVGEN_TENSOR_ORACLE_H
+
+#include "tensor/SparseTensor.h"
+#include "tensor/Triplets.h"
+
+namespace convgen {
+namespace tensor {
+
+/// Builds a tensor in \p Format from triplets. Requirements checked with a
+/// diagnostic: no duplicate coordinates; lower-triangular input for "sky";
+/// coordinates within bounds. Counter-based formats (ELL) number nonzeros
+/// in row-major order, matching the evaluation's iteration order.
+SparseTensor buildFromTriplets(const formats::Format &Format,
+                               const Triplets &T);
+
+/// Reads back every stored component. Padded formats drop explicit zeros
+/// (padding is indistinguishable from a stored zero).
+Triplets toTriplets(const SparseTensor &T);
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_ORACLE_H

@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/SparseTensor.h"
+
+#include "remap/Bounds.h"
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace convgen;
+using namespace convgen::tensor;
+using formats::LevelKind;
+using formats::LevelSpec;
+
+void SparseTensor::validate() const {
+  auto failTensor = [&](const std::string &Msg) {
+    fatalError(
+        ("invalid " + Format.Name + " tensor: " + Msg).c_str());
+  };
+  if (static_cast<int>(Dims.size()) != Format.SrcOrder)
+    failTensor("canonical dimension count mismatch");
+  if (Levels.size() != Format.Levels.size())
+    failTensor("level storage count mismatch");
+
+  std::vector<remap::NumericDimBounds> Bounds =
+      remap::analyzeBoundsNumeric(Format.Remap, Dims);
+
+  int64_t Size = 1; // Number of positions at the current level.
+  for (size_t K = 0; K < Format.Levels.size(); ++K) {
+    const LevelSpec &Spec = Format.Levels[K];
+    const LevelStorage &Data = Levels[K];
+    const remap::NumericDimBounds &DimB = Bounds[static_cast<size_t>(
+        Spec.Dim)];
+    switch (Spec.Kind) {
+    case LevelKind::Dense: {
+      if (!DimB.Known)
+        failTensor(strfmt("dense level %zu has unknown extent", K));
+      Size *= DimB.extent();
+      break;
+    }
+    case LevelKind::Compressed: {
+      if (Data.Pos.size() != static_cast<size_t>(Size) + 1)
+        failTensor(strfmt("level %zu pos has %zu entries, expected %lld", K,
+                          Data.Pos.size(), static_cast<long long>(Size + 1)));
+      if (Data.Pos.front() != 0)
+        failTensor(strfmt("level %zu pos[0] != 0", K));
+      for (size_t P = 1; P < Data.Pos.size(); ++P)
+        if (Data.Pos[P] < Data.Pos[P - 1])
+          failTensor(strfmt("level %zu pos not monotonic at %zu", K, P));
+      int64_t Stored = Data.Pos.back();
+      if (Data.Crd.size() != static_cast<size_t>(Stored))
+        failTensor(strfmt("level %zu crd size mismatch", K));
+      if (DimB.Known)
+        for (int32_t C : Data.Crd)
+          if (C < DimB.Lo || C > DimB.Hi)
+            failTensor(strfmt("level %zu coordinate %d out of range", K, C));
+      Size = Stored;
+      break;
+    }
+    case LevelKind::Singleton: {
+      if (Data.Crd.size() != static_cast<size_t>(Size))
+        failTensor(strfmt("level %zu singleton crd size mismatch", K));
+      if (DimB.Known)
+        for (int32_t C : Data.Crd)
+          if (C < DimB.Lo || C > DimB.Hi)
+            failTensor(strfmt("level %zu coordinate %d out of range", K, C));
+      break;
+    }
+    case LevelKind::Squeezed: {
+      if (Data.SizeParam < 0)
+        failTensor(strfmt("level %zu missing size parameter", K));
+      if (Data.Perm.size() != static_cast<size_t>(Data.SizeParam))
+        failTensor(strfmt("level %zu perm size != K", K));
+      if (!std::is_sorted(Data.Perm.begin(), Data.Perm.end()))
+        failTensor(strfmt("level %zu perm not ascending", K));
+      if (DimB.Known)
+        for (int32_t C : Data.Perm)
+          if (C < DimB.Lo || C > DimB.Hi)
+            failTensor(strfmt("level %zu offset %d out of range", K, C));
+      Size *= Data.SizeParam;
+      break;
+    }
+    case LevelKind::Sliced: {
+      if (Data.SizeParam < 0)
+        failTensor(strfmt("level %zu missing size parameter", K));
+      Size *= Data.SizeParam;
+      break;
+    }
+    case LevelKind::Skyline: {
+      if (Data.Pos.size() != static_cast<size_t>(Size) + 1)
+        failTensor(strfmt("level %zu pos size mismatch", K));
+      if (Data.Pos.front() != 0)
+        failTensor(strfmt("level %zu pos[0] != 0", K));
+      for (size_t P = 1; P < Data.Pos.size(); ++P)
+        if (Data.Pos[P] < Data.Pos[P - 1])
+          failTensor(strfmt("level %zu pos not monotonic at %zu", K, P));
+      Size = Data.Pos.back();
+      break;
+    }
+    case LevelKind::Offset:
+      break; // One child per parent; nothing stored.
+    }
+  }
+  if (Vals.size() != static_cast<size_t>(Size))
+    failTensor(strfmt("vals has %zu entries, expected %lld", Vals.size(),
+                      static_cast<long long>(Size)));
+}
+
+namespace {
+
+std::string dumpArray(const char *Name, const std::vector<int32_t> &Data) {
+  std::string Out = strfmt("  %s[%zu] =", Name, Data.size());
+  size_t Limit = std::min<size_t>(Data.size(), 64);
+  for (size_t I = 0; I < Limit; ++I)
+    Out += strfmt(" %d", Data[I]);
+  if (Limit < Data.size())
+    Out += " ...";
+  return Out + "\n";
+}
+
+} // namespace
+
+std::string SparseTensor::dump() const {
+  std::string Out = Format.summary() + "\n";
+  Out += strfmt("  dims = %lld x %lld, stored = %lld\n",
+                static_cast<long long>(Dims.at(0)),
+                static_cast<long long>(Dims.size() > 1 ? Dims.at(1) : 1),
+                static_cast<long long>(storedSize()));
+  for (size_t K = 0; K < Levels.size(); ++K) {
+    const LevelStorage &L = Levels[K];
+    Out += strfmt("  level %zu (%s):", K,
+                  formats::levelKindName(Format.Levels[K].Kind));
+    if (L.SizeParam >= 0)
+      Out += strfmt(" K=%lld", static_cast<long long>(L.SizeParam));
+    Out += "\n";
+    if (!L.Pos.empty())
+      Out += dumpArray("pos", L.Pos);
+    if (!L.Crd.empty())
+      Out += dumpArray("crd", L.Crd);
+    if (!L.Perm.empty())
+      Out += dumpArray("perm", L.Perm);
+  }
+  std::string ValsText = strfmt("  vals[%zu] =", Vals.size());
+  size_t Limit = std::min<size_t>(Vals.size(), 32);
+  for (size_t I = 0; I < Limit; ++I)
+    ValsText += strfmt(" %g", Vals[I]);
+  if (Limit < Vals.size())
+    ValsText += " ...";
+  return Out + ValsText + "\n";
+}

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Triplets.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace convgen;
+using namespace convgen::tensor;
+
+void Triplets::sortRowMajor() {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              return A.Row != B.Row ? A.Row < B.Row : A.Col < B.Col;
+            });
+}
+
+void Triplets::sortColMajor() {
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              return A.Col != B.Col ? A.Col < B.Col : A.Row < B.Row;
+            });
+}
+
+bool Triplets::hasDuplicates() const {
+  Triplets Copy = *this;
+  Copy.sortRowMajor();
+  for (size_t I = 1; I < Copy.Entries.size(); ++I)
+    if (Copy.Entries[I - 1].Row == Copy.Entries[I].Row &&
+        Copy.Entries[I - 1].Col == Copy.Entries[I].Col)
+      return true;
+  return false;
+}
+
+Triplets Triplets::canonicalized() const {
+  Triplets Out;
+  Out.NumRows = NumRows;
+  Out.NumCols = NumCols;
+  Out.Entries.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    if (E.Val != 0)
+      Out.Entries.push_back(E);
+  Out.sortRowMajor();
+  return Out;
+}
+
+int64_t Triplets::maxRowCount() const {
+  std::vector<int64_t> Counts(static_cast<size_t>(NumRows), 0);
+  int64_t Max = 0;
+  for (const Entry &E : Entries)
+    Max = std::max(Max, ++Counts[static_cast<size_t>(E.Row)]);
+  return Max;
+}
+
+int64_t Triplets::countDiagonals() const {
+  std::set<int64_t> Offsets;
+  for (const Entry &E : Entries)
+    Offsets.insert(E.Col - E.Row);
+  return static_cast<int64_t>(Offsets.size());
+}
+
+bool tensor::equal(const Triplets &A, const Triplets &B) {
+  if (A.NumRows != B.NumRows || A.NumCols != B.NumCols)
+    return false;
+  Triplets CA = A.canonicalized();
+  Triplets CB = B.canonicalized();
+  return CA.Entries == CB.Entries;
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical triplet (coordinate-list) representation of a sparse matrix.
+/// This is the neutral form used by the oracle converters, the synthetic
+/// matrix generators, Matrix Market I/O, and the tensor-equality checks in
+/// the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_TRIPLETS_H
+#define CONVGEN_TENSOR_TRIPLETS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace convgen {
+namespace tensor {
+
+struct Entry {
+  int64_t Row = 0;
+  int64_t Col = 0;
+  double Val = 0;
+
+  friend bool operator==(const Entry &A, const Entry &B) {
+    return A.Row == B.Row && A.Col == B.Col && A.Val == B.Val;
+  }
+};
+
+struct Triplets {
+  int64_t NumRows = 0;
+  int64_t NumCols = 0;
+  std::vector<Entry> Entries;
+
+  int64_t nnz() const { return static_cast<int64_t>(Entries.size()); }
+
+  void sortRowMajor();
+  void sortColMajor();
+
+  /// True if two entries share coordinates (requires row-major sorting
+  /// internally; the input need not be sorted).
+  bool hasDuplicates() const;
+
+  /// Row-major sorted copy with explicit zeros dropped. Conversions through
+  /// padded formats (DIA/ELL/...) cannot represent stored zeros, so
+  /// equality is defined over this canonical form.
+  Triplets canonicalized() const;
+
+  /// Maximum number of entries in any row.
+  int64_t maxRowCount() const;
+
+  /// Number of distinct nonzero diagonals (j - i offsets).
+  int64_t countDiagonals() const;
+};
+
+/// Exact equality of canonical forms (coordinates and bit-exact values;
+/// conversions move values without arithmetic).
+bool equal(const Triplets &A, const Triplets &B);
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_TRIPLETS_H

@@ -1,0 +1,229 @@
+//===----------------------------------------------------------------------===//
+// Tests for the baseline implementations (SPARSKIT ports, MKL-like
+// variants, taco-without-extensions) against the oracle, and for the
+// two-step composition paths the benchmark harness uses.
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "formats/Standard.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace convgen;
+using namespace convgen::baselines;
+
+namespace {
+
+tensor::Triplets testMatrix() {
+  return tensor::genBandedRandom(70, 70, 5.0, 15, 12, 4242);
+}
+
+tensor::Triplets rectangularMatrix() {
+  return tensor::genDiagonals(9, 14, {-2, 0, 3}, 1.0, 7);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SPARSKIT ports
+//===----------------------------------------------------------------------===//
+
+TEST(Sparskit, CooCsr) {
+  tensor::Triplets T = testMatrix();
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  RawCsr B = skitCooCsr(viewCoo(Coo));
+  tensor::SparseTensor Out = toCsrTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(Sparskit, CooCsrUnsortedInput) {
+  // coocsr must not rely on sorted input (COO "not assumed sorted", §7.2).
+  tensor::Triplets T = testMatrix();
+  std::mt19937_64 Rng(7);
+  std::shuffle(T.Entries.begin(), T.Entries.end(), Rng);
+  std::vector<int32_t> Rows, Cols;
+  std::vector<double> Vals;
+  for (const tensor::Entry &E : T.Entries) {
+    Rows.push_back(static_cast<int32_t>(E.Row));
+    Cols.push_back(static_cast<int32_t>(E.Col));
+    Vals.push_back(E.Val);
+  }
+  RawCoo A{T.NumRows, T.NumCols, T.nnz(), Rows.data(), Cols.data(),
+           Vals.data()};
+  RawCsr B = skitCooCsr(A);
+  tensor::SparseTensor Out = toCsrTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(Sparskit, CsrCsc) {
+  tensor::Triplets T = rectangularMatrix();
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawCsr B = skitCsrCsc(viewCsr(Csr));
+  tensor::SparseTensor Out = toCscTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(Sparskit, CsrDia) {
+  tensor::Triplets T = rectangularMatrix();
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawDia B = skitCsrDia(viewCsr(Csr));
+  EXPECT_EQ(B.NDiag, 3);
+  tensor::SparseTensor Out = toDiaTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(Sparskit, CsrDiaSelectsDensestFirst) {
+  // SPARSKIT orders selected diagonals by population.
+  tensor::Triplets T = tensor::genDiagonals(50, 50, {0}, 1.0, 1);
+  tensor::Triplets Sparse = tensor::genDiagonals(50, 50, {3}, 0.2, 2);
+  for (const tensor::Entry &E : Sparse.Entries)
+    T.Entries.push_back(E);
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawDia B = skitCsrDia(viewCsr(Csr));
+  ASSERT_GE(B.NDiag, 1);
+  EXPECT_EQ(B.Offsets[0], 0); // main diagonal is densest
+  B.release();
+}
+
+TEST(Sparskit, CsrEll) {
+  tensor::Triplets T = testMatrix();
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawEll B = skitCsrEll(viewCsr(Csr));
+  EXPECT_EQ(B.NCMax, T.maxRowCount());
+  tensor::SparseTensor Out = toEllTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+//===----------------------------------------------------------------------===//
+// MKL-like variants
+//===----------------------------------------------------------------------===//
+
+TEST(MklLike, CooCsr) {
+  tensor::Triplets T = testMatrix();
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  RawCsr B = mklCooCsr(viewCoo(Coo));
+  tensor::SparseTensor Out = toCsrTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(MklLike, CsrCsc) {
+  tensor::Triplets T = rectangularMatrix();
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawCsr B = mklCsrCsc(viewCsr(Csr));
+  tensor::SparseTensor Out = toCscTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+TEST(MklLike, CsrDia) {
+  tensor::Triplets T = rectangularMatrix();
+  tensor::SparseTensor Csr =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  RawDia B = mklCsrDia(viewCsr(Csr));
+  tensor::SparseTensor Out = toDiaTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  B.release();
+}
+
+//===----------------------------------------------------------------------===//
+// taco w/o extensions
+//===----------------------------------------------------------------------===//
+
+TEST(TacoNoExt, SortsThenAssembles) {
+  tensor::Triplets T = testMatrix();
+  std::mt19937_64 Rng(11);
+  std::shuffle(T.Entries.begin(), T.Entries.end(), Rng);
+  std::vector<int32_t> Rows, Cols;
+  std::vector<double> Vals;
+  for (const tensor::Entry &E : T.Entries) {
+    Rows.push_back(static_cast<int32_t>(E.Row));
+    Cols.push_back(static_cast<int32_t>(E.Col));
+    Vals.push_back(E.Val);
+  }
+  RawCoo A{T.NumRows, T.NumCols, T.nnz(), Rows.data(), Cols.data(),
+           Vals.data()};
+  RawCsr B = tacoNoExtCooCsr(A);
+  tensor::SparseTensor Out = toCsrTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  // Columns within each row come out sorted (a sort-based conversion).
+  for (int64_t I = 0; I < T.NumRows; ++I)
+    for (int32_t P = Out.Levels[1].Pos[I] + 1; P < Out.Levels[1].Pos[I + 1];
+         ++P)
+      EXPECT_LT(Out.Levels[1].Crd[P - 1], Out.Levels[1].Crd[P]);
+  B.release();
+}
+
+//===----------------------------------------------------------------------===//
+// Two-step compositions (library paths for unsupported pairs)
+//===----------------------------------------------------------------------===//
+
+TEST(TwoStep, CooToDiaThroughCsr) {
+  tensor::Triplets T = rectangularMatrix();
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  RawCsr Mid = skitCooCsr(viewCoo(Coo));
+  RawDia B = skitCsrDia(Mid);
+  tensor::SparseTensor Out = toDiaTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  Mid.release();
+  B.release();
+}
+
+TEST(TwoStep, CscToEllThroughCsr) {
+  tensor::Triplets T = testMatrix();
+  tensor::SparseTensor Csc =
+      tensor::buildFromTriplets(formats::makeCSC(), T);
+  // CSC viewed as CSR of A^T; transpose gives the CSR of A.
+  RawCsr Mid = skitCsrCsc(viewCscAsTransposedCsr(Csc));
+  RawEll B = skitCsrEll(Mid);
+  tensor::SparseTensor Out = toEllTensor(B);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+  Mid.release();
+  B.release();
+}
+
+TEST(Baselines, EmptyMatrix) {
+  tensor::Triplets T;
+  T.NumRows = 6;
+  T.NumCols = 4;
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  RawCsr B = skitCooCsr(viewCoo(Coo));
+  EXPECT_EQ(B.nnz(), 0);
+  RawDia D = skitCsrDia(B);
+  EXPECT_EQ(D.NDiag, 0);
+  RawEll E = skitCsrEll(B);
+  EXPECT_EQ(E.NCMax, 0);
+  B.release();
+  D.release();
+  E.release();
+}

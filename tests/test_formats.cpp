@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+// Tests for src/formats: standard format specifications and validation.
+//===----------------------------------------------------------------------===//
+
+#include "formats/Standard.h"
+#include "remap/RemapParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+using namespace convgen::formats;
+
+TEST(Formats, SummariesMatchPaperSpecs) {
+  EXPECT_EQ(makeCSR().summary(), "csr: (i,j) -> (i,j); dense,compressed");
+  EXPECT_EQ(makeCSC().summary(), "csc: (i,j) -> (j,i); dense,compressed");
+  EXPECT_EQ(makeCOO().summary(),
+            "coo: (i,j) -> (i,j); compressed(non-unique),singleton");
+  EXPECT_EQ(makeDIA().summary(),
+            "dia: (i,j) -> (j-i,i,j); squeezed,dense,offset; padded");
+  EXPECT_EQ(makeELL().summary(),
+            "ell: (i,j) -> (k=#i in k,i,j); sliced,dense,singleton; padded");
+  EXPECT_EQ(makeSKY().summary(), "sky: (i,j) -> (i,j); dense,skyline; padded");
+}
+
+TEST(Formats, BcsrParameterized) {
+  Format F = makeBCSR(2, 3);
+  EXPECT_EQ(F.Name, "bcsr2x3");
+  EXPECT_EQ(remap::printRemap(F.Remap), "(i,j) -> (i/2,j/3,i%2,j%3)");
+  EXPECT_EQ(remap::printRemap(F.Inverse), "(d0,d1,d2,d3) -> (d0*2+d2,d1*3+d3)");
+  ASSERT_EQ(F.StaticParams.size(), 2u);
+  EXPECT_EQ(F.StaticParams[0], 2);
+  EXPECT_EQ(F.StaticParams[1], 3);
+}
+
+TEST(Formats, LevelSizeParams) {
+  EXPECT_TRUE(makeDIA().levelHasSizeParam(0));
+  EXPECT_FALSE(makeDIA().levelHasSizeParam(1));
+  EXPECT_TRUE(makeELL().levelHasSizeParam(0));
+  EXPECT_FALSE(makeCSR().levelHasSizeParam(0));
+}
+
+TEST(Formats, RegistryLookup) {
+  for (const char *Name : {"coo", "csr", "csc", "dia", "ell", "bcsr", "sky"})
+    EXPECT_EQ(standardFormat(Name).Name == "bcsr"
+                  ? std::string("bcsr")
+                  : standardFormat(Name).Name,
+              standardFormat(Name).Name); // lookup does not abort
+  EXPECT_EQ(standardFormat("bcsr").Name, "bcsr4x4");
+  EXPECT_EQ(allStandardFormats().size(), 7u);
+}
+
+TEST(Formats, DiaOffsetLevelNamesAddends) {
+  Format F = makeDIA();
+  EXPECT_EQ(F.Levels[2].Kind, LevelKind::Offset);
+  EXPECT_EQ(F.Levels[2].AddendDims[0], 0);
+  EXPECT_EQ(F.Levels[2].AddendDims[1], 1);
+}
+
+TEST(FormatsDeath, ValidationCatchesArityMismatch) {
+  Format F = makeCSR();
+  F.Levels.pop_back();
+  EXPECT_DEATH(validateFormat(F), "one level per remapped dimension");
+}
+
+TEST(FormatsDeath, ValidationCatchesBadInverse) {
+  Format F = makeCSR();
+  F.Inverse = remap::parseRemapOrDie("(d0) -> (d0)");
+  EXPECT_DEATH(validateFormat(F), "inverse");
+}

@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+// Cross-module integration and property tests: conversion chains through
+// many formats must be lossless, the attribute query parser round-trips,
+// conversions compose with SpMV, and Matrix Market round trips survive a
+// conversion in the middle.
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+#include "formats/Standard.h"
+#include "kernels/SpMV.h"
+#include "query/Parser.h"
+#include "tensor/Corpus.h"
+#include "tensor/Generators.h"
+#include "tensor/MatrixMarket.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace convgen;
+
+//===----------------------------------------------------------------------===//
+// Conversion chains: COO -> F1 -> F2 -> ... -> COO preserves the matrix.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+tensor::SparseTensor convertTo(const tensor::SparseTensor &In,
+                               const std::string &Dst) {
+  convert::Converter Conv(In.Format, formats::standardFormat(Dst));
+  tensor::SparseTensor Out = Conv.run(In);
+  Out.validate();
+  return Out;
+}
+
+} // namespace
+
+TEST(ConversionChains, RandomWalksAreLossless) {
+  // Random walks through the supported-conversion graph; every step must
+  // preserve the canonical triplets. (BCSR is excluded as an intermediate
+  // hop since not every format can convert into it.)
+  const std::vector<std::string> Hops = {"coo", "csr", "csc", "dia", "ell"};
+  tensor::Triplets T = tensor::genBandedRandom(45, 45, 4.0, 12, 10, 2024);
+  std::mt19937_64 Rng(7);
+  for (int Walk = 0; Walk < 6; ++Walk) {
+    tensor::SparseTensor Cur =
+        tensor::buildFromTriplets(formats::makeCOO(), T);
+    std::string Path = "coo";
+    for (int Step = 0; Step < 5; ++Step) {
+      std::string Next = Hops[Rng() % Hops.size()];
+      Cur = convertTo(Cur, Next);
+      Path += " -> " + Next;
+      ASSERT_TRUE(tensor::equal(tensor::toTriplets(Cur), T)) << Path;
+    }
+  }
+}
+
+TEST(ConversionChains, EveryFormatRoundTripsThroughEveryOther) {
+  tensor::Triplets T = tensor::genDiagonals(24, 30, {-3, -1, 0, 2}, 0.9, 3);
+  for (const std::string &Mid : {"coo", "csr", "csc", "dia", "ell"}) {
+    tensor::SparseTensor Csr =
+        tensor::buildFromTriplets(formats::makeCSR(), T);
+    tensor::SparseTensor Back = convertTo(convertTo(Csr, Mid), "csr");
+    EXPECT_TRUE(tensor::equal(tensor::toTriplets(Back), T)) << Mid;
+  }
+}
+
+TEST(ConversionChains, SpmvInvariantAcrossFormats) {
+  // y = A x must be identical (up to fp association) no matter which
+  // chain of conversions produced A's representation.
+  tensor::Triplets T = tensor::genBandedRandom(60, 60, 5.0, 11, 9, 77);
+  std::vector<double> X(60);
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = 1.0 / static_cast<double>(I + 1);
+  tensor::SparseTensor Coo = tensor::buildFromTriplets(formats::makeCOO(), T);
+  std::vector<double> Ref = kernels::spmvReference(Coo, X);
+  tensor::SparseTensor Dia = convertTo(convertTo(Coo, "csr"), "dia");
+  tensor::SparseTensor Ell = convertTo(convertTo(Coo, "csc"), "ell");
+  for (const tensor::SparseTensor *A : {&Dia, &Ell}) {
+    std::vector<double> Y = kernels::spmv(*A, X);
+    for (size_t I = 0; I < Y.size(); ++I)
+      EXPECT_NEAR(Y[I], Ref[I], 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute query parser
+//===----------------------------------------------------------------------===//
+
+TEST(QueryParser, PaperExamples) {
+  // Figure 10's queries, with dimension names i,j for a matrix.
+  query::QueryParseResult R =
+      query::parseQuery("select [i] -> count(j) as nir", {"i", "j"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(query::printQuery(R.Parsed), "select [d0] -> count(d1) as nir");
+
+  R = query::parseQuery("select [i] -> min(j) as minir, max(j) as maxir",
+                        {"i", "j"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(query::printQuery(R.Parsed),
+            "select [d0] -> min(d1) as minir, max(d1) as maxir");
+
+  R = query::parseQuery("select [j] -> id() as ne", {"i", "j"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(query::printQuery(R.Parsed), "select [d1] -> id() as ne");
+
+  R = query::parseQuery("select [] -> count(i, j) as nnz_total", {"i", "j"});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Parsed.GroupDims.size(), 0u);
+  EXPECT_EQ(R.Parsed.Aggs[0].Dims, (std::vector<int>{0, 1}));
+}
+
+TEST(QueryParser, DefaultDimNames) {
+  query::Query Q = query::parseQueryOrDie("select [d0] -> id() as nz", 3);
+  EXPECT_EQ(query::printQuery(Q), "select [d0] -> id() as nz");
+}
+
+TEST(QueryParser, Errors) {
+  auto expectError = [](const char *Text, const char *Fragment) {
+    query::QueryParseResult R = query::parseQuery(Text, {"i", "j"});
+    EXPECT_FALSE(R.Ok) << Text;
+    EXPECT_NE(R.Error.find(Fragment), std::string::npos)
+        << Text << ": " << R.Error;
+  };
+  expectError("pick [i] -> id() as x", "expected 'select'");
+  expectError("select [z] -> id() as x", "unknown dimension variable");
+  expectError("select [i] -> frob(j) as x", "unknown aggregation");
+  expectError("select [i] -> max(i, j) as x", "exactly one dimension");
+  expectError("select [i] -> count() as x", "at least one dimension");
+  expectError("select [i] -> id(i) as x", "no arguments");
+  expectError("select [i] -> id() as x garbage", "trailing");
+  expectError("select [i] -> id()", "expected 'as");
+}
+
+TEST(QueryParser, ParsedQueryDrivesLevelAssembly) {
+  // A parsed query prints identically to the query the compressed level
+  // declares — the textual language and the level formats agree.
+  query::Query Parsed =
+      query::parseQueryOrDie("select [d0] -> count(d1) as nir", 2);
+  EXPECT_EQ(query::printQuery(Parsed), "select [d0] -> count(d1) as nir");
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix Market end to end
+//===----------------------------------------------------------------------===//
+
+TEST(Integration, MtxThroughConversionRoundTrip) {
+  tensor::Triplets T = tensor::genRandomUniform(25, 19, 3.0, 9, 55);
+  std::string Mtx = tensor::writeMatrixMarket(T);
+  tensor::Triplets Read;
+  std::string Error;
+  ASSERT_TRUE(tensor::readMatrixMarket(Mtx, &Read, &Error)) << Error;
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(), Read);
+  tensor::SparseTensor Csc = convertTo(Coo, "csc");
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Csc), T));
+  // Serialize the converted tensor and read it back once more.
+  tensor::Triplets Again;
+  ASSERT_TRUE(tensor::readMatrixMarket(
+      tensor::writeMatrixMarket(tensor::toTriplets(Csc)), &Again, &Error));
+  EXPECT_TRUE(tensor::equal(Again, T));
+}
+
+TEST(Integration, CorpusMatricesConvertAtTinyScale) {
+  // Every corpus family (stencil, banded, scattered, power-law) flows
+  // through the paper's seven conversions end to end.
+  for (const char *Name : {"jnlbrng1", "cant", "scircuit", "webbase-1M"}) {
+    tensor::Triplets T = tensor::corpusEntry(Name).Generate(0.004);
+    tensor::SparseTensor Coo =
+        tensor::buildFromTriplets(formats::makeCOO(), T);
+    tensor::SparseTensor Csr = convertTo(Coo, "csr");
+    tensor::SparseTensor Csc = convertTo(Csr, "csc");
+    EXPECT_TRUE(tensor::equal(tensor::toTriplets(Csc), T)) << Name;
+    tensor::SparseTensor Ell = convertTo(Csc, "ell");
+    EXPECT_TRUE(tensor::equal(tensor::toTriplets(Ell), T)) << Name;
+  }
+}

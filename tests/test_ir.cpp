@@ -1,0 +1,322 @@
+//===----------------------------------------------------------------------===//
+// Tests for src/ir: expression factories (constant folding), printer,
+// interpreter semantics, and the C emitter.
+//===----------------------------------------------------------------------===//
+
+#include "ir/CEmitter.h"
+#include "ir/IR.h"
+#include "ir/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+using namespace convgen::ir;
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+TEST(IrFold, IntegerArithmetic) {
+  int64_t V = 0;
+  EXPECT_TRUE(isIntConst(add(intImm(2), intImm(3)), &V));
+  EXPECT_EQ(V, 5);
+  EXPECT_TRUE(isIntConst(mul(intImm(4), intImm(-3)), &V));
+  EXPECT_EQ(V, -12);
+  EXPECT_TRUE(isIntConst(div(intImm(7), intImm(2)), &V));
+  EXPECT_EQ(V, 3);
+  EXPECT_TRUE(isIntConst(rem(intImm(-7), intImm(2)), &V));
+  EXPECT_EQ(V, -1); // C semantics: sign follows dividend.
+}
+
+TEST(IrFold, Identities) {
+  Expr X = var("x");
+  EXPECT_EQ(add(X, intImm(0)), X);
+  EXPECT_EQ(add(intImm(0), X), X);
+  EXPECT_EQ(sub(X, intImm(0)), X);
+  EXPECT_EQ(mul(X, intImm(1)), X);
+  EXPECT_EQ(mul(intImm(1), X), X);
+  int64_t V = 1;
+  EXPECT_TRUE(isIntConst(mul(X, intImm(0)), &V));
+  EXPECT_EQ(V, 0);
+}
+
+TEST(IrFold, DivisionByZeroNotFolded) {
+  Expr E = div(intImm(4), intImm(0));
+  EXPECT_FALSE(isIntConst(E));
+  EXPECT_EQ(E->Kind, ExprKind::Binary);
+}
+
+TEST(IrFold, ComparisonsFoldToBool) {
+  Expr E = lt(intImm(1), intImm(2));
+  int64_t V = 0;
+  EXPECT_TRUE(isIntConst(E, &V));
+  EXPECT_EQ(V, 1);
+  EXPECT_EQ(E->Type, ScalarKind::Bool);
+}
+
+TEST(IrFold, SelectOnConstantCondition) {
+  Expr T = var("t"), F = var("f");
+  EXPECT_EQ(select(boolImm(true), T, F), T);
+  EXPECT_EQ(select(boolImm(false), T, F), F);
+}
+
+TEST(IrFold, MinMax) {
+  int64_t V = 0;
+  EXPECT_TRUE(isIntConst(min(intImm(3), intImm(-2)), &V));
+  EXPECT_EQ(V, -2);
+  EXPECT_TRUE(isIntConst(max(intImm(3), intImm(-2)), &V));
+  EXPECT_EQ(V, 3);
+}
+
+TEST(IrFold, BitwiseOps) {
+  int64_t V = 0;
+  EXPECT_TRUE(isIntConst(binop(BinOp::BitAnd, intImm(6), intImm(3)), &V));
+  EXPECT_EQ(V, 2);
+  EXPECT_TRUE(isIntConst(binop(BinOp::Shl, intImm(1), intImm(4)), &V));
+  EXPECT_EQ(V, 16);
+  EXPECT_TRUE(isIntConst(binop(BinOp::BitXor, intImm(5), intImm(3)), &V));
+  EXPECT_EQ(V, 6);
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+TEST(IrPrint, Expressions) {
+  Expr E = sub(load("A2_crd", var("p")), var("i"));
+  EXPECT_EQ(printExpr(E), "A2_crd[p] - i");
+  EXPECT_EQ(printExpr(add(mul(var("k"), var("N")), var("i"))),
+            "(k * N) + i");
+  EXPECT_EQ(printExpr(max(var("a"), var("b"))), "cvg_max(a, b)");
+}
+
+TEST(IrPrint, ForLoopAndStore) {
+  Stmt S = forRange("i", intImm(0), var("N"),
+                    store("out", var("i"), var("i"), ReduceOp::Add));
+  std::string Text = printStmt(S);
+  EXPECT_NE(Text.find("for (int64_t i = 0; i < N; i++) {"), std::string::npos);
+  EXPECT_NE(Text.find("out[i] += i;"), std::string::npos);
+}
+
+TEST(IrPrint, AllocCallocMallloc) {
+  EXPECT_NE(printStmt(alloc("buf", ScalarKind::Int, var("n"), true))
+                .find("calloc"),
+            std::string::npos);
+  EXPECT_NE(printStmt(alloc("buf", ScalarKind::Float, var("n"), false))
+                .find("malloc"),
+            std::string::npos);
+}
+
+TEST(IrPrint, YieldTranslatesToAbiStores) {
+  std::string Text =
+      printStmt(yieldBuffer("B2_crd", "crdbuf", var("nnz")));
+  EXPECT_NE(Text.find("B->crd[2] = crdbuf;"), std::string::npos);
+  EXPECT_NE(Text.find("B->crd_len[2] = nnz;"), std::string::npos);
+  Text = printStmt(yieldScalar("B1_param", var("K")));
+  EXPECT_NE(Text.find("B->params[1] = K;"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Slot name parsing
+//===----------------------------------------------------------------------===//
+
+TEST(IrSlots, ParseConventionalNames) {
+  SlotRef R = parseSlotName("A1_pos");
+  EXPECT_EQ(R.Role, SlotRef::RoleKind::Pos);
+  EXPECT_EQ(R.Tensor, 'A');
+  EXPECT_EQ(R.Level, 1);
+
+  R = parseSlotName("B12_perm");
+  EXPECT_EQ(R.Role, SlotRef::RoleKind::Perm);
+  EXPECT_EQ(R.Level, 12);
+
+  R = parseSlotName("B_vals");
+  EXPECT_EQ(R.Role, SlotRef::RoleKind::Vals);
+  EXPECT_EQ(R.Tensor, 'B');
+
+  R = parseSlotName("dim1");
+  EXPECT_EQ(R.Role, SlotRef::RoleKind::Dim);
+  EXPECT_EQ(R.Level, 1);
+
+  R = parseSlotName("A2_param");
+  EXPECT_EQ(R.Role, SlotRef::RoleKind::Param);
+  EXPECT_EQ(R.Level, 2);
+}
+
+TEST(IrSlots, RejectsNonconforming) {
+  EXPECT_EQ(parseSlotName("tmp_ws").Role, SlotRef::RoleKind::Unknown);
+  EXPECT_EQ(parseSlotName("Ax_pos").Role, SlotRef::RoleKind::Unknown);
+  EXPECT_EQ(parseSlotName("C1_pos").Role, SlotRef::RoleKind::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs a body that sums 0..N-1 into out[0].
+RunResult runSumLoop(int64_t N) {
+  BlockBuilder B;
+  B.add(alloc("acc", ScalarKind::Int, intImm(1), true));
+  B.add(forRange("i", intImm(0), var("N"),
+                 store("acc", intImm(0), var("i"), ReduceOp::Add)));
+  B.add(yieldBuffer("B1_pos", "acc", intImm(1)));
+  Function F{"sum", {{"N", ScalarKind::Int, false}}, B.build()};
+  Interpreter Interp;
+  Interp.bindScalar("N", N);
+  return Interp.run(F);
+}
+
+} // namespace
+
+TEST(IrInterp, SumLoop) {
+  RunResult R = runSumLoop(10);
+  ASSERT_TRUE(R.Buffers.count("B1_pos"));
+  ASSERT_EQ(R.Buffers["B1_pos"].Ints.size(), 1u);
+  EXPECT_EQ(R.Buffers["B1_pos"].Ints[0], 45);
+}
+
+TEST(IrInterp, EmptyLoopBounds) {
+  RunResult R = runSumLoop(0);
+  EXPECT_EQ(R.Buffers["B1_pos"].Ints[0], 0);
+}
+
+TEST(IrInterp, WhileAndAssign) {
+  BlockBuilder B;
+  B.add(decl("x", intImm(1)));
+  B.add(whileLoop(lt(var("x"), intImm(100)),
+                  assign("x", mul(var("x"), intImm(2)))));
+  B.add(yieldScalar("out", var("x")));
+  Function F{"pow2", {}, B.build()};
+  Interpreter Interp;
+  RunResult R = Interp.run(F);
+  EXPECT_EQ(R.Scalars["out"], 128);
+}
+
+TEST(IrInterp, IfElse) {
+  BlockBuilder B;
+  B.add(decl("r", intImm(0)));
+  B.add(ifThen(gt(var("x"), intImm(5)), assign("r", intImm(1)),
+               assign("r", intImm(2))));
+  B.add(yieldScalar("out", var("r")));
+  Function F{"sel", {{"x", ScalarKind::Int, false}}, B.build()};
+  Interpreter I1;
+  I1.bindScalar("x", 9);
+  EXPECT_EQ(I1.run(F).Scalars["out"], 1);
+  Interpreter I2;
+  I2.bindScalar("x", 3);
+  EXPECT_EQ(I2.run(F).Scalars["out"], 2);
+}
+
+TEST(IrInterp, LoadFromBoundBuffer) {
+  BlockBuilder B;
+  B.add(alloc("out", ScalarKind::Int, intImm(1), true));
+  B.add(forRange(
+      "p", load("pos", intImm(0)), load("pos", intImm(1)),
+      store("out", intImm(0), load("crd", var("p")), ReduceOp::Add)));
+  B.add(yieldBuffer("B1_crd", "out", intImm(1)));
+  Function F{"sumcrd",
+             {{"pos", ScalarKind::Int, true}, {"crd", ScalarKind::Int, true}},
+             B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("pos", {1, 4});
+  Interp.bindIntBuffer("crd", {100, 7, 8, 9, 200});
+  RunResult R = Interp.run(F);
+  EXPECT_EQ(R.Buffers["B1_crd"].Ints[0], 24);
+}
+
+TEST(IrInterp, FloatBuffers) {
+  BlockBuilder B;
+  B.add(alloc("acc", ScalarKind::Float, intImm(1), true));
+  B.add(forRange("i", intImm(0), intImm(4),
+                 store("acc", intImm(0), load("v", var("i"), ScalarKind::Float),
+                       ReduceOp::Add)));
+  B.add(yieldBuffer("B_vals", "acc", intImm(1)));
+  Function F{"sumv", {{"v", ScalarKind::Float, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindFloatBuffer("v", {0.5, 1.5, 2.0, -1.0});
+  RunResult R = Interp.run(F);
+  EXPECT_DOUBLE_EQ(R.Buffers["B_vals"].Floats[0], 3.0);
+}
+
+TEST(IrInterp, MaxReduceOnIntBuffer) {
+  BlockBuilder B;
+  B.add(alloc("m", ScalarKind::Int, intImm(1), true));
+  B.add(forRange("i", intImm(0), intImm(5),
+                 store("m", intImm(0), load("v", var("i")), ReduceOp::Max)));
+  B.add(yieldBuffer("B1_pos", "m", intImm(1)));
+  Function F{"maxv", {{"v", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("v", {3, 9, 2, 9, 1});
+  EXPECT_EQ(Interp.run(F).Buffers["B1_pos"].Ints[0], 9);
+}
+
+TEST(IrInterp, BoolBufferOrReduce) {
+  BlockBuilder B;
+  B.add(alloc("seen", ScalarKind::Bool, intImm(4), true));
+  B.add(forRange("i", intImm(0), intImm(3),
+                 store("seen", load("v", var("i")), boolImm(true),
+                       ReduceOp::Or)));
+  B.add(yieldBuffer("B1_crd", "seen", intImm(4)));
+  Function F{"mark", {{"v", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("v", {0, 2, 2});
+  RunResult R = Interp.run(F);
+  const RuntimeBuffer &Seen = R.Buffers["B1_crd"];
+  EXPECT_EQ(Seen.Bools[0], 1);
+  EXPECT_EQ(Seen.Bools[1], 0);
+  EXPECT_EQ(Seen.Bools[2], 1);
+  EXPECT_EQ(Seen.Bools[3], 0);
+}
+
+TEST(IrInterp, LoopVarShadowingRestored) {
+  BlockBuilder B;
+  B.add(decl("i", intImm(42)));
+  B.add(forRange("i", intImm(0), intImm(3), comment("body")));
+  B.add(yieldScalar("out", var("i")));
+  Function F{"shadow", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_EQ(Interp.run(F).Scalars["out"], 42);
+}
+
+TEST(IrInterpDeath, OutOfBoundsLoadAborts) {
+  BlockBuilder B;
+  B.add(decl("x", load("v", intImm(5))));
+  B.add(yieldScalar("out", var("x")));
+  Function F{"oob", {{"v", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("v", {1, 2});
+  EXPECT_DEATH(Interp.run(F), "out of bounds");
+}
+
+TEST(IrInterpDeath, UndefinedVariableAborts) {
+  BlockBuilder B;
+  B.add(yieldScalar("out", var("nope")));
+  Function F{"undef", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_DEATH(Interp.run(F), "undefined variable");
+}
+
+//===----------------------------------------------------------------------===//
+// C emitter
+//===----------------------------------------------------------------------===//
+
+TEST(IrCEmit, EmitsCompleteTranslationUnit) {
+  BlockBuilder B;
+  B.add(alloc("out_pos", ScalarKind::Int, add(var("dim0"), intImm(1)), true));
+  B.add(forRange("i", intImm(0), var("dim0"),
+                 store("out_pos", var("i"), load("A1_pos", var("i")))));
+  B.add(yieldBuffer("B1_pos", "out_pos", add(var("dim0"), intImm(1))));
+  Function F{"copy_pos",
+             {{"dim0", ScalarKind::Int, false}, {"A1_pos", ScalarKind::Int, true}},
+             B.build()};
+  std::string C = emitC(F);
+  EXPECT_NE(C.find("void copy_pos(const cvg_tensor_t *restrict A"),
+            std::string::npos);
+  EXPECT_NE(C.find("int64_t dim0 = A->dims[0];"), std::string::npos);
+  EXPECT_NE(C.find("const int32_t *restrict A1_pos = A->pos[1];"),
+            std::string::npos);
+  EXPECT_NE(C.find("B->pos[1] = out_pos;"), std::string::npos);
+  EXPECT_NE(C.find("cvg_tensor_t"), std::string::npos);
+}

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+// Tests for the JIT backend: the natively compiled conversion routine must
+// agree bit-for-bit with the reference interpreter on every paper pair.
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+#include "formats/Standard.h"
+#include "jit/Jit.h"
+#include "tensor/Corpus.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+
+namespace {
+
+struct JitCase {
+  const char *Src, *Dst;
+};
+
+class JitMatchesInterpreter : public ::testing::TestWithParam<JitCase> {};
+
+} // namespace
+
+TEST_P(JitMatchesInterpreter, OnBandedRandom) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  formats::Format Src = formats::standardFormat(GetParam().Src);
+  formats::Format Dst = formats::standardFormat(GetParam().Dst);
+  tensor::Triplets T = tensor::genBandedRandom(60, 60, 5.0, 14, 11, 99);
+  tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+
+  convert::Converter Interp(Src, Dst);
+  jit::JitConversion Native(Interp.conversion());
+  tensor::SparseTensor FromInterp = Interp.run(In);
+  tensor::SparseTensor FromJit = Native.run(In);
+  FromJit.validate();
+
+  // Bit-for-bit storage equality, not just logical equality: the native
+  // code must execute the same algorithm.
+  ASSERT_EQ(FromInterp.Levels.size(), FromJit.Levels.size());
+  for (size_t K = 0; K < FromInterp.Levels.size(); ++K) {
+    EXPECT_EQ(FromInterp.Levels[K].Pos, FromJit.Levels[K].Pos) << K;
+    EXPECT_EQ(FromInterp.Levels[K].Crd, FromJit.Levels[K].Crd) << K;
+    EXPECT_EQ(FromInterp.Levels[K].Perm, FromJit.Levels[K].Perm) << K;
+    EXPECT_EQ(FromInterp.Levels[K].SizeParam, FromJit.Levels[K].SizeParam)
+        << K;
+  }
+  EXPECT_EQ(FromInterp.Vals, FromJit.Vals);
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(FromJit), T));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPairs, JitMatchesInterpreter,
+    ::testing::Values(JitCase{"coo", "csr"}, JitCase{"coo", "dia"},
+                      JitCase{"csr", "csc"}, JitCase{"csr", "dia"},
+                      JitCase{"csr", "ell"}, JitCase{"csc", "dia"},
+                      JitCase{"csc", "ell"}, JitCase{"csr", "bcsr"},
+                      JitCase{"ell", "csr"}, JitCase{"dia", "csc"},
+                      JitCase{"coo", "coo"}),
+    [](const auto &Info) {
+      return std::string(Info.param.Src) + "_to_" + Info.param.Dst;
+    });
+
+TEST(Jit, EmptyMatrix) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  tensor::Triplets T;
+  T.NumRows = 9;
+  T.NumCols = 5;
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  convert::Converter Conv(formats::makeCOO(), formats::makeDIA());
+  jit::JitConversion Native(Conv.conversion());
+  tensor::SparseTensor Out = Native.run(In);
+  Out.validate();
+  EXPECT_EQ(Out.Levels[0].SizeParam, 0);
+  EXPECT_TRUE(Out.Vals.empty());
+}
+
+TEST(Jit, CompileTimeIsMeasured) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  convert::Converter Conv(formats::makeCSR(), formats::makeELL());
+  jit::JitConversion Native(Conv.conversion());
+  EXPECT_GT(Native.compileSeconds(), 0.0);
+  EXPECT_LT(Native.compileSeconds(), 60.0);
+}
+
+TEST(Jit, RawInterfaceReusesBuffers) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  tensor::Triplets T = tensor::genDiagonals(50, 50, {-1, 0, 1}, 1.0, 5);
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  convert::Converter Conv(formats::makeCSR(), formats::makeDIA());
+  jit::JitConversion Native(Conv.conversion());
+  jit::CTensor A, B;
+  jit::marshalInput(In, &A);
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    B = jit::CTensor();
+    Native.runRaw(&A, &B);
+    EXPECT_EQ(B.params[1], 3); // three diagonals
+    jit::freeOutput(&B);
+  }
+}

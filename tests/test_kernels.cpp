@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+// Tests for the SpMV kernels: every format's kernel must agree with the
+// triplet reference on shared matrices, including rectangular ones.
+//===----------------------------------------------------------------------===//
+
+#include "formats/Standard.h"
+#include "kernels/SpMV.h"
+#include "tensor/Corpus.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+
+namespace {
+
+std::vector<double> unitVector(int64_t N) {
+  std::vector<double> X(static_cast<size_t>(N));
+  for (int64_t I = 0; I < N; ++I)
+    X[static_cast<size_t>(I)] = 0.25 + static_cast<double>(I % 7);
+  return X;
+}
+
+} // namespace
+
+class SpmvAllFormats
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(SpmvAllFormats, MatchesReference) {
+  const auto &[FormatName, MatrixName] = GetParam();
+  tensor::Triplets T;
+  for (auto &[Name, M] : tensor::testMatrices())
+    if (Name == MatrixName)
+      T = M;
+  if (FormatName == "sky") {
+    bool Lower = true;
+    for (const tensor::Entry &E : T.Entries)
+      Lower = Lower && E.Col <= E.Row;
+    if (!Lower)
+      GTEST_SKIP() << "skyline requires lower-triangular input";
+  }
+  formats::Format F = formats::standardFormat(FormatName);
+  tensor::SparseTensor A = tensor::buildFromTriplets(F, T);
+  std::vector<double> X = unitVector(T.NumCols);
+  std::vector<double> Y = kernels::spmv(A, X);
+  std::vector<double> Ref = kernels::spmvReference(A, X);
+  ASSERT_EQ(Y.size(), Ref.size());
+  for (size_t I = 0; I < Y.size(); ++I)
+    EXPECT_NEAR(Y[I], Ref[I], 1e-9) << FormatName << " row " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, SpmvAllFormats,
+    ::testing::Combine(::testing::Values("coo", "csr", "csc", "dia", "ell",
+                                         "bcsr", "sky"),
+                       ::testing::Values("figure1", "empty", "dense_small",
+                                         "tridiag_rect_wide",
+                                         "tridiag_rect_tall", "banded_random",
+                                         "scatter_random", "lower_banded",
+                                         "antidiagonal")),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) + "_" + std::get<1>(Info.param);
+    });
+
+TEST(Spmv, RejectsWrongVectorLength) {
+  tensor::Triplets T = tensor::genDiagonals(5, 8, {0}, 1.0, 1);
+  tensor::SparseTensor A =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  std::vector<double> X(5, 1.0); // needs 8
+  EXPECT_DEATH(kernels::spmv(A, X), "one entry per column");
+}

@@ -1,0 +1,328 @@
+//===----------------------------------------------------------------------===//
+// Tests for src/remap: parser round trips, evaluation semantics (including
+// the paper's DIA, BCSR, ELL, and HiCOO Morton-order examples), interval
+// bounds analysis, and lowering to IR.
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interpreter.h"
+#include "remap/Bounds.h"
+#include "remap/Lower.h"
+#include "remap/Remap.h"
+#include "remap/RemapParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+using namespace convgen::remap;
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+struct RoundTripCase {
+  const char *Input;
+  const char *Canonical; // expected printRemap output
+};
+
+class RemapRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RemapRoundTrip, ParsePrint) {
+  ParseResult R = parseRemap(GetParam().Input);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(printRemap(R.Stmt), GetParam().Canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, RemapRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"(i,j) -> (j-i,i,j)", "(i,j) -> (j-i,i,j)"},
+        RoundTripCase{"(i,j) -> (i/4,j/8,i,j)", "(i,j) -> (i/4,j/8,i,j)"},
+        RoundTripCase{"(i,j) -> (i%4,j%8,i,j)", "(i,j) -> (i%4,j%8,i,j)"},
+        RoundTripCase{"(i,j) -> (k=#i in k,i,j)", "(i,j) -> (k=#i in k,i,j)"},
+        RoundTripCase{"(i,j) -> (#i,i,j)", "(i,j) -> (#i,i,j)"},
+        RoundTripCase{"(i,j,k) -> (k,j,i)", "(i,j,k) -> (k,j,i)"},
+        RoundTripCase{"(i) -> (i)", "(i) -> (i)"},
+        RoundTripCase{"(i,j) -> ((i+j)*2 - 1,i,j)",
+                      "(i,j) -> ((i+j)*2-1,i,j)"},
+        RoundTripCase{
+            "(i,j) -> (r=i/2 in (r&1) | ((r&2)<<2),i,j)",
+            "(i,j) -> (r=i/2 in r&1|(r&2)<<2,i,j)"},
+        RoundTripCase{"(i,j) -> (i^j,i,j)", "(i,j) -> (i^j,i,j)"}));
+
+TEST(RemapParser, PrecedenceMatchesFigure8) {
+  // '|' binds loosest, then '^', '&', shifts, additive, multiplicative.
+  ParseResult R = parseRemap("(i,j) -> (i|j^i&j<<1+i*2,i,j)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  Evaluator Eval(R.Stmt);
+  // i=1, j=2: i*2=2; 1+2=3; j<<3=16; i&16=0; j^0=2; i|2=3.
+  EXPECT_EQ(Eval.map({1, 2})[0], 3);
+}
+
+TEST(RemapParser, ErrorUnknownVariable) {
+  ParseResult R = parseRemap("(i,j) -> (i+z,i,j)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown variable 'z'"), std::string::npos);
+}
+
+TEST(RemapParser, ErrorDuplicateSourceVar) {
+  EXPECT_FALSE(parseRemap("(i,i) -> (i,i)").Ok);
+}
+
+TEST(RemapParser, ErrorLetShadowsIVar) {
+  ParseResult R = parseRemap("(i,j) -> (i=j in i,i,j)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("shadows"), std::string::npos);
+}
+
+TEST(RemapParser, ErrorMissingArrow) {
+  EXPECT_FALSE(parseRemap("(i,j) (j,i)").Ok);
+}
+
+TEST(RemapParser, ErrorTrailingInput) {
+  EXPECT_FALSE(parseRemap("(i,j) -> (j,i) x").Ok);
+}
+
+TEST(RemapParser, CountersStopAtNonIVar) {
+  // In `k=#i in k`, the counter indexes only `i`; `in` terminates it.
+  ParseResult R = parseRemap("(i,j) -> (k=#i in k,i,j)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto Counters = collectCounters(R.Stmt);
+  ASSERT_EQ(Counters.size(), 1u);
+  ASSERT_EQ(Counters[0].size(), 1u);
+  EXPECT_EQ(Counters[0][0], "i");
+}
+
+TEST(RemapParser, MultiIndexCounter) {
+  ParseResult R = parseRemap("(i,j,k) -> (#i j,i,j,k)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  auto Counters = collectCounters(R.Stmt);
+  ASSERT_EQ(Counters.size(), 1u);
+  EXPECT_EQ(Counters[0], (std::vector<std::string>{"i", "j"}));
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(RemapEval, DiaOffsets) {
+  // Figure 5: (i,j) -> (j-i,i,j) groups nonzeros by diagonal.
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (j-i,i,j)");
+  Evaluator Eval(Stmt);
+  EXPECT_EQ(Eval.map({0, 0}), (std::vector<int64_t>{0, 0, 0}));
+  EXPECT_EQ(Eval.map({3, 1}), (std::vector<int64_t>{-2, 3, 1}));
+  EXPECT_EQ(Eval.map({1, 4}), (std::vector<int64_t>{3, 1, 4}));
+}
+
+TEST(RemapEval, BcsrBlocks) {
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (i/2,j/3,i%2,j%3)");
+  Evaluator Eval(Stmt);
+  EXPECT_EQ(Eval.map({5, 7}), (std::vector<int64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(Eval.map({0, 0}), (std::vector<int64_t>{0, 0, 0, 0}));
+}
+
+TEST(RemapEval, EllCounterMatchesFigure9) {
+  // Applying (i,j) -> (#i,i,j) to the Figure 1 matrix in row-major order
+  // assigns the k-th nonzero of each row to slice k (Figure 9).
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (#i,i,j)");
+  Evaluator Eval(Stmt);
+  // Row-major nonzeros of Figure 1: (0,0)=5 (0,1)=1; (1,1)=7 (1,2)=3;
+  // (2,0)=8 (2,2)=2 (2,4)=4*; row 2 actually holds 8,2,4? Figure 2a lists
+  // row 2 nonzeros at columns 0,2,3; row 3 at columns 1,2,4.
+  EXPECT_EQ(Eval.map({0, 0})[0], 0);
+  EXPECT_EQ(Eval.map({0, 1})[0], 1);
+  EXPECT_EQ(Eval.map({1, 1})[0], 0); // counter is per-row
+  EXPECT_EQ(Eval.map({1, 2})[0], 1);
+  EXPECT_EQ(Eval.map({2, 0})[0], 0);
+  EXPECT_EQ(Eval.map({2, 2})[0], 1);
+  EXPECT_EQ(Eval.map({2, 3})[0], 2);
+  EXPECT_EQ(Eval.map({3, 1})[0], 0);
+}
+
+TEST(RemapEval, GlobalCounterNumbersAllNonzeros) {
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (#,i,j)");
+  Evaluator Eval(Stmt);
+  EXPECT_EQ(Eval.map({0, 0})[0], 0);
+  EXPECT_EQ(Eval.map({5, 1})[0], 1);
+  EXPECT_EQ(Eval.map({0, 0})[0], 2);
+}
+
+TEST(RemapEval, CounterResetsOnDemand) {
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (#i,i,j)");
+  Evaluator Eval(Stmt);
+  EXPECT_EQ(Eval.map({0, 0})[0], 0);
+  EXPECT_EQ(Eval.map({0, 1})[0], 1);
+  Eval.resetCounters();
+  EXPECT_EQ(Eval.map({0, 2})[0], 0);
+}
+
+TEST(RemapEval, HicooMortonOrder) {
+  // The paper's HiCOO example: blocks of size N=4 whose coordinates are
+  // bit-interleaved into a Morton code (2 bits per axis shown here).
+  RemapStmt Stmt = parseRemapOrDie(
+      "(i,j,k) -> (r=i/4 in s=j/4 in t=k/4 in "
+      "(r&1) | ((s&1)<<1) | ((t&1)<<2) | ((r&2)<<2) | ((s&2)<<3) | "
+      "((t&2)<<4),"
+      "i/4,j/4,k/4,"
+      "u=i%4 in v=j%4 in w=k%4 in "
+      "(u&1) | ((v&1)<<1) | ((w&1)<<2) | ((u&2)<<2) | ((v&2)<<3) | "
+      "((w&2)<<4),"
+      "i,j,k)");
+  Evaluator Eval(Stmt);
+  // Component (5,2,9): block (1,0,2), in-block (1,2,1).
+  std::vector<int64_t> Out = Eval.map({5, 2, 9});
+  // Block Morton: r=1,s=0,t=2 -> bits r0=1, s0<<1=0, t0<<2=0, r1<<2=0,
+  // s1<<3=0, t1<<4=2<<4=32 -> 33.
+  EXPECT_EQ(Out[0], 33);
+  EXPECT_EQ(Out[1], 1);
+  EXPECT_EQ(Out[2], 0);
+  EXPECT_EQ(Out[3], 2);
+  // In-block Morton: u=1,v=2,w=1 -> u0=1, v0<<1=0, w0<<2=4, u1<<2=0,
+  // v1<<3=16, w1<<4=0 -> 21.
+  EXPECT_EQ(Out[4], 21);
+  EXPECT_EQ(Out[5], 5);
+  EXPECT_EQ(Out[6], 2);
+  EXPECT_EQ(Out[7], 9);
+}
+
+TEST(RemapEval, MortonOrderSortsLikeZCurve) {
+  // 2-D Morton remap over a 4x4 grid: enumerating coordinates sorted by the
+  // remapped leading dimension yields the Z-order traversal.
+  RemapStmt Stmt = parseRemapOrDie(
+      "(i,j) -> ((i&1) | ((j&1)<<1) | ((i&2)<<1) | ((j&2)<<2),i,j)");
+  Evaluator Eval(Stmt);
+  std::vector<std::pair<int64_t, std::pair<int, int>>> Order;
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 4; ++J)
+      Order.push_back({Eval.map({I, J})[0], {I, J}});
+  std::sort(Order.begin(), Order.end());
+  // The first four entries of the Z curve cover the top-left 2x2 block.
+  EXPECT_EQ(Order[0].second, (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(Order[1].second, (std::pair<int, int>{1, 0}));
+  EXPECT_EQ(Order[2].second, (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(Order[3].second, (std::pair<int, int>{1, 1}));
+  // All 16 codes are distinct.
+  for (size_t I = 1; I < Order.size(); ++I)
+    EXPECT_NE(Order[I - 1].first, Order[I].first);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounds analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<DimBounds> boundsFor(const char *Remap,
+                                 std::vector<ir::Expr> Dims) {
+  RemapStmt Stmt = parseRemapOrDie(Remap);
+  return analyzeBounds(Stmt, Dims);
+}
+
+int64_t evalConst(const ir::Expr &E,
+                  const std::map<std::string, int64_t> &DimVals) {
+  ir::BlockBuilder B;
+  B.add(ir::yieldScalar("out", E));
+  ir::Function F{"eval", {}, B.build()};
+  ir::Interpreter Interp;
+  for (const auto &[Name, V] : DimVals)
+    Interp.bindScalar(Name, V);
+  return Interp.run(F).Scalars["out"];
+}
+
+} // namespace
+
+TEST(RemapBounds, DiaOffsetRange) {
+  auto B = boundsFor("(i,j) -> (j-i,i,j)", {ir::var("dim0"), ir::var("dim1")});
+  ASSERT_EQ(B.size(), 3u);
+  ASSERT_TRUE(B[0].Known);
+  // k = j - i over [0,M) x [0,N) spans [1-M, N-1].
+  std::map<std::string, int64_t> Dims{{"dim0", 4}, {"dim1", 6}};
+  EXPECT_EQ(evalConst(B[0].Lo, Dims), -3);
+  EXPECT_EQ(evalConst(B[0].Hi, Dims), 5);
+  EXPECT_EQ(evalConst(B[0].extent(), Dims), 9); // M + N - 1
+  EXPECT_EQ(evalConst(B[1].Lo, Dims), 0);
+  EXPECT_EQ(evalConst(B[1].Hi, Dims), 3);
+}
+
+TEST(RemapBounds, BcsrBlockRange) {
+  auto B = boundsFor("(i,j) -> (i/2,j/3,i%2,j%3)",
+                     {ir::var("dim0"), ir::var("dim1")});
+  std::map<std::string, int64_t> Dims{{"dim0", 5}, {"dim1", 7}};
+  EXPECT_EQ(evalConst(B[0].Hi, Dims), 2); // (5-1)/2
+  EXPECT_EQ(evalConst(B[1].Hi, Dims), 2); // (7-1)/3
+  EXPECT_EQ(evalConst(B[2].Lo, Dims), 0);
+  EXPECT_EQ(evalConst(B[2].Hi, Dims), 1);
+  EXPECT_EQ(evalConst(B[3].Hi, Dims), 2);
+}
+
+TEST(RemapBounds, CounterDimFlagged) {
+  auto B = boundsFor("(i,j) -> (#i,i,j)", {ir::var("dim0"), ir::var("dim1")});
+  EXPECT_TRUE(B[0].IsCounter);
+  EXPECT_FALSE(B[0].Known);
+  EXPECT_TRUE(B[1].Known);
+}
+
+TEST(RemapBounds, LetBoundMortonHasStaticBounds) {
+  auto B = boundsFor("(i,j) -> (r=i%4 in s=j%4 in (r&1) | ((s&1)<<1),i,j)",
+                     {ir::var("dim0"), ir::var("dim1")});
+  ASSERT_TRUE(B[0].Known);
+  std::map<std::string, int64_t> Dims{{"dim0", 100}, {"dim1", 100}};
+  EXPECT_EQ(evalConst(B[0].Lo, Dims), 0);
+  EXPECT_EQ(evalConst(B[0].Hi, Dims), 3);
+}
+
+TEST(RemapBounds, UnanalyzableMarkedUnknown) {
+  // i*j has no constant side, so the analysis declines to bound it.
+  auto B = boundsFor("(i,j) -> (i*j,i,j)", {ir::var("dim0"), ir::var("dim1")});
+  EXPECT_FALSE(B[0].Known);
+  EXPECT_FALSE(B[0].IsCounter);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering to IR
+//===----------------------------------------------------------------------===//
+
+TEST(RemapLower, ArithmeticInlines) {
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (j-i,i,j)");
+  LowerEnv Env;
+  Env.IVars = {{"i", ir::var("i")}, {"j", ir::var("j")}};
+  std::vector<ir::Stmt> Decls;
+  ir::Expr E = lowerDimExpr(Stmt.DstDims[0], Env, &Decls);
+  EXPECT_TRUE(Decls.empty());
+  EXPECT_EQ(ir::printExpr(E), "j - i");
+}
+
+TEST(RemapLower, LetsBecomeLocalDecls) {
+  RemapStmt Stmt =
+      parseRemapOrDie("(i,j) -> (r=i/4 in (r&1) | ((r&2)<<2),i,j)");
+  LowerEnv Env;
+  Env.IVars = {{"i", ir::var("i")}, {"j", ir::var("j")}};
+  Env.NamePrefix = "d0_";
+  std::vector<ir::Stmt> Decls;
+  ir::Expr E = lowerDimExpr(Stmt.DstDims[0], Env, &Decls);
+  ASSERT_EQ(Decls.size(), 1u);
+  EXPECT_EQ(ir::printStmt(Decls[0]), "int64_t d0_r = i / 4;\n");
+  EXPECT_EQ(ir::printExpr(E), "(d0_r & 1) | ((d0_r & 2) << 2)");
+}
+
+TEST(RemapLower, CounterUsesBinding) {
+  RemapStmt Stmt = parseRemapOrDie("(i,j) -> (#i,i,j)");
+  LowerEnv Env;
+  Env.IVars = {{"i", ir::var("i")}, {"j", ir::var("j")}};
+  Env.Counters = {{"#i", ir::var("count")}};
+  std::vector<ir::Stmt> Decls;
+  ir::Expr E = lowerDimExpr(Stmt.DstDims[0], Env, &Decls);
+  EXPECT_EQ(ir::printExpr(E), "count");
+}
+
+TEST(RemapLower, IdentityHelpers) {
+  RemapStmt Id = identityRemap({"i", "j"});
+  EXPECT_EQ(printRemap(Id), "(i,j) -> (i,j)");
+  std::string Var;
+  EXPECT_TRUE(dimIsPlainVar(Id, 0, &Var));
+  EXPECT_EQ(Var, "i");
+  EXPECT_FALSE(dimIsPlainCounter(Id, 0));
+  std::vector<std::string> Indices;
+  RemapStmt Ell = parseRemapOrDie("(i,j) -> (k=#i in k,i,j)");
+  EXPECT_TRUE(dimIsPlainCounter(Ell, 0, &Indices));
+  EXPECT_EQ(Indices, (std::vector<std::string>{"i"}));
+}

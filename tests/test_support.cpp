@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+// Tests for src/support: string helpers.
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+
+TEST(StringUtils, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(StringUtils, JoinSingle) { EXPECT_EQ(join({"a"}, ", "), "a"); }
+
+TEST(StringUtils, JoinMany) {
+  EXPECT_EQ(join({"a", "b", "c"}, " + "), "a + b + c");
+}
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  std::vector<std::string> Fields = split("a,,b", ',');
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "");
+  EXPECT_EQ(Fields[2], "b");
+}
+
+TEST(StringUtils, SplitNoSeparator) {
+  std::vector<std::string> Fields = split("abc", ',');
+  ASSERT_EQ(Fields.size(), 1u);
+  EXPECT_EQ(Fields[0], "abc");
+}
+
+TEST(StringUtils, TrimBothEnds) { EXPECT_EQ(trim("  x y\t\n"), "x y"); }
+
+TEST(StringUtils, TrimAllWhitespace) { EXPECT_EQ(trim(" \t "), ""); }
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("A1_pos", "A1"));
+  EXPECT_FALSE(startsWith("A", "A1"));
+}
+
+TEST(StringUtils, Strfmt) {
+  EXPECT_EQ(strfmt("%d + %s", 2, "x"), "2 + x");
+  EXPECT_EQ(strfmt("%lld", static_cast<long long>(1) << 40), "1099511627776");
+}

@@ -1,0 +1,341 @@
+//===----------------------------------------------------------------------===//
+// Tests for src/tensor: triplets, oracle round trips for every format,
+// validators, generators, the Table 2 corpus, and Matrix Market I/O.
+//===----------------------------------------------------------------------===//
+
+#include "formats/Standard.h"
+#include "tensor/Corpus.h"
+#include "tensor/Generators.h"
+#include "tensor/MatrixMarket.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+using namespace convgen;
+using namespace convgen::tensor;
+
+//===----------------------------------------------------------------------===//
+// Triplets
+//===----------------------------------------------------------------------===//
+
+TEST(Triplets, SortAndDuplicates) {
+  Triplets T;
+  T.NumRows = T.NumCols = 4;
+  T.Entries = {{2, 1, 1.0}, {0, 3, 2.0}, {2, 0, 3.0}};
+  T.sortRowMajor();
+  EXPECT_EQ(T.Entries[0].Row, 0);
+  EXPECT_EQ(T.Entries[1].Col, 0);
+  EXPECT_FALSE(T.hasDuplicates());
+  T.Entries.push_back({0, 3, 9.0});
+  EXPECT_TRUE(T.hasDuplicates());
+}
+
+TEST(Triplets, CanonicalDropsZeros) {
+  Triplets T;
+  T.NumRows = T.NumCols = 2;
+  T.Entries = {{0, 0, 1.0}, {1, 1, 0.0}};
+  EXPECT_EQ(T.canonicalized().nnz(), 1);
+}
+
+TEST(Triplets, EqualityIgnoresOrderAndZeros) {
+  Triplets A, B;
+  A.NumRows = B.NumRows = 3;
+  A.NumCols = B.NumCols = 3;
+  A.Entries = {{0, 1, 2.0}, {2, 2, 3.0}};
+  B.Entries = {{2, 2, 3.0}, {0, 1, 2.0}, {1, 1, 0.0}};
+  EXPECT_TRUE(equal(A, B));
+  B.Entries[0].Val = 3.5;
+  EXPECT_FALSE(equal(A, B));
+}
+
+TEST(Triplets, Statistics) {
+  Triplets T;
+  T.NumRows = 4;
+  T.NumCols = 6;
+  T.Entries = {{0, 0, 5}, {0, 1, 1}, {1, 1, 7}, {1, 2, 3}, {2, 0, 8},
+               {2, 2, 2}, {2, 3, 4}, {3, 1, 9}, {3, 4, 6}};
+  EXPECT_EQ(T.maxRowCount(), 3);
+  // Figure 1 diagonals: offsets 0,1 (x2 each), -2, 1, 0, -2, 1 -> {-2,0,1}.
+  EXPECT_EQ(T.countDiagonals(), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle round trips: triplets -> format -> triplets is the identity on
+// canonical forms, for every format and every test matrix.
+//===----------------------------------------------------------------------===//
+
+class OracleRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(OracleRoundTrip, PreservesComponents) {
+  const auto &[FormatName, MatrixName] = GetParam();
+  formats::Format F = formats::standardFormat(FormatName);
+  Triplets T;
+  for (auto &[Name, M] : testMatrices())
+    if (Name == MatrixName)
+      T = M;
+  if (FormatName == "sky" && MatrixName != "lower_banded")
+    GTEST_SKIP() << "skyline requires lower-triangular input";
+  SparseTensor S = buildFromTriplets(F, T);
+  S.validate();
+  EXPECT_TRUE(equal(toTriplets(S), T))
+      << "format " << FormatName << " on " << MatrixName;
+}
+
+namespace {
+
+std::vector<std::string> allMatrixNames() {
+  std::vector<std::string> Names;
+  for (auto &[Name, M] : testMatrices())
+    Names.push_back(Name);
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsAllMatrices, OracleRoundTrip,
+    ::testing::Combine(::testing::Values("coo", "csr", "csc", "dia", "ell",
+                                         "bcsr", "sky"),
+                       ::testing::ValuesIn(allMatrixNames())),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) + "_" + std::get<1>(Info.param);
+    });
+
+TEST(Oracle, Figure2LayoutsMatchPaper) {
+  // The paper's running example (Figures 1 and 2) pins down the exact
+  // storage arrays for COO, CSR, DIA, and ELL.
+  Triplets T;
+  T.NumRows = 4;
+  T.NumCols = 6;
+  T.Entries = {{0, 0, 5}, {0, 1, 1}, {1, 1, 7}, {1, 2, 3}, {2, 0, 8},
+               {2, 2, 2}, {2, 3, 4}, {3, 1, 9}, {3, 4, 6}};
+
+  SparseTensor Coo = buildFromTriplets(formats::makeCOO(), T);
+  EXPECT_EQ(Coo.Levels[0].Pos, (std::vector<int32_t>{0, 9}));
+  EXPECT_EQ(Coo.Levels[0].Crd,
+            (std::vector<int32_t>{0, 0, 1, 1, 2, 2, 2, 3, 3}));
+  EXPECT_EQ(Coo.Levels[1].Crd,
+            (std::vector<int32_t>{0, 1, 1, 2, 0, 2, 3, 1, 4}));
+  EXPECT_EQ(Coo.Vals, (std::vector<double>{5, 1, 7, 3, 8, 2, 4, 9, 6}));
+
+  SparseTensor Csr = buildFromTriplets(formats::makeCSR(), T);
+  EXPECT_EQ(Csr.Levels[1].Pos, (std::vector<int32_t>{0, 2, 4, 7, 9}));
+  EXPECT_EQ(Csr.Levels[1].Crd,
+            (std::vector<int32_t>{0, 1, 1, 2, 0, 2, 3, 1, 4}));
+
+  SparseTensor Dia = buildFromTriplets(formats::makeDIA(), T);
+  EXPECT_EQ(Dia.Levels[0].SizeParam, 3);
+  EXPECT_EQ(Dia.Levels[0].Perm, (std::vector<int32_t>{-2, 0, 1}));
+  // Figure 2c vals (K=3 slices x 4 rows): offset -2 -> {0,0,8,9},
+  // offset 0 -> {5,7,2,0}, offset 1 -> {1,3,4,6}.
+  EXPECT_EQ(Dia.Vals, (std::vector<double>{0, 0, 8, 9, 5, 7, 2, 0, 1, 3, 4,
+                                           6}));
+
+  SparseTensor Ell = buildFromTriplets(formats::makeELL(), T);
+  EXPECT_EQ(Ell.Levels[0].SizeParam, 3);
+  // Figure 2d: crd slices {0,1,0,1},{1,2,2,4},{0,0,3,0};
+  // vals {5,7,8,9},{1,3,2,6},{0,0,4,0}.
+  EXPECT_EQ(Ell.Levels[2].Crd,
+            (std::vector<int32_t>{0, 1, 0, 1, 1, 2, 2, 4, 0, 0, 3, 0}));
+  EXPECT_EQ(Ell.Vals,
+            (std::vector<double>{5, 7, 8, 9, 1, 3, 2, 6, 0, 0, 4, 0}));
+}
+
+TEST(OracleDeath, RejectsDuplicates) {
+  Triplets T;
+  T.NumRows = T.NumCols = 2;
+  T.Entries = {{0, 0, 1.0}, {0, 0, 2.0}};
+  EXPECT_DEATH(buildFromTriplets(formats::makeCSR(), T), "duplicate");
+}
+
+TEST(OracleDeath, RejectsOutOfBounds) {
+  Triplets T;
+  T.NumRows = T.NumCols = 2;
+  T.Entries = {{0, 5, 1.0}};
+  EXPECT_DEATH(buildFromTriplets(formats::makeCSR(), T), "out of bounds");
+}
+
+TEST(OracleDeath, SkylineRejectsUpperTriangle) {
+  Triplets T;
+  T.NumRows = T.NumCols = 3;
+  T.Entries = {{0, 2, 1.0}};
+  EXPECT_DEATH(buildFromTriplets(formats::makeSKY(), T), "lower-triangular");
+}
+
+TEST(ValidateDeath, CatchesCorruptPos) {
+  Triplets T = genDiagonals(10, 10, {0}, 1.0, 1);
+  SparseTensor S = buildFromTriplets(formats::makeCSR(), T);
+  S.Levels[1].Pos[3] = 99; // non-monotonic and over nnz
+  EXPECT_DEATH(S.validate(), "monotonic");
+}
+
+TEST(ValidateDeath, CatchesBadCoordinate) {
+  Triplets T = genDiagonals(10, 10, {0}, 1.0, 1);
+  SparseTensor S = buildFromTriplets(formats::makeCSR(), T);
+  S.Levels[1].Crd[0] = 42;
+  EXPECT_DEATH(S.validate(), "out of range");
+}
+
+//===----------------------------------------------------------------------===//
+// Generators
+//===----------------------------------------------------------------------===//
+
+TEST(Generators, DiagonalsExactStructure) {
+  Triplets T = genDiagonals(100, 100, {-10, -1, 0, 1, 10}, 1.0, 7);
+  EXPECT_EQ(T.countDiagonals(), 5);
+  EXPECT_EQ(T.maxRowCount(), 5);
+  // Interior rows have all 5 entries; borders fewer.
+  EXPECT_EQ(T.nnz(), 5 * 100 - 2 * 10 - 2 * 1);
+  EXPECT_FALSE(T.hasDuplicates());
+}
+
+TEST(Generators, Deterministic) {
+  Triplets A = genBandedRandom(50, 50, 4.0, 10, 8, 42);
+  Triplets B = genBandedRandom(50, 50, 4.0, 10, 8, 42);
+  EXPECT_TRUE(equal(A, B));
+  Triplets C = genBandedRandom(50, 50, 4.0, 10, 8, 43);
+  EXPECT_FALSE(equal(A, C));
+}
+
+TEST(Generators, BandedRespectsBandAndCap) {
+  Triplets T = genBandedRandom(200, 200, 6.0, 9, 15, 3);
+  EXPECT_LE(T.maxRowCount(), 9);
+  for (const Entry &E : T.Entries)
+    EXPECT_LE(std::abs(E.Col - E.Row), 15);
+  EXPECT_FALSE(T.hasDuplicates());
+}
+
+TEST(Generators, PowerLawHitsTotal) {
+  Triplets T = genPowerLawRows(1000, 1000, 5000, 400, 5);
+  EXPECT_GT(T.nnz(), 2500);
+  EXPECT_LT(T.nnz(), 10000);
+  EXPECT_LE(T.maxRowCount(), 400);
+}
+
+TEST(Generators, SymmetrizedIsSymmetric) {
+  Triplets T = symmetrized(genRandomUniform(40, 40, 3.0, 10, 9));
+  std::set<std::pair<int64_t, int64_t>> Coords;
+  for (const Entry &E : T.Entries)
+    Coords.insert({E.Row, E.Col});
+  for (const Entry &E : T.Entries)
+    EXPECT_TRUE(Coords.count({E.Col, E.Row}));
+}
+
+TEST(Generators, LowerBandedIsLower) {
+  Triplets T = genLowerBanded(60, 4.0, 10, 21);
+  for (const Entry &E : T.Entries)
+    EXPECT_LE(E.Col, E.Row);
+  // Diagonal present in every row.
+  std::vector<bool> HasDiag(60, false);
+  for (const Entry &E : T.Entries)
+    if (E.Row == E.Col)
+      HasDiag[static_cast<size_t>(E.Row)] = true;
+  for (bool H : HasDiag)
+    EXPECT_TRUE(H);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus
+//===----------------------------------------------------------------------===//
+
+TEST(Corpus, Has21Table2Entries) {
+  EXPECT_EQ(table2Corpus().size(), 21u);
+  EXPECT_EQ(table2Corpus().front().Name, "pdb1HYS");
+  EXPECT_EQ(table2Corpus().back().Name, "atmosmodd");
+}
+
+TEST(Corpus, NonSymmetricSetMatchesTable2) {
+  std::set<std::string> NonSym;
+  for (const CorpusEntry &E : table2Corpus())
+    if (!E.Symmetric)
+      NonSym.insert(E.Name);
+  EXPECT_EQ(NonSym, (std::set<std::string>{
+                        "chem_master1", "rma10", "shyy161", "Baumann",
+                        "majorbasis", "scircuit", "mac_econ_fwd500",
+                        "webbase-1M", "atmosmodd"}));
+}
+
+TEST(Corpus, ScaledGenerationApproximatesTargets) {
+  // Small scale keeps this test fast; statistics should be in the right
+  // ballpark (structure matters more than exact counts).
+  const CorpusEntry &E = corpusEntry("jnlbrng1");
+  Triplets T = E.Generate(0.02);
+  EXPECT_NEAR(static_cast<double>(T.NumRows), 800.0, 1.0);
+  EXPECT_EQ(T.countDiagonals(), 5);
+  EXPECT_EQ(T.maxRowCount(), 5);
+}
+
+TEST(Corpus, StencilEntriesHaveExactDiagonalCounts) {
+  for (const char *Name : {"Lin", "Baumann", "atmosmodd"}) {
+    Triplets T = corpusEntry(Name).Generate(0.01);
+    EXPECT_EQ(T.countDiagonals(), 7) << Name;
+  }
+}
+
+TEST(Corpus, TestMatricesAreDuplicateFreeAndInBounds) {
+  for (auto &[Name, T] : testMatrices()) {
+    EXPECT_FALSE(T.hasDuplicates()) << Name;
+    for (const Entry &E : T.Entries) {
+      EXPECT_GE(E.Row, 0);
+      EXPECT_LT(E.Row, T.NumRows);
+      EXPECT_GE(E.Col, 0);
+      EXPECT_LT(E.Col, T.NumCols);
+      EXPECT_NE(E.Val, 0.0) << Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix Market
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixMarket, RoundTrip) {
+  Triplets T = genRandomUniform(20, 30, 3.0, 8, 33);
+  Triplets Back;
+  std::string Error;
+  ASSERT_TRUE(readMatrixMarket(writeMatrixMarket(T), &Back, &Error)) << Error;
+  EXPECT_TRUE(equal(T, Back));
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::string Text = "%%MatrixMarket matrix coordinate real symmetric\n"
+                     "% comment line\n"
+                     "3 3 2\n"
+                     "2 1 5.0\n"
+                     "3 3 7.0\n";
+  Triplets T;
+  std::string Error;
+  ASSERT_TRUE(readMatrixMarket(Text, &T, &Error)) << Error;
+  EXPECT_EQ(T.nnz(), 3); // (1,0), (0,1), (2,2)
+}
+
+TEST(MatrixMarket, PatternDefaultsToOne) {
+  std::string Text = "%%MatrixMarket matrix coordinate pattern general\n"
+                     "2 2 1\n"
+                     "1 2\n";
+  Triplets T;
+  std::string Error;
+  ASSERT_TRUE(readMatrixMarket(Text, &T, &Error)) << Error;
+  ASSERT_EQ(T.nnz(), 1);
+  EXPECT_EQ(T.Entries[0].Val, 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  Triplets T;
+  std::string Error;
+  EXPECT_FALSE(readMatrixMarket("garbage", &T, &Error));
+  EXPECT_FALSE(readMatrixMarket(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", &T,
+      &Error));
+  EXPECT_NE(Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Tensor, DumpMentionsEveryLevel) {
+  Triplets T = genDiagonals(8, 8, {-1, 0, 1}, 1.0, 2);
+  SparseTensor S = buildFromTriplets(formats::makeDIA(), T);
+  std::string Dump = S.dump();
+  EXPECT_NE(Dump.find("squeezed"), std::string::npos);
+  EXPECT_NE(Dump.find("perm"), std::string::npos);
+  EXPECT_NE(Dump.find("K=3"), std::string::npos);
+}
