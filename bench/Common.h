@@ -21,6 +21,7 @@
 #define CONVGEN_BENCH_COMMON_H
 
 #include "codegen/Generator.h"
+#include "convert/PlanCache.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
 #include "tensor/Corpus.h"
@@ -117,23 +118,19 @@ inline bool ellViable(const MatrixInputs &In) {
          static_cast<double>(In.T.nnz()) >= 0.25 * Stored;
 }
 
-/// Lazily generated + JIT-compiled conversion for a format pair.
+/// Lazily generated + JIT-compiled conversion for a format pair, shared
+/// through the process-wide PlanCache. The returned reference is pinned
+/// for the life of the process (not just of the cache entry), so it stays
+/// valid even across PlanCache::clearMemory().
 inline const jit::JitConversion &
 jitConversion(const std::string &Src, const std::string &Dst,
               codegen::Options Opts = codegen::Options()) {
-  static std::map<std::string, std::unique_ptr<jit::JitConversion>> Cache;
-  std::string Key = Src + "->" + Dst +
-                    (Opts.OptimizeQueries ? "" : "|noq") +
-                    (Opts.CounterReuse ? "" : "|noc") +
-                    (Opts.ForceUnseqEdges ? "|unseq" : "") +
-                    (Opts.MaterializeRemap ? "|mat" : "");
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return *It->second;
-  codegen::Conversion Conv = codegen::generateConversion(
-      formats::standardFormat(Src), formats::standardFormat(Dst), Opts);
-  auto Compiled = std::make_unique<jit::JitConversion>(Conv);
-  return *(Cache[Key] = std::move(Compiled));
+  static std::map<std::string, std::shared_ptr<jit::JitConversion>> Pinned;
+  formats::Format Source = formats::standardFormat(Src);
+  formats::Format Target = formats::standardFormat(Dst);
+  std::shared_ptr<jit::JitConversion> Handle =
+      convert::PlanCache::instance().jit(Source, Target, Opts);
+  return *(Pinned[convert::planKey(Source, Target, Opts)] = Handle);
 }
 
 /// Times one run of a JIT conversion on a marshalled input (frees outputs).

@@ -11,9 +11,77 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <unistd.h>
 
 using namespace convgen;
 using namespace convgen::bench;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Begin)
+      .count();
+}
+
+/// How the plan/JIT cache changes the cost of *obtaining* a converter: the
+/// first request pays codegen + the external compiler; later requests in
+/// the same process are a map lookup; a new process with a warm disk cache
+/// skips the compiler and only pays codegen + dlopen.
+void reportCacheAmortization() {
+  convert::PlanCache &Cache = convert::PlanCache::instance();
+  formats::Format Src = formats::standardFormat("coo");
+  formats::Format Dst = formats::standardFormat("csr");
+
+  // Fresh on-disk cache directory so "cold" really runs the compiler;
+  // the caller's CONVGEN_CACHE_DIR is restored afterwards.
+  const char *SavedDir = std::getenv("CONVGEN_CACHE_DIR");
+  std::string Saved = SavedDir ? SavedDir : "";
+  char Template[] = "/tmp/convgen-benchcache-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (Dir)
+    setenv("CONVGEN_CACHE_DIR", Dir, 1);
+
+  Cache.clearMemory();
+  auto Begin = std::chrono::steady_clock::now();
+  auto Cold = Cache.jit(Src, Dst);
+  double ColdSecs = secondsSince(Begin);
+
+  Begin = std::chrono::steady_clock::now();
+  auto Hit = Cache.jit(Src, Dst);
+  double HitSecs = secondsSince(Begin);
+
+  // "New process": in-memory cache dropped, shared object still on disk.
+  Cache.clearMemory();
+  Begin = std::chrono::steady_clock::now();
+  auto DiskHit = Cache.jit(Src, Dst);
+  double DiskSecs = secondsSince(Begin);
+
+  std::printf("\nConverter acquisition cost, coo->csr (PlanCache)\n");
+  std::printf("  %-34s %10.3f ms\n", "cold (codegen + external cc):",
+              ColdSecs * 1e3);
+  std::printf("  %-34s %10.3f ms  (%.0fx faster)\n",
+              "cache hit (same process):", HitSecs * 1e3,
+              ColdSecs / HitSecs);
+  std::printf("  %-34s %10.3f ms  (%.0fx faster, compiler skipped: %s)\n",
+              "disk hit (new process):", DiskSecs * 1e3,
+              ColdSecs / DiskSecs,
+              DiskHit->loadedFromCache() ? "yes" : "no");
+  (void)Cold;
+  (void)Hit;
+
+  if (Dir) {
+    std::string Cleanup = "rm -rf " + std::string(Dir);
+    (void)std::system(Cleanup.c_str());
+    if (SavedDir)
+      setenv("CONVGEN_CACHE_DIR", Saved.c_str(), 1);
+    else
+      unsetenv("CONVGEN_CACHE_DIR");
+  }
+}
+
+} // namespace
 
 int main() {
   if (!jit::jitAvailable()) {
@@ -52,5 +120,7 @@ int main() {
     std::printf("%s_%-8s %14.2f %14.2f %14.3f %10ld\n", P.Src, P.Dst, GenMs,
                 Native.compileSeconds() * 1e3, RunMs, Lines);
   }
+
+  reportCacheAmortization();
   return 0;
 }

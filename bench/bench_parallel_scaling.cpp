@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+// Thread scaling of the parallel-annotated generated routines: conversion
+// throughput at 1/2/4/N OpenMP threads on large corpus matrices, for pairs
+// whose analysis sweep (all pairs) and coordinate-insertion pass (pure-level
+// targets) parallelize. Emits a human-readable table and machine-readable
+// BENCH_parallel.json so successive PRs can track the perf trajectory.
+//
+// Environment: CONVGEN_BENCH_SCALE / CONVGEN_BENCH_REPS as usual, plus
+// CONVGEN_BENCH_MATRIX to override the input matrix (default ecology1, a
+// 1M-row stencil at full scale).
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+using namespace convgen;
+using namespace convgen::bench;
+
+namespace {
+
+int hardwareThreads() {
+#ifdef _OPENMP
+  return omp_get_num_procs();
+#else
+  return 1;
+#endif
+}
+
+void setThreads(int N) {
+#ifdef _OPENMP
+  omp_set_num_threads(N);
+#else
+  (void)N;
+#endif
+}
+
+struct ThreadPoint {
+  int Threads;
+  double Seconds;
+};
+
+} // namespace
+
+int main() {
+  if (!jit::jitAvailable()) {
+    std::fprintf(stderr, "no system C compiler\n");
+    return 1;
+  }
+  const char *MatrixEnv = std::getenv("CONVGEN_BENCH_MATRIX");
+  std::string Matrix = MatrixEnv && *MatrixEnv ? MatrixEnv : "ecology1";
+  const MatrixInputs &In = corpusInputs(Matrix);
+
+  std::vector<int> Threads = {1, 2, 4};
+  int Hw = hardwareThreads();
+  if (Hw > 4)
+    Threads.push_back(Hw);
+  bool OpenMP = jit::jitOpenMPAvailable();
+
+  std::printf("Conversion throughput vs OpenMP thread count\n"
+              "matrix %s at scale %.2f (%lld rows, %lld nnz); "
+              "%d hardware threads; OpenMP %s\n\n",
+              Matrix.c_str(), benchScale(),
+              static_cast<long long>(In.T.NumRows),
+              static_cast<long long>(In.T.nnz()), Hw,
+              OpenMP ? "on" : "off (serial)");
+  std::printf("%-12s", "Pair");
+  for (int N : Threads)
+    std::printf(" %9dT (ms)  speedup", N);
+  std::printf("\n");
+
+  struct PairSpec {
+    const char *Src, *Dst;
+  };
+  std::string Json = "{\n";
+  Json += strfmt("  \"matrix\": \"%s\",\n  \"scale\": %.3f,\n"
+                 "  \"reps\": %d,\n  \"rows\": %lld,\n  \"nnz\": %lld,\n"
+                 "  \"hardware_threads\": %d,\n  \"openmp\": %s,\n"
+                 "  \"results\": [\n",
+                 Matrix.c_str(), benchScale(), benchReps(),
+                 static_cast<long long>(In.T.NumRows),
+                 static_cast<long long>(In.T.nnz()), Hw,
+                 OpenMP ? "true" : "false");
+
+  std::vector<PairSpec> Pairs = {{"coo", "csr"}, {"coo", "dia"},
+                                 {"csr", "ell"}, {"csr", "dia"},
+                                 {"csr", "csc"}};
+  std::vector<std::string> Entries;
+  for (size_t P = 0; P < Pairs.size(); ++P) {
+    const PairSpec &Pair = Pairs[P];
+    if ((std::string(Pair.Dst) == "dia" && !diaViable(In)) ||
+        (std::string(Pair.Dst) == "ell" && !ellViable(In)))
+      continue;
+    const jit::JitConversion &Conv = jitConversion(Pair.Src, Pair.Dst);
+    const tensor::SparseTensor &Input =
+        std::string(Pair.Src) == "coo" ? In.Coo
+        : std::string(Pair.Src) == "csr" ? In.Csr
+                                         : In.Csc;
+    std::vector<ThreadPoint> Points;
+    for (int N : Threads) {
+      setThreads(N);
+      Points.push_back({N, timeJit(Conv, Input)});
+    }
+    setThreads(Hw);
+
+    std::printf("%s_%-8s", Pair.Src, Pair.Dst);
+    for (const ThreadPoint &Pt : Points)
+      std::printf(" %13.3f %8.2fx", Pt.Seconds * 1e3,
+                  Points[0].Seconds / Pt.Seconds);
+    std::printf("\n");
+
+    std::string Entry =
+        strfmt("    {\"pair\": \"%s->%s\", \"threads\": [", Pair.Src,
+               Pair.Dst);
+    for (size_t I = 0; I < Points.size(); ++I)
+      Entry += strfmt("%s{\"n\": %d, \"seconds\": %.6f, \"speedup\": %.3f}",
+                      I ? ", " : "", Points[I].Threads, Points[I].Seconds,
+                      Points[0].Seconds / Points[I].Seconds);
+    Entries.push_back(Entry + "]}");
+  }
+  for (size_t I = 0; I < Entries.size(); ++I)
+    Json += Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");
+  Json += "  ]\n}\n";
+
+  if (std::FILE *Out = std::fopen("BENCH_parallel.json", "w")) {
+    std::fwrite(Json.data(), 1, Json.size(), Out);
+    std::fclose(Out);
+    std::printf("\nwrote BENCH_parallel.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  return 0;
+}

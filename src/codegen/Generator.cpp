@@ -112,6 +112,20 @@ struct Generator {
   ir::Expr counterIndex(const CounterPlan &Plan,
                         const levels::IterEnv &Env) const;
 
+  /// True when distinct iterations of the source's outermost loop touch
+  /// disjoint cells of the counter array, so parallelizing that loop keeps
+  /// every cell's increment sequence in serial order.
+  bool outerCounterCellsDisjoint(const CounterPlan &Plan) const;
+
+  /// Annotates a pass over the source (coordinate insertion or the
+  /// materialize pre-pass) as parallel when legal; returns it unchanged
+  /// otherwise. \p CheckLevels gates on every target level's insertion
+  /// being order-independent (the pre-pass runs no level emitters);
+  /// \p CountersAdvance requires counters to be privatizable (scalars) or
+  /// iteration-owned (arrays over the outer ivar).
+  ir::Stmt markInsertionParallel(ir::Stmt Loop, bool CheckLevels,
+                                 bool CountersAdvance) const;
+
   /// Size of a counter array: product of the index variables' dimensions.
   ir::Expr counterArraySize(const CounterPlan &Plan) const;
 };
@@ -185,6 +199,51 @@ void Generator::emitCounterAdvance(const levels::IterEnv &Env,
                         ir::add(ir::var(Val), ir::intImm(1))));
     }
   }
+}
+
+bool Generator::outerCounterCellsDisjoint(const CounterPlan &Plan) const {
+  // The parallelized loop is the source's outermost stored dimension. Its
+  // iterations own disjoint counter cells iff that dimension is a plain
+  // canonical ivar with a distinct value per iteration, and the counter is
+  // indexed by it. (A COO-style non-unique root shares the ivar across
+  // iterations, so its cells would race; dims that are arithmetic
+  // expressions over ivars give no per-iteration ownership either.)
+  std::string V;
+  if (!remap::dimIsPlainVar(Src.Remap, 0, &V))
+    return false;
+  const formats::LevelSpec &L1 = Src.Levels[0];
+  bool DistinctPerIteration =
+      L1.Kind == LevelKind::Dense || L1.Kind == LevelKind::Squeezed ||
+      L1.Kind == LevelKind::Sliced ||
+      (L1.Kind == LevelKind::Compressed && L1.Unique);
+  if (!DistinctPerIteration)
+    return false;
+  return std::find(Plan.IVars.begin(), Plan.IVars.end(), V) !=
+         Plan.IVars.end();
+}
+
+ir::Stmt Generator::markInsertionParallel(ir::Stmt Loop, bool CheckLevels,
+                                          bool CountersAdvance) const {
+  if (!Loop || Loop->Kind != ir::StmtKind::For)
+    return Loop;
+  if (CheckLevels)
+    for (const auto &LF : Levels)
+      if (!LF->insertIsParallelSafe())
+        return Loop;
+  std::vector<std::string> Privates;
+  if (CountersAdvance) {
+    for (const CounterPlan &Plan : Counters) {
+      if (Plan.Scalar) {
+        // Reused scalars are reset (at their owning loop level) before any
+        // use within each outer iteration, so a private copy per thread
+        // reproduces serial values exactly.
+        Privates.push_back(Plan.Var);
+      } else if (!outerCounterCellsDisjoint(Plan)) {
+        return Loop;
+      }
+    }
+  }
+  return ir::markLoopParallel(Loop, std::move(Privates));
 }
 
 void Generator::freeCounters(ir::BlockBuilder &Out) const {
@@ -394,18 +453,23 @@ Conversion Generator::run() {
     std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>> Resets;
     emitCounterSetup(CounterInit, Resets);
     Fn.add(CounterInit.build());
-    Fn.add(SrcIt.build(
-        [&](const levels::IterEnv &Env) -> ir::Stmt {
-          ir::BlockBuilder Body;
-          emitCounterAdvance(Env, Body);
-          std::vector<ir::Expr> Coords =
-              dstCoords(Env, Body, /*UseMaterialized=*/false);
-          for (int D : MatDims)
-            Body.add(ir::store("mc" + std::to_string(D), Env.LastPos,
-                               Coords[static_cast<size_t>(D)]));
-          return Body.build();
-        },
-        Resets));
+    // The pre-pass writes each materialized coordinate at the nonzero's
+    // (unique) stored position, so it parallelizes whenever its counters
+    // do; no level emitters run here.
+    Fn.add(markInsertionParallel(
+        SrcIt.build(
+            [&](const levels::IterEnv &Env) -> ir::Stmt {
+              ir::BlockBuilder Body;
+              emitCounterAdvance(Env, Body);
+              std::vector<ir::Expr> Coords =
+                  dstCoords(Env, Body, /*UseMaterialized=*/false);
+              for (int D : MatDims)
+                Body.add(ir::store("mc" + std::to_string(D), Env.LastPos,
+                                   Coords[static_cast<size_t>(D)]));
+              return Body.build();
+            },
+            Resets),
+        /*CheckLevels=*/false, /*CountersAdvance=*/true));
     freeCounters(Fn);
   }
 
@@ -434,30 +498,32 @@ Conversion Generator::run() {
     emitCounterSetup(CounterInit, Resets);
     Fn.add(CounterInit.build());
   }
-  Fn.add(SrcIt.build(
-      [&](const levels::IterEnv &Env) -> ir::Stmt {
-        ir::BlockBuilder Body;
-        if (!Materialize)
-          emitCounterAdvance(Env, Body);
-        std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
-        levels::PosEnv PEnv{ir::intImm(0), Coords};
-        for (size_t K = 0; K < Levels.size(); ++K) {
-          ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
-          if (Pk->Kind != ir::ExprKind::Var &&
-              Pk->Kind != ir::ExprKind::IntImm) {
-            std::string PVar = "pB" + std::to_string(K + 1) + "c";
-            Body.add(ir::decl(PVar, Pk));
-            Pk = ir::var(PVar);
-          }
-          Levels[K]->emitInsertCoord(Ctx, PEnv, Pk, Body);
-          PEnv.ParentPos = Pk;
-        }
-        Body.add(ir::store("B_vals", PEnv.ParentPos,
-                           ir::load("A_vals", Env.LastPos,
-                                    ir::ScalarKind::Float)));
-        return Body.build();
-      },
-      Resets));
+  Fn.add(markInsertionParallel(
+      SrcIt.build(
+          [&](const levels::IterEnv &Env) -> ir::Stmt {
+            ir::BlockBuilder Body;
+            if (!Materialize)
+              emitCounterAdvance(Env, Body);
+            std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
+            levels::PosEnv PEnv{ir::intImm(0), Coords};
+            for (size_t K = 0; K < Levels.size(); ++K) {
+              ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
+              if (Pk->Kind != ir::ExprKind::Var &&
+                  Pk->Kind != ir::ExprKind::IntImm) {
+                std::string PVar = "pB" + std::to_string(K + 1) + "c";
+                Body.add(ir::decl(PVar, Pk));
+                Pk = ir::var(PVar);
+              }
+              Levels[K]->emitInsertCoord(Ctx, PEnv, Pk, Body);
+              PEnv.ParentPos = Pk;
+            }
+            Body.add(ir::store("B_vals", PEnv.ParentPos,
+                               ir::load("A_vals", Env.LastPos,
+                                        ir::ScalarKind::Float)));
+            return Body.build();
+          },
+          Resets),
+      /*CheckLevels=*/true, /*CountersAdvance=*/!Materialize));
   if (!Materialize)
     freeCounters(Fn);
 

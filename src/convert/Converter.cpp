@@ -6,6 +6,7 @@
 
 #include "convert/Converter.h"
 
+#include "convert/PlanCache.h"
 #include "ir/Interpreter.h"
 #include "support/Assert.h"
 #include "support/StringUtils.h"
@@ -16,7 +17,7 @@ using formats::LevelKind;
 
 Converter::Converter(formats::Format Source, formats::Format Target,
                      codegen::Options Opts)
-    : Conv(codegen::generateConversion(Source, Target, Opts)) {}
+    : Conv(PlanCache::instance().plan(Source, Target, Opts)) {}
 
 void convert::bindSourceTensor(ir::Interpreter &Interp,
                                const tensor::SparseTensor &In) {
@@ -99,12 +100,12 @@ convert::collectTargetTensor(const formats::Format &Target,
 }
 
 tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
-  if (In.Format.Name != Conv.Source.Name)
+  if (In.Format.Name != Conv->Source.Name)
     fatalError(strfmt("converter compiled for source '%s' got a '%s' tensor",
-                      Conv.Source.Name.c_str(), In.Format.Name.c_str())
+                      Conv->Source.Name.c_str(), In.Format.Name.c_str())
                    .c_str());
   ir::Interpreter Interp;
   bindSourceTensor(Interp, In);
-  ir::RunResult Result = Interp.run(Conv.Func);
-  return collectTargetTensor(Conv.Target, In.Dims, Result);
+  ir::RunResult Result = Interp.run(Conv->Func);
+  return collectTargetTensor(Conv->Target, In.Dims, Result);
 }

@@ -25,15 +25,20 @@
 #include "ir/Interpreter.h"
 #include "tensor/SparseTensor.h"
 
+#include <memory>
+
 namespace convgen {
 namespace convert {
 
 class Converter {
 public:
+  /// Obtains the generated routine through the process-wide PlanCache:
+  /// the first Converter for a (source, target, options) triple runs
+  /// codegen, later ones share its plan.
   Converter(formats::Format Source, formats::Format Target,
             codegen::Options Opts = codegen::Options());
 
-  const codegen::Conversion &conversion() const { return Conv; }
+  const codegen::Conversion &conversion() const { return *Conv; }
 
   /// Converts \p In (which must be in the source format) by interpreting
   /// the generated routine. The result is fully validated in debug use via
@@ -41,7 +46,7 @@ public:
   tensor::SparseTensor run(const tensor::SparseTensor &In) const;
 
 private:
-  codegen::Conversion Conv;
+  std::shared_ptr<const codegen::Conversion> Conv;
 };
 
 /// Binds \p In's arrays/dims/params as interpreter inputs under the "A"

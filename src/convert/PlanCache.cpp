@@ -1,0 +1,200 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "convert/PlanCache.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/utsname.h>
+
+namespace {
+
+/// Identifies the host CPU for the disk-cache key: cached objects are
+/// compiled with -march=native, so an object built on one microarchitecture
+/// can SIGILL on another even though source and flags hash identically
+/// (shared $HOME, baked container images). /proc/cpuinfo's model name and
+/// feature flags capture the ISA; uname's machine field is the fallback.
+std::string hostIsaFingerprint() {
+  std::string Out;
+  if (std::FILE *Info = std::fopen("/proc/cpuinfo", "r")) {
+    char Line[4096];
+    bool HaveModel = false, HaveFlags = false;
+    while (std::fgets(Line, sizeof(Line), Info) &&
+           !(HaveModel && HaveFlags)) {
+      if (!HaveModel && std::strncmp(Line, "model name", 10) == 0) {
+        Out += Line;
+        HaveModel = true;
+      } else if (!HaveFlags && (std::strncmp(Line, "flags", 5) == 0 ||
+                                std::strncmp(Line, "Features", 8) == 0)) {
+        Out += Line;
+        HaveFlags = true;
+      }
+    }
+    std::fclose(Info);
+  }
+  if (Out.empty()) {
+    struct utsname Uts;
+    if (uname(&Uts) == 0)
+      Out = Uts.machine;
+  }
+  return Out;
+}
+
+} // namespace
+
+using namespace convgen;
+using namespace convgen::convert;
+
+std::string convert::contentHash(const std::string &Data) {
+  uint64_t Hash = 1469598103934665603ull; // FNV offset basis.
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 1099511628211ull; // FNV prime.
+  }
+  return strfmt("%016llx", static_cast<unsigned long long>(Hash));
+}
+
+std::string convert::formatFingerprint(const formats::Format &F) {
+  std::string Out = F.Name + "|" + std::to_string(F.SrcOrder) + "|" +
+                    remap::printRemap(F.Remap) + "|" +
+                    remap::printRemap(F.Inverse) + "|";
+  for (const formats::LevelSpec &L : F.Levels)
+    Out += strfmt("%s:%d:%d:%d:%d,%d;", formats::levelKindName(L.Kind),
+                  L.Dim, L.Unique ? 1 : 0, L.Padded ? 1 : 0, L.AddendDims[0],
+                  L.AddendDims[1]);
+  Out += F.PaddedVals ? "|padded" : "|dense-vals";
+  for (int64_t P : F.StaticParams)
+    Out += "|" + std::to_string(P);
+  return Out;
+}
+
+std::string convert::planKey(const formats::Format &Source,
+                             const formats::Format &Target,
+                             const codegen::Options &Opts) {
+  return formatFingerprint(Source) + " => " + formatFingerprint(Target) +
+         strfmt(" [q%dc%du%dm%d]", Opts.OptimizeQueries ? 1 : 0,
+                Opts.CounterReuse ? 1 : 0, Opts.ForceUnseqEdges ? 1 : 0,
+                Opts.MaterializeRemap ? 1 : 0);
+}
+
+PlanCache &PlanCache::instance() {
+  static PlanCache Cache;
+  return Cache;
+}
+
+std::string PlanCache::diskCacheDir() {
+  const char *Disable = std::getenv("CONVGEN_DISABLE_DISK_CACHE");
+  if (Disable && *Disable && std::string(Disable) != "0")
+    return "";
+  std::string Dir;
+  if (const char *Env = std::getenv("CONVGEN_CACHE_DIR")) {
+    if (!*Env)
+      return "";
+    Dir = Env;
+  } else if (const char *Xdg = std::getenv("XDG_CACHE_HOME")) {
+    Dir = std::string(Xdg) + "/convgen";
+  } else if (const char *Home = std::getenv("HOME")) {
+    Dir = std::string(Home) + "/.cache/convgen";
+  } else {
+    Dir = "/tmp/convgen-cache";
+  }
+  // mkdir -p: create each component, ignoring existing directories.
+  for (size_t Slash = Dir.find('/', 1); true;
+       Slash = Dir.find('/', Slash + 1)) {
+    std::string Prefix =
+        Slash == std::string::npos ? Dir : Dir.substr(0, Slash);
+    if (!Prefix.empty() && mkdir(Prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+      return "";
+    if (Slash == std::string::npos)
+      break;
+  }
+  return Dir;
+}
+
+std::shared_ptr<const codegen::Conversion>
+PlanCache::plan(const formats::Format &Source, const formats::Format &Target,
+                const codegen::Options &Opts) {
+  std::string Key = planKey(Source, Target, Opts);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Plans.find(Key);
+    if (It != Plans.end()) {
+      ++Stats.PlanHits;
+      return It->second;
+    }
+  }
+  // Generate outside the lock: codegen is pure, and a rare duplicate
+  // generation under contention beats serializing all misses.
+  auto Generated = std::make_shared<const codegen::Conversion>(
+      codegen::generateConversion(Source, Target, Opts));
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Plans.emplace(Key, std::move(Generated));
+  if (Inserted)
+    ++Stats.PlanMisses;
+  else
+    ++Stats.PlanHits;
+  return It->second;
+}
+
+std::shared_ptr<jit::JitConversion>
+PlanCache::jit(const formats::Format &Source, const formats::Format &Target,
+               const codegen::Options &Opts, const std::string &ExtraFlags) {
+  std::string Key = planKey(Source, Target, Opts) + " !" + ExtraFlags;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Jits.find(Key);
+    if (It != Jits.end()) {
+      ++Stats.JitHits;
+      return It->second;
+    }
+  }
+  std::shared_ptr<const codegen::Conversion> Plan =
+      plan(Source, Target, Opts);
+  // The disk key covers everything that determines the binary: the emitted
+  // C, the full flag string, the compiler identity (CONVGEN_CC), and the
+  // host CPU (-march=native bakes the ISA into the object).
+  std::string SoPath;
+  std::string Dir = diskCacheDir();
+  if (!Dir.empty()) {
+    const char *Cc = std::getenv("CONVGEN_CC");
+    std::string DiskKey = Plan->cSource() + "\n" +
+                          jit::jitEffectiveFlags(ExtraFlags) + "\n" +
+                          (Cc ? Cc : "cc") + "\n" + hostIsaFingerprint();
+    SoPath = Dir + "/" + Plan->Func.Name + "-" + contentHash(DiskKey) + ".so";
+  }
+  // Compile (or load from disk) outside the lock; insert-or-discard after.
+  auto Compiled =
+      std::make_shared<jit::JitConversion>(*Plan, ExtraFlags, SoPath);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Jits.emplace(Key, std::move(Compiled));
+  if (Inserted) {
+    ++Stats.JitMisses;
+    if (It->second->loadedFromCache())
+      ++Stats.DiskHits;
+  } else {
+    ++Stats.JitHits;
+  }
+  return It->second;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+void PlanCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Plans.clear();
+  Jits.clear();
+}

@@ -1,0 +1,111 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of generated conversion plans and their JIT-compiled
+/// shared objects, so obtaining a converter is (nearly) free after the first
+/// request for a (source, target, options) triple:
+///
+///   * codegen::generateConversion results are memoized under a stable
+///     fingerprint of the formats and options — repeated Converter
+///     construction skips remapping, query compilation, and assembly;
+///   * live jit::JitConversion handles are shared under the same key plus
+///     the compile flags — repeated JIT requests skip the external C
+///     compiler within the process;
+///   * compiled shared objects are additionally installed in an on-disk
+///     cache keyed by a hash of the emitted C source, the compile flags,
+///     and the compiler, so *new* processes skip the external compiler too.
+///
+/// Environment knobs:
+///   CONVGEN_CACHE_DIR            on-disk cache location (default
+///                                $XDG_CACHE_HOME/convgen, then
+///                                $HOME/.cache/convgen, then
+///                                /tmp/convgen-cache)
+///   CONVGEN_DISABLE_DISK_CACHE   any non-"0" value keeps the cache
+///                                in-memory only
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_CONVERT_PLANCACHE_H
+#define CONVGEN_CONVERT_PLANCACHE_H
+
+#include "codegen/Generator.h"
+#include "jit/Jit.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace convgen {
+namespace convert {
+
+/// Counters exposed for tests and benchmarks.
+struct PlanCacheStats {
+  uint64_t PlanHits = 0;
+  uint64_t PlanMisses = 0;
+  uint64_t JitHits = 0;
+  uint64_t JitMisses = 0;
+  /// Of the JitMisses, how many loaded a shared object from disk instead
+  /// of running the external compiler.
+  uint64_t DiskHits = 0;
+};
+
+class PlanCache {
+public:
+  /// The process-wide instance. All methods are thread-safe.
+  static PlanCache &instance();
+
+  /// The generated conversion plan for the triple, memoized.
+  std::shared_ptr<const codegen::Conversion>
+  plan(const formats::Format &Source, const formats::Format &Target,
+       const codegen::Options &Opts = codegen::Options());
+
+  /// A live JIT-compiled conversion for the triple, memoized; compiles at
+  /// most once per process and reuses on-disk shared objects across
+  /// processes. Requires jit::jitAvailable().
+  std::shared_ptr<jit::JitConversion>
+  jit(const formats::Format &Source, const formats::Format &Target,
+      const codegen::Options &Opts = codegen::Options(),
+      const std::string &ExtraFlags = "");
+
+  PlanCacheStats stats() const;
+
+  /// Drops all memoized plans and JIT handles (tests; outstanding
+  /// shared_ptrs stay valid). The on-disk cache is untouched.
+  void clearMemory();
+
+  /// Resolved on-disk cache directory, created on first use; empty when
+  /// the disk cache is disabled or cannot be created.
+  static std::string diskCacheDir();
+
+private:
+  PlanCache() = default;
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<const codegen::Conversion>> Plans;
+  std::map<std::string, std::shared_ptr<jit::JitConversion>> Jits;
+  PlanCacheStats Stats;
+};
+
+/// Stable semantic fingerprint of a format: name, canonical order, both
+/// remap statements, level specs, padding, and static parameters. Two
+/// formats with equal fingerprints generate identical conversion code.
+std::string formatFingerprint(const formats::Format &F);
+
+/// Stable key for a (source, target, options) triple.
+std::string planKey(const formats::Format &Source,
+                    const formats::Format &Target,
+                    const codegen::Options &Opts);
+
+/// 64-bit FNV-1a, rendered as 16 hex digits (disk cache file names).
+std::string contentHash(const std::string &Data);
+
+} // namespace convert
+} // namespace convgen
+
+#endif // CONVGEN_CONVERT_PLANCACHE_H

@@ -356,6 +356,17 @@ Stmt ir::freeBuffer(const std::string &Buffer) {
   return S;
 }
 
+Stmt ir::markLoopParallel(const Stmt &Loop, std::vector<std::string> Privates,
+                          std::vector<ParReduction> Reductions) {
+  CONVGEN_ASSERT(Loop && Loop->Kind == StmtKind::For,
+                 "only For loops can be parallel");
+  auto Node = std::make_shared<StmtNode>(*Loop);
+  Node->Parallel = true;
+  Node->Privates = std::move(Privates);
+  Node->Reductions = std::move(Reductions);
+  return Node;
+}
+
 Stmt ir::comment(const std::string &Text) {
   Stmt S = makeStmt(StmtKind::Comment);
   const_cast<StmtNode &>(*S).Name = Text;
@@ -524,6 +535,24 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out) {
     convgen_unreachable("unknown reduce op");
   }
   case StmtKind::For:
+    // Parallel loops carry an OpenMP annotation. Compilers ignore the
+    // pragma without -fopenmp, so the emitted C stays valid serial code;
+    // reduction clauses give each thread a private histogram copy that the
+    // runtime merges exactly (integer ops only).
+    if (S->Parallel) {
+      Out += Pad + "#pragma omp parallel for";
+      if (!S->Privates.empty())
+        Out += " private(" + join(S->Privates, ", ") + ")";
+      for (const ParReduction &R : S->Reductions) {
+        const char *Op = R.Op == ReduceOp::Add   ? "+"
+                         : R.Op == ReduceOp::Or  ? "|"
+                         : R.Op == ReduceOp::Max ? "max"
+                                                 : "min";
+        Out += std::string(" reduction(") + Op + ":" + R.Buffer + "[0:" +
+               printExpr(R.Length) + "])";
+      }
+      Out += "\n";
+    }
     Out += Pad + "for (int64_t " + S->Name + " = " + printExpr(S->A) + "; " +
            S->Name + " < " + printExpr(S->B) + "; " + S->Name + "++) {\n";
     printStmtInto(S->Body, Indent + 1, Out);

@@ -146,6 +146,18 @@ enum class StmtKind : uint8_t {
 /// Reduction applied by a Store: Buffer[I] op= V.
 enum class ReduceOp : uint8_t { None, Add, Or, Max, Min };
 
+/// A buffer a parallel For reduces into: each thread accumulates into a
+/// private zero/identity-initialized copy of Buffer[0:Length] which the
+/// runtime merges when the loop ends (the per-thread-histogram strategy for
+/// attribute-query counting sweeps). Only exact integer reductions are ever
+/// emitted, so the merged result is bit-identical to serial execution.
+struct ParReduction {
+  std::string Buffer;
+  ReduceOp Op = ReduceOp::Add;
+  Expr Length; ///< Element count of the reduced section.
+  ScalarKind Elem = ScalarKind::Int;
+};
+
 struct StmtNode;
 using Stmt = std::shared_ptr<const StmtNode>;
 
@@ -159,6 +171,18 @@ struct StmtNode {
   Stmt Body, Else;
   ReduceOp Reduce = ReduceOp::None;
   bool ZeroInit = false;
+  /// For only: iterations are independent (or reduction-combined) and may
+  /// run concurrently. Lowered by the C emitter to `#pragma omp parallel
+  /// for`; the interpreter ignores the flag and stays the bit-exact serial
+  /// reference. Annotated loops must be deterministic under any iteration
+  /// partition: disjoint effects apart from Reductions, with Privates
+  /// re-initialized before use in every iteration.
+  bool Parallel = false;
+  /// For only: scalars declared outside the loop that each thread must
+  /// privatize (reused scalar counters, reset at the top of the body).
+  std::vector<std::string> Privates;
+  /// For only: buffers combined across iterations via exact reductions.
+  std::vector<ParReduction> Reductions;
 };
 
 Stmt block(std::vector<Stmt> Stmts);
@@ -177,6 +201,12 @@ Stmt comment(const std::string &Text);
 Stmt yieldBuffer(const std::string &Slot, const std::string &Buffer,
                  Expr Length);
 Stmt yieldScalar(const std::string &Slot, Expr Value);
+
+/// Returns a copy of the For statement \p Loop annotated as parallel (see
+/// StmtNode::Parallel). Callers are responsible for legality: iterations
+/// must be independent apart from \p Reductions and \p Privates.
+Stmt markLoopParallel(const Stmt &Loop, std::vector<std::string> Privates = {},
+                      std::vector<ParReduction> Reductions = {});
 
 /// Convenience accumulator for building statement sequences.
 class BlockBuilder {

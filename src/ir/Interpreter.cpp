@@ -295,6 +295,9 @@ void ExecState::exec(const Stmt &S) {
     storeElem(S->Name, eval(S->A).asInt(), eval(S->B), S->Reduce);
     return;
   case StmtKind::For: {
+    // Parallel annotations are deliberately ignored: the interpreter runs
+    // every loop serially and stays the bit-exact reference the JIT's
+    // OpenMP lowering is validated against.
     int64_t Lo = eval(S->A).asInt();
     int64_t Hi = eval(S->B).asInt();
     // The loop variable shadows any outer binding for the loop's duration.

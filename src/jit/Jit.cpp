@@ -9,12 +9,41 @@
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <dlfcn.h>
 #include <unistd.h>
+
+namespace {
+
+/// Byte-for-byte file copy without going through a shell.
+bool copyFile(const std::string &From, const std::string &To) {
+  std::FILE *In = std::fopen(From.c_str(), "rb");
+  if (!In)
+    return false;
+  std::FILE *Out = std::fopen(To.c_str(), "wb");
+  if (!Out) {
+    std::fclose(In);
+    return false;
+  }
+  char Buf[1 << 16];
+  bool Ok = true;
+  for (size_t Got; (Got = std::fread(Buf, 1, sizeof(Buf), In)) > 0;)
+    if (std::fwrite(Buf, 1, Got, Out) != Got) {
+      Ok = false;
+      break;
+    }
+  Ok = Ok && !std::ferror(In);
+  std::fclose(In);
+  if (std::fclose(Out) != 0)
+    Ok = false;
+  return Ok;
+}
+
+} // namespace
 
 using namespace convgen;
 using namespace convgen::jit;
@@ -39,9 +68,104 @@ bool jit::jitAvailable() {
   return Available;
 }
 
+bool jit::jitOpenMPAvailable() {
+#ifndef CONVGEN_HAVE_OPENMP
+  // The library was configured with CONVGEN_ENABLE_OPENMP=OFF (or OpenMP
+  // was not found at build time): keep generated routines serial too.
+  return false;
+#else
+  static bool Available = [] {
+    const char *Disable = std::getenv("CONVGEN_NO_OPENMP");
+    if (Disable && *Disable && std::string(Disable) != "0")
+      return false;
+    // Probe once with the most demanding construct generated code uses:
+    // an array-section reduction (OpenMP 4.5). A compiler that accepts
+    // plain -fopenmp but not this (e.g. old gcc) must be treated as
+    // OpenMP-unavailable or every parallel conversion would fail to build.
+    char Template[] = "/tmp/convgen-omp-XXXXXX";
+    char *Dir = mkdtemp(Template);
+    if (!Dir)
+      return false;
+    std::string Probe = std::string(Dir) + "/probe.c";
+    std::string Out = std::string(Dir) + "/probe.so";
+    if (std::FILE *File = std::fopen(Probe.c_str(), "w")) {
+      std::fputs("void convgen_probe(int *hist, long n, long m) {\n"
+                 "#pragma omp parallel for reduction(+:hist[0:n])\n"
+                 "  for (long i = 0; i < m; i++) hist[i % n] += 1;\n"
+                 "}\n",
+                 File);
+      std::fclose(File);
+    } else {
+      rmdir(Dir);
+      return false;
+    }
+    std::string Cmd =
+        strfmt("%s -fopenmp -shared -fPIC -o %s %s > /dev/null 2>&1",
+               compilerCommand(), Out.c_str(), Probe.c_str());
+    bool Ok = std::system(Cmd.c_str()) == 0;
+    std::remove(Probe.c_str());
+    std::remove(Out.c_str());
+    rmdir(Dir);
+    return Ok;
+  }();
+  return Available;
+#endif
+}
+
+std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
+  std::string Flags = "-O3 -march=native -std=c11 -shared -fPIC";
+  if (jitOpenMPAvailable())
+    Flags += " -fopenmp";
+  if (!ExtraFlags.empty())
+    Flags += " " + ExtraFlags;
+  return Flags;
+}
+
+/// Loads the conversion entry point out of an already compiled object.
+/// Returns false (with \p Error set) instead of aborting, so callers can
+/// treat a stale or corrupt cached object as a miss.
+static bool loadConversion(const std::string &SoPath,
+                           const std::string &FnName, void **Handle,
+                           void (**Fn)(const CTensor *, CTensor *),
+                           std::string *Error) {
+  *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!*Handle) {
+    *Error = "jit: dlopen failed: " + std::string(dlerror());
+    return false;
+  }
+  *Fn = reinterpret_cast<void (*)(const CTensor *, CTensor *)>(
+      dlsym(*Handle, FnName.c_str()));
+  if (!*Fn) {
+    *Error = "jit: dlsym cannot find " + FnName;
+    dlclose(*Handle);
+    *Handle = nullptr;
+    return false;
+  }
+  return true;
+}
+
 JitConversion::JitConversion(const codegen::Conversion &Conversion,
-                             const std::string &ExtraFlags)
+                             const std::string &ExtraFlags,
+                             const std::string &CachedSoPath)
     : Conv(Conversion) {
+  std::string Error;
+  // Cache hit: load the previously compiled object, no external compiler.
+  // A corrupt or stale object is evicted and recompiled below rather than
+  // poisoning every future process.
+  if (!CachedSoPath.empty()) {
+    if (std::FILE *Probe = std::fopen(CachedSoPath.c_str(), "rb")) {
+      std::fclose(Probe);
+      if (loadConversion(CachedSoPath, Conv.Func.Name, &Handle, &Fn,
+                         &Error)) {
+        FromCache = true;
+        return;
+      }
+      std::fprintf(stderr, "convgen: evicting bad cached object %s (%s)\n",
+                   CachedSoPath.c_str(), Error.c_str());
+      std::remove(CachedSoPath.c_str());
+    }
+  }
+
   char Template[] = "/tmp/convgen-jit-XXXXXX";
   char *Dir = mkdtemp(Template);
   if (!Dir)
@@ -57,9 +181,8 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
   std::fwrite(Source.data(), 1, Source.size(), File);
   std::fclose(File);
 
-  std::string Cmd = strfmt("%s -O3 -march=native -std=c11 -shared -fPIC %s "
-                           "-o %s %s 2> %s/cc.log",
-                           compilerCommand(), ExtraFlags.c_str(),
+  std::string Cmd = strfmt("%s %s -o %s %s 2> %s/cc.log", compilerCommand(),
+                           jitEffectiveFlags(ExtraFlags).c_str(),
                            SoPath.c_str(), CPath.c_str(), WorkDir.c_str());
   auto Begin = std::chrono::steady_clock::now();
   int Rc = std::system(Cmd.c_str());
@@ -78,13 +201,31 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
     fatalError(("jit: compilation failed:\n" + Log).c_str());
   }
 
-  Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!Handle)
-    fatalError(("jit: dlopen failed: " + std::string(dlerror())).c_str());
-  Fn = reinterpret_cast<void (*)(const CTensor *, CTensor *)>(
-      dlsym(Handle, Conv.Func.Name.c_str()));
-  if (!Fn)
-    fatalError(("jit: dlsym cannot find " + Conv.Func.Name).c_str());
+  // Install into the on-disk cache: rename() within the cache directory is
+  // atomic, so concurrent processes either see the complete object or none.
+  // Copying in-process (no shell) keeps arbitrary cache paths safe, and
+  // the per-thread staging suffix keeps concurrent compiles of the same
+  // key from tearing each other's staged file.
+  if (!CachedSoPath.empty()) {
+    static std::atomic<uint64_t> StageCounter{0};
+    std::string Staged = CachedSoPath + ".tmp." + std::to_string(getpid()) +
+                         "." + std::to_string(++StageCounter);
+    if (copyFile(SoPath, Staged) &&
+        std::rename(Staged.c_str(), CachedSoPath.c_str()) == 0) {
+      // Keep the generated C beside the object for debugging.
+      std::string CCache = CachedSoPath;
+      std::string::size_type Dot = CCache.rfind(".so");
+      if (Dot != std::string::npos) {
+        CCache.replace(Dot, 3, ".c");
+        copyFile(CPath, CCache);
+      }
+    } else {
+      std::remove(Staged.c_str());
+    }
+  }
+
+  if (!loadConversion(SoPath, Conv.Func.Name, &Handle, &Fn, &Error))
+    fatalError(Error.c_str());
 }
 
 JitConversion::~JitConversion() {

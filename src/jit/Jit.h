@@ -43,14 +43,32 @@ struct CTensor {
 /// True if a working C compiler is available (checked once).
 bool jitAvailable();
 
+/// True if the external C compiler accepts -fopenmp (checked once), so the
+/// parallel-annotated loops of generated routines actually run
+/// multi-threaded. Set CONVGEN_NO_OPENMP=1 to force serial compilation;
+/// the emitted pragmas are then ignored and the code stays valid C.
+bool jitOpenMPAvailable();
+
+/// The complete flag string JitConversion hands the compiler for the given
+/// extra flags (exposed so the plan cache can key shared objects on it).
+std::string jitEffectiveFlags(const std::string &ExtraFlags);
+
 /// A conversion routine compiled to native code.
 class JitConversion {
 public:
-  /// Emits C for \p Conv, compiles it (default flags -O3), and loads it.
-  /// Aborts with the compiler's diagnostics on failure.
+  /// Emits C for \p Conv, compiles it (default flags -O3, plus -fopenmp
+  /// when available), and loads it. Aborts with the compiler's diagnostics
+  /// on failure. When \p CachedSoPath is nonempty, an existing shared
+  /// object there is loaded directly (skipping codegen's external compiler
+  /// entirely, compileSeconds() == 0); otherwise the freshly compiled
+  /// object is installed there atomically for future processes.
   explicit JitConversion(const codegen::Conversion &Conv,
-                         const std::string &ExtraFlags = "");
+                         const std::string &ExtraFlags = "",
+                         const std::string &CachedSoPath = "");
   ~JitConversion();
+
+  /// True when the shared object came from the on-disk cache.
+  bool loadedFromCache() const { return FromCache; }
 
   JitConversion(const JitConversion &) = delete;
   JitConversion &operator=(const JitConversion &) = delete;
@@ -74,6 +92,7 @@ private:
   void (*Fn)(const CTensor *, CTensor *) = nullptr;
   std::string WorkDir;
   double CompileSecs = 0;
+  bool FromCache = false;
 };
 
 /// Points \p Out's arrays at \p In's storage (no copies).

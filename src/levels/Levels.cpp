@@ -65,6 +65,9 @@ class DenseLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
 
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
+
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     return ir::mul(ParentSize, Ctx.dimExtent(Spec.Dim));
   }
@@ -234,6 +237,9 @@ class SingletonLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
 
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
+
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     (void)Ctx;
     return ParentSize;
@@ -273,6 +279,9 @@ public:
 class SqueezedLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
+
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -359,6 +368,9 @@ class SlicedLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
 
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
+
   std::vector<query::Query> queries() const override {
     query::Query Q;
     Q.Aggs = {query::Agg{query::AggKind::Max, {Spec.Dim}, "max_crd"}};
@@ -401,6 +413,9 @@ public:
 class SkylineLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
+
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -483,6 +498,9 @@ public:
 class OffsetLevel : public LevelFormat {
 public:
   using LevelFormat::LevelFormat;
+
+  /// Position is a pure function of (parent, coords); see LevelFormat.
+  bool insertIsParallelSafe() const override { return true; }
 
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     (void)Ctx;

@@ -144,6 +144,18 @@ public:
     (void)Out;
   }
 
+  /// True when emitPos/emitInsertCoord touch no shared mutable state: the
+  /// position is a pure function of (parent position, coordinates) and the
+  /// only writes go to this level's own arrays at that position. For a
+  /// valid format those positions are distinct per stored nonzero, so the
+  /// coordinate-insertion pass over a chain of such levels may be
+  /// partitioned across threads without races or reordering. Compressed
+  /// levels advance a shared pos-array cursor (and dedup levels a
+  /// workspace), so they must keep the insertion pass serial. Defaults to
+  /// false so a future level kind is serial until someone proves its
+  /// insertion order-independent and opts in.
+  virtual bool insertIsParallelSafe() const { return false; }
+
   /// get_pos / yield_pos: emits statements computing this nonzero's
   /// position at this level and returns the position expression.
   virtual ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,

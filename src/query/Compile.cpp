@@ -81,7 +81,39 @@ struct Compiler {
 
   /// Emits one statement of a query.
   ir::Stmt emitForall(const Forall &F) const;
+
+  /// Annotates an analysis sweep as parallel when every fused statement is
+  /// an exact integer reduction: each thread then accumulates into private
+  /// copies of the result buffers (per-thread histograms) that the OpenMP
+  /// runtime merges, which commutes bit-exactly with serial execution.
+  /// Assign statements are order-dependent, so any of them keeps the sweep
+  /// serial; ditto float-typed results (float addition does not commute).
+  ir::Stmt parallelizeSweep(ir::Stmt Loop,
+                            const std::vector<const Forall *> &Stmts) const;
 };
+
+ir::Stmt
+Compiler::parallelizeSweep(ir::Stmt Loop,
+                           const std::vector<const Forall *> &Stmts) const {
+  if (!Loop || Loop->Kind != ir::StmtKind::For)
+    return Loop;
+  std::map<std::string, ir::ReduceOp> Ops;
+  for (const Forall *F : Stmts) {
+    ir::ReduceOp Op = toReduceOp(F->Op);
+    if (Op == ir::ReduceOp::None)
+      return Loop;
+    if (Layouts.at(F->Lhs.Tensor).Elem == ir::ScalarKind::Float)
+      return Loop;
+    auto It = Ops.find(F->Lhs.Tensor);
+    if (It != Ops.end() && It->second != Op)
+      return Loop;
+    Ops[F->Lhs.Tensor] = Op;
+  }
+  std::vector<ir::ParReduction> Reductions;
+  for (const auto &[Name, Op] : Ops)
+    Reductions.push_back({Name, Op, bufferSize(Name), Layouts.at(Name).Elem});
+  return ir::markLoopParallel(Loop, {}, std::move(Reductions));
+}
 
 ir::Stmt Compiler::emitForall(const Forall &F) const {
   switch (F.Space) {
@@ -115,8 +147,8 @@ ir::Stmt Compiler::emitForall(const Forall &F) const {
                        toReduceOp(F.Op));
     };
     if (F.Space == Forall::IterSpace::SourceAll)
-      return Src.build(Body);
-    return Src.buildPrefix(F.PrefixLevels, Body);
+      return parallelizeSweep(Src.build(Body), {&F});
+    return parallelizeSweep(Src.buildPrefix(F.PrefixLevels, Body), {&F});
   }
   case Forall::IterSpace::TempDense: {
     // Nested loops over the temp's (relative) coordinates t0..tn-1; the
@@ -143,7 +175,7 @@ ir::Stmt Compiler::emitForall(const Forall &F) const {
     for (size_t D = L.Dims.size(); D-- > 0;)
       Body = ir::forRange("t" + std::to_string(D), ir::intImm(0),
                           L.Extent[D], Body);
-    return Body;
+    return parallelizeSweep(Body, {&F});
   }
   }
   convgen_unreachable("unknown forall space");
@@ -199,7 +231,7 @@ query::compileQueries(const std::vector<std::pair<int, Query>> &LevelQueries,
         Fused.push_back(&F);
   if (!Fused.empty()) {
     // Re-emit through one iterator walk: bodies concatenate.
-    Code.add(Src.build([&](const levels::IterEnv &Env) -> ir::Stmt {
+    ir::Stmt Sweep = Src.build([&](const levels::IterEnv &Env) -> ir::Stmt {
       ir::BlockBuilder Body;
       for (const Forall *F : Fused) {
         // Reuse the single-statement path with a fixed environment.
@@ -227,7 +259,8 @@ query::compileQueries(const std::vector<std::pair<int, Query>> &LevelQueries,
                            toReduceOp(Single.Op)));
       }
       return Body.build();
-    }));
+    });
+    Code.add(C.parallelizeSweep(std::move(Sweep), Fused));
   }
 
   // Emit the remaining statements (prefix sweeps, temp reductions) in
