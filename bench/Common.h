@@ -24,6 +24,7 @@
 #include "convert/PlanCache.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
+#include "support/StringUtils.h"
 #include "tensor/Corpus.h"
 #include "tensor/Oracle.h"
 
@@ -59,8 +60,16 @@ inline int benchReps() {
   return Reps;
 }
 
-/// Times \p Fn over benchReps() runs and returns the median seconds.
-inline double medianSeconds(const std::function<void()> &Fn) {
+/// Wall-clock statistics over benchReps() runs. The median is robust to
+/// scheduler noise (the paper's §7.1 methodology); the min approximates
+/// the noise-free cost and is what cache-effect comparisons want.
+struct TimeStats {
+  double MinSeconds = 0;
+  double MedianSeconds = 0;
+};
+
+/// Times \p Fn over benchReps() runs.
+inline TimeStats timeStats(const std::function<void()> &Fn) {
   std::vector<double> Times;
   for (int Rep = 0; Rep < benchReps(); ++Rep) {
     auto Begin = std::chrono::steady_clock::now();
@@ -70,8 +79,72 @@ inline double medianSeconds(const std::function<void()> &Fn) {
                         .count());
   }
   std::sort(Times.begin(), Times.end());
-  return Times[Times.size() / 2];
+  return {Times.front(), Times[Times.size() / 2]};
 }
+
+/// Median seconds over benchReps() runs (see timeStats for min + median).
+inline double medianSeconds(const std::function<void()> &Fn) {
+  return timeStats(Fn).MedianSeconds;
+}
+
+/// Machine-readable output: every bench binary writes a BENCH_<name>.json
+/// beside its human-readable table (the same shape bench_parallel_scaling
+/// introduced), so successive PRs can track the perf trajectory without
+/// parsing tables. Scalar metadata first, then a "results" array whose
+/// entries the benchmark formats itself (strfmt keeps this dependency-free).
+class BenchReport {
+public:
+  /// \p File is the output name, e.g. "BENCH_table3.json".
+  explicit BenchReport(std::string File) : File(std::move(File)) {
+    meta("scale", strfmt("%.3f", benchScale()));
+    meta("reps", strfmt("%d", benchReps()));
+  }
+
+  /// Adds one metadata key with a raw JSON value ("3", "0.2", "true").
+  void meta(const std::string &Key, const std::string &RawValue) {
+    Meta.push_back("\"" + Key + "\": " + RawValue);
+  }
+  /// Adds one metadata key with a string value (quoted for you).
+  void metaStr(const std::string &Key, const std::string &Value) {
+    meta(Key, "\"" + Value + "\"");
+  }
+
+  /// Adds one pre-formatted JSON object to the results array.
+  void add(const std::string &EntryObject) { Entries.push_back(EntryObject); }
+
+  /// The standard timing entry most benches emit.
+  static std::string timingEntry(const std::string &Label,
+                                 const TimeStats &S) {
+    return strfmt("{\"label\": \"%s\", \"median_seconds\": %.6g, "
+                  "\"min_seconds\": %.6g}",
+                  Label.c_str(), S.MedianSeconds, S.MinSeconds);
+  }
+
+  /// Writes the report; returns false (with a note on stderr) on failure.
+  bool write() const {
+    std::string Json = "{\n";
+    for (const std::string &M : Meta)
+      Json += "  " + M + ",\n";
+    Json += "  \"results\": [\n";
+    for (size_t I = 0; I < Entries.size(); ++I)
+      Json += "    " + Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");
+    Json += "  ]\n}\n";
+    std::FILE *Out = std::fopen(File.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", File.c_str());
+      return false;
+    }
+    std::fwrite(Json.data(), 1, Json.size(), Out);
+    std::fclose(Out);
+    std::printf("\nwrote %s\n", File.c_str());
+    return true;
+  }
+
+private:
+  std::string File;
+  std::vector<std::string> Meta;
+  std::vector<std::string> Entries;
+};
 
 /// One corpus matrix, prepared in the formats the experiments read.
 struct MatrixInputs {
@@ -133,16 +206,41 @@ jitConversion(const std::string &Src, const std::string &Dst,
   return *(Pinned[convert::planKey(Source, Target, Opts)] = Handle);
 }
 
-/// Times one run of a JIT conversion on a marshalled input (frees outputs).
-inline double timeJit(const jit::JitConversion &Conv,
-                      const tensor::SparseTensor &In) {
+/// Times a JIT conversion on a marshalled input (frees outputs).
+inline TimeStats timeJitStats(const jit::JitConversion &Conv,
+                              const tensor::SparseTensor &In) {
   jit::CTensor A;
   jit::marshalInput(In, &A);
-  return medianSeconds([&] {
+  return timeStats([&] {
     jit::CTensor B;
     Conv.runRaw(&A, &B);
     jit::freeOutput(&B);
   });
+}
+
+/// Median seconds of one JIT conversion run (see timeJitStats).
+inline double timeJit(const jit::JitConversion &Conv,
+                      const tensor::SparseTensor &In) {
+  return timeJitStats(Conv, In).MedianSeconds;
+}
+
+/// Like timeJitStats, but also reports the routine's own per-phase
+/// breakdown (jit::kNumPhases slots, mean seconds per run) from its
+/// exported phase clock. Zeros if the object predates phase timing.
+inline TimeStats timeJitWithPhases(const jit::JitConversion &Conv,
+                                   const tensor::SparseTensor &In,
+                                   double Phases[jit::kNumPhases]) {
+  std::vector<double> Before(static_cast<size_t>(jit::kNumPhases), 0);
+  if (const double *P = Conv.phaseSeconds())
+    Before.assign(P, P + jit::kNumPhases);
+  TimeStats S = timeJitStats(Conv, In);
+  for (int I = 0; I < jit::kNumPhases; ++I)
+    Phases[I] = 0;
+  if (const double *P = Conv.phaseSeconds())
+    for (int I = 0; I < jit::kNumPhases; ++I)
+      Phases[I] = (P[I] - Before[static_cast<size_t>(I)]) /
+                  static_cast<double>(benchReps());
+  return S;
 }
 
 inline double geomean(const std::vector<double> &Values) {

@@ -27,6 +27,7 @@ int main() {
 
   std::printf("%-18s %10s %12s %8s | %12s\n", "Matrix", "scalar", "array",
               "ratio", "csc_ell(array)");
+  BenchReport Report("BENCH_ablation_counter.json");
   for (const char *Name :
        {"jnlbrng1", "denormal", "majorbasis", "mac_econ_fwd500"}) {
     const MatrixInputs &In = corpusInputs(Name);
@@ -37,6 +38,10 @@ int main() {
     double Csc = timeJit(jitConversion("csc", "ell"), In.Csc);
     std::printf("%-18s %10.3f %12.3f %8.2f | %12.3f\n", Name, Scalar * 1e3,
                 Array * 1e3, Array / Scalar, Csc * 1e3);
+    Report.add(strfmt(
+        "{\"matrix\": \"%s\", \"scalar_seconds\": %.6g, "
+        "\"array_seconds\": %.6g, \"csc_ell_seconds\": %.6g}",
+        Name, Scalar, Array, Csc));
   }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -28,6 +28,7 @@ int main() {
 
   std::printf("%-12s %-18s %10s %14s %8s\n", "Conversion", "Matrix", "fused",
               "materialized", "ratio");
+  BenchReport Report("BENCH_ablation_fusion.json");
   for (const char *Pair : {"csr_dia", "coo_dia", "csr_ell"}) {
     std::string Src(Pair, 3);
     std::string Dst(Pair + 4);
@@ -40,7 +41,11 @@ int main() {
       double Materialized = timeJit(jitConversion(Src, Dst, Mat), Input);
       std::printf("%-12s %-18s %10.3f %14.3f %8.2f\n", Pair, Name,
                   Fused * 1e3, Materialized * 1e3, Materialized / Fused);
+      Report.add(strfmt(
+          "{\"pair\": \"%s\", \"matrix\": \"%s\", "
+          "\"fused_seconds\": %.6g, \"materialized_seconds\": %.6g}",
+          Pair, Name, Fused, Materialized));
     }
   }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

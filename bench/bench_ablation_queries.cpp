@@ -35,6 +35,7 @@ int main() {
 
   std::printf("%-10s %-18s %12s %12s %8s\n", "Conversion", "Matrix",
               "optimized", "canonical", "ratio");
+  BenchReport Report("BENCH_ablation_queries.json");
   struct PairSpec {
     const char *Src, *Dst;
   };
@@ -52,7 +53,11 @@ int main() {
       double Canon = timeJit(jitConversion(P.Src, P.Dst, NoOpt), Csr);
       std::printf("%s_%-6s %-18s %12.3f %12.3f %8.2f\n", P.Src, P.Dst, Name,
                   Opt * 1e3, Canon * 1e3, Canon / Opt);
+      Report.add(strfmt(
+          "{\"pair\": \"%s_%s\", \"matrix\": \"%s\", "
+          "\"optimized_seconds\": %.6g, \"canonical_seconds\": %.6g}",
+          P.Src, P.Dst, Name, Opt, Canon));
     }
   }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

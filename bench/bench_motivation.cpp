@@ -18,9 +18,14 @@ using namespace convgen::bench;
 
 namespace {
 
-double timeSpmv(const tensor::SparseTensor &A, const std::vector<double> &X) {
+TimeStats timeSpmvStats(const tensor::SparseTensor &A,
+                        const std::vector<double> &X) {
   std::vector<double> Y;
-  return medianSeconds([&] { Y = kernels::spmv(A, X); });
+  return timeStats([&] { Y = kernels::spmv(A, X); });
+}
+
+double timeSpmv(const tensor::SparseTensor &A, const std::vector<double> &X) {
+  return timeSpmvStats(A, X).MedianSeconds;
 }
 
 } // namespace
@@ -31,6 +36,7 @@ int main() {
               benchScale(), benchReps());
   std::printf("%-18s %10s | %8s %8s %8s %8s\n", "Matrix", "COO (ms)", "CSR",
               "DIA", "ELL", "BCSR");
+  BenchReport Report("BENCH_motivation.json");
 
   for (const char *Name : {"jnlbrng1", "denormal", "Lin", "ecology1",
                            "majorbasis", "cant", "scircuit"}) {
@@ -39,30 +45,43 @@ int main() {
     for (size_t I = 0; I < X.size(); ++I)
       X[I] = 1.0 + static_cast<double>(I % 5);
 
-    double Coo = timeSpmv(In.Coo, X);
+    TimeStats CooS = timeSpmvStats(In.Coo, X);
+    double Coo = CooS.MedianSeconds;
     double Csr = timeSpmv(In.Csr, X);
+    std::string Entry = strfmt(
+        "{\"kind\": \"spmv\", \"matrix\": \"%s\", \"coo_seconds\": %.6g, "
+        "\"coo_min_seconds\": %.6g, \"csr_speedup\": %.3f",
+        Name, Coo, CooS.MinSeconds, Coo / Csr);
     std::printf("%-18s %10.3f | %8.2f", Name, Coo * 1e3, Coo / Csr);
     if (diaViable(In)) {
       tensor::SparseTensor Dia =
           tensor::buildFromTriplets(formats::makeDIA(), In.T);
-      std::printf(" %8.2f", Coo / timeSpmv(Dia, X));
+      double Rel = Coo / timeSpmv(Dia, X);
+      Entry += strfmt(", \"dia_speedup\": %.3f", Rel);
+      std::printf(" %8.2f", Rel);
     } else {
       std::printf(" %8s", "-");
     }
     if (ellViable(In)) {
       tensor::SparseTensor Ell =
           tensor::buildFromTriplets(formats::makeELL(), In.T);
-      std::printf(" %8.2f", Coo / timeSpmv(Ell, X));
+      double Rel = Coo / timeSpmv(Ell, X);
+      Entry += strfmt(", \"ell_speedup\": %.3f", Rel);
+      std::printf(" %8.2f", Rel);
     } else {
       std::printf(" %8s", "-");
     }
     tensor::SparseTensor Bcsr =
         tensor::buildFromTriplets(formats::makeBCSR(4, 4), In.T);
     double BcsrStored = static_cast<double>(Bcsr.Vals.size());
-    if (static_cast<double>(In.T.nnz()) >= 0.25 * BcsrStored)
-      std::printf(" %8.2f", Coo / timeSpmv(Bcsr, X));
-    else
+    if (static_cast<double>(In.T.nnz()) >= 0.25 * BcsrStored) {
+      double Rel = Coo / timeSpmv(Bcsr, X);
+      Entry += strfmt(", \"bcsr_speedup\": %.3f", Rel);
+      std::printf(" %8.2f", Rel);
+    } else {
       std::printf(" %8s", "-");
+    }
+    Report.add(Entry + "}");
     std::printf("\n");
   }
 
@@ -81,7 +100,12 @@ int main() {
       double Saving = Coo - Csr;
       std::printf("%-18s %14.3f %14.3f %12.1f\n", Name, Conv * 1e3,
                   Saving * 1e3, Saving > 0 ? Conv / Saving : -1.0);
+      Report.add(strfmt(
+          "{\"kind\": \"break_even\", \"matrix\": \"%s\", "
+          "\"convert_coo_csr_seconds\": %.6g, "
+          "\"spmv_saving_seconds\": %.6g}",
+          Name, Conv, Saving));
     }
   }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -1,9 +1,14 @@
 //===----------------------------------------------------------------------===//
 // Thread scaling of the parallel-annotated generated routines: conversion
-// throughput at 1/2/4/N OpenMP threads on large corpus matrices, for pairs
-// whose analysis sweep (all pairs) and coordinate-insertion pass (pure-level
-// targets) parallelize. Emits a human-readable table and machine-readable
-// BENCH_parallel.json so successive PRs can track the perf trajectory.
+// throughput at 1/2/4/N OpenMP threads on large corpus matrices. Since PR 2
+// every pair's assembly parallelizes too — Monotone/Blocked cursor
+// insertion covers coo->csr and csr->csc — so the sweep now includes the
+// cursor-based pairs, and each cell reports the routine's own per-phase
+// breakdown (analysis / edge insertion / insertion / finalize) so scan and
+// cursor wins are attributable to the phase that earned them.
+//
+// Emits a human-readable table and machine-readable BENCH_parallel.json so
+// successive PRs can track the perf trajectory.
 //
 // Environment: CONVGEN_BENCH_SCALE / CONVGEN_BENCH_REPS as usual, plus
 // CONVGEN_BENCH_MATRIX to override the input matrix (default ecology1, a
@@ -44,9 +49,13 @@ void setThreads(int N) {
 }
 
 struct ThreadPoint {
-  int Threads;
-  double Seconds;
+  int Threads = 0;
+  TimeStats Stats;
+  double Phases[jit::kNumPhases] = {};
 };
+
+const char *const kPhaseNames[jit::kNumPhases] = {"analysis", "edge_insert",
+                                                  "insertion", "finalize"};
 
 } // namespace
 
@@ -77,66 +86,72 @@ int main() {
     std::printf(" %9dT (ms)  speedup", N);
   std::printf("\n");
 
+  BenchReport Report("BENCH_parallel.json");
+  Report.metaStr("matrix", Matrix);
+  Report.meta("rows", strfmt("%lld", static_cast<long long>(In.T.NumRows)));
+  Report.meta("nnz", strfmt("%lld", static_cast<long long>(In.T.nnz())));
+  Report.meta("hardware_threads", strfmt("%d", Hw));
+  Report.meta("openmp", OpenMP ? "true" : "false");
+
   struct PairSpec {
     const char *Src, *Dst;
   };
-  std::string Json = "{\n";
-  Json += strfmt("  \"matrix\": \"%s\",\n  \"scale\": %.3f,\n"
-                 "  \"reps\": %d,\n  \"rows\": %lld,\n  \"nnz\": %lld,\n"
-                 "  \"hardware_threads\": %d,\n  \"openmp\": %s,\n"
-                 "  \"results\": [\n",
-                 Matrix.c_str(), benchScale(), benchReps(),
-                 static_cast<long long>(In.T.NumRows),
-                 static_cast<long long>(In.T.nnz()), Hw,
-                 OpenMP ? "true" : "false");
-
-  std::vector<PairSpec> Pairs = {{"coo", "csr"}, {"coo", "dia"},
-                                 {"csr", "ell"}, {"csr", "dia"},
-                                 {"csr", "csc"}};
-  std::vector<std::string> Entries;
-  for (size_t P = 0; P < Pairs.size(); ++P) {
-    const PairSpec &Pair = Pairs[P];
+  // coo->csr and csr->csc are the newly parallel cursor-based pairs
+  // (Blocked strategy); csr->coo exercises the Monotone strategy.
+  std::vector<PairSpec> Pairs = {{"coo", "csr"}, {"csr", "csc"},
+                                 {"csr", "coo"}, {"coo", "dia"},
+                                 {"csr", "ell"}, {"csr", "dia"}};
+  for (const PairSpec &Pair : Pairs) {
     if ((std::string(Pair.Dst) == "dia" && !diaViable(In)) ||
         (std::string(Pair.Dst) == "ell" && !ellViable(In)))
       continue;
     const jit::JitConversion &Conv = jitConversion(Pair.Src, Pair.Dst);
     const tensor::SparseTensor &Input =
-        std::string(Pair.Src) == "coo" ? In.Coo
+        std::string(Pair.Src) == "coo"   ? In.Coo
         : std::string(Pair.Src) == "csr" ? In.Csr
                                          : In.Csc;
     std::vector<ThreadPoint> Points;
     for (int N : Threads) {
       setThreads(N);
-      Points.push_back({N, timeJit(Conv, Input)});
+      ThreadPoint Pt;
+      Pt.Threads = N;
+      Pt.Stats = timeJitWithPhases(Conv, Input, Pt.Phases);
+      Points.push_back(Pt);
     }
     setThreads(Hw);
 
     std::printf("%s_%-8s", Pair.Src, Pair.Dst);
     for (const ThreadPoint &Pt : Points)
-      std::printf(" %13.3f %8.2fx", Pt.Seconds * 1e3,
-                  Points[0].Seconds / Pt.Seconds);
+      std::printf(" %13.3f %8.2fx", Pt.Stats.MedianSeconds * 1e3,
+                  Points[0].Stats.MedianSeconds / Pt.Stats.MedianSeconds);
     std::printf("\n");
+    // Per-phase breakdown at the extreme thread counts.
+    for (size_t Which : {size_t(0), Points.size() - 1}) {
+      const ThreadPoint &Pt = Points[Which];
+      std::printf("  %dT phases:", Pt.Threads);
+      for (int P = 0; P < jit::kNumPhases; ++P)
+        std::printf(" %s %.3fms", kPhaseNames[P], Pt.Phases[P] * 1e3);
+      std::printf("\n");
+      if (Points.size() < 2)
+        break;
+    }
 
     std::string Entry =
-        strfmt("    {\"pair\": \"%s->%s\", \"threads\": [", Pair.Src,
-               Pair.Dst);
-    for (size_t I = 0; I < Points.size(); ++I)
-      Entry += strfmt("%s{\"n\": %d, \"seconds\": %.6f, \"speedup\": %.3f}",
-                      I ? ", " : "", Points[I].Threads, Points[I].Seconds,
-                      Points[0].Seconds / Points[I].Seconds);
-    Entries.push_back(Entry + "]}");
+        strfmt("{\"pair\": \"%s->%s\", \"threads\": [", Pair.Src, Pair.Dst);
+    for (size_t I = 0; I < Points.size(); ++I) {
+      const ThreadPoint &Pt = Points[I];
+      Entry += strfmt("%s{\"n\": %d, \"seconds\": %.6f, "
+                      "\"min_seconds\": %.6f, \"speedup\": %.3f, "
+                      "\"phases\": {",
+                      I ? ", " : "", Pt.Threads, Pt.Stats.MedianSeconds,
+                      Pt.Stats.MinSeconds,
+                      Points[0].Stats.MedianSeconds / Pt.Stats.MedianSeconds);
+      for (int P = 0; P < jit::kNumPhases; ++P)
+        Entry += strfmt("%s\"%s\": %.6f", P ? ", " : "", kPhaseNames[P],
+                        Pt.Phases[P]);
+      Entry += "}}";
+    }
+    Report.add(Entry + "]}");
   }
-  for (size_t I = 0; I < Entries.size(); ++I)
-    Json += Entries[I] + (I + 1 < Entries.size() ? ",\n" : "\n");
-  Json += "  ]\n}\n";
-
-  if (std::FILE *Out = std::fopen("BENCH_parallel.json", "w")) {
-    std::fwrite(Json.data(), 1, Json.size(), Out);
-    std::fclose(Out);
-    std::printf("\nwrote BENCH_parallel.json\n");
-  } else {
-    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
-    return 1;
-  }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

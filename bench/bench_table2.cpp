@@ -20,6 +20,7 @@ int main() {
   std::printf("%-18s %12s %12s | %10s %10s | %8s %8s | %7s %7s | %4s\n",
               "Matrix", "Dimensions", "(target)", "NNZ", "(target)",
               "Diags", "(target)", "MaxRow", "(tgt)", "Sym");
+  BenchReport Report("BENCH_table2.json");
   for (const tensor::CorpusEntry &E : tensor::table2Corpus()) {
     const MatrixInputs &In = corpusInputs(E.Name);
     auto ScaleI = [&](int64_t V) {
@@ -36,10 +37,19 @@ int main() {
                 static_cast<long long>(In.MaxRow),
                 static_cast<long long>(E.MaxNnzPerRow),
                 E.Symmetric ? "yes" : "no");
+    Report.add(strfmt(
+        "{\"matrix\": \"%s\", \"rows\": %lld, \"cols\": %lld, "
+        "\"nnz\": %lld, \"diagonals\": %lld, \"max_row\": %lld, "
+        "\"symmetric\": %s}",
+        E.Name.c_str(), static_cast<long long>(In.T.NumRows),
+        static_cast<long long>(In.T.NumCols),
+        static_cast<long long>(In.T.nnz()),
+        static_cast<long long>(In.Diagonals),
+        static_cast<long long>(In.MaxRow), E.Symmetric ? "true" : "false"));
   }
   std::printf("\nDiagonal/MaxRow targets are the full-scale values from the "
               "paper; at reduced\nscale the structural families (stencil / "
               "banded / scattered / power-law)\npreserve the shape rather "
               "than the absolute counts.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -58,10 +58,10 @@ double relTo(double TacoSecs, double OtherSecs) {
   return OtherSecs / TacoSecs;
 }
 
-/// Prints one conversion block and returns the geomean rows.
-void printBlock(const char *Title,
+/// Prints one conversion block (and records it in the JSON report).
+void printBlock(const char *Title, const char *Pair,
                 const std::vector<std::pair<std::string, Cell>> &Rows,
-                bool HasMkl, bool HasNoExt) {
+                bool HasMkl, bool HasNoExt, BenchReport &Report) {
   std::printf("\n%s\n", Title);
   std::printf("%-18s %12s %8s%s%s\n", "Matrix", "taco w/ ext", "skit",
               HasMkl ? "      mkl" : "", HasNoExt ? "  taco w/o ext" : "");
@@ -92,6 +92,19 @@ void printBlock(const char *Title,
     }
     std::printf("\n");
   }
+  for (const auto &[Name, C] : Rows) {
+    std::string Entry = strfmt(
+        "{\"pair\": \"%s\", \"matrix\": \"%s\", "
+        "\"taco_seconds\": %.6g",
+        Pair, Name.c_str(), C.TacoMs * 1e-3);
+    if (C.SkitRel)
+      Entry += strfmt(", \"skit_rel\": %.3f", *C.SkitRel);
+    if (C.MklRel)
+      Entry += strfmt(", \"mkl_rel\": %.3f", *C.MklRel);
+    if (C.NoExtRel)
+      Entry += strfmt(", \"taco_noext_rel\": %.3f", *C.NoExtRel);
+    Report.add(Entry + "}");
+  }
   std::printf("%-18s %12s %8.2f", "Geomean", "", geomean(SkitRels));
   if (HasMkl)
     std::printf(" %8.2f", geomean(MklRels));
@@ -112,6 +125,7 @@ int main() {
               "(scale %.2f, %d reps, median)\n",
               benchScale(), benchReps());
 
+  BenchReport Report("BENCH_table3.json");
   std::vector<std::string> Names = benchMatrices();
   std::vector<std::pair<std::string, Cell>> CooCsr, CooDia, CsrCsc, CsrDia,
       CsrEll, CscDia, CscEll;
@@ -265,20 +279,20 @@ int main() {
     }
   }
 
-  printBlock("coo_csr (COO to CSR)", CooCsr, /*HasMkl=*/true,
-             /*HasNoExt=*/true);
+  printBlock("coo_csr (COO to CSR)", "coo_csr", CooCsr, /*HasMkl=*/true,
+             /*HasNoExt=*/true, Report);
   printBlock("coo_dia (COO to DIA, libraries go through a CSR temporary)",
-             CooDia, true, false);
-  printBlock("csr_csc (CSR to CSC, non-symmetric matrices)", CsrCsc, true,
-             false);
-  printBlock("csr_dia (CSR to DIA)", CsrDia, true, false);
-  printBlock("csr_ell (CSR to ELL; MKL has no direct routine)", CsrEll,
-             false, false);
+             "coo_dia", CooDia, true, false, Report);
+  printBlock("csr_csc (CSR to CSC, non-symmetric matrices)", "csr_csc",
+             CsrCsc, true, false, Report);
+  printBlock("csr_dia (CSR to DIA)", "csr_dia", CsrDia, true, false, Report);
+  printBlock("csr_ell (CSR to ELL; MKL has no direct routine)", "csr_ell",
+             CsrEll, false, false, Report);
   printBlock("csc_dia (CSC to DIA; libraries transpose first unless "
              "symmetric)",
-             CscDia, true, false);
+             "csc_dia", CscDia, true, false, Report);
   printBlock("csc_ell (CSC to ELL; libraries transpose first unless "
              "symmetric)",
-             CscEll, false, false);
-  return 0;
+             "csc_ell", CscEll, false, false, Report);
+  return Report.write() ? 0 : 1;
 }

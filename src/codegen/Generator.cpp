@@ -120,14 +120,49 @@ struct Generator {
   /// Annotates a pass over the source (coordinate insertion or the
   /// materialize pre-pass) as parallel when legal; returns it unchanged
   /// otherwise. \p CheckLevels gates on every target level's insertion
-  /// being order-independent (the pre-pass runs no level emitters);
-  /// \p CountersAdvance requires counters to be privatizable (scalars) or
-  /// iteration-owned (arrays over the outer ivar).
+  /// being order-independent under the chosen strategy (the pre-pass runs
+  /// no level emitters); \p CountersAdvance requires counters to be
+  /// privatizable (scalars) or iteration-owned (arrays over the outer
+  /// ivar).
   ir::Stmt markInsertionParallel(ir::Stmt Loop, bool CheckLevels,
                                  bool CountersAdvance) const;
 
   /// Size of a counter array: product of the index variables' dimensions.
   ir::Expr counterArraySize(const CounterPlan &Plan) const;
+
+  /// 1-based target levels that insert through a per-parent cursor
+  /// (compressed without a dedup workspace).
+  std::vector<int> cursorLevels() const;
+
+  /// True when cursor level \p K (1-based) meets the Monotone strategy's
+  /// preconditions: the level's parent coordinates are plain variables
+  /// forming exactly a prefix of the source's lexicographically ordered
+  /// iteration variables, and every stored source slot is inserted (no
+  /// padded-source value guard). The serial cursor then assigns position p
+  /// to the p-th visited nonzero, so emitting the source position directly
+  /// is bit-identical and removes the cursor (and its serialization).
+  bool cursorLevelIsMonotone(int K) const;
+
+  /// Picks the insertion strategy for this conversion (see
+  /// levels::InsertStrategy for the semantics of each).
+  levels::InsertStrategy chooseInsertStrategy() const;
+
+  /// Scalar (privatizable) counter variable names, for Parallel clauses.
+  std::vector<std::string> scalarCounterVars() const;
+
+  /// Rewrites the outermost loop of a source nest into a partition loop
+  /// over BlockVar with contiguous sub-ranges, so two passes that must
+  /// agree on the work partition (counting and insertion) split the
+  /// iteration space identically.
+  ir::Stmt blockifyOuterLoop(const ir::Stmt &Nest) const;
+
+  /// Emits the Blocked-strategy insertion: per-partition cursor counting,
+  /// the partition-offset conversion, and the blocked insertion pass.
+  void emitBlockedInsertion(
+      ir::BlockBuilder &Fn,
+      const std::function<ir::Stmt(const levels::IterEnv &)> &InsertionBody,
+      const std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>>
+          &Resets);
 };
 
 ir::Expr Generator::counterArraySize(const CounterPlan &Plan) const {
@@ -228,7 +263,7 @@ ir::Stmt Generator::markInsertionParallel(ir::Stmt Loop, bool CheckLevels,
     return Loop;
   if (CheckLevels)
     for (const auto &LF : Levels)
-      if (!LF->insertIsParallelSafe())
+      if (!LF->insertIsParallelSafe(Ctx))
         return Loop;
   std::vector<std::string> Privates;
   if (CountersAdvance) {
@@ -244,6 +279,165 @@ ir::Stmt Generator::markInsertionParallel(ir::Stmt Loop, bool CheckLevels,
     }
   }
   return ir::markLoopParallel(Loop, std::move(Privates));
+}
+
+std::vector<int> Generator::cursorLevels() const {
+  std::vector<int> Out;
+  for (const auto &LF : Levels)
+    if (LF->insertUsesCursor())
+      Out.push_back(LF->level());
+  return Out;
+}
+
+bool Generator::cursorLevelIsMonotone(int K) const {
+  // Every visited slot must insert: a padded source's vals != 0 guard
+  // would skip slots and break position == source-position.
+  if (Src.PaddedVals)
+    return false;
+  // Only ivars bound by the source's leading dense loops are usable: their
+  // order is guaranteed by the loop structure itself. Compressed and
+  // singleton levels iterate whatever the crd arrays hold, and a tensor
+  // may legally carry them unsorted (csc -> coo yields column-major coo),
+  // so they give no structural monotonicity guarantee — such sources take
+  // the Blocked strategy instead, which assumes nothing about order.
+  std::vector<std::string> Ordered = SrcIt.orderedLoopIVars();
+  if (static_cast<size_t>(K - 1) > Ordered.size())
+    return false;
+  // The parent chain must be dense levels over plain variables matching
+  // that loop prefix in order: the linearized parent position is then
+  // non-decreasing along the whole source iteration.
+  for (int P = 0; P < K - 1; ++P) {
+    const formats::LevelSpec &Spec = Dst.Levels[static_cast<size_t>(P)];
+    if (Spec.Kind != LevelKind::Dense)
+      return false;
+    std::string V;
+    if (!remap::dimIsPlainVar(Dst.Remap, static_cast<size_t>(Spec.Dim), &V))
+      return false;
+    if (V != Ordered[static_cast<size_t>(P)])
+      return false;
+  }
+  return true;
+}
+
+levels::InsertStrategy Generator::chooseInsertStrategy() const {
+  std::vector<int> Cursors = cursorLevels();
+  if (Cursors.empty())
+    return levels::InsertStrategy::Serial; // No cursors to replace.
+  bool AllMonotone = true;
+  for (int K : Cursors)
+    AllMonotone = AllMonotone && cursorLevelIsMonotone(K);
+  if (AllMonotone)
+    return levels::InsertStrategy::Monotone;
+  // Blocked handles one cursor level whose parent position is computable
+  // per nonzero (its ancestors are pure levels — guaranteed for edge
+  // insertion); the other levels must be order-independent. The counting
+  // pass replays counter advances, which is exact for reused scalars
+  // (reset before use within each outer iteration) and moot when a
+  // materialize pre-pass owns the counters, but would double-count
+  // counter arrays — those keep the insertion serial.
+  if (Cursors.size() != 1)
+    return levels::InsertStrategy::Serial;
+  for (const auto &LF : Levels) {
+    if (LF->insertUsesCursor())
+      continue;
+    levels::AsmCtx Pure = Ctx; // Strategy-independent purity probe.
+    Pure.Insert = levels::InsertStrategy::Serial;
+    if (!LF->insertIsParallelSafe(Pure))
+      return levels::InsertStrategy::Serial;
+  }
+  if (!Opts.MaterializeRemap)
+    for (const CounterPlan &Plan : Counters)
+      if (!Plan.Scalar)
+        return levels::InsertStrategy::Serial;
+  return levels::InsertStrategy::Blocked;
+}
+
+std::vector<std::string> Generator::scalarCounterVars() const {
+  std::vector<std::string> Out;
+  if (Opts.MaterializeRemap)
+    return Out; // Counters advance only in the materialize pre-pass.
+  for (const CounterPlan &Plan : Counters)
+    if (Plan.Scalar)
+      Out.push_back(Plan.Var);
+  return Out;
+}
+
+ir::Stmt Generator::blockifyOuterLoop(const ir::Stmt &Nest) const {
+  CONVGEN_ASSERT(Nest && Nest->Kind == ir::StmtKind::For,
+                 "blocked insertion requires a loop-rooted source nest");
+  ir::Expr Lo = Nest->A, Hi = Nest->B, P = Ctx.PartCount;
+  ir::Expr Len = ir::sub(Hi, Lo);
+  ir::Expr BVar = ir::var(Ctx.BlockVar);
+  ir::Expr BLo = ir::add(Lo, ir::div(ir::mul(Len, BVar), P));
+  ir::Expr BHi = ir::add(
+      Lo, ir::div(ir::mul(Len, ir::add(BVar, ir::intImm(1))), P));
+  ir::Stmt Inner = ir::forRange(Nest->Name, BLo, BHi, Nest->Body);
+  return ir::forRange(Ctx.BlockVar, ir::intImm(0), P, Inner);
+}
+
+void Generator::emitBlockedInsertion(
+    ir::BlockBuilder &Fn,
+    const std::function<ir::Stmt(const levels::IterEnv &)> &InsertionBody,
+    const std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>>
+        &Resets) {
+  int K = cursorLevels().front();
+  ir::Expr PS = Ctx.ParentSize.at(K);
+  std::string Cur = Ctx.cursorName(K);
+  std::vector<std::string> Privates = scalarCounterVars();
+  bool Materialize = Opts.MaterializeRemap;
+
+  // The partition count is evaluated once so the counting and insertion
+  // passes split the outer loop identically; the result is deterministic
+  // for any count, so the interpreter's single partition and the JIT's
+  // thread count agree bit-for-bit.
+  Fn.add(ir::decl("cvg_P", ir::numParts()));
+  Ctx.PartCount = ir::var("cvg_P");
+  Ctx.BlockVar = "cb";
+
+  // Pass 1: each partition tallies its nonzeros per parent position.
+  Fn.add(ir::comment("per-partition cursor counts"));
+  Fn.add(ir::alloc(Cur, ir::ScalarKind::Int, ir::mul(Ctx.PartCount, PS),
+                   true));
+  auto CountBody = [&](const levels::IterEnv &Env) -> ir::Stmt {
+    ir::BlockBuilder Body;
+    if (!Materialize)
+      emitCounterAdvance(Env, Body);
+    std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
+    levels::PosEnv PEnv{ir::intImm(0), Coords, Env.LastPos};
+    for (int P = 0; P + 1 < K; ++P)
+      PEnv.ParentPos =
+          Levels[static_cast<size_t>(P)]->emitPos(Ctx, PEnv, Body);
+    Body.add(ir::store(
+        Cur,
+        ir::add(ir::mul(ir::var(Ctx.BlockVar), PS), PEnv.ParentPos),
+        ir::intImm(1), ir::ReduceOp::Add));
+    return Body.build();
+  };
+  Fn.add(ir::markLoopParallel(
+      blockifyOuterLoop(SrcIt.build(CountBody, Resets)), Privates));
+
+  // Pass 2: exclusive scan over partitions per parent, seeded from the
+  // (final, never consumed) pos array: cur[b][q] becomes the first
+  // destination position partition b writes under parent q.
+  Fn.add(ir::comment("partition counts -> starting cursors"));
+  std::string Q = "cq", B = "cbo", T = "ct", Acc = "cacc";
+  ir::Expr Cell = ir::add(ir::mul(ir::var(B), PS), ir::var(Q));
+  ir::BlockBuilder Inner;
+  Inner.add(ir::decl(T, ir::load(Cur, Cell)));
+  Inner.add(ir::store(Cur, Cell, ir::var(Acc)));
+  Inner.add(ir::assign(Acc, ir::add(ir::var(Acc), ir::var(T))));
+  ir::BlockBuilder PerParent;
+  PerParent.add(ir::decl(Acc, ir::load(Ctx.posName(K), ir::var(Q))));
+  PerParent.add(
+      ir::forRange(B, ir::intImm(0), Ctx.PartCount, Inner.build()));
+  Fn.add(ir::markLoopParallel(
+      ir::forRange(Q, ir::intImm(0), PS, PerParent.build()), {}));
+
+  // Pass 3: blocked insertion; emitPos consumes this partition's cursors.
+  Fn.add(ir::comment("blocked coordinate insertion"));
+  Fn.add(ir::markLoopParallel(
+      blockifyOuterLoop(SrcIt.build(InsertionBody, Resets)), Privates));
+  Fn.add(ir::freeBuffer(Cur));
 }
 
 void Generator::freeCounters(ir::BlockBuilder &Out) const {
@@ -431,9 +625,14 @@ Conversion Generator::run() {
     return emitParentLoop(K, Body);
   };
 
+  // Insertion strategy for cursor-based compressed levels: decided before
+  // any emission because emitPos/emitFinalize specialize on it.
+  Ctx.Insert = chooseInsertStrategy();
+
   ir::BlockBuilder Fn;
   Fn.add(ir::comment(strfmt("convert %s -> %s", Src.Name.c_str(),
                             Dst.Name.c_str())));
+  Fn.add(ir::phaseMark(-1, "start"));
 
   // Optional pre-pass: materialize non-plain remapped coordinates per
   // stored position (§3's strategy for complex orderings).
@@ -475,11 +674,13 @@ Conversion Generator::run() {
 
   // Phase 1: analysis.
   Fn.add(Compiled.Code);
+  Fn.add(ir::phaseMark(0, "analysis"));
 
   // Phase 2: per-level initialization (edge insertion, perm/K, arrays).
   Fn.add(ir::comment("assembly: edge insertion and initialization"));
   LevelSizes.push_back(ir::intImm(1));
   for (size_t K = 0; K < Levels.size(); ++K) {
+    Ctx.ParentSize[static_cast<int>(K) + 1] = LevelSizes.back();
     Levels[K]->emitInit(Ctx, LevelSizes.back(), Fn);
     std::string SzVar = "szB" + std::to_string(K + 1);
     Fn.add(ir::decl(SzVar, Levels[K]->getSize(Ctx, LevelSizes.back())));
@@ -489,8 +690,10 @@ Conversion Generator::run() {
                    Dst.PaddedVals));
   for (size_t K = 0; K < Levels.size(); ++K)
     Levels[K]->emitInitPos(Ctx, LevelSizes[K], Fn);
+  Fn.add(ir::phaseMark(1, "edge insertion"));
 
-  // Phase 3: coordinate insertion — one fused pass over the source.
+  // Phase 3: coordinate insertion — a fused pass over the source
+  // (partition-blocked under the Blocked cursor strategy).
   Fn.add(ir::comment("assembly: coordinate insertion"));
   std::map<int, std::function<ir::Stmt(const levels::IterEnv &)>> Resets;
   if (!Materialize) {
@@ -498,34 +701,38 @@ Conversion Generator::run() {
     emitCounterSetup(CounterInit, Resets);
     Fn.add(CounterInit.build());
   }
-  Fn.add(markInsertionParallel(
-      SrcIt.build(
-          [&](const levels::IterEnv &Env) -> ir::Stmt {
-            ir::BlockBuilder Body;
-            if (!Materialize)
-              emitCounterAdvance(Env, Body);
-            std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
-            levels::PosEnv PEnv{ir::intImm(0), Coords};
-            for (size_t K = 0; K < Levels.size(); ++K) {
-              ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
-              if (Pk->Kind != ir::ExprKind::Var &&
-                  Pk->Kind != ir::ExprKind::IntImm) {
-                std::string PVar = "pB" + std::to_string(K + 1) + "c";
-                Body.add(ir::decl(PVar, Pk));
-                Pk = ir::var(PVar);
-              }
-              Levels[K]->emitInsertCoord(Ctx, PEnv, Pk, Body);
-              PEnv.ParentPos = Pk;
-            }
-            Body.add(ir::store("B_vals", PEnv.ParentPos,
-                               ir::load("A_vals", Env.LastPos,
-                                        ir::ScalarKind::Float)));
-            return Body.build();
-          },
-          Resets),
-      /*CheckLevels=*/true, /*CountersAdvance=*/!Materialize));
+  auto InsertionBody = [&](const levels::IterEnv &Env) -> ir::Stmt {
+    ir::BlockBuilder Body;
+    if (!Materialize)
+      emitCounterAdvance(Env, Body);
+    std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
+    levels::PosEnv PEnv{ir::intImm(0), Coords, Env.LastPos};
+    for (size_t K = 0; K < Levels.size(); ++K) {
+      ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
+      if (Pk->Kind != ir::ExprKind::Var &&
+          Pk->Kind != ir::ExprKind::IntImm) {
+        std::string PVar = "pB" + std::to_string(K + 1) + "c";
+        Body.add(ir::decl(PVar, Pk));
+        Pk = ir::var(PVar);
+      }
+      Levels[K]->emitInsertCoord(Ctx, PEnv, Pk, Body);
+      PEnv.ParentPos = Pk;
+    }
+    Body.add(ir::store("B_vals", PEnv.ParentPos,
+                       ir::load("A_vals", Env.LastPos,
+                                ir::ScalarKind::Float)));
+    return Body.build();
+  };
+  if (Ctx.Insert == levels::InsertStrategy::Blocked) {
+    emitBlockedInsertion(Fn, InsertionBody, Resets);
+  } else {
+    Fn.add(markInsertionParallel(SrcIt.build(InsertionBody, Resets),
+                                 /*CheckLevels=*/true,
+                                 /*CountersAdvance=*/!Materialize));
+  }
   if (!Materialize)
     freeCounters(Fn);
+  Fn.add(ir::phaseMark(2, "insertion"));
 
   // Finalizers, temp frees, yields.
   Fn.add(ir::comment("finalize and publish outputs"));
@@ -540,6 +747,7 @@ Conversion Generator::run() {
   for (size_t K = 0; K < Levels.size(); ++K)
     Levels[K]->emitYield(Ctx, LevelSizes[K], Fn);
   Fn.add(ir::yieldBuffer("B_vals", "B_vals", LevelSizes.back()));
+  Fn.add(ir::phaseMark(3, "finalize"));
 
   Conversion Out;
   Out.Source = Src;

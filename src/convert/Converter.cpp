@@ -63,11 +63,12 @@ convert::collectTargetTensor(const formats::Format &Target,
   for (size_t K = 0; K < Target.Levels.size(); ++K) {
     std::string Base = "B" + std::to_string(K + 1);
     tensor::LevelStorage &L = Out.Levels[K];
-    auto takeInts = [&](const std::string &Slot, std::vector<int32_t> &Dest) {
+    auto takeInts = [&](const std::string &Slot,
+                        tensor::OwnedArray<int32_t> &Dest) {
       auto It = Result.Buffers.find(Slot);
       if (It == Result.Buffers.end())
         fatalError(("conversion did not yield " + Slot).c_str());
-      Dest = std::move(It->second.Ints);
+      Dest = It->second.Ints;
     };
     switch (Target.Levels[K].Kind) {
     case LevelKind::Compressed:
@@ -95,7 +96,7 @@ convert::collectTargetTensor(const formats::Format &Target,
   auto It = Result.Buffers.find("B_vals");
   if (It == Result.Buffers.end())
     fatalError("conversion did not yield B_vals");
-  Out.Vals = std::move(It->second.Floats);
+  Out.Vals = It->second.Floats;
   return Out;
 }
 

@@ -16,6 +16,12 @@
 ///   std::fputs(Conv.conversion().pretty().c_str(), stdout);
 /// \endcode
 ///
+/// Ownership: run() never aliases its input — the interpreter binds copies
+/// of the source arrays and the result owns fresh storage. The JIT backend
+/// is the zero-copy path: it binds source arrays by pointer and the result
+/// tensor adopts the routine's malloc'd output buffers (see jit/Jit.h for
+/// the full contract).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CONVGEN_CONVERT_CONVERTER_H

@@ -254,6 +254,12 @@ Expr ir::logicalNot(Expr A) {
   return E;
 }
 
+Expr ir::numParts() {
+  Expr E = makeExpr(ExprKind::NumParts);
+  const_cast<ExprNode &>(*E).Type = ScalarKind::Int;
+  return E;
+}
+
 Expr ir::select(Expr Cond, Expr IfTrue, Expr IfFalse) {
   int64_t C = 0;
   if (isIntConst(Cond, &C))
@@ -391,6 +397,24 @@ Stmt ir::yieldScalar(const std::string &Slot, Expr Value) {
   return S;
 }
 
+Stmt ir::scan(const std::string &Buffer, Expr Length, ScanKind Kind) {
+  CONVGEN_ASSERT(Length != nullptr, "scan requires a length");
+  Stmt S = makeStmt(StmtKind::Scan);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Buffer;
+  N.A = std::move(Length);
+  N.Scan = Kind;
+  return S;
+}
+
+Stmt ir::phaseMark(int64_t Phase, const std::string &Label) {
+  Stmt S = makeStmt(StmtKind::PhaseMark);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Label;
+  N.Phase = Phase;
+  return S;
+}
+
 //===----------------------------------------------------------------------===//
 // Printing
 //===----------------------------------------------------------------------===//
@@ -480,6 +504,10 @@ std::string ir::printExpr(const Expr &E) {
   case ExprKind::Select:
     return "(" + printExpr(E->A) + " ? " + printExpr(E->B) + " : " +
            printExpr(E->C) + ")";
+  case ExprKind::NumParts:
+    // The emitted C prelude defines cvg_nparts() as the OpenMP max thread
+    // count (1 without OpenMP); the interpreter evaluates it to 1.
+    return "cvg_nparts()";
   }
   convgen_unreachable("unknown expression kind");
 }
@@ -496,13 +524,68 @@ static const char *cElemType(ScalarKind Kind) {
   convgen_unreachable("unknown scalar kind");
 }
 
-static void printStmtInto(const Stmt &S, int Indent, std::string &Out) {
+/// Emits the C lowering of a Scan: a two-pass blocked prefix sum that
+/// parallelizes under OpenMP and reduces to the canonical serial loop when
+/// there is a single partition (no OpenMP, short buffers). Deterministic
+/// for any partition count — int32 addition is associative mod 2^32 — so
+/// the result is bit-identical to the interpreter's serial scan. All
+/// locals live in their own braces, so nested scans cannot collide.
+static void printScanC(const Stmt &S, const std::string &Pad,
+                       std::string &Out) {
+  bool Incl = S->Scan == ScanKind::Inclusive;
+  const std::string &X = S->Name;
+  std::string Body =
+      Incl ? "cvg_acc += " + X + "[cvg_k]; " + X + "[cvg_k] = cvg_acc;"
+           : "int32_t cvg_v = " + X + "[cvg_k]; " + X +
+                 "[cvg_k] = cvg_acc; cvg_acc += cvg_v;";
+  Out += Pad + "{ // " + (Incl ? "inclusive" : "exclusive") + " scan of " +
+         X + "[0:" + printExpr(S->A) + "]\n";
+  std::string In = Pad + "  ";
+  Out += In + "int64_t cvg_n = " + printExpr(S->A) + ";\n";
+  Out += In + "int64_t cvg_p = cvg_nparts();\n";
+  Out += In + "if (cvg_p > cvg_n) cvg_p = cvg_n;\n";
+  Out += In + "if (cvg_p > 1) {\n";
+  Out += In + "  int32_t* cvg_sums = (int32_t*)malloc(cvg_p * "
+              "sizeof(int32_t));\n";
+  Out += In + "  #pragma omp parallel for\n";
+  Out += In + "  for (int64_t cvg_b = 0; cvg_b < cvg_p; cvg_b++) {\n";
+  Out += In + "    int32_t cvg_acc = 0;\n";
+  Out += In + "    for (int64_t cvg_k = cvg_n * cvg_b / cvg_p; "
+              "cvg_k < cvg_n * (cvg_b + 1) / cvg_p; cvg_k++)\n";
+  Out += In + "      cvg_acc += " + X + "[cvg_k];\n";
+  Out += In + "    cvg_sums[cvg_b] = cvg_acc;\n";
+  Out += In + "  }\n";
+  Out += In + "  int32_t cvg_carry = 0;\n";
+  Out += In + "  for (int64_t cvg_b = 0; cvg_b < cvg_p; cvg_b++) {\n";
+  Out += In + "    int32_t cvg_t = cvg_sums[cvg_b]; "
+              "cvg_sums[cvg_b] = cvg_carry; cvg_carry += cvg_t;\n";
+  Out += In + "  }\n";
+  Out += In + "  #pragma omp parallel for\n";
+  Out += In + "  for (int64_t cvg_b = 0; cvg_b < cvg_p; cvg_b++) {\n";
+  Out += In + "    int32_t cvg_acc = cvg_sums[cvg_b];\n";
+  Out += In + "    for (int64_t cvg_k = cvg_n * cvg_b / cvg_p; "
+              "cvg_k < cvg_n * (cvg_b + 1) / cvg_p; cvg_k++) {\n";
+  Out += In + "      " + Body + "\n";
+  Out += In + "    }\n";
+  Out += In + "  }\n";
+  Out += In + "  free(cvg_sums);\n";
+  Out += In + "} else {\n";
+  Out += In + "  int32_t cvg_acc = 0;\n";
+  Out += In + "  for (int64_t cvg_k = 0; cvg_k < cvg_n; cvg_k++) {\n";
+  Out += In + "    " + Body + "\n";
+  Out += In + "  }\n";
+  Out += In + "}\n";
+  Out += Pad + "}\n";
+}
+
+static void printStmtInto(const Stmt &S, int Indent, std::string &Out,
+                          bool CMode) {
   CONVGEN_ASSERT(S != nullptr, "cannot print a null statement");
   std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
   switch (S->Kind) {
   case StmtKind::Block:
     for (const Stmt &Sub : S->Stmts)
-      printStmtInto(Sub, Indent, Out);
+      printStmtInto(Sub, Indent, Out, CMode);
     return;
   case StmtKind::Decl: {
     const char *Ty =
@@ -555,20 +638,20 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out) {
     }
     Out += Pad + "for (int64_t " + S->Name + " = " + printExpr(S->A) + "; " +
            S->Name + " < " + printExpr(S->B) + "; " + S->Name + "++) {\n";
-    printStmtInto(S->Body, Indent + 1, Out);
+    printStmtInto(S->Body, Indent + 1, Out, CMode);
     Out += Pad + "}\n";
     return;
   case StmtKind::While:
     Out += Pad + "while (" + printExpr(S->A) + ") {\n";
-    printStmtInto(S->Body, Indent + 1, Out);
+    printStmtInto(S->Body, Indent + 1, Out, CMode);
     Out += Pad + "}\n";
     return;
   case StmtKind::If:
     Out += Pad + "if (" + printExpr(S->A) + ") {\n";
-    printStmtInto(S->Body, Indent + 1, Out);
+    printStmtInto(S->Body, Indent + 1, Out, CMode);
     if (S->Else) {
       Out += Pad + "} else {\n";
-      printStmtInto(S->Else, Indent + 1, Out);
+      printStmtInto(S->Else, Indent + 1, Out, CMode);
     }
     Out += Pad + "}\n";
     return;
@@ -625,6 +708,36 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out) {
     Out += Pad + "/* yield " + S->Slot + " = " + printExpr(S->A) + " */\n";
     return;
   }
+  case StmtKind::Scan:
+    if (CMode) {
+      printScanC(S, Pad, Out);
+    } else {
+      // Figure 6 view: a compact pseudo-op keeps the routine readable.
+      Out += Pad +
+             (S->Scan == ScanKind::Inclusive ? "inclusive_scan("
+                                             : "exclusive_scan(") +
+             S->Name + ", " + printExpr(S->A) + ");\n";
+    }
+    return;
+  case StmtKind::PhaseMark:
+    if (!CMode) {
+      Out += Pad + "// [phase] " + S->Name + "\n";
+      return;
+    }
+    // Accumulate wall-clock seconds since the previous mark into the
+    // per-routine phase array (exported as <fn>_phase_seconds). Index -1
+    // only (re)starts the clock.
+    if (S->Phase < 0) {
+      Out += Pad + "cvg_phase_t0 = cvg_now();\n";
+    } else {
+      Out += Pad + strfmt("{ double cvg_t = cvg_now(); "
+                          "cvg_phase_secs[%lld] += cvg_t - cvg_phase_t0; "
+                          "cvg_phase_t0 = cvg_t; } // %s",
+                          static_cast<long long>(S->Phase),
+                          S->Name.c_str()) +
+             "\n";
+    }
+    return;
   }
   convgen_unreachable("unknown statement kind");
 }
@@ -664,7 +777,13 @@ SlotRef ir::parseSlotName(const std::string &Name) {
 
 std::string ir::printStmt(const Stmt &S, int Indent) {
   std::string Out;
-  printStmtInto(S, Indent, Out);
+  printStmtInto(S, Indent, Out, /*CMode=*/false);
+  return Out;
+}
+
+std::string ir::printStmtAsC(const Stmt &S, int Indent) {
+  std::string Out;
+  printStmtInto(S, Indent, Out, /*CMode=*/true);
   return Out;
 }
 
@@ -675,6 +794,6 @@ std::string ir::printFunction(const Function &F) {
   for (const Param &P : F.Params)
     Names.push_back(P.Name);
   Out += join(Names, ", ") + ")\n";
-  printStmtInto(F.Body, 0, Out);
+  printStmtInto(F.Body, 0, Out, /*CMode=*/false);
   return Out;
 }

@@ -47,10 +47,11 @@ enum class ExprKind : uint8_t {
   FloatImm,
   BoolImm,
   Var,
-  Load,   ///< BufferName[A]
-  Binary, ///< A op B
-  Unary,  ///< op A
-  Select, ///< A ? B : C
+  Load,     ///< BufferName[A]
+  Binary,   ///< A op B
+  Unary,    ///< op A
+  Select,   ///< A ? B : C
+  NumParts, ///< Partition count for blocked parallel passes (see numParts).
 };
 
 enum class BinOp : uint8_t {
@@ -121,6 +122,14 @@ Expr neg(Expr A);
 Expr logicalNot(Expr A);
 Expr select(Expr Cond, Expr IfTrue, Expr IfFalse);
 
+/// The number of partitions blocked parallel passes split their iteration
+/// space into. Generated code must be deterministic for *any* value >= 1:
+/// the C emitter lowers it to the OpenMP max thread count (1 without
+/// OpenMP), the interpreter always evaluates it to 1, and the test suite
+/// checks both produce bit-identical results. Evaluate it once into a
+/// variable when several passes must agree on the partitioning.
+Expr numParts();
+
 /// Returns true (and sets \p Value) if \p E is an integer immediate.
 bool isIntConst(const Expr &E, int64_t *Value = nullptr);
 
@@ -141,10 +150,16 @@ enum class StmtKind : uint8_t {
   Comment,
   YieldBuffer, ///< Publish Buffer (length A) to output slot Slot.
   YieldScalar, ///< Publish scalar A to output slot Slot.
+  Scan,      ///< In-place prefix sum over Buffer[0:A] (see scan()).
+  PhaseMark, ///< Phase-boundary timing probe (see phaseMark()).
 };
 
 /// Reduction applied by a Store: Buffer[I] op= V.
 enum class ReduceOp : uint8_t { None, Add, Or, Max, Min };
+
+/// Whether a Scan writes sums including the current element (inclusive) or
+/// only the elements before it (exclusive).
+enum class ScanKind : uint8_t { Inclusive, Exclusive };
 
 /// A buffer a parallel For reduces into: each thread accumulates into a
 /// private zero/identity-initialized copy of Buffer[0:Length] which the
@@ -170,6 +185,8 @@ struct StmtNode {
   Expr A, B;
   Stmt Body, Else;
   ReduceOp Reduce = ReduceOp::None;
+  ScanKind Scan = ScanKind::Inclusive; ///< Scan only.
+  int64_t Phase = 0;                   ///< PhaseMark only: phase index.
   bool ZeroInit = false;
   /// For only: iterations are independent (or reduction-combined) and may
   /// run concurrently. Lowered by the C emitter to `#pragma omp parallel
@@ -201,6 +218,26 @@ Stmt comment(const std::string &Text);
 Stmt yieldBuffer(const std::string &Slot, const std::string &Buffer,
                  Expr Length);
 Stmt yieldScalar(const std::string &Slot, Expr Value);
+
+/// In-place integer prefix sum of Buffer[0:Length]: after execution,
+/// element k holds the sum of elements 0..k (inclusive) or 0..k-1
+/// (exclusive) of the original contents, in int32 arithmetic. The
+/// interpreter runs it as the obvious serial loop (the bit-exact oracle);
+/// the C emitter lowers it to a two-pass blocked scan that parallelizes
+/// under OpenMP and degenerates to the serial loop at one partition. Both
+/// agree bit-for-bit for any partition count because int32 addition is
+/// associative modulo 2^32. This is how generated routines express the
+/// pos-array accumulation of unsequenced edge insertion (§6.1) without
+/// baking in a serial loop.
+Stmt scan(const std::string &Buffer, Expr Length,
+          ScanKind Kind = ScanKind::Inclusive);
+
+/// Phase-boundary probe for the per-phase timing breakdown: the C emitter
+/// accumulates wall-clock seconds since the previous mark into slot
+/// \p Phase of a per-routine array exported as `<fn>_phase_seconds`; the
+/// interpreter and the pretty printer treat it as a comment. Index -1
+/// starts the clock without recording (function prologue).
+Stmt phaseMark(int64_t Phase, const std::string &Label);
 
 /// Returns a copy of the For statement \p Loop annotated as parallel (see
 /// StmtNode::Parallel). Callers are responsible for legality: iterations
@@ -272,6 +309,13 @@ std::string printExpr(const Expr &E);
 
 /// Renders \p S as C-like text with \p Indent leading spaces per level.
 std::string printStmt(const Stmt &S, int Indent = 0);
+
+/// Renders \p S as compilable C99 (the JIT backend's lowering): identical
+/// to printStmt except Scan lowers to its two-pass blocked parallel
+/// implementation and PhaseMark to timing probes, instead of the compact
+/// pseudo-ops of the readable view. Requires the helpers the C emitter's
+/// prelude defines (cvg_nparts, cvg_now, cvg_phase_secs).
+std::string printStmtAsC(const Stmt &S, int Indent = 0);
 
 /// Renders the whole function (signature comment plus body) as C-like text.
 /// This is the "Figure 6 view" of a generated conversion routine.

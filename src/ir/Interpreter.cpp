@@ -118,6 +118,11 @@ Value ExecState::eval(const Expr &E) {
   }
   case ExprKind::Load:
     return loadElem(E->Name, eval(E->A).asInt());
+  case ExprKind::NumParts:
+    // The reference semantics partition nothing: one block, serial order.
+    // Generated code must produce identical results for any value >= 1,
+    // which the thread-invariance tests check against the JIT.
+    return Value::makeInt(1);
   case ExprKind::Unary: {
     Value A = eval(E->A);
     if (E->UOp == UnOp::LNot)
@@ -355,7 +360,32 @@ void ExecState::exec(const Stmt &S) {
       fail("free of unknown buffer '" + S->Name + "'");
     return;
   case StmtKind::Comment:
+  case StmtKind::PhaseMark:
     return;
+  case StmtKind::Scan: {
+    // The serial oracle for the C emitter's blocked parallel scan: a plain
+    // in-place prefix sum in int32 arithmetic.
+    RuntimeBuffer &Buf = buffer(S->Name);
+    if (Buf.Elem != ScalarKind::Int)
+      fail("scan over a non-integer buffer '" + S->Name + "'");
+    int64_t Len = eval(S->A).asInt();
+    if (Len < 0 || Len > Buf.size())
+      fail(strfmt("scan length %lld out of range for buffer %s (size %lld)",
+                  static_cast<long long>(Len), S->Name.c_str(),
+                  static_cast<long long>(Buf.size())));
+    int32_t Acc = 0;
+    for (int64_t K = 0; K < Len; ++K) {
+      int32_t V = Buf.Ints[static_cast<size_t>(K)];
+      if (S->Scan == ScanKind::Inclusive) {
+        Acc = static_cast<int32_t>(Acc + V);
+        Buf.Ints[static_cast<size_t>(K)] = Acc;
+      } else {
+        Buf.Ints[static_cast<size_t>(K)] = Acc;
+        Acc = static_cast<int32_t>(Acc + V);
+      }
+    }
+    return;
+  }
   case StmtKind::YieldBuffer: {
     RuntimeBuffer &Buf = buffer(S->Name);
     int64_t Len = eval(S->A).asInt();

@@ -144,6 +144,15 @@ static bool loadConversion(const std::string &SoPath,
   return true;
 }
 
+/// Resolves the per-phase timing array a freshly emitted routine exports;
+/// returns null for objects that predate phase timing (stale disk cache).
+static double *loadPhaseSeconds(void *Handle, const std::string &FnName) {
+  using Accessor = double *(*)(void);
+  Accessor Get = reinterpret_cast<Accessor>(
+      dlsym(Handle, (FnName + "_phase_seconds").c_str()));
+  return Get ? Get() : nullptr;
+}
+
 JitConversion::JitConversion(const codegen::Conversion &Conversion,
                              const std::string &ExtraFlags,
                              const std::string &CachedSoPath)
@@ -158,6 +167,7 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
       if (loadConversion(CachedSoPath, Conv.Func.Name, &Handle, &Fn,
                          &Error)) {
         FromCache = true;
+        PhaseSecs = loadPhaseSeconds(Handle, Conv.Func.Name);
         return;
       }
       std::fprintf(stderr, "convgen: evicting bad cached object %s (%s)\n",
@@ -226,10 +236,18 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
 
   if (!loadConversion(SoPath, Conv.Func.Name, &Handle, &Fn, &Error))
     fatalError(Error.c_str());
+  PhaseSecs = loadPhaseSeconds(Handle, Conv.Func.Name);
 }
 
 JitConversion::~JitConversion() {
-  if (Handle)
+  // Never dlclose an object whose OpenMP parallel regions may have run:
+  // libgomp's pooled worker threads keep references into the region code
+  // of the DSO that spawned them, so unloading it while the pool is alive
+  // crashes on the next parallel region (reproducible with
+  // OMP_NUM_THREADS > 1 and repeated load/run/unload cycles). Keeping the
+  // handle resident is the standard JIT-plugin practice; a process holds
+  // at most one object per (pair, options, flags) through the PlanCache.
+  if (Handle && !jitOpenMPAvailable())
     dlclose(Handle);
   if (!WorkDir.empty()) {
     std::remove((WorkDir + "/conv.c").c_str());
@@ -266,6 +284,10 @@ void jit::marshalInput(const tensor::SparseTensor &In, CTensor *Out) {
 tensor::SparseTensor jit::collectOutput(const formats::Format &Target,
                                         const std::vector<int64_t> &Dims,
                                         CTensor *B) {
+  // Adoption, not copying: the generated routine malloc'd these arrays and
+  // yielded them through the ABI struct; ownership moves into the
+  // SparseTensor's OwnedArray storage, which frees them with std::free.
+  // Slots the target format does not populate are released below.
   tensor::SparseTensor Out;
   Out.Format = Target;
   Out.Dims = Dims;
@@ -273,17 +295,15 @@ tensor::SparseTensor jit::collectOutput(const formats::Format &Target,
   for (size_t K = 0; K < Target.Levels.size(); ++K) {
     size_t Slot = K + 1;
     tensor::LevelStorage &L = Out.Levels[K];
-    if (B->pos[Slot])
-      L.Pos.assign(B->pos[Slot], B->pos[Slot] + B->pos_len[Slot]);
-    if (B->crd[Slot])
-      L.Crd.assign(B->crd[Slot], B->crd[Slot] + B->crd_len[Slot]);
-    if (B->perm[Slot])
-      L.Perm.assign(B->perm[Slot], B->perm[Slot] + B->perm_len[Slot]);
+    L.Pos.adoptMalloc(B->pos[Slot], static_cast<size_t>(B->pos_len[Slot]));
+    L.Crd.adoptMalloc(B->crd[Slot], static_cast<size_t>(B->crd_len[Slot]));
+    L.Perm.adoptMalloc(B->perm[Slot], static_cast<size_t>(B->perm_len[Slot]));
+    B->pos[Slot] = B->crd[Slot] = B->perm[Slot] = nullptr;
     if (Target.levelHasSizeParam(static_cast<int>(K)))
       L.SizeParam = B->params[Slot];
   }
-  if (B->vals)
-    Out.Vals.assign(B->vals, B->vals + B->vals_len);
+  Out.Vals.adoptMalloc(B->vals, static_cast<size_t>(B->vals_len));
+  B->vals = nullptr;
   freeOutput(B);
   return Out;
 }

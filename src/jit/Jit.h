@@ -11,6 +11,20 @@
 /// (paper §7.1). The benchmarks run conversions through this backend; the
 /// test suite checks it agrees bit-for-bit with the reference interpreter.
 ///
+/// Ownership contract at the JIT boundary (no marshalling copies):
+///
+///  * Inputs are bound by pointer. marshalInput points the cvg_tensor_t's
+///    arrays directly at the SparseTensor's storage; the generated routine
+///    treats them as const (the emitter binds them `const ... *restrict`)
+///    and the tensor must outlive the call. Nothing is copied in.
+///  * Outputs are adopted, not copied. The generated routine mallocs every
+///    yielded pos/crd/perm/vals array and publishes the pointers + lengths
+///    in the output struct; collectOutput moves those malloc'd buffers
+///    into the result SparseTensor's OwnedArray storage, which frees them
+///    with std::free when the tensor dies. After collectOutput (or
+///    freeOutput) the CTensor's pointers are null; calling both, or either
+///    twice, is safe but yields nothing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CONVGEN_JIT_JIT_H
@@ -39,6 +53,12 @@ struct CTensor {
   double *vals = nullptr;
   int64_t vals_len = 0;
 };
+
+/// Phase slots of the `<fn>_phase_seconds` array generated routines
+/// export: analysis (attribute queries + remap materialization), edge
+/// insertion / initialization, coordinate insertion (including blocked
+/// cursor counting), and finalize/yield.
+constexpr int kNumPhases = 4;
 
 /// True if a working C compiler is available (checked once).
 bool jitAvailable();
@@ -84,22 +104,32 @@ public:
   /// Wall-clock seconds spent in the external compiler.
   double compileSeconds() const { return CompileSecs; }
 
+  /// Cumulative per-phase wall-clock seconds the routine recorded across
+  /// all runs (kNumPhases slots), or nullptr if the loaded object predates
+  /// phase timing. Benchmarks snapshot before/after a timing loop and
+  /// divide the delta by the rep count. The clock is thread-local inside
+  /// the routine, and this pointer was resolved on the loading thread —
+  /// read it from the same thread that runs the conversions.
+  const double *phaseSeconds() const { return PhaseSecs; }
+
   const codegen::Conversion &conversion() const { return Conv; }
 
 private:
   codegen::Conversion Conv;
   void *Handle = nullptr;
   void (*Fn)(const CTensor *, CTensor *) = nullptr;
+  double *PhaseSecs = nullptr;
   std::string WorkDir;
   double CompileSecs = 0;
   bool FromCache = false;
 };
 
-/// Points \p Out's arrays at \p In's storage (no copies).
+/// Points \p Out's arrays at \p In's storage (no copies; \p In must outlive
+/// every runRaw call made with \p Out).
 void marshalInput(const tensor::SparseTensor &In, CTensor *Out);
 
-/// Adopts the malloc'd arrays of \p B into a SparseTensor (copies, then
-/// frees them).
+/// Moves the malloc'd arrays of \p B into a SparseTensor without copying
+/// (OwnedArray adoption) and nulls \p B's pointers.
 tensor::SparseTensor collectOutput(const formats::Format &Target,
                                    const std::vector<int64_t> &Dims,
                                    CTensor *B);

@@ -66,7 +66,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     return ir::mul(ParentSize, Ctx.dimExtent(Spec.Dim));
@@ -89,6 +89,17 @@ class CompressedLevel : public LevelFormat {
 public:
   CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, int Order)
       : LevelFormat(Spec, K), Dedup(Dedup), Order(Order) {}
+
+  /// Cursor-based insertion is parallel-safe exactly when the generator
+  /// replaced the shared cursor: Monotone (no cursor at all) or Blocked
+  /// (partition-private cursor rows). Dedup levels mutate a shared
+  /// workspace under every strategy.
+  bool insertIsParallelSafe(const AsmCtx &Ctx) const override {
+    return !Dedup && (Ctx.Insert == InsertStrategy::Monotone ||
+                      Ctx.Insert == InsertStrategy::Blocked);
+  }
+
+  bool insertUsesCursor() const override { return !Dedup; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -132,7 +143,8 @@ public:
                 ir::add(ir::load(Pos, P), readQueryRaw(Count, Coords)));
           }));
     } else {
-      // Unsequenced: scatter per-parent counts, then prefix-sum.
+      // Unsequenced: scatter per-parent counts, then prefix-sum through
+      // ir::Scan — serial in the oracle, a blocked parallel scan in C.
       Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
                         ir::add(ParentSize, ir::intImm(1)), true));
       Out.add(Ctx.ParentLoop(
@@ -140,12 +152,8 @@ public:
             return ir::store(Pos, ir::add(P, ir::intImm(1)),
                              readQueryRaw(Count, Coords));
           }));
-      Out.add(ir::forRange(
-          scanVar(), ir::intImm(0), ParentSize,
-          ir::store(Pos, ir::add(ir::var(scanVar()), ir::intImm(1)),
-                    ir::add(ir::load(Pos, ir::var(scanVar())),
-                            ir::load(Pos, ir::add(ir::var(scanVar()),
-                                                  ir::intImm(1)))))));
+      Out.add(ir::scan(Pos, ir::add(ParentSize, ir::intImm(1)),
+                       ir::ScanKind::Inclusive));
     }
     Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
                       ir::load(Pos, ParentSize), false));
@@ -168,11 +176,34 @@ public:
     std::string Pos = Ctx.posName(K);
     std::string PVar = "pB" + std::to_string(K);
     if (!Dedup) {
-      // yield_pos: pB = pos[parent]++ (cursor trick, shifted in finalize).
-      Out.add(ir::decl(PVar, ir::load(Pos, Env.ParentPos)));
-      Out.add(ir::store(Pos, Env.ParentPos,
-                        ir::add(ir::var(PVar), ir::intImm(1))));
-      return ir::var(PVar);
+      switch (Ctx.Insert) {
+      case InsertStrategy::Monotone:
+        // Parent positions are non-decreasing along the source iteration
+        // and every stored slot is inserted, so the serial cursor would
+        // assign exactly the source position; emit that directly. No
+        // cursor state, no finalize shift, and the pass parallelizes.
+        return Env.SrcPos;
+      case InsertStrategy::Blocked: {
+        // pB = cur[partition][parent]++ on this partition's private cursor
+        // row (seeded from pos by the generator's counting/offset passes).
+        std::string IVar = PVar + "i";
+        ir::Expr Idx =
+            ir::add(ir::mul(ir::var(Ctx.BlockVar), Ctx.ParentSize.at(K)),
+                    Env.ParentPos);
+        Out.add(ir::decl(IVar, Idx));
+        Out.add(ir::decl(PVar, ir::load(Ctx.cursorName(K), ir::var(IVar))));
+        Out.add(ir::store(Ctx.cursorName(K), ir::var(IVar),
+                          ir::add(ir::var(PVar), ir::intImm(1))));
+        return ir::var(PVar);
+      }
+      case InsertStrategy::Serial:
+        // yield_pos: pB = pos[parent]++ (cursor trick, shifted in
+        // finalize).
+        Out.add(ir::decl(PVar, ir::load(Pos, Env.ParentPos)));
+        Out.add(ir::store(Pos, Env.ParentPos,
+                          ir::add(ir::var(PVar), ir::intImm(1))));
+        return ir::var(PVar);
+      }
     }
     ir::Expr CIdx = ir::sub(Env.DstCoords[static_cast<size_t>(Spec.Dim)],
                             Ctx.dimLo(Spec.Dim));
@@ -198,14 +229,19 @@ public:
 
   void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
                     ir::BlockBuilder &Out) const override {
-    // Shift the consumed cursors back: pos[p] = pos[p-1], pos[0] = 0.
-    std::string Pos = Ctx.posName(K);
-    std::string S = scanVar();
-    ir::Expr Idx = ir::sub(ParentSize, ir::var(S));
-    Out.add(ir::forRange(S, ir::intImm(0), ParentSize,
-                         ir::store(Pos, Idx,
-                                   ir::load(Pos, ir::sub(Idx, ir::intImm(1))))));
-    Out.add(ir::store(Pos, ir::intImm(0), ir::intImm(0)));
+    // Monotone/Blocked insertion never consumed the pos array (no cursor,
+    // or partition-private cursor rows), so it is already final and the
+    // serial shift-back pass disappears with the parallel strategies.
+    if (Dedup || Ctx.Insert == InsertStrategy::Serial) {
+      // Shift the consumed cursors back: pos[p] = pos[p-1], pos[0] = 0.
+      std::string Pos = Ctx.posName(K);
+      std::string S = scanVar();
+      ir::Expr Idx = ir::sub(ParentSize, ir::var(S));
+      Out.add(ir::forRange(
+          S, ir::intImm(0), ParentSize,
+          ir::store(Pos, Idx, ir::load(Pos, ir::sub(Idx, ir::intImm(1))))));
+      Out.add(ir::store(Pos, ir::intImm(0), ir::intImm(0)));
+    }
     if (Dedup) {
       Out.add(ir::freeBuffer(wsStamp()));
       Out.add(ir::freeBuffer(wsPos()));
@@ -238,7 +274,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     (void)Ctx;
@@ -281,7 +317,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -369,7 +405,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -415,7 +451,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   std::vector<query::Query> queries() const override {
     query::Query Q;
@@ -461,13 +497,8 @@ public:
             return ir::store(Pos, ir::add(P, ir::intImm(1)),
                              rowCount(Coords));
           }));
-      std::string S = "s" + std::to_string(K);
-      Out.add(ir::forRange(
-          S, ir::intImm(0), ParentSize,
-          ir::store(Pos, ir::add(ir::var(S), ir::intImm(1)),
-                    ir::add(ir::load(Pos, ir::var(S)),
-                            ir::load(Pos, ir::add(ir::var(S),
-                                                  ir::intImm(1)))))));
+      Out.add(ir::scan(Pos, ir::add(ParentSize, ir::intImm(1)),
+                       ir::ScanKind::Inclusive));
     }
   }
 
@@ -500,7 +531,7 @@ public:
   using LevelFormat::LevelFormat;
 
   /// Position is a pure function of (parent, coords); see LevelFormat.
-  bool insertIsParallelSafe() const override { return true; }
+  bool insertIsParallelSafe(const AsmCtx &) const override { return true; }
 
   ir::Expr getSize(AsmCtx &Ctx, ir::Expr ParentSize) const override {
     (void)Ctx;

@@ -29,7 +29,9 @@
 #include "query/Query.h"
 #include "remap/Bounds.h"
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +60,29 @@ ir::Expr readQueryRaw(const QueryResultRef &Ref,
 ir::Expr readQueryValue(const QueryResultRef &Ref,
                         const std::vector<ir::Expr> &GroupCoords);
 
+/// How the coordinate-insertion pass drives cursor-based compressed levels
+/// (chosen by the generator; see Generator.cpp for the legality analysis).
+enum class InsertStrategy : uint8_t {
+  /// Shared per-parent pos cursor consumed in iteration order; the
+  /// insertion pass must stay serial. The default, and the only legal
+  /// choice for dedup levels.
+  Serial,
+  /// The destination position of every nonzero equals its stored source
+  /// position, so no cursor exists at all: insertion is a pure function of
+  /// the source position and parallelizes like a pure-level target. Legal
+  /// when the cursor level's parent coordinates are exactly a prefix of
+  /// the source's lexicographic iteration order and every stored slot is
+  /// inserted (unpadded source): the serial cursor then provably assigns
+  /// position p to the p-th visited nonzero.
+  Monotone,
+  /// Per-partition cursor array seeded from the pos array: a counting
+  /// pre-pass tallies each partition's nonzeros per parent, a scan over
+  /// partitions turns the tallies into starting cursors, and the blocked
+  /// insertion pass consumes cursor[partition][parent]. Deterministic for
+  /// any partition count, so bit-identical to the serial oracle.
+  Blocked,
+};
+
 /// Shared emission context for one conversion. Owned by the generator;
 /// level formats use it for naming, dimension bounds, query results, and
 /// parent-position enumeration during edge insertion.
@@ -65,6 +90,17 @@ struct AsmCtx {
   const formats::Format *Fmt = nullptr;
   /// Symbolic bounds per destination dimension (over dim0/dim1 vars).
   std::vector<remap::DimBounds> Bounds;
+
+  /// Cursor strategy of the coordinate-insertion pass (see InsertStrategy).
+  InsertStrategy Insert = InsertStrategy::Serial;
+  /// Blocked only: loop variable holding the current partition index.
+  std::string BlockVar;
+  /// Blocked only: partition count, evaluated once so every blocked pass
+  /// splits the iteration space identically.
+  ir::Expr PartCount;
+  /// Parent size expression per 1-based level (filled by the generator
+  /// during initialization; cursor emitters index with it).
+  std::map<int, ir::Expr> ParentSize;
 
   /// Query result lookup: (1-based level, label) -> ref.
   std::function<QueryResultRef(int, const std::string &)> Result;
@@ -89,6 +125,10 @@ struct AsmCtx {
     return "B" + std::to_string(K) + "_perm";
   }
   std::string paramVar(int K) const { return "B" + std::to_string(K) + "_K"; }
+  /// Blocked insertion's per-partition cursor array for level K.
+  std::string cursorName(int K) const {
+    return "B" + std::to_string(K) + "_cur";
+  }
 
   ir::Expr dimLo(int D) const;
   ir::Expr dimHi(int D) const;
@@ -100,6 +140,9 @@ struct PosEnv {
   ir::Expr ParentPos;
   /// Destination coordinates c0..cn-1 of the nonzero being inserted.
   std::vector<ir::Expr> DstCoords;
+  /// The nonzero's stored position in the source (indexes A_vals); the
+  /// destination position under the Monotone insertion strategy.
+  ir::Expr SrcPos;
 };
 
 /// Abstract level format: assembly-side code emitters.
@@ -144,17 +187,33 @@ public:
     (void)Out;
   }
 
-  /// True when emitPos/emitInsertCoord touch no shared mutable state: the
-  /// position is a pure function of (parent position, coordinates) and the
-  /// only writes go to this level's own arrays at that position. For a
-  /// valid format those positions are distinct per stored nonzero, so the
+  /// True when emitPos/emitInsertCoord touch no shared mutable state under
+  /// the context's insertion strategy: the position is a pure function of
+  /// (parent position, coordinates, source position) and the only writes
+  /// go to this level's own arrays at that position. For a valid format
+  /// those positions are distinct per stored nonzero, so the
   /// coordinate-insertion pass over a chain of such levels may be
-  /// partitioned across threads without races or reordering. Compressed
-  /// levels advance a shared pos-array cursor (and dedup levels a
-  /// workspace), so they must keep the insertion pass serial. Defaults to
-  /// false so a future level kind is serial until someone proves its
-  /// insertion order-independent and opts in.
-  virtual bool insertIsParallelSafe() const { return false; }
+  /// partitioned across threads without races or reordering.
+  ///
+  /// Cursor-based compressed levels are parallel-safe under the Monotone
+  /// strategy (the cursor disappears: position == source position, legal
+  /// when the level's parent coordinates are a lexicographic prefix of the
+  /// source's iteration order) and under the Blocked strategy (each
+  /// partition consumes its own pre-counted cursor row). With the Serial
+  /// strategy they advance a shared cursor and must stay serial, as must
+  /// dedup levels (version-stamped workspace) always. Defaults to false so
+  /// a future level kind is serial until someone proves its insertion
+  /// order-independent and opts in.
+  virtual bool insertIsParallelSafe(const AsmCtx &Ctx) const {
+    (void)Ctx;
+    return false;
+  }
+
+  /// True when insertion advances a plain per-parent cursor and nothing
+  /// else (compressed levels without a dedup workspace). Only such levels
+  /// support the Monotone and Blocked strategies; the generator checks
+  /// their preconditions before selecting either.
+  virtual bool insertUsesCursor() const { return false; }
 
   /// get_pos / yield_pos: emits statements computing this nonzero's
   /// position at this level and returns the position expression.

@@ -92,6 +92,19 @@ struct Compiler {
                             const std::vector<const Forall *> &Stmts) const;
 };
 
+/// True when a buffer-size expression is a product of two data-dependent
+/// extents — an O(rows * cols)-style workspace. OpenMP array-section
+/// reductions give every thread a private copy of the section, which
+/// libgomp places on the thread stack; privatizing a quadratic workspace
+/// (canonical count queries' dedup temporaries) overflows it and crashes,
+/// so such sweeps must stay serial. One-dimensional histograms stay cheap
+/// to privatize and keep the reduction.
+static bool sizeIsMultiExtent(const ir::Expr &Size) {
+  return Size && Size->Kind == ir::ExprKind::Binary &&
+         Size->BOp == ir::BinOp::Mul && !ir::isIntConst(Size->A) &&
+         !ir::isIntConst(Size->B);
+}
+
 ir::Stmt
 Compiler::parallelizeSweep(ir::Stmt Loop,
                            const std::vector<const Forall *> &Stmts) const {
@@ -103,6 +116,8 @@ Compiler::parallelizeSweep(ir::Stmt Loop,
     if (Op == ir::ReduceOp::None)
       return Loop;
     if (Layouts.at(F->Lhs.Tensor).Elem == ir::ScalarKind::Float)
+      return Loop;
+    if (sizeIsMultiExtent(bufferSize(F->Lhs.Tensor)))
       return Loop;
     auto It = Ops.find(F->Lhs.Tensor);
     if (It != Ops.end() && It->second != Op)

@@ -1,0 +1,198 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A malloc-backed dynamic array with the subset of std::vector's API the
+/// runtime uses. Unlike std::vector it can *adopt* a malloc'd buffer without
+/// copying, which is what lets SparseTensor take ownership of the arrays a
+/// JIT-compiled conversion routine allocates: the generated C mallocs
+/// pos/crd/perm/vals, yields the pointers through the cvg_tensor_t ABI, and
+/// jit::collectOutput moves them straight into LevelStorage — no per-element
+/// copy at the JIT boundary.
+///
+/// Storage is always allocated with std::malloc/std::realloc and released
+/// with std::free, so adopted and locally-grown buffers are interchangeable.
+/// Elements are restricted to trivially copyable types (int32_t, double).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_OWNEDARRAY_H
+#define CONVGEN_TENSOR_OWNEDARRAY_H
+
+#include "support/Assert.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace convgen {
+namespace tensor {
+
+template <typename T> class OwnedArray {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "OwnedArray elements must be trivially copyable");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+
+  OwnedArray() = default;
+  OwnedArray(size_t Count, const T &Value = T()) { assign(Count, Value); }
+  OwnedArray(std::initializer_list<T> Init) {
+    assign(Init.begin(), Init.end());
+  }
+  OwnedArray(const OwnedArray &Other) {
+    assign(Other.begin(), Other.end());
+  }
+  OwnedArray(OwnedArray &&Other) noexcept
+      : Data_(Other.Data_), Size_(Other.Size_), Cap_(Other.Cap_) {
+    Other.Data_ = nullptr;
+    Other.Size_ = Other.Cap_ = 0;
+  }
+  /// Copies from a std::vector (interpreter results and tests; a vector's
+  /// new[]-owned storage cannot be adopted).
+  OwnedArray(const std::vector<T> &V) { assign(V.begin(), V.end()); }
+
+  ~OwnedArray() { std::free(Data_); }
+
+  OwnedArray &operator=(const OwnedArray &Other) {
+    if (this != &Other)
+      assign(Other.begin(), Other.end());
+    return *this;
+  }
+  OwnedArray &operator=(OwnedArray &&Other) noexcept {
+    if (this != &Other) {
+      std::free(Data_);
+      Data_ = Other.Data_;
+      Size_ = Other.Size_;
+      Cap_ = Other.Cap_;
+      Other.Data_ = nullptr;
+      Other.Size_ = Other.Cap_ = 0;
+    }
+    return *this;
+  }
+  OwnedArray &operator=(std::initializer_list<T> Init) {
+    assign(Init.begin(), Init.end());
+    return *this;
+  }
+  OwnedArray &operator=(const std::vector<T> &V) {
+    assign(V.begin(), V.end());
+    return *this;
+  }
+
+  /// Takes ownership of a malloc'd buffer of \p Count elements (freed with
+  /// std::free). The copy-free path at the JIT boundary. A null \p Ptr
+  /// yields an empty array.
+  void adoptMalloc(T *Ptr, size_t Count) {
+    std::free(Data_);
+    Data_ = Ptr;
+    Size_ = Ptr ? Count : 0;
+    Cap_ = Size_;
+  }
+
+  /// Releases ownership of the buffer to the caller (who must std::free it).
+  T *releaseMalloc() {
+    T *Out = Data_;
+    Data_ = nullptr;
+    Size_ = Cap_ = 0;
+    return Out;
+  }
+
+  T *data() { return Data_; }
+  const T *data() const { return Data_; }
+  size_t size() const { return Size_; }
+  bool empty() const { return Size_ == 0; }
+
+  T &operator[](size_t I) { return Data_[I]; }
+  const T &operator[](size_t I) const { return Data_[I]; }
+  T &front() { return Data_[0]; }
+  const T &front() const { return Data_[0]; }
+  T &back() { return Data_[Size_ - 1]; }
+  const T &back() const { return Data_[Size_ - 1]; }
+
+  iterator begin() { return Data_; }
+  iterator end() { return Data_ + Size_; }
+  const_iterator begin() const { return Data_; }
+  const_iterator end() const { return Data_ + Size_; }
+
+  void clear() { Size_ = 0; }
+
+  void reserve(size_t Count) {
+    if (Count > Cap_)
+      grow(Count);
+  }
+
+  void resize(size_t Count, const T &Value = T()) {
+    reserve(Count);
+    for (size_t I = Size_; I < Count; ++I)
+      Data_[I] = Value;
+    Size_ = Count;
+  }
+
+  void push_back(const T &Value) {
+    if (Size_ == Cap_)
+      grow(Cap_ ? Cap_ * 2 : 8);
+    Data_[Size_++] = Value;
+  }
+
+  template <typename It> void assign(It First, It Last) {
+    Size_ = 0;
+    reserve(static_cast<size_t>(std::distance(First, Last)));
+    for (; First != Last; ++First)
+      Data_[Size_++] = *First;
+  }
+  void assign(size_t Count, const T &Value) {
+    Size_ = 0;
+    resize(Count, Value);
+  }
+
+  /// Implicit copy out, so std::vector-taking APIs (the interpreter's
+  /// buffer binding) keep working unchanged.
+  operator std::vector<T>() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const OwnedArray &A, const OwnedArray &B) {
+    if (A.Size_ != B.Size_)
+      return false;
+    for (size_t I = 0; I < A.Size_; ++I)
+      if (!(A.Data_[I] == B.Data_[I]))
+        return false;
+    return true;
+  }
+  friend bool operator!=(const OwnedArray &A, const OwnedArray &B) {
+    return !(A == B);
+  }
+
+  /// gtest failure messages.
+  friend std::ostream &operator<<(std::ostream &OS, const OwnedArray &A) {
+    OS << "[";
+    for (size_t I = 0; I < A.Size_; ++I)
+      OS << (I ? ", " : "") << A.Data_[I];
+    return OS << "]";
+  }
+
+private:
+  void grow(size_t Count) {
+    T *Grown = static_cast<T *>(std::realloc(Data_, Count * sizeof(T)));
+    if (!Grown)
+      fatalError("OwnedArray: allocation failed");
+    Data_ = Grown;
+    Cap_ = Count;
+  }
+
+  T *Data_ = nullptr;
+  size_t Size_ = 0;
+  size_t Cap_ = 0;
+};
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_OWNEDARRAY_H

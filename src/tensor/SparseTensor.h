@@ -16,6 +16,7 @@
 #define CONVGEN_TENSOR_SPARSETENSOR_H
 
 #include "formats/Format.h"
+#include "tensor/OwnedArray.h"
 
 #include <cstdint>
 #include <string>
@@ -28,10 +29,14 @@ namespace tensor {
 /// depends on the level kind: compressed/skyline use Pos (+Crd for
 /// compressed), singleton uses Crd, squeezed uses Perm and SizeParam,
 /// sliced uses SizeParam only, dense and offset use nothing.
+///
+/// Arrays are OwnedArray so a tensor can adopt the malloc'd buffers a
+/// JIT-compiled conversion yields without copying them (see jit/Jit.h for
+/// the ownership contract at that boundary).
 struct LevelStorage {
-  std::vector<int32_t> Pos;
-  std::vector<int32_t> Crd;
-  std::vector<int32_t> Perm;
+  OwnedArray<int32_t> Pos;
+  OwnedArray<int32_t> Crd;
+  OwnedArray<int32_t> Perm;
   int64_t SizeParam = -1;
 };
 
@@ -41,7 +46,7 @@ struct SparseTensor {
   std::vector<int64_t> Dims;
   /// One storage record per level, outermost first.
   std::vector<LevelStorage> Levels;
-  std::vector<double> Vals;
+  OwnedArray<double> Vals;
 
   int64_t numRows() const { return Dims.at(0); }
   int64_t numCols() const { return Dims.at(1); }

@@ -270,6 +270,104 @@ TEST(IrInterp, BoolBufferOrReduce) {
   EXPECT_EQ(Seen.Bools[3], 0);
 }
 
+namespace {
+
+/// Runs a Scan over the given contents and returns the transformed buffer.
+std::vector<int32_t> runScan(std::vector<int32_t> Data, ScanKind Kind) {
+  int64_t N = static_cast<int64_t>(Data.size());
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(N), true));
+  B.add(forRange("i", intImm(0), intImm(N),
+                 store("buf", var("i"), load("in", var("i")))));
+  B.add(scan("buf", intImm(N), Kind));
+  B.add(yieldBuffer("B1_pos", "buf", intImm(N)));
+  Function F{"doscan", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("in", std::move(Data));
+  return Interp.run(F).Buffers["B1_pos"].Ints;
+}
+
+} // namespace
+
+TEST(IrScan, InterpreterInclusive) {
+  EXPECT_EQ(runScan({3, 0, 2, 5}, ScanKind::Inclusive),
+            (std::vector<int32_t>{3, 3, 5, 10}));
+}
+
+TEST(IrScan, InterpreterExclusive) {
+  EXPECT_EQ(runScan({3, 0, 2, 5}, ScanKind::Exclusive),
+            (std::vector<int32_t>{0, 3, 3, 5}));
+}
+
+TEST(IrScan, EmptyAndSingleElementBuffers) {
+  EXPECT_EQ(runScan({}, ScanKind::Inclusive), (std::vector<int32_t>{}));
+  EXPECT_EQ(runScan({}, ScanKind::Exclusive), (std::vector<int32_t>{}));
+  EXPECT_EQ(runScan({7}, ScanKind::Inclusive), (std::vector<int32_t>{7}));
+  EXPECT_EQ(runScan({7}, ScanKind::Exclusive), (std::vector<int32_t>{0}));
+}
+
+TEST(IrScan, PrettyPrintsAsPseudoOp) {
+  Stmt S = scan("B2_pos", add(var("n"), intImm(1)), ScanKind::Inclusive);
+  EXPECT_EQ(printStmt(S), "inclusive_scan(B2_pos, n + 1);\n");
+  EXPECT_EQ(printStmt(scan("w", intImm(4), ScanKind::Exclusive)),
+            "exclusive_scan(w, 4);\n");
+}
+
+TEST(IrScan, CLoweringIsTheBlockedTwoPassScan) {
+  // Golden structure of the C lowering: partition-local sums, the serial
+  // carry pass over partitions, the rewrite pass, and the one-partition
+  // serial fallback — with both loops annotated for OpenMP.
+  std::string C = printStmtAsC(scan("B2_pos", var("n"), ScanKind::Inclusive));
+  EXPECT_NE(C.find("// inclusive scan of B2_pos[0:n]"), std::string::npos)
+      << C;
+  EXPECT_NE(C.find("int64_t cvg_p = cvg_nparts();"), std::string::npos) << C;
+  EXPECT_NE(C.find("cvg_sums[cvg_b] = cvg_acc;"), std::string::npos) << C;
+  EXPECT_NE(C.find("cvg_acc += B2_pos[cvg_k]; B2_pos[cvg_k] = cvg_acc;"),
+            std::string::npos)
+      << C;
+  size_t Pragmas = 0;
+  for (size_t At = C.find("#pragma omp parallel for");
+       At != std::string::npos;
+       At = C.find("#pragma omp parallel for", At + 1))
+    ++Pragmas;
+  EXPECT_EQ(Pragmas, 2u) << C;
+  // Exclusive variant stores before accumulating.
+  std::string X = printStmtAsC(scan("w", var("n"), ScanKind::Exclusive));
+  EXPECT_NE(X.find("w[cvg_k] = cvg_acc; cvg_acc += cvg_v;"),
+            std::string::npos)
+      << X;
+}
+
+TEST(IrInterp, NumPartsIsOneInTheOracle) {
+  BlockBuilder B;
+  B.add(yieldScalar("out", numParts()));
+  Function F{"np", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_EQ(Interp.run(F).Scalars["out"], 1);
+}
+
+TEST(IrInterp, PhaseMarkIsANoOp) {
+  BlockBuilder B;
+  B.add(phaseMark(-1, "start"));
+  B.add(decl("x", intImm(4)));
+  B.add(phaseMark(0, "analysis"));
+  B.add(yieldScalar("out", var("x")));
+  Stmt Body = B.build();
+  Function F{"pm", {}, Body};
+  Interpreter Interp;
+  EXPECT_EQ(Interp.run(F).Scalars["out"], 4);
+  EXPECT_NE(printStmt(Body).find("// [phase] analysis"), std::string::npos);
+}
+
+TEST(IrInterpDeath, ScanLengthOutOfRangeAborts) {
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(2), true));
+  B.add(scan("buf", intImm(3)));
+  Function F{"badscan", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_DEATH(Interp.run(F), "scan length");
+}
+
 TEST(IrInterp, LoopVarShadowingRestored) {
   BlockBuilder B;
   B.add(decl("i", intImm(42)));

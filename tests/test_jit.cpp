@@ -89,6 +89,65 @@ TEST(Jit, CompileTimeIsMeasured) {
   EXPECT_LT(Native.compileSeconds(), 60.0);
 }
 
+TEST(Jit, OutputIsAdoptedNotCopied) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  // collectOutput must take ownership of the routine's malloc'd arrays:
+  // the SparseTensor's storage points at the very buffers the generated
+  // code yielded, and the CTensor's pointers are nulled.
+  tensor::Triplets T = tensor::genBandedRandom(40, 40, 4.0, 9, 7, 5);
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  convert::Converter Conv(formats::makeCOO(), formats::makeCSR());
+  jit::JitConversion Native(Conv.conversion());
+  jit::CTensor A, B;
+  jit::marshalInput(In, &A);
+  Native.runRaw(&A, &B);
+  const int32_t *YieldedPos = B.pos[2];
+  const double *YieldedVals = B.vals;
+  tensor::SparseTensor Out =
+      jit::collectOutput(Conv.conversion().Target, In.Dims, &B);
+  EXPECT_EQ(Out.Levels[1].Pos.data(), YieldedPos);
+  EXPECT_EQ(Out.Vals.data(), YieldedVals);
+  EXPECT_EQ(B.pos[2], nullptr);
+  EXPECT_EQ(B.vals, nullptr);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+}
+
+TEST(Jit, InputIsBoundByPointer) {
+  // marshalInput aliases the source tensor's storage — no input copies.
+  tensor::Triplets T = tensor::genDiagonals(30, 30, {0}, 1.0, 2);
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  jit::CTensor A;
+  jit::marshalInput(In, &A);
+  EXPECT_EQ(A.pos[2], In.Levels[1].Pos.data());
+  EXPECT_EQ(A.crd[2], In.Levels[1].Crd.data());
+  EXPECT_EQ(A.vals, In.Vals.data());
+}
+
+TEST(Jit, PhaseSecondsAccumulate) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  tensor::Triplets T = tensor::genBandedRandom(80, 80, 6.0, 15, 3, 17);
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::makeCSR(), T);
+  convert::Converter Conv(formats::makeCSR(), formats::makeCSC());
+  jit::JitConversion Native(Conv.conversion());
+  ASSERT_NE(Native.phaseSeconds(), nullptr);
+  std::vector<double> Before(Native.phaseSeconds(),
+                             Native.phaseSeconds() + jit::kNumPhases);
+  tensor::SparseTensor Out = Native.run(In);
+  Out.validate();
+  double Delta = 0;
+  for (int P = 0; P < jit::kNumPhases; ++P) {
+    EXPECT_GE(Native.phaseSeconds()[P], Before[static_cast<size_t>(P)]) << P;
+    Delta += Native.phaseSeconds()[P] - Before[static_cast<size_t>(P)];
+  }
+  EXPECT_GT(Delta, 0.0);
+}
+
 TEST(Jit, RawInterfaceReusesBuffers) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";

@@ -51,9 +51,90 @@ TEST(ParallelAnnotation, CooToCsrCountingSweepUsesAHistogramReduction) {
   EXPECT_NE(Code.find("#pragma omp parallel for reduction(+:q2_nir[0:dim0])"),
             std::string::npos)
       << Code;
-  // The coordinate-insertion loop consumes the shared pos cursor, so it
-  // must stay serial: exactly one loop is annotated.
-  EXPECT_EQ(countPragmas(Code), 1u) << Code;
+  // A coo source gives no structural ordering guarantee (its crd arrays
+  // may legally be unsorted, e.g. csc -> coo output), so insertion takes
+  // the Blocked cursor strategy: per-partition counting, the offsets
+  // conversion, and the blocked insertion pass all parallelize — four
+  // annotated loops in total.
+  EXPECT_NE(Code.find("blocked coordinate insertion"), std::string::npos)
+      << Code;
+  EXPECT_NE(Code.find("B2_cur"), std::string::npos) << Code;
+  EXPECT_EQ(countPragmas(Code), 4u) << Code;
+}
+
+TEST(ParallelAnnotation, CooToCsrInsertionLoopIsParallel) {
+  // The acceptance property of the per-row-cursor work: the insertion
+  // loop itself carries the Parallel annotation.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCOO(), formats::makeCSR());
+  std::string Code = Conv.cSource();
+  size_t At = Code.find("blocked coordinate insertion");
+  ASSERT_NE(At, std::string::npos) << Code;
+  EXPECT_NE(Code.find("#pragma omp parallel for", At), std::string::npos)
+      << Code;
+}
+
+TEST(ParallelAnnotation, CsrToCscInsertionUsesBlockedCursors) {
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCSR(), formats::makeCSC());
+  std::string Code = Conv.cSource();
+  // The transpose: per-partition cursor rows seeded from the pos array
+  // turn the serial column-cursor insertion into the classic parallel
+  // CSR->CSC algorithm. Counting sweep + count pass + offsets + insertion
+  // all carry the annotation.
+  EXPECT_NE(Code.find("B2_cur"), std::string::npos) << Code;
+  size_t At = Code.find("blocked coordinate insertion");
+  ASSERT_NE(At, std::string::npos) << Code;
+  EXPECT_NE(Code.find("#pragma omp parallel for", At), std::string::npos)
+      << Code;
+  EXPECT_EQ(countPragmas(Code), 4u) << Code;
+}
+
+TEST(ParallelAnnotation, CsrToCooInsertionIsMonotoneAndCursorFree) {
+  // A root compressed target consumes source positions directly: no
+  // cursor array, no finalize shift, and the single fused insertion pass
+  // parallelizes like a pure-level target.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCSR(), formats::makeCOO());
+  std::string Code = Conv.cSource();
+  EXPECT_EQ(Code.find("B1_cur"), std::string::npos) << Code;
+  size_t At = Code.find("coordinate insertion");
+  ASSERT_NE(At, std::string::npos) << Code;
+  EXPECT_NE(Code.find("#pragma omp parallel for", At), std::string::npos)
+      << Code;
+  EXPECT_EQ(countPragmas(Code), 2u) << Code;
+}
+
+TEST(ParallelAnnotation, CsrToCsrInsertionIsMonotone) {
+  // Dense-loop sources whose outer loops match the target's parent
+  // coordinates take the Monotone strategy: position == source position.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCSR(), formats::makeCSR());
+  std::string Code = Conv.pretty();
+  EXPECT_EQ(Code.find("B2_cur"), std::string::npos) << Code;
+  // No cursor consumption and no shift-back: B2_pos is written only by
+  // edge insertion.
+  EXPECT_EQ(Code.find("B2_pos[i] = pB2 + 1"), std::string::npos) << Code;
+}
+
+TEST(ParallelAnnotation, UnseqEdgeInsertionLowersThroughScan) {
+  // With unsequenced edge insertion the pos accumulation is an ir::Scan:
+  // the C lowering is the two-pass blocked parallel scan, and the old
+  // serial in-place prefix loop is gone.
+  codegen::Options Opts;
+  Opts.ForceUnseqEdges = true;
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCOO(), formats::makeCSR(), Opts);
+  EXPECT_NE(Conv.pretty().find("inclusive_scan(B2_pos, szB1 + 1);"),
+            std::string::npos)
+      << Conv.pretty();
+  std::string Code = Conv.cSource();
+  EXPECT_NE(Code.find("// inclusive scan of B2_pos[0:szB1 + 1]"),
+            std::string::npos)
+      << Code;
+  EXPECT_EQ(Code.find("B2_pos[s2 + 1] = B2_pos[s2] + B2_pos[s2 + 1]"),
+            std::string::npos)
+      << Code;
 }
 
 TEST(ParallelAnnotation, CsrToEllInsertionPrivatizesTheScalarCounter) {
@@ -78,6 +159,23 @@ TEST(ParallelAnnotation, CooToDiaParallelizesBothSweepAndInsertion) {
   // (squeezed/dense/offset) levels, so the flat nonzero loop parallelizes.
   EXPECT_NE(Code.find("reduction(|:q1_nz[0:"), std::string::npos) << Code;
   EXPECT_EQ(countPragmas(Code), 2u) << Code;
+}
+
+TEST(ParallelAnnotation, QuadraticWorkspaceReductionsStaySerial) {
+  // Canonical (unoptimized) count queries materialize an O(rows * cols)
+  // dedup workspace. An OpenMP array-section reduction would give every
+  // thread a stack-allocated private copy of it — a guaranteed overflow on
+  // real sizes — so the sweep over a multi-extent workspace must not be
+  // annotated. The one-dimensional result histogram keeps its reduction.
+  codegen::Options NoOpt;
+  NoOpt.OptimizeQueries = false;
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCSR(), formats::makeCSC(), NoOpt);
+  std::string Code = Conv.cSource();
+  EXPECT_NE(Code.find("q2_nir_w"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("reduction(|:q2_nir_w"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("reduction(+:q2_nir[0:dim1])"), std::string::npos)
+      << Code;
 }
 
 TEST(ParallelAnnotation, CscToEllKeepsTheCounterArrayLoopSerial) {
