@@ -199,8 +199,8 @@ inline const jit::JitConversion &
 jitConversion(const std::string &Src, const std::string &Dst,
               codegen::Options Opts = codegen::Options()) {
   static std::map<std::string, std::shared_ptr<jit::JitConversion>> Pinned;
-  formats::Format Source = formats::standardFormat(Src);
-  formats::Format Target = formats::standardFormat(Dst);
+  formats::Format Source = formats::standardFormatOrDie(Src);
+  formats::Format Target = formats::standardFormatOrDie(Dst);
   std::shared_ptr<jit::JitConversion> Handle =
       convert::PlanCache::instance().jit(Source, Target, Opts);
   return *(Pinned[convert::planKey(Source, Target, Opts)] = Handle);

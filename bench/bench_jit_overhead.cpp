@@ -31,8 +31,8 @@ double secondsSince(std::chrono::steady_clock::time_point Begin) {
 /// skips the compiler and only pays codegen + dlopen.
 void reportCacheAmortization() {
   convert::PlanCache &Cache = convert::PlanCache::instance();
-  formats::Format Src = formats::standardFormat("coo");
-  formats::Format Dst = formats::standardFormat("csr");
+  formats::Format Src = formats::standardFormatOrDie("coo");
+  formats::Format Dst = formats::standardFormatOrDie("csr");
 
   // Fresh on-disk cache directory so "cold" really runs the compiler;
   // the caller's CONVGEN_CACHE_DIR is restored afterwards.
@@ -105,7 +105,7 @@ int main() {
         PairSpec{"csc", "ell"}}) {
     auto Begin = std::chrono::steady_clock::now();
     codegen::Conversion Conv = codegen::generateConversion(
-        formats::standardFormat(P.Src), formats::standardFormat(P.Dst));
+        formats::standardFormatOrDie(P.Src), formats::standardFormatOrDie(P.Dst));
     double GenMs = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Begin)
                        .count() *

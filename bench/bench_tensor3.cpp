@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+// Higher-order conversion benchmark: the third-order pairs the order-N
+// pipeline opened up — coo3 -> csf (ranked assembly below compressed
+// ancestors + blocked leaf cursors), csf -> csf_102 (a nontrivial 3-D mode
+// permutation), and csf -> coo3 (Monotone flattening) — on synthetic
+// random / slice-skewed / hyper-sparse tensors.
+//
+// Emits a human-readable table and machine-readable BENCH_tensor3.json so
+// successive PRs can track the perf trajectory.
+//
+// Environment: CONVGEN_BENCH_SCALE / CONVGEN_BENCH_REPS as usual. At scale
+// 1.0 the tensors have ~2M nonzeros; the default 0.2 stays laptop-sized.
+//===----------------------------------------------------------------------===//
+
+#include "Common.h"
+
+#include "support/StringUtils.h"
+#include "tensor/Generators.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace convgen;
+using namespace convgen::bench;
+
+namespace {
+
+int64_t scaled(int64_t V) {
+  return std::max<int64_t>(
+      2, static_cast<int64_t>(static_cast<double>(V) * benchScale()));
+}
+
+/// Dimensions scale with the cube root of the scale so nnz (linear in the
+/// scale) keeps a constant density in the I x J x K box.
+int64_t scaledDim(int64_t V) {
+  return std::max<int64_t>(
+      4, static_cast<int64_t>(static_cast<double>(V) *
+                              std::cbrt(benchScale())));
+}
+
+struct TensorCase {
+  std::string Name;
+  tensor::Triplets T;
+};
+
+std::vector<TensorCase> benchTensors() {
+  // Full-scale targets: 512^3 boxes with 2M / 1.5M nonzeros, plus a
+  // hyper-sparse case in a 8*512-slice box with nnz = half the slice
+  // count (genHyperSparse3's cap, requested explicitly here so the
+  // recorded workload matches the generator's contract: most slices and
+  // fibers stay empty).
+  std::vector<TensorCase> Out;
+  int64_t D = scaledDim(512);
+  int64_t Nnz = scaled(2000000);
+  Out.push_back({"random3",
+                 tensor::genRandomTensor3(D, D, D, Nnz, 1001)});
+  Out.push_back({"skewed3",
+                 tensor::genSliceSkewed3(D, D, D, scaled(1500000), 1002)});
+  Out.push_back(
+      {"hyper3", tensor::genHyperSparse3(D * 8, D, D, D * 4, 1003)});
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  if (!jit::jitAvailable()) {
+    std::fprintf(stderr, "bench_tensor3: no system C compiler\n");
+    return 1;
+  }
+  BenchReport Report("BENCH_tensor3.json");
+  Report.metaStr("bench", "tensor3");
+  Report.meta("openmp", jit::jitOpenMPAvailable() ? "true" : "false");
+
+  const std::pair<const char *, const char *> Pairs[] = {
+      {"coo3", "csf"}, {"csf", "csf_102"}, {"csf", "coo3"}};
+
+  std::printf("%-10s %-14s %12s %12s %10s\n", "tensor", "pair", "median_ms",
+              "min_ms", "nnz");
+  for (const TensorCase &C : benchTensors()) {
+    for (auto [S, D] : Pairs) {
+      tensor::SparseTensor In = tensor::buildFromTriplets(
+          formats::standardFormatOrDie(S), C.T);
+      const jit::JitConversion &Conv = jitConversion(S, D);
+      TimeStats Stats = timeJitStats(Conv, In);
+      std::string Label =
+          C.Name + "." + std::string(S) + "_to_" + std::string(D);
+      std::printf("%-10s %-14s %12.3f %12.3f %10lld\n", C.Name.c_str(),
+                  (std::string(S) + "->" + D).c_str(),
+                  Stats.MedianSeconds * 1e3, Stats.MinSeconds * 1e3,
+                  static_cast<long long>(C.T.nnz()));
+      Report.add(strfmt("{\"label\": \"%s\", \"nnz\": %lld, "
+                        "\"median_seconds\": %.6g, \"min_seconds\": %.6g}",
+                        Label.c_str(), static_cast<long long>(C.T.nnz()),
+                        Stats.MedianSeconds, Stats.MinSeconds));
+    }
+  }
+  return Report.write() ? 0 : 1;
+}

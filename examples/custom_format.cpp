@@ -50,7 +50,7 @@ int main() {
   // Conversions from every canonical source — all generated from the one
   // specification above.
   for (const char *Src : {"coo", "csr", "csc"}) {
-    formats::Format From = formats::standardFormat(Src);
+    formats::Format From = formats::standardFormatOrDie(Src);
     convert::Converter Conv(From, Ellr);
     tensor::SparseTensor In = tensor::buildFromTriplets(From, T);
     tensor::SparseTensor Out = Conv.run(In);

@@ -14,8 +14,8 @@
 using namespace convgen;
 
 static void show(const char *Src, const char *Dst) {
-  formats::Format From = formats::standardFormat(Src);
-  formats::Format To = formats::standardFormat(Dst);
+  formats::Format From = formats::standardFormatOrDie(Src);
+  formats::Format To = formats::standardFormatOrDie(Dst);
   std::string Why;
   if (!codegen::conversionSupported(From, To, &Why)) {
     std::printf("==== %s -> %s: unsupported (%s)\n\n", Src, Dst, Why.c_str());

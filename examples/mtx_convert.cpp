@@ -1,10 +1,14 @@
 //===----------------------------------------------------------------------===//
-// Command-line converter for Matrix Market files: reads an .mtx matrix,
-// converts it through a generated routine, and either writes the canonical
-// .mtx back (round-trip check) or dumps the target format's storage
-// arrays. Lets the benchmark corpus be swapped for real SuiteSparse inputs.
+// Command-line converter for coordinate files: reads an .mtx matrix or a
+// FROSTT-style .tns tensor (any order), converts it through a generated
+// routine, and either writes the canonical coordinate file back
+// (round-trip check) or dumps the target format's storage arrays. Lets the
+// benchmark corpus be swapped for real SuiteSparse/FROSTT inputs.
 //
-//   mtx_convert <input.mtx> <target-format> [output.mtx]
+//   mtx_convert <input.mtx|input.tns> <target-format> [output]
+//
+// The source format is coo of the input's order; the target must have the
+// same order (e.g. csr for matrices, csf or csf_102 for .tns tensors).
 //===----------------------------------------------------------------------===//
 
 #include "convert/Converter.h"
@@ -12,35 +16,64 @@
 #include "jit/Jit.h"
 #include "tensor/MatrixMarket.h"
 #include "tensor/Oracle.h"
+#include "tensor/Tns.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace convgen;
+
+namespace {
+
+bool hasSuffix(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <input.mtx> <coo|csr|csc|dia|ell|bcsr|sky> "
-                 "[output.mtx]\n",
+                 "usage: %s <input.mtx|input.tns> "
+                 "<coo|csr|csc|dia|ell|bcsr|sky|coo3|csf|csf_102|...> "
+                 "[output]\n",
                  Argv[0]);
     return 2;
   }
+  std::string InPath = Argv[1];
+  bool Tns = hasSuffix(InPath, ".tns");
   tensor::Triplets T;
   std::string Error;
-  if (!tensor::readMatrixMarketFile(Argv[1], &T, &Error)) {
+  bool Ok = Tns ? tensor::readTnsFile(InPath, &T, &Error)
+                : tensor::readMatrixMarketFile(InPath, &T, &Error);
+  if (!Ok) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  std::printf("read %lld x %lld matrix with %lld nonzeros\n",
-              static_cast<long long>(T.NumRows),
-              static_cast<long long>(T.NumCols),
-              static_cast<long long>(T.nnz()));
+  std::string Dims;
+  for (int D = 0; D < T.order(); ++D)
+    Dims += (D ? " x " : "") + std::to_string(T.dim(D));
+  std::printf("read order-%d tensor (%s) with %lld nonzeros\n", T.order(),
+              Dims.c_str(), static_cast<long long>(T.nnz()));
 
-  formats::Format Target = formats::standardFormat(Argv[2]);
-  tensor::SparseTensor Coo = tensor::buildFromTriplets(formats::makeCOO(), T);
+  std::optional<formats::Format> Target = formats::standardFormat(Argv[2]);
+  if (!Target) {
+    std::fprintf(stderr, "error: unknown target format '%s'\n", Argv[2]);
+    return 2;
+  }
+  if (Target->SrcOrder != T.order()) {
+    std::fprintf(stderr, "error: target '%s' stores order-%d tensors, "
+                         "input has order %d\n",
+                 Target->Name.c_str(), Target->SrcOrder, T.order());
+    return 2;
+  }
+  formats::Format Source = formats::makeCOO(T.order());
+  tensor::SparseTensor Coo = tensor::buildFromTriplets(Source, T);
 
-  convert::Converter Conv(formats::makeCOO(), Target);
+  convert::Converter Conv(Source, *Target);
   tensor::SparseTensor Out;
   if (jit::jitAvailable()) {
     jit::JitConversion Native(Conv.conversion());
@@ -50,23 +83,25 @@ int main(int Argc, char **Argv) {
                     std::chrono::steady_clock::now() - Begin)
                     .count() *
                 1e3;
-    std::printf("converted coo -> %s natively in %.3f ms (+%.0f ms compile)\n",
-                Target.Name.c_str(), Ms, Native.compileSeconds() * 1e3);
+    std::printf("converted %s -> %s natively in %.3f ms (+%.0f ms compile)\n",
+                Source.Name.c_str(), Target->Name.c_str(), Ms,
+                Native.compileSeconds() * 1e3);
   } else {
     Out = Conv.run(Coo);
-    std::printf("converted coo -> %s with the interpreter backend\n",
-                Target.Name.c_str());
+    std::printf("converted %s -> %s with the interpreter backend\n",
+                Source.Name.c_str(), Target->Name.c_str());
   }
   Out.validate();
 
   if (Argc >= 4) {
-    std::string Mtx = tensor::writeMatrixMarket(tensor::toTriplets(Out));
+    std::string Text = Tns ? tensor::writeTns(tensor::toTriplets(Out))
+                           : tensor::writeMatrixMarket(tensor::toTriplets(Out));
     std::FILE *File = std::fopen(Argv[3], "w");
     if (!File) {
       std::fprintf(stderr, "error: cannot write %s\n", Argv[3]);
       return 1;
     }
-    std::fwrite(Mtx.data(), 1, Mtx.size(), File);
+    std::fwrite(Text.data(), 1, Text.size(), File);
     std::fclose(File);
     std::printf("wrote %s\n", Argv[3]);
   } else {

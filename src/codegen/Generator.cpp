@@ -87,7 +87,6 @@ struct Generator {
       const std::function<ir::Stmt(ir::Expr, const std::vector<ir::Expr> &)>
           &Body);
   void planCounters();
-  void checkSupported();
 
   /// Lowers all destination coordinate expressions for the current
   /// nonzero; appends let/counter statements to \p Out.
@@ -446,84 +445,177 @@ void Generator::freeCounters(ir::BlockBuilder &Out) const {
       Out.add(ir::freeBuffer(Plan.Var));
 }
 
-std::string unsupportedReason(const formats::Format &Src,
-                              const formats::Format &Dst,
-                              const levels::SourceIterator &SrcIt) {
-  // Single-group assembly: a level with edge insertion must be able to
-  // enumerate its parent positions before any coordinate insertion ran,
-  // which requires all enclosing levels to be dense (or the root).
-  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
-    bool Edges = Dst.Levels[K].Kind == LevelKind::Compressed ||
-                 Dst.Levels[K].Kind == LevelKind::Skyline;
-    if (!Edges)
-      continue;
-    for (size_t P = 0; P < K; ++P)
-      if (Dst.Levels[P].Kind != LevelKind::Dense)
-        return strfmt("conversion to %s requires multi-pass assembly "
-                      "(level %zu needs edge insertion below a non-dense "
-                      "level), which is not supported",
-                      Dst.Name.c_str(), K);
-  }
-  // Dedup levels rely on a version-stamp workspace, which requires every
-  // nonzero of one parent to be visited contiguously: the parent dims must
-  // depend only on the ivars of some *prefix* of the source's lexicographic
-  // iteration order (and the set must be exactly that prefix, so the
-  // parent value cannot reset when an outer variable advances).
-  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
-    if (Dst.Levels[K].Kind != LevelKind::Compressed || !Dst.Levels[K].Unique)
-      continue;
-    if (prefixCoversAllIVars(Dst.Remap, static_cast<int>(K)))
-      continue;
-    std::vector<std::string> Ordered = SrcIt.lexOrderedIVars();
+/// Per-level assembly decisions plus the support verdict for a conversion
+/// pair. Computed identically by conversionSupported and the generator so
+/// the two can never disagree.
+struct AsmPlanInfo {
+  std::vector<bool> Dedup;  ///< Compressed level needs dedup insertion.
+  std::vector<bool> Ranked; ///< Dedup is the ranked (order-independent)
+                            ///< variant; see LevelFormat::create.
+  /// Leading source levels whose lexicographic order the sequenced dedup
+  /// workspace trusts but the source format cannot guarantee structurally
+  /// (data-dependent crd arrays); the converter validates them at run
+  /// time. 0 when no run-time check is needed.
+  int LexCheckLevels = 0;
+  std::string Unsupported; ///< Nonempty: human-readable reason.
+};
+
+AsmPlanInfo planAssembly(const formats::Format &Src,
+                         const formats::Format &Dst,
+                         const levels::SourceIterator &SrcIt) {
+  AsmPlanInfo Plan;
+  size_t N = Dst.Levels.size();
+  Plan.Dedup.assign(N, false);
+  Plan.Ranked.assign(N, false);
+
+  auto isEdge = [&](size_t K) {
+    return Dst.Levels[K].Kind == LevelKind::Compressed ||
+           Dst.Levels[K].Kind == LevelKind::Skyline;
+  };
+
+  // Sequenced (workspace) dedup requires every nonzero of one parent tuple
+  // to be visited contiguously: the grouping dims must depend on the ivars
+  // of exactly a prefix of the source's lexicographic iteration order.
+  // LevelsUsed reports how many leading source levels that prefix spans.
+  std::vector<std::string> Ordered = SrcIt.lexOrderedIVars();
+  auto seqPrefixOk = [&](size_t K, int *LevelsUsed) -> bool {
     std::set<std::string> Needed;
     for (size_t D = 0; D < K; ++D)
       collectDimIVars(remap::inlineLets(Dst.Remap.DstDims[D]), Needed);
+    *LevelsUsed = 0;
+    if (Needed.empty())
+      return true;
     std::set<std::string> PrefixSet;
-    bool Supported = Needed.empty();
-    for (const std::string &V : Ordered) {
-      PrefixSet.insert(V);
+    for (size_t I = 0; I < Ordered.size(); ++I) {
+      PrefixSet.insert(Ordered[I]);
       if (PrefixSet == Needed) {
-        Supported = true;
-        break;
+        *LevelsUsed = static_cast<int>(I) + 1;
+        return true;
       }
     }
-    if (!Supported)
-      return strfmt("conversion %s -> %s needs deduplicating assembly, "
-                    "which requires the source to iterate the grouping "
-                    "coordinates as an ordered prefix",
-                    Src.Name.c_str(), Dst.Name.c_str());
+    return false;
+  };
+
+  for (size_t K = 0; K < N; ++K) {
+    Plan.Dedup[K] = Dst.Levels[K].Kind == LevelKind::Compressed &&
+                    Dst.Levels[K].Unique &&
+                    !prefixCoversAllIVars(Dst.Remap, static_cast<int>(K));
+    if (!Plan.Dedup[K])
+      continue;
+    // A compressed/skyline descendant enumerates this level's positions
+    // during its own edge insertion, which only rank-based (coordinate-
+    // order) positions support; and when the source cannot provide the
+    // prefix iteration order the workspace needs, ranks are the fallback
+    // that makes the pair convertible at all.
+    bool EdgeBelow = false;
+    for (size_t J = K + 1; J < N; ++J)
+      EdgeBelow = EdgeBelow || isEdge(J);
+    int LevelsUsed = 0;
+    bool SeqOk = seqPrefixOk(K, &LevelsUsed);
+    Plan.Ranked[K] = EdgeBelow || !SeqOk;
+    if (Plan.Ranked[K])
+      continue;
+    // The sequenced workspace stays: note when its prefix spans non-dense
+    // source levels, whose order is data-dependent (csc -> coo legally
+    // yields column-major coo) and must be validated per input tensor.
+    bool Structural = true;
+    for (int L = 0; L < LevelsUsed; ++L)
+      Structural = Structural && Src.Levels[static_cast<size_t>(L)].Kind ==
+                                     LevelKind::Dense;
+    if (!Structural)
+      Plan.LexCheckLevels = std::max(Plan.LexCheckLevels, LevelsUsed);
   }
-  return "";
+
+  // Edge insertion enumerates parent positions before any insertion ran:
+  // ancestors must be dense (positions are coordinate arithmetic) or
+  // ranked compressed (positions are coordinate ranks). Skyline keeps the
+  // dense-only restriction of single-group assembly.
+  for (size_t K = 0; K < N; ++K) {
+    if (!isEdge(K))
+      continue;
+    for (size_t P = 0; P < K; ++P) {
+      if (Dst.Levels[P].Kind == LevelKind::Dense)
+        continue;
+      bool RankedAncestor =
+          Dst.Levels[P].Kind == LevelKind::Compressed && Plan.Ranked[P];
+      if (Dst.Levels[K].Kind == LevelKind::Skyline || !RankedAncestor) {
+        Plan.Unsupported =
+            strfmt("conversion to %s requires multi-pass assembly "
+                   "(level %zu needs edge insertion below a non-enumerable "
+                   "level %zu), which is not supported",
+                   Dst.Name.c_str(), K, P);
+        return Plan;
+      }
+    }
+  }
+
+  // Ranked levels size their rank array (and presence-query buffer) by the
+  // static bounds of dims 0..K.
+  std::vector<ir::Expr> SrcDims;
+  for (int D = 0; D < Dst.SrcOrder; ++D)
+    SrcDims.push_back(ir::var("dim" + std::to_string(D)));
+  std::vector<remap::DimBounds> Bounds =
+      remap::analyzeBounds(Dst.Remap, SrcDims);
+  for (size_t K = 0; K < N; ++K) {
+    if (!Plan.Ranked[K])
+      continue;
+    for (size_t D = 0; D <= K; ++D)
+      if (!Bounds[D].Known) {
+        Plan.Unsupported = strfmt(
+            "conversion %s -> %s needs ranked dedup assembly over "
+            "dimension %zu, which has no static bounds",
+            Src.Name.c_str(), Dst.Name.c_str(), D);
+        return Plan;
+      }
+  }
+  return Plan;
 }
 
-void Generator::checkSupported() {
-  std::string Reason = unsupportedReason(Src, Dst, SrcIt);
-  if (!Reason.empty())
-    fatalError(Reason.c_str());
+std::string unsupportedReason(const formats::Format &Src,
+                              const formats::Format &Dst,
+                              const levels::SourceIterator &SrcIt) {
+  return planAssembly(Src, Dst, SrcIt).Unsupported;
 }
 
 ir::Stmt Generator::emitParentLoop(
     int K,
     const std::function<ir::Stmt(ir::Expr, const std::vector<ir::Expr> &)>
         &Body) {
-  // Enumerate positions of levels 1..K-1 (all dense; checked above) with
-  // nested loops; coordinates are absolute (lo + loop var).
+  // Enumerate positions of levels 1..K-1 in lexicographic coordinate
+  // order: dense ancestors as plain loops, ranked compressed ancestors as
+  // loops guarded by their presence query with positions from their (pure)
+  // emitPos. Coordinate insertion assigns the same positions — dense
+  // arithmetic, or ranks that count present tuples in this very coordinate
+  // order — so enumeration and insertion agree on parent numbering by
+  // construction, with no assumption on the source's iteration order.
   std::function<ir::Stmt(int, ir::Expr, std::vector<ir::Expr>)> Emit =
       [&](int Level, ir::Expr Pos, std::vector<ir::Expr> Coords) -> ir::Stmt {
     if (Level >= K)
       return Body(Pos, Coords);
     const formats::LevelSpec &Spec =
         Dst.Levels[static_cast<size_t>(Level - 1)];
-    CONVGEN_ASSERT(Spec.Kind == LevelKind::Dense,
-                   "edge-insertion parents must be dense");
     std::string Var = "e" + std::to_string(Level);
     ir::Expr Extent = Ctx.dimExtent(Spec.Dim);
     ir::Expr Lo = Ctx.dimLo(Spec.Dim);
     std::vector<ir::Expr> NewCoords = Coords;
     NewCoords.push_back(ir::add(ir::var(Var), Lo));
-    ir::Expr NewPos = ir::add(ir::mul(Pos, Extent), ir::var(Var));
-    return ir::forRange(Var, ir::intImm(0), Extent,
-                        Emit(Level + 1, NewPos, NewCoords));
+    if (Spec.Kind == LevelKind::Dense) {
+      ir::Expr NewPos = ir::add(ir::mul(Pos, Extent), ir::var(Var));
+      return ir::forRange(Var, ir::intImm(0), Extent,
+                          Emit(Level + 1, NewPos, NewCoords));
+    }
+    CONVGEN_ASSERT(Spec.Kind == LevelKind::Compressed,
+                   "edge-insertion parents must be dense or ranked");
+    levels::QueryResultRef Present = Ctx.Result(Level, "present");
+    ir::BlockBuilder Guarded;
+    levels::PosEnv PEnv{Pos, NewCoords, nullptr};
+    ir::Expr NewPos =
+        Levels[static_cast<size_t>(Level - 1)]->emitPos(Ctx, PEnv, Guarded);
+    Guarded.add(Emit(Level + 1, NewPos, NewCoords));
+    return ir::forRange(
+        Var, ir::intImm(0), Extent,
+        ir::ifThen(levels::readQueryRaw(Present, NewCoords),
+                   Guarded.build()));
   };
   return Emit(1, ir::intImm(0), {});
 }
@@ -586,24 +678,23 @@ std::vector<ir::Expr> Generator::dstCoords(const levels::IterEnv &Env,
 }
 
 Conversion Generator::run() {
-  checkSupported();
+  AsmPlanInfo Plan = planAssembly(Src, Dst, SrcIt);
+  if (!Plan.Unsupported.empty())
+    fatalError(Plan.Unsupported.c_str());
   planCounters();
 
-  // Target shape: bounds of the remapped dimensions over dim0/dim1.
+  // Target shape: bounds of the remapped dimensions over the source dims.
   std::vector<ir::Expr> SrcDims;
   for (int D = 0; D < Dst.SrcOrder; ++D)
     SrcDims.push_back(ir::var("dim" + std::to_string(D)));
   Shape.Remap = Dst.Remap;
   Shape.Bounds = remap::analyzeBounds(Dst.Remap, SrcDims);
 
-  // Level formats with dedup decisions.
-  for (size_t K = 0; K < Dst.Levels.size(); ++K) {
-    bool Dedup = Dst.Levels[K].Kind == LevelKind::Compressed &&
-                 Dst.Levels[K].Unique &&
-                 !prefixCoversAllIVars(Dst.Remap, static_cast<int>(K));
+  // Level formats with the plan's dedup/ranked decisions.
+  for (size_t K = 0; K < Dst.Levels.size(); ++K)
     Levels.push_back(levels::LevelFormat::create(
-        Dst.Levels[K], static_cast<int>(K) + 1, Dedup, Dst.order()));
-  }
+        Dst.Levels[K], static_cast<int>(K) + 1, Plan.Dedup[K],
+        Plan.Ranked[K], Dst.order()));
 
   // Compile the attribute queries the levels declare.
   std::vector<std::pair<int, query::Query>> LevelQueries;
@@ -753,6 +844,7 @@ Conversion Generator::run() {
   Out.Source = Src;
   Out.Target = Dst;
   Out.Opts = Opts;
+  Out.LexCheckLevels = Plan.LexCheckLevels;
   Out.Func.Name = "convert_" + Src.Name + "_to_" + Dst.Name;
   Out.Func.Params = SrcIt.params();
   Out.Func.Body = Fn.build();

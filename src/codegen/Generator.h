@@ -52,6 +52,13 @@ struct Conversion {
   ir::Function Func;
   /// Optimized attribute queries, for inspection and golden tests.
   std::vector<std::pair<std::string, query::CinStmt>> Queries;
+  /// Leading source levels whose lexicographic order the routine's
+  /// sequenced dedup assembly trusts but the format cannot guarantee
+  /// structurally (a coo tensor's crd arrays may legally be unsorted, e.g.
+  /// csc -> coo output is column-major). The conversion runners validate
+  /// these levels per input tensor and reject unsorted sources instead of
+  /// assembling garbage; 0 means no check is needed.
+  int LexCheckLevels = 0;
 
   /// Complete C99 translation unit (JIT input).
   std::string cSource() const;

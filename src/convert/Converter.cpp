@@ -100,11 +100,27 @@ convert::collectTargetTensor(const formats::Format &Target,
   return Out;
 }
 
+void convert::checkSourceOrder(const codegen::Conversion &Conv,
+                               const tensor::SparseTensor &In) {
+  if (Conv.LexCheckLevels <= 0)
+    return;
+  std::string Why;
+  if (!In.lexOrderedUpTo(Conv.LexCheckLevels, &Why))
+    fatalError(
+        strfmt("conversion %s -> %s requires a lexicographically sorted "
+               "source (its dedup assembly visits grouping coordinates as "
+               "an ordered prefix), but the input is unsorted: %s",
+               Conv.Source.Name.c_str(), Conv.Target.Name.c_str(),
+               Why.c_str())
+            .c_str());
+}
+
 tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
   if (In.Format.Name != Conv->Source.Name)
     fatalError(strfmt("converter compiled for source '%s' got a '%s' tensor",
                       Conv->Source.Name.c_str(), In.Format.Name.c_str())
                    .c_str());
+  checkSourceOrder(*Conv, In);
   ir::Interpreter Interp;
   bindSourceTensor(Interp, In);
   ir::RunResult Result = Interp.run(Conv->Func);

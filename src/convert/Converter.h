@@ -59,6 +59,13 @@ private:
 /// naming convention (shared with the JIT runner's marshalling).
 void bindSourceTensor(ir::Interpreter &Interp, const tensor::SparseTensor &In);
 
+/// Enforces the plan's source-order requirement (Conversion's
+/// LexCheckLevels): aborts with a diagnostic when \p In's leading levels
+/// are not lexicographically sorted but the routine's dedup assembly
+/// assumes they are. Shared by the interpreter and JIT runners.
+void checkSourceOrder(const codegen::Conversion &Conv,
+                      const tensor::SparseTensor &In);
+
 /// Assembles the output tensor from interpreter yields.
 tensor::SparseTensor collectTargetTensor(const formats::Format &Target,
                                          const std::vector<int64_t> &Dims,

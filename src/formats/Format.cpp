@@ -76,5 +76,8 @@ void formats::validateFormat(const Format &F) {
     if (L.Kind == LevelKind::Compressed && !L.Unique && K != 0)
       failFmt("non-unique compressed levels are only supported at the root "
               "(COO-style formats)");
+    if (L.Kind == LevelKind::Skyline && K == 0)
+      failFmt("skyline levels derive their coordinates from the parent "
+              "level's and cannot be the root");
   }
 }

@@ -69,7 +69,9 @@ struct LevelSpec {
 /// A complete tensor format specification.
 struct Format {
   std::string Name;
-  /// Canonical order (2 for the matrix formats shipped with the library).
+  /// Canonical order: the number of coordinate modes of the tensors this
+  /// format stores (2 for matrices, 3 for the coo3/csf families, any N the
+  /// remapping names source variables for).
   int SrcOrder = 2;
   /// Canonical coordinates -> stored dimensions (identity for COO/CSR).
   remap::RemapStmt Remap;

@@ -10,18 +10,107 @@
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
+#include <cctype>
+
 using namespace convgen;
 using namespace convgen::formats;
 
-Format formats::makeCOO() {
+namespace {
+
+/// Canonical index-variable names for order-N remapping strings; matches
+/// the paper's (i, j, k) spelling for the common orders.
+const char *const kIVarNames[] = {"i", "j", "k", "l", "m", "n"};
+
+std::string ivarList(int Order) {
+  std::vector<std::string> Vars(kIVarNames, kIVarNames + Order);
+  return "(" + join(Vars, ",") + ")";
+}
+
+std::string dvarList(int Order) {
+  std::vector<std::string> Vars;
+  for (int D = 0; D < Order; ++D)
+    Vars.push_back("d" + std::to_string(D));
+  return "(" + join(Vars, ",") + ")";
+}
+
+/// Identity remapping pair over the first \p Order canonical variables.
+void setIdentityRemap(Format &F, int Order) {
+  F.SrcOrder = Order;
+  F.Remap =
+      remap::parseRemapOrDie(ivarList(Order) + " -> " + ivarList(Order));
+  F.Inverse =
+      remap::parseRemapOrDie(dvarList(Order) + " -> " + dvarList(Order));
+}
+
+} // namespace
+
+Format formats::makeCOO(int Order) {
+  CONVGEN_ASSERT(Order >= 2 && Order <= static_cast<int>(sizeof(kIVarNames) /
+                                                         sizeof(*kIVarNames)),
+                 "COO order out of range");
   Format F;
-  F.Name = "coo";
-  F.Remap = remap::parseRemapOrDie("(i,j) -> (i,j)");
-  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d0,d1)");
+  F.Name = Order == 2 ? "coo" : strfmt("coo%d", Order);
+  setIdentityRemap(F, Order);
   F.Levels = {
-      LevelSpec{LevelKind::Compressed, 0, /*Unique=*/false, false, {-1, -1}},
-      LevelSpec{LevelKind::Singleton, 1, true, false, {-1, -1}},
-  };
+      LevelSpec{LevelKind::Compressed, 0, /*Unique=*/false, false, {-1, -1}}};
+  for (int D = 1; D < Order; ++D)
+    F.Levels.push_back(LevelSpec{LevelKind::Singleton, D, true, false,
+                                 {-1, -1}});
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeCSF(int Order) {
+  CONVGEN_ASSERT(Order >= 2 && Order <= static_cast<int>(sizeof(kIVarNames) /
+                                                         sizeof(*kIVarNames)),
+                 "CSF order out of range");
+  Format F;
+  F.Name = Order == 3 ? "csf" : strfmt("csf%d", Order);
+  setIdentityRemap(F, Order);
+  for (int D = 0; D < Order; ++D)
+    F.Levels.push_back(LevelSpec{LevelKind::Compressed, D, true, false,
+                                 {-1, -1}});
+  validateFormat(F);
+  return F;
+}
+
+Format formats::makeCSFPermuted(const std::vector<int> &ModeOrder) {
+  int Order = static_cast<int>(ModeOrder.size());
+  CONVGEN_ASSERT(Order >= 2 && Order <= static_cast<int>(sizeof(kIVarNames) /
+                                                         sizeof(*kIVarNames)),
+                 "CSF order out of range");
+  bool Identity = true;
+  std::vector<bool> Seen(static_cast<size_t>(Order), false);
+  for (int P = 0; P < Order; ++P) {
+    int M = ModeOrder[static_cast<size_t>(P)];
+    CONVGEN_ASSERT(M >= 0 && M < Order && !Seen[static_cast<size_t>(M)],
+                   "CSF mode order must be a permutation of 0..N-1");
+    Seen[static_cast<size_t>(M)] = true;
+    Identity = Identity && M == P;
+  }
+  if (Identity)
+    return makeCSF(Order);
+
+  Format F;
+  F.SrcOrder = Order;
+  F.Name = "csf_";
+  // Remap: level p stores canonical mode ModeOrder[p]; the inverse reads
+  // canonical mode m back from the level storing it.
+  std::vector<std::string> Stored, InverseDims;
+  InverseDims.resize(static_cast<size_t>(Order));
+  for (int P = 0; P < Order; ++P) {
+    int M = ModeOrder[static_cast<size_t>(P)];
+    F.Name += std::to_string(M);
+    Stored.push_back(kIVarNames[M]);
+    InverseDims[static_cast<size_t>(M)] = "d" + std::to_string(P);
+  }
+  F.Remap = remap::parseRemapOrDie(ivarList(Order) + " -> (" +
+                                   join(Stored, ",") + ")");
+  F.Inverse = remap::parseRemapOrDie(dvarList(Order) + " -> (" +
+                                     join(InverseDims, ",") + ")");
+  for (int D = 0; D < Order; ++D)
+    F.Levels.push_back(LevelSpec{LevelKind::Compressed, D, true, false,
+                                 {-1, -1}});
   validateFormat(F);
   return F;
 }
@@ -124,7 +213,23 @@ std::vector<Format> formats::allStandardFormats() {
           makeELL(), makeBCSR(4, 4), makeSKY()};
 }
 
-Format formats::standardFormat(const std::string &Name) {
+std::vector<Format> formats::standardOrder3Formats() {
+  return {makeCOO(3), makeCSF(3), makeCSFPermuted({1, 0, 2}),
+          makeCSFPermuted({0, 2, 1})};
+}
+
+namespace {
+
+/// Parses a small positive integer suffix ("3" in "coo3"); -1 on failure.
+int parseOrderSuffix(const std::string &Suffix) {
+  if (Suffix.empty() || Suffix.size() > 1 || !std::isdigit(Suffix[0]))
+    return -1;
+  return Suffix[0] - '0';
+}
+
+} // namespace
+
+std::optional<Format> formats::standardFormat(const std::string &Name) {
   if (Name == "coo")
     return makeCOO();
   if (Name == "csr")
@@ -139,5 +244,45 @@ Format formats::standardFormat(const std::string &Name) {
     return makeBCSR(4, 4);
   if (Name == "sky")
     return makeSKY();
+  if (Name == "csf")
+    return makeCSF(3);
+  constexpr int MaxOrder = sizeof(kIVarNames) / sizeof(*kIVarNames);
+  if (Name.rfind("coo", 0) == 0) {
+    int Order = parseOrderSuffix(Name.substr(3));
+    if (Order >= 2 && Order <= MaxOrder)
+      return makeCOO(Order);
+    return std::nullopt;
+  }
+  if (Name.rfind("csf_", 0) == 0) {
+    // Mode-permuted CSF: one digit per level, e.g. "csf_102".
+    std::vector<int> ModeOrder;
+    std::vector<bool> Seen(static_cast<size_t>(MaxOrder), false);
+    for (char C : Name.substr(4)) {
+      if (!std::isdigit(C))
+        return std::nullopt;
+      int M = C - '0';
+      if (M >= static_cast<int>(Name.size()) - 4 || M >= MaxOrder ||
+          Seen[static_cast<size_t>(M)])
+        return std::nullopt;
+      Seen[static_cast<size_t>(M)] = true;
+      ModeOrder.push_back(M);
+    }
+    if (ModeOrder.size() < 2 ||
+        ModeOrder.size() > static_cast<size_t>(MaxOrder))
+      return std::nullopt;
+    return makeCSFPermuted(ModeOrder);
+  }
+  if (Name.rfind("csf", 0) == 0) {
+    int Order = parseOrderSuffix(Name.substr(3));
+    if (Order >= 2 && Order <= MaxOrder)
+      return makeCSF(Order);
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+Format formats::standardFormatOrDie(const std::string &Name) {
+  if (std::optional<Format> F = standardFormat(Name))
+    return *F;
   fatalError(("unknown standard format '" + Name + "'").c_str());
 }

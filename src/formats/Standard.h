@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The standard matrix format specifications shipped with the library, and
-/// a registry through which user-defined formats participate in conversion
-/// generation on equal footing (the paper's extensibility claim: one
-/// specification per format, not per format pair).
+/// The standard format specifications shipped with the library — the matrix
+/// classics plus the order-general COO and CSF families — and a registry
+/// through which user-defined formats participate in conversion generation
+/// on equal footing (the paper's extensibility claim: one specification per
+/// format, not per format pair).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,14 +18,18 @@
 
 #include "formats/Format.h"
 
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace convgen {
 namespace formats {
 
-/// COO, sorted row-major: compressed(non-unique) row level + singleton
-/// column level. Supports efficient appends; stores redundant row coords.
-Format makeCOO();
+/// COO of any order, sorted lexicographically: compressed(non-unique) root
+/// level + one singleton level per remaining mode. Order 2 keeps the name
+/// "coo"; higher orders are named "coo3", "coo4", ... Supports efficient
+/// appends; stores redundant root coordinates.
+Format makeCOO(int Order = 2);
 
 /// CSR: dense rows + compressed columns.
 Format makeCSR();
@@ -49,13 +54,34 @@ Format makeBCSR(int BlockRows, int BlockCols);
 /// components from the first nonzero through the diagonal are stored.
 Format makeSKY();
 
-/// All formats above with default parameters (BCSR uses 4x4), in a stable
-/// order; useful for all-pairs conversion tests.
+/// CSF (compressed sparse fiber) of the given order: every level
+/// compressed and unique, the paper's canonical higher-order format.
+/// Order 3 keeps the name "csf"; other orders are "csf2", "csf4", ...
+Format makeCSF(int Order = 3);
+
+/// CSF with a permuted mode order: mode ModeOrder[k] is stored at level k,
+/// expressed through the remap language (e.g. {1,0,2} gives
+/// (i,j,k) -> (j,i,k)). Named "csf_<digits>", e.g. "csf_102". The identity
+/// permutation collapses to makeCSF.
+Format makeCSFPermuted(const std::vector<int> &ModeOrder);
+
+/// All order-2 formats above with default parameters (BCSR uses 4x4), in a
+/// stable order; useful for all-pairs conversion tests.
 std::vector<Format> allStandardFormats();
 
-/// Looks up a standard format by name ("coo", "csr", "csc", "dia", "ell",
-/// "bcsr", "sky"); aborts on unknown names.
-Format standardFormat(const std::string &Name);
+/// The order-3 registry counterpart: coo3, csf, and the mode-permuted
+/// csf_102 / csf_021, in a stable order.
+std::vector<Format> standardOrder3Formats();
+
+/// Looks up a standard format by name: the matrix classics ("coo", "csr",
+/// "csc", "dia", "ell", "bcsr", "sky"), the order-general spellings
+/// ("coo3", "coo4", ..., "csf", "csf4", ...), and permuted CSF
+/// ("csf_102"). Returns std::nullopt on unknown names — never aborts.
+std::optional<Format> standardFormat(const std::string &Name);
+
+/// Convenience wrapper for callers holding a known-good name; aborts with
+/// a diagnostic naming the unknown format.
+Format standardFormatOrDie(const std::string &Name);
 
 } // namespace formats
 } // namespace convgen

@@ -6,6 +6,7 @@
 
 #include "jit/Jit.h"
 
+#include "convert/Converter.h"
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
@@ -320,6 +321,7 @@ void jit::freeOutput(CTensor *B) {
 }
 
 tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
+  convert::checkSourceOrder(Conv, In);
   CTensor A, B;
   marshalInput(In, &A);
   runRaw(&A, &B);

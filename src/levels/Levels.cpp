@@ -7,6 +7,7 @@
 #include "levels/Levels.h"
 
 #include "support/Assert.h"
+#include "support/StringUtils.h"
 
 using namespace convgen;
 using namespace convgen::levels;
@@ -87,14 +88,20 @@ public:
 
 class CompressedLevel : public LevelFormat {
 public:
-  CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, int Order)
-      : LevelFormat(Spec, K), Dedup(Dedup), Order(Order) {}
+  CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, bool Ranked,
+                  int Order)
+      : LevelFormat(Spec, K), Dedup(Dedup), Ranked(Ranked), Order(Order) {
+    CONVGEN_ASSERT(!Ranked || Dedup, "ranked insertion is a dedup variant");
+  }
 
   /// Cursor-based insertion is parallel-safe exactly when the generator
   /// replaced the shared cursor: Monotone (no cursor at all) or Blocked
-  /// (partition-private cursor rows). Dedup levels mutate a shared
-  /// workspace under every strategy.
+  /// (partition-private cursor rows). Ranked dedup positions are a pure
+  /// function of the coordinates and parallelize under every strategy;
+  /// workspace dedup mutates shared state and never does.
   bool insertIsParallelSafe(const AsmCtx &Ctx) const override {
+    if (Ranked)
+      return true;
     return !Dedup && (Ctx.Insert == InsertStrategy::Monotone ||
                       Ctx.Insert == InsertStrategy::Blocked);
   }
@@ -118,7 +125,15 @@ public:
         A.Dims.push_back(D);
     }
     Q.Aggs = {A};
-    return {Q};
+    if (!Ranked)
+      return {Q};
+    // Ranked insertion additionally needs per-tuple presence (including
+    // this level's own dimension) to precompute local ranks.
+    query::Query P;
+    for (int D = 0; D <= Spec.Dim; ++D)
+      P.GroupDims.push_back(D);
+    P.Aggs = {query::Agg{query::AggKind::Id, {}, "present"}};
+    return {Q, P};
   }
 
   bool needsEdgeInsertion() const override { return true; }
@@ -157,12 +172,14 @@ public:
     }
     Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
                       ir::load(Pos, ParentSize), false));
+    if (Ranked)
+      emitRankBuild(Ctx, Out);
   }
 
   void emitInitPos(AsmCtx &Ctx, ir::Expr ParentSize,
                    ir::BlockBuilder &Out) const override {
     (void)ParentSize;
-    if (!Dedup)
+    if (!Dedup || Ranked)
       return;
     // Version-stamped workspace: get_pos semantics over yield_pos storage.
     Out.add(ir::alloc(wsStamp(), ir::ScalarKind::Int, Ctx.dimExtent(Spec.Dim),
@@ -171,10 +188,79 @@ public:
                       false));
   }
 
+  /// Row-major linearization of relative coordinates over dims 0..Dim (the
+  /// presence query's buffer layout, reused for the rank array).
+  ir::Expr rankIndex(AsmCtx &Ctx,
+                     const std::vector<ir::Expr> &RelCoords) const {
+    ir::Expr Index = ir::intImm(0);
+    for (int D = 0; D <= Spec.Dim; ++D)
+      Index = ir::add(ir::mul(Index, Ctx.dimExtent(D)),
+                      RelCoords[static_cast<size_t>(D)]);
+    return Index;
+  }
+
+  /// Precomputes rnk[t] = rank of coordinate tuple t among the present
+  /// children of t's parent tuple, scanning each parent's child range in
+  /// coordinate order. Parent tuples are independent, so the outermost
+  /// parent loop parallelizes.
+  void emitRankBuild(AsmCtx &Ctx, ir::BlockBuilder &Out) const {
+    levels::QueryResultRef Present = Ctx.Result(K, "present");
+    ir::Expr Size = ir::intImm(1);
+    for (int D = 0; D <= Spec.Dim; ++D)
+      Size = ir::mul(Size, Ctx.dimExtent(D));
+    Out.add(ir::comment(
+        strfmt("level %d ranked insertion: local ranks of present tuples",
+               K)));
+    Out.add(ir::alloc(rankName(), ir::ScalarKind::Int, Size, false));
+
+    std::vector<ir::Expr> Rel, Abs;
+    for (int D = 0; D <= Spec.Dim; ++D) {
+      Rel.push_back(ir::var(rankLoopVar(D)));
+      Abs.push_back(ir::add(ir::var(rankLoopVar(D)), Ctx.dimLo(D)));
+    }
+    std::string R = "r" + std::to_string(K) + "v";
+    std::string IdxVar = "r" + std::to_string(K) + "i";
+    ir::BlockBuilder Hit;
+    Hit.add(ir::store(rankName(), ir::var(IdxVar), ir::var(R)));
+    Hit.add(ir::assign(R, ir::add(ir::var(R), ir::intImm(1))));
+    ir::BlockBuilder Scan;
+    Scan.add(ir::decl(IdxVar, rankIndex(Ctx, Rel)));
+    // The presence load goes through the query layer's own decoding so
+    // the rank array's layout (rankIndex) never couples to the query
+    // result buffer's.
+    Scan.add(ir::ifThen(readQueryRaw(Present, Abs), Hit.build()));
+    ir::BlockBuilder PerParent;
+    PerParent.add(ir::decl(R, ir::intImm(0)));
+    PerParent.add(ir::forRange(rankLoopVar(Spec.Dim), ir::intImm(0),
+                               Ctx.dimExtent(Spec.Dim), Scan.build()));
+    ir::Stmt Nest = PerParent.build();
+    for (int D = Spec.Dim - 1; D >= 0; --D)
+      Nest = ir::forRange(rankLoopVar(D), ir::intImm(0), Ctx.dimExtent(D),
+                          Nest);
+    if (Spec.Dim >= 1)
+      Nest = ir::markLoopParallel(Nest);
+    Out.add(Nest);
+  }
+
   ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
                    ir::BlockBuilder &Out) const override {
     std::string Pos = Ctx.posName(K);
     std::string PVar = "pB" + std::to_string(K);
+    if (Ranked) {
+      // Pure: position = pos[parent] + rank of the coordinate tuple. The
+      // pos array is final from edge insertion (no cursor, no shift-back),
+      // so insertion is order-independent and parallel-safe.
+      std::vector<ir::Expr> Rel;
+      for (int D = 0; D <= Spec.Dim; ++D)
+        Rel.push_back(ir::sub(Env.DstCoords[static_cast<size_t>(D)],
+                              Ctx.dimLo(D)));
+      std::string IdxVar = PVar + "r";
+      Out.add(ir::decl(IdxVar, rankIndex(Ctx, Rel)));
+      Out.add(ir::decl(PVar,
+                       ir::add(ir::load(Pos, Env.ParentPos),
+                               ir::load(rankName(), ir::var(IdxVar)))));
+      return ir::var(PVar);
+    }
     if (!Dedup) {
       switch (Ctx.Insert) {
       case InsertStrategy::Monotone:
@@ -229,6 +315,11 @@ public:
 
   void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
                     ir::BlockBuilder &Out) const override {
+    if (Ranked) {
+      // Ranked insertion reads pos without consuming it: nothing to shift.
+      Out.add(ir::freeBuffer(rankName()));
+      return;
+    }
     // Monotone/Blocked insertion never consumed the pos array (no cursor,
     // or partition-private cursor rows), so it is already final and the
     // serial shift-back pass disappears with the parallel strategies.
@@ -260,8 +351,13 @@ private:
   std::string scanVar() const { return "s" + std::to_string(K); }
   std::string wsStamp() const { return "ws" + std::to_string(K) + "_stamp"; }
   std::string wsPos() const { return "ws" + std::to_string(K) + "_pos"; }
+  std::string rankName() const { return "B" + std::to_string(K) + "_rnk"; }
+  std::string rankLoopVar(int D) const {
+    return "r" + std::to_string(K) + "d" + std::to_string(D);
+  }
 
   bool Dedup;
+  bool Ranked;
   int Order;
 };
 
@@ -549,12 +645,13 @@ public:
 } // namespace
 
 std::unique_ptr<LevelFormat> LevelFormat::create(const LevelSpec &Spec, int K,
-                                                 bool Dedup, int Order) {
+                                                 bool Dedup, bool Ranked,
+                                                 int Order) {
   switch (Spec.Kind) {
   case LevelKind::Dense:
     return std::make_unique<DenseLevel>(Spec, K);
   case LevelKind::Compressed:
-    return std::make_unique<CompressedLevel>(Spec, K, Dedup, Order);
+    return std::make_unique<CompressedLevel>(Spec, K, Dedup, Ranked, Order);
   case LevelKind::Singleton:
     return std::make_unique<SingletonLevel>(Spec, K);
   case LevelKind::Squeezed:

@@ -152,8 +152,22 @@ public:
   /// over yield_pos storage for levels where several nonzeros share a
   /// coordinate (BCSR's block-column level); \p Order is the format's
   /// stored order (for root-level count queries).
+  ///
+  /// \p Ranked selects the order-independent variant of dedup insertion: a
+  /// position is the rank of the nonzero's coordinate tuple among the
+  /// *present* tuples (precomputed per parent from a presence query during
+  /// edge insertion), instead of its first-visit number in a version-stamp
+  /// workspace. Positions become a pure function of the coordinates, which
+  /// (a) drops every requirement on the source's iteration order, (b) makes
+  /// insertion parallel-safe, and (c) lets deeper levels enumerate this
+  /// level's positions before any insertion ran — the key to edge insertion
+  /// below compressed ancestors (CSF targets). The price is an
+  /// O(prod extents of dims 0..Dim) rank array, so the generator prefers
+  /// the workspace variant where the source's iteration order permits it
+  /// and no descendant needs the enumeration.
   static std::unique_ptr<LevelFormat> create(const formats::LevelSpec &Spec,
-                                             int K, bool Dedup, int Order);
+                                             int K, bool Dedup, bool Ranked,
+                                             int Order);
 
   virtual ~LevelFormat();
 

@@ -247,3 +247,43 @@ std::vector<std::pair<std::string, Triplets>> tensor::testMatrices() {
 
   return Out;
 }
+
+std::vector<std::pair<std::string, Triplets>> tensor::testTensors3() {
+  std::vector<std::pair<std::string, Triplets>> Out;
+
+  Triplets Empty;
+  Empty.setDims({4, 5, 6});
+  Out.push_back({"empty3", Empty});
+
+  Triplets Single;
+  Single.setDims({3, 4, 5});
+  Single.Entries = {Entry{{1, 2, 3}, -4.5}};
+  Out.push_back({"single3", Single});
+
+  // A small hand-written example with shared slices and fibers: two slices
+  // reuse fiber (i, j) prefixes, one slice holds a full mode-2 fiber.
+  Triplets Hand;
+  Hand.setDims({3, 3, 4});
+  Hand.Entries = {Entry{{0, 0, 0}, 1}, Entry{{0, 0, 2}, 2},
+                  Entry{{0, 2, 1}, 3}, Entry{{1, 1, 0}, 4},
+                  Entry{{1, 1, 1}, 5}, Entry{{1, 1, 2}, 6},
+                  Entry{{1, 1, 3}, 7}, Entry{{2, 0, 3}, 8},
+                  Entry{{2, 2, 0}, 9}};
+  Out.push_back({"hand3", Hand});
+
+  // Fully dense block (every fiber present).
+  Triplets Dense;
+  Dense.setDims({3, 2, 4});
+  for (int64_t I = 0; I < 3; ++I)
+    for (int64_t J = 0; J < 2; ++J)
+      for (int64_t K = 0; K < 4; ++K)
+        Dense.Entries.push_back(
+            Entry{{I, J, K}, static_cast<double>(1 + I * 8 + J * 4 + K)});
+  Out.push_back({"dense3", Dense});
+
+  Out.push_back({"random3", genRandomTensor3(12, 9, 14, 160, 31)});
+  Out.push_back({"skewed3", genSliceSkewed3(16, 10, 8, 140, 32)});
+  Out.push_back({"hyper3", genHyperSparse3(40, 30, 25, 60, 33)});
+
+  return Out;
+}

@@ -50,6 +50,11 @@ const CorpusEntry &corpusEntry(const std::string &Name);
 /// rectangular, single diagonal, ...) shared by the conversion tests.
 std::vector<std::pair<std::string, Triplets>> testMatrices();
 
+/// Small third-order tensors for the higher-order conversion tests: empty,
+/// single entry, a dense block, plus random / slice-skewed / hyper-sparse
+/// synthetics (the order-3 analog of testMatrices()).
+std::vector<std::pair<std::string, Triplets>> testTensors3();
+
 } // namespace tensor
 } // namespace convgen
 

@@ -9,7 +9,9 @@
 #include "support/Assert.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
 #include <random>
 #include <set>
 
@@ -153,6 +155,68 @@ Triplets tensor::genLowerBanded(int64_t Rows, double AvgPerRow,
       T.Entries.push_back(Entry{I, J, valueAt(I, J)});
   }
   return T;
+}
+
+namespace {
+
+/// Deterministic nonzero value over a third-order coordinate.
+double valueAt3(int64_t I, int64_t J, int64_t K) {
+  return 1.0 + static_cast<double>((I * 31 + J * 17 + K * 7) % 89) / 89.0;
+}
+
+/// Shared core of the third-order generators: draws distinct coordinates
+/// until Target entries exist, mode-0 slice index supplied by \p Slice.
+Triplets fill3(int64_t I, int64_t J, int64_t K, int64_t Target, uint64_t Seed,
+               const std::function<int64_t(std::mt19937_64 &)> &Slice) {
+  Triplets T;
+  T.setDims({I, J, K});
+  Target = std::min(Target, I * J * K);
+  std::mt19937_64 Rng(Seed);
+  std::uniform_int_distribution<int64_t> DJ(0, J - 1), DK(0, K - 1);
+  std::set<std::array<int64_t, 3>> Seen;
+  while (static_cast<int64_t>(Seen.size()) < Target) {
+    std::array<int64_t, 3> C = {Slice(Rng), DJ(Rng), DK(Rng)};
+    if (Seen.insert(C).second)
+      T.Entries.push_back(
+          Entry{{C[0], C[1], C[2]}, valueAt3(C[0], C[1], C[2])});
+  }
+  T.sortRowMajor();
+  return T;
+}
+
+} // namespace
+
+Triplets tensor::genRandomTensor3(int64_t I, int64_t J, int64_t K,
+                                  int64_t TotalNnz, uint64_t Seed) {
+  std::uniform_int_distribution<int64_t> DI(0, I - 1);
+  return fill3(I, J, K, TotalNnz, Seed,
+               [DI](std::mt19937_64 &Rng) mutable { return DI(Rng); });
+}
+
+Triplets tensor::genSliceSkewed3(int64_t I, int64_t J, int64_t K,
+                                 int64_t TotalNnz, uint64_t Seed) {
+  // Zipf weights over a shuffled slice order: a handful of heavy slices,
+  // a long tail of near-empty ones.
+  std::mt19937_64 Setup(Seed ^ 0x5ca1ab1e);
+  std::vector<int64_t> Order(static_cast<size_t>(I));
+  for (int64_t S = 0; S < I; ++S)
+    Order[static_cast<size_t>(S)] = S;
+  std::shuffle(Order.begin(), Order.end(), Setup);
+  std::vector<double> Weights(static_cast<size_t>(I));
+  for (int64_t S = 0; S < I; ++S)
+    Weights[static_cast<size_t>(S)] = 1.0 / (1.0 + static_cast<double>(S));
+  std::discrete_distribution<int64_t> Pick(Weights.begin(), Weights.end());
+  return fill3(I, J, K, TotalNnz, Seed,
+               [Pick, Order](std::mt19937_64 &Rng) mutable {
+                 return Order[static_cast<size_t>(Pick(Rng))];
+               });
+}
+
+Triplets tensor::genHyperSparse3(int64_t I, int64_t J, int64_t K,
+                                 int64_t TotalNnz, uint64_t Seed) {
+  // Uniform draws with nnz << I guarantee most slices/fibers stay empty;
+  // the cap documents the intent rather than enforcing a distribution.
+  return genRandomTensor3(I, J, K, std::min(TotalNnz, I / 2), Seed);
 }
 
 Triplets tensor::symmetrized(const Triplets &T) {

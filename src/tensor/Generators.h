@@ -60,6 +60,28 @@ Triplets genLowerBanded(int64_t Rows, double AvgPerRow, int64_t HalfBand,
 /// matrices); keeps the diagonal as-is.
 Triplets symmetrized(const Triplets &T);
 
+//===----------------------------------------------------------------------===//
+// Third-order generators (the FROSTT-style workloads of the higher-order
+// conversion pairs; all duplicate-free, nonzero-valued, seed-reproducible).
+//===----------------------------------------------------------------------===//
+
+/// Uniform random third-order tensor: ~TotalNnz distinct coordinates drawn
+/// uniformly from the I x J x K box.
+Triplets genRandomTensor3(int64_t I, int64_t J, int64_t K, int64_t TotalNnz,
+                          uint64_t Seed);
+
+/// Slice-skewed third-order tensor: a few mode-0 slices carry most of the
+/// nonzeros (Zipf weights over slices), modeling the skewed slice sizes of
+/// real count tensors. Stresses per-slice fiber counts in CSF assembly.
+Triplets genSliceSkewed3(int64_t I, int64_t J, int64_t K, int64_t TotalNnz,
+                         uint64_t Seed);
+
+/// Hyper-sparse third-order tensor: nnz well below every dimension size, so
+/// most fibers (and most slices) are empty — the regime where CSF's
+/// compressed root pays off over a dense one.
+Triplets genHyperSparse3(int64_t I, int64_t J, int64_t K, int64_t TotalNnz,
+                         uint64_t Seed);
+
 } // namespace tensor
 } // namespace convgen
 

@@ -9,6 +9,7 @@
 #include "support/Assert.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -20,22 +21,117 @@ namespace {
 SparseTensor makeBase(const formats::Format &Format, const Triplets &T) {
   SparseTensor Out;
   Out.Format = Format;
-  Out.Dims = {T.NumRows, T.NumCols};
+  Out.Dims = T.dims();
   Out.Levels.resize(Format.Levels.size());
   return Out;
 }
 
+/// COO family of any order: compressed(non-unique) root + singleton chain,
+/// every stored dimension a plain canonical mode (possibly permuted — the
+/// builder and reader honor the remap's mode order).
+bool isCooLike(const formats::Format &F) {
+  if (F.Levels.empty() || F.Levels[0].Kind != formats::LevelKind::Compressed ||
+      F.Levels[0].Unique)
+    return false;
+  for (size_t K = 1; K < F.Levels.size(); ++K)
+    if (F.Levels[K].Kind != formats::LevelKind::Singleton)
+      return false;
+  for (size_t D = 0; D < F.Remap.DstDims.size(); ++D)
+    if (!remap::dimIsPlainVar(F.Remap, D))
+      return false;
+  return true;
+}
+
+/// CSF family of any order: every level compressed and unique, every stored
+/// dimension a plain canonical mode (possibly permuted).
+bool isCsfLike(const formats::Format &F) {
+  for (const formats::LevelSpec &L : F.Levels)
+    if (L.Kind != formats::LevelKind::Compressed || !L.Unique)
+      return false;
+  for (size_t D = 0; D < F.Remap.DstDims.size(); ++D)
+    if (!remap::dimIsPlainVar(F.Remap, D))
+      return false;
+  return !F.Levels.empty() && F.Levels[0].Unique;
+}
+
+/// Canonical mode stored at each level, recovered from the remapping
+/// ("(i,j,k) -> (j,i,k)" gives {1,0,2}).
+std::vector<int> storedModeOrder(const formats::Format &F) {
+  std::vector<int> Out;
+  for (size_t D = 0; D < F.Remap.DstDims.size(); ++D) {
+    std::string Var;
+    bool Plain = remap::dimIsPlainVar(F.Remap, D, &Var);
+    CONVGEN_ASSERT(Plain, "stored mode order requires plain-variable dims");
+    auto It =
+        std::find(F.Remap.SrcVars.begin(), F.Remap.SrcVars.end(), Var);
+    Out.push_back(static_cast<int>(It - F.Remap.SrcVars.begin()));
+  }
+  return Out;
+}
+
 SparseTensor buildCOO(const formats::Format &Format, Triplets T) {
-  T.sortRowMajor();
+  std::vector<int> Modes = storedModeOrder(Format);
+  T.sortByModeOrder(Modes);
   SparseTensor Out = makeBase(Format, T);
+  int Order = Format.order();
   Out.Levels[0].Pos = {0, static_cast<int32_t>(T.nnz())};
-  Out.Levels[0].Crd.reserve(T.Entries.size());
-  Out.Levels[1].Crd.reserve(T.Entries.size());
+  for (int K = 0; K < Order; ++K)
+    Out.Levels[static_cast<size_t>(K)].Crd.reserve(T.Entries.size());
   Out.Vals.reserve(T.Entries.size());
   for (const Entry &E : T.Entries) {
-    Out.Levels[0].Crd.push_back(static_cast<int32_t>(E.Row));
-    Out.Levels[1].Crd.push_back(static_cast<int32_t>(E.Col));
+    for (int K = 0; K < Order; ++K)
+      Out.Levels[static_cast<size_t>(K)].Crd.push_back(
+          static_cast<int32_t>(E.coord(Modes[static_cast<size_t>(K)])));
     Out.Vals.push_back(E.Val);
+  }
+  return Out;
+}
+
+SparseTensor buildCSF(const formats::Format &Format, Triplets T) {
+  std::vector<int> Modes = storedModeOrder(Format);
+  int Order = Format.order();
+  T.sortByModeOrder(Modes);
+  SparseTensor Out = makeBase(Format, T);
+
+  // One node per distinct stored-coordinate prefix; ChildCounts[k][n] is
+  // the fan-out of level-k node n into level k+1 (pos arrays by prefix sum).
+  std::vector<std::vector<int32_t>> ChildCounts(
+      static_cast<size_t>(Order));
+  std::vector<int64_t> Prev(static_cast<size_t>(Order), -1);
+  bool First = true;
+  for (const Entry &E : T.Entries) {
+    int Differs = First ? 0 : Order;
+    for (int K = 0; K < Order && !First; ++K)
+      if (E.coord(Modes[static_cast<size_t>(K)]) !=
+          Prev[static_cast<size_t>(K)]) {
+        Differs = K;
+        break;
+      }
+    First = false;
+    for (int K = Differs; K < Order; ++K) {
+      int64_t C = E.coord(Modes[static_cast<size_t>(K)]);
+      Out.Levels[static_cast<size_t>(K)].Crd.push_back(
+          static_cast<int32_t>(C));
+      ChildCounts[static_cast<size_t>(K)].push_back(0);
+      if (K > 0)
+        ++ChildCounts[static_cast<size_t>(K - 1)].back();
+      Prev[static_cast<size_t>(K)] = C;
+    }
+    Out.Vals.push_back(E.Val);
+  }
+  // pos[k] accumulates the fan-out of level k-1 (the root has one parent).
+  for (int K = 0; K < Order; ++K) {
+    LevelStorage &L = Out.Levels[static_cast<size_t>(K)];
+    if (K == 0) {
+      L.Pos = {0, static_cast<int32_t>(L.Crd.size())};
+      continue;
+    }
+    const std::vector<int32_t> &Counts =
+        ChildCounts[static_cast<size_t>(K - 1)];
+    L.Pos.reserve(Counts.size() + 1);
+    L.Pos.push_back(0);
+    for (int32_t C : Counts)
+      L.Pos.push_back(L.Pos.back() + C);
   }
   return Out;
 }
@@ -171,12 +267,15 @@ SparseTensor tensor::buildFromTriplets(const formats::Format &Format,
   if (T.hasDuplicates())
     fatalError("oracle: input triplets contain duplicate coordinates");
   for (const Entry &E : T.Entries)
-    if (E.Row < 0 || E.Row >= T.NumRows || E.Col < 0 || E.Col >= T.NumCols)
-      fatalError("oracle: triplet coordinates out of bounds");
+    for (int D = 0; D < T.order(); ++D)
+      if (E.coord(D) < 0 || E.coord(D) >= T.dim(D))
+        fatalError("oracle: triplet coordinates out of bounds");
 
   SparseTensor Out = [&] {
-    if (Format.Name == "coo")
+    if (isCooLike(Format))
       return buildCOO(Format, T);
+    if (isCsfLike(Format))
+      return buildCSF(Format, T);
     if (Format.Name == "csr")
       return buildCSRLike(Format, T, /*ByColumn=*/false);
     if (Format.Name == "csc")
@@ -198,17 +297,48 @@ SparseTensor tensor::buildFromTriplets(const formats::Format &Format,
 
 Triplets tensor::toTriplets(const SparseTensor &T) {
   Triplets Out;
-  Out.NumRows = T.Dims.at(0);
-  Out.NumCols = T.Dims.at(1);
+  Out.setDims(T.Dims);
   const formats::Format &F = T.Format;
   auto keep = [&](int64_t Row, int64_t Col, double Val) {
     if (!F.PaddedVals || Val != 0)
       Out.Entries.push_back(Entry{Row, Col, Val});
   };
 
-  if (F.Name == "coo") {
-    for (size_t P = 0; P < T.Vals.size(); ++P)
-      keep(T.Levels[0].Crd[P], T.Levels[1].Crd[P], T.Vals[P]);
+  if (isCooLike(F)) {
+    std::vector<int> Modes = storedModeOrder(F);
+    int Order = F.order();
+    for (size_t P = 0; P < T.Vals.size(); ++P) {
+      std::vector<int64_t> Coords(static_cast<size_t>(Order));
+      for (int K = 0; K < Order; ++K)
+        Coords[static_cast<size_t>(Modes[static_cast<size_t>(K)])] =
+            T.Levels[static_cast<size_t>(K)].Crd[P];
+      Out.Entries.push_back(Entry{Coords, T.Vals[P]});
+    }
+    return Out;
+  }
+  if (isCsfLike(F)) {
+    std::vector<int> Modes = storedModeOrder(F);
+    int Order = F.order();
+    // Depth-first walk over the pos/crd hierarchy; the leaf position
+    // indexes the values array.
+    std::vector<int64_t> Stored(static_cast<size_t>(Order));
+    std::function<void(int, int64_t)> Walk = [&](int K, int64_t Parent) {
+      const LevelStorage &L = T.Levels[static_cast<size_t>(K)];
+      for (int64_t P = L.Pos[static_cast<size_t>(Parent)];
+           P < L.Pos[static_cast<size_t>(Parent) + 1]; ++P) {
+        Stored[static_cast<size_t>(K)] = L.Crd[static_cast<size_t>(P)];
+        if (K + 1 < Order) {
+          Walk(K + 1, P);
+          continue;
+        }
+        std::vector<int64_t> Coords(static_cast<size_t>(Order));
+        for (int D = 0; D < Order; ++D)
+          Coords[static_cast<size_t>(Modes[static_cast<size_t>(D)])] =
+              Stored[static_cast<size_t>(D)];
+        Out.Entries.push_back(Entry{Coords, T.Vals[static_cast<size_t>(P)]});
+      }
+    };
+    Walk(0, 0);
     return Out;
   }
   if (F.Name == "csr" || F.Name == "csc") {

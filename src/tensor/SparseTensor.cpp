@@ -11,6 +11,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <functional>
 
 using namespace convgen;
 using namespace convgen::tensor;
@@ -111,6 +112,122 @@ void SparseTensor::validate() const {
                       static_cast<long long>(Size)));
 }
 
+bool SparseTensor::lexOrderedUpTo(int CheckLevels, std::string *Why) const {
+  CONVGEN_ASSERT(CheckLevels <= static_cast<int>(Format.Levels.size()),
+                 "lex check deeper than the format");
+  // Fast path for the dominant requirement (coo-style sources, one
+  // level): the root's order is a flat scan, with none of the generic
+  // walker's per-tuple overhead on the hot conversion path.
+  if (CheckLevels == 1) {
+    switch (Format.Levels[0].Kind) {
+    case formats::LevelKind::Dense:
+    case formats::LevelKind::Squeezed:
+    case formats::LevelKind::Sliced:
+      return true; // Sorted by construction.
+    case formats::LevelKind::Compressed: {
+      const OwnedArray<int32_t> &Crd = Levels[0].Crd;
+      for (size_t P = 1; P < Crd.size(); ++P)
+        if (Crd[P] < Crd[P - 1]) {
+          if (Why)
+            *Why = strfmt("level 0 crd regresses at position %zu", P);
+          return false;
+        }
+      return true;
+    }
+    default:
+      break; // Fall through to the generic walker.
+    }
+  }
+  std::vector<remap::NumericDimBounds> Bounds =
+      remap::analyzeBoundsNumeric(Format.Remap, Dims);
+
+  // Depth-first walk over the first CheckLevels levels in storage order,
+  // comparing each coordinate tuple against its predecessor.
+  std::vector<int64_t> Prev, Cur(static_cast<size_t>(CheckLevels));
+  bool Ordered = true;
+  std::function<void(int, int64_t)> Walk = [&](int K, int64_t Parent) {
+    if (!Ordered)
+      return;
+    if (K == CheckLevels) {
+      if (!Prev.empty() &&
+          std::lexicographical_compare(Cur.begin(), Cur.end(), Prev.begin(),
+                                       Prev.end())) {
+        if (Why)
+          *Why = strfmt("stored tuple at level %d regresses "
+                        "lexicographically (first %d levels)",
+                        K, CheckLevels);
+        Ordered = false;
+        return;
+      }
+      Prev = Cur;
+      return;
+    }
+    const formats::LevelSpec &Spec = Format.Levels[static_cast<size_t>(K)];
+    const LevelStorage &Data = Levels[static_cast<size_t>(K)];
+    const remap::NumericDimBounds &DimB =
+        Bounds[static_cast<size_t>(Spec.Dim)];
+    switch (Spec.Kind) {
+    case formats::LevelKind::Dense: {
+      for (int64_t C = 0; C < DimB.extent() && Ordered; ++C) {
+        Cur[static_cast<size_t>(K)] = DimB.Lo + C;
+        Walk(K + 1, Parent * DimB.extent() + C);
+      }
+      return;
+    }
+    case formats::LevelKind::Compressed: {
+      for (int64_t P = Data.Pos[static_cast<size_t>(Parent)];
+           P < Data.Pos[static_cast<size_t>(Parent) + 1] && Ordered; ++P) {
+        Cur[static_cast<size_t>(K)] = Data.Crd[static_cast<size_t>(P)];
+        Walk(K + 1, P);
+      }
+      return;
+    }
+    case formats::LevelKind::Singleton: {
+      Cur[static_cast<size_t>(K)] = Data.Crd[static_cast<size_t>(Parent)];
+      Walk(K + 1, Parent);
+      return;
+    }
+    case formats::LevelKind::Squeezed: {
+      for (int64_t S = 0; S < Data.SizeParam && Ordered; ++S) {
+        Cur[static_cast<size_t>(K)] = Data.Perm[static_cast<size_t>(S)];
+        Walk(K + 1, Parent * Data.SizeParam + S);
+      }
+      return;
+    }
+    case formats::LevelKind::Sliced: {
+      for (int64_t S = 0; S < Data.SizeParam && Ordered; ++S) {
+        Cur[static_cast<size_t>(K)] = S;
+        Walk(K + 1, Parent * Data.SizeParam + S);
+      }
+      return;
+    }
+    case formats::LevelKind::Skyline: {
+      // j = p - pos[parent+1] + i + 1: ascending within each parent.
+      CONVGEN_ASSERT(K >= 1, "skyline levels cannot be the root");
+      int64_t ParentCoord = Cur[static_cast<size_t>(K - 1)];
+      for (int64_t P = Data.Pos[static_cast<size_t>(Parent)];
+           P < Data.Pos[static_cast<size_t>(Parent) + 1] && Ordered; ++P) {
+        Cur[static_cast<size_t>(K)] =
+            P - Data.Pos[static_cast<size_t>(Parent) + 1] + ParentCoord + 1;
+        Walk(K + 1, P);
+      }
+      return;
+    }
+    case formats::LevelKind::Offset: {
+      const auto &Addends = Spec.AddendDims;
+      Cur[static_cast<size_t>(K)] =
+          Cur[static_cast<size_t>(Addends[0])] +
+          Cur[static_cast<size_t>(Addends[1])];
+      Walk(K + 1, Parent);
+      return;
+    }
+    }
+    convgen_unreachable("unknown level kind");
+  };
+  Walk(0, 0);
+  return Ordered;
+}
+
 namespace {
 
 std::string dumpArray(const char *Name, const std::vector<int32_t> &Data) {
@@ -127,9 +244,10 @@ std::string dumpArray(const char *Name, const std::vector<int32_t> &Data) {
 
 std::string SparseTensor::dump() const {
   std::string Out = Format.summary() + "\n";
-  Out += strfmt("  dims = %lld x %lld, stored = %lld\n",
-                static_cast<long long>(Dims.at(0)),
-                static_cast<long long>(Dims.size() > 1 ? Dims.at(1) : 1),
+  std::string DimText;
+  for (size_t D = 0; D < Dims.size(); ++D)
+    DimText += (D ? " x " : "") + std::to_string(Dims[D]);
+  Out += strfmt("  dims = %s, stored = %lld\n", DimText.c_str(),
                 static_cast<long long>(storedSize()));
   for (size_t K = 0; K < Levels.size(); ++K) {
     const LevelStorage &L = Levels[K];

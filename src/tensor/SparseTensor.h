@@ -60,6 +60,17 @@ struct SparseTensor {
   /// conversion's output through this.
   void validate() const;
 
+  /// True if the stored coordinate tuples of the first \p Levels levels are
+  /// lexicographically non-decreasing in storage order. Dense levels are
+  /// sorted by construction; compressed and singleton crd arrays are
+  /// data-dependent — csc -> coo legally yields column-major coo, which is
+  /// a valid tensor but NOT lex-ordered. Conversion plans whose dedup
+  /// assembly trusts the source's iteration order (Conversion's
+  /// LexCheckLevels) run this check per input and reject unsorted sources
+  /// instead of assembling garbage. On failure \p Why (optional) names the
+  /// offending position.
+  bool lexOrderedUpTo(int Levels, std::string *Why = nullptr) const;
+
   /// Human-readable dump of the storage arrays (small tensors only);
   /// mirrors the layout drawings of paper Figure 2.
   std::string dump() const;

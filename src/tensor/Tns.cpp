@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Tns.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace convgen;
+using namespace convgen::tensor;
+
+namespace {
+
+/// Splits on any whitespace run: FROSTT files mix tabs and spaces.
+std::vector<std::string> splitWhitespace(const std::string &Line) {
+  std::vector<std::string> Out;
+  for (size_t At = 0; At < Line.size();) {
+    while (At < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[At])))
+      ++At;
+    size_t End = At;
+    while (End < Line.size() &&
+           !std::isspace(static_cast<unsigned char>(Line[End])))
+      ++End;
+    if (End > At)
+      Out.push_back(Line.substr(At, End - At));
+    At = End;
+  }
+  return Out;
+}
+
+} // namespace
+
+bool tensor::readTns(const std::string &Text, Triplets *Out,
+                     std::string *Error) {
+  std::istringstream In(Text);
+  std::string Line;
+
+  auto failRead = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  std::vector<int64_t> Dims;    // From "# dims:" if present.
+  std::vector<int64_t> MaxSeen; // Fallback: per-mode coordinate maxima.
+  std::vector<Entry> Entries;
+  int Order = 0;
+
+  while (std::getline(In, Line)) {
+    Line = trim(Line);
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#' || Line[0] == '%') {
+      std::string Comment = trim(Line.substr(1));
+      if (Comment.rfind("dims:", 0) == 0) {
+        for (const std::string &Tok :
+             splitWhitespace(Comment.substr(5))) {
+          char *End = nullptr;
+          int64_t D = std::strtoll(Tok.c_str(), &End, 10);
+          if (*End != '\0' || D < 1)
+            return failRead("malformed dims header: " + Line);
+          Dims.push_back(D);
+        }
+      }
+      continue;
+    }
+    std::vector<std::string> Toks = splitWhitespace(Line);
+    if (Toks.size() < 3)
+      return failRead("malformed entry (need >= 2 coordinates + value): " +
+                      Line);
+    int LineOrder = static_cast<int>(Toks.size()) - 1;
+    if (Order == 0) {
+      if (LineOrder > kMaxOrder)
+        return failRead(strfmt("order %d exceeds the supported maximum %d",
+                               LineOrder, kMaxOrder));
+      Order = LineOrder;
+      MaxSeen.assign(static_cast<size_t>(Order), 0);
+    } else if (LineOrder != Order) {
+      return failRead("inconsistent coordinate arity: " + Line);
+    }
+    std::vector<int64_t> Coords(static_cast<size_t>(Order));
+    for (int D = 0; D < Order; ++D) {
+      char *End = nullptr;
+      int64_t C = std::strtoll(Toks[static_cast<size_t>(D)].c_str(), &End, 10);
+      if (*End != '\0' || C < 1)
+        return failRead("malformed coordinate: " + Line);
+      Coords[static_cast<size_t>(D)] = C - 1;
+      MaxSeen[static_cast<size_t>(D)] =
+          std::max(MaxSeen[static_cast<size_t>(D)], C);
+    }
+    char *End = nullptr;
+    double V = std::strtod(Toks.back().c_str(), &End);
+    if (*End != '\0')
+      return failRead("malformed value: " + Line);
+    Entries.push_back(Entry{Coords, V});
+  }
+
+  if (Order == 0) {
+    // No entries: legal when a dims header fully defines the (empty)
+    // tensor — the exact text writeTns produces for zero nonzeros.
+    if (Dims.size() >= 2 && Dims.size() <= static_cast<size_t>(kMaxOrder)) {
+      Triplets T;
+      T.setDims(Dims);
+      *Out = std::move(T);
+      return true;
+    }
+    return failRead("no entries and no dims header");
+  }
+  if (!Dims.empty()) {
+    if (static_cast<int>(Dims.size()) != Order)
+      return failRead("dims header arity does not match the entries");
+    for (int D = 0; D < Order; ++D)
+      if (MaxSeen[static_cast<size_t>(D)] > Dims[static_cast<size_t>(D)])
+        return failRead(strfmt("coordinate exceeds declared dimension %d", D));
+  }
+
+  Triplets T;
+  T.setDims(Dims.empty() ? MaxSeen : Dims);
+  T.Entries = std::move(Entries);
+  T.sortRowMajor();
+  *Out = std::move(T);
+  return true;
+}
+
+bool tensor::readTnsFile(const std::string &Path, Triplets *Out,
+                         std::string *Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t Got = 0;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0)
+    Text.append(Buf, Got);
+  std::fclose(File);
+  return readTns(Text, Out, Error);
+}
+
+std::string tensor::writeTns(const Triplets &T) {
+  std::string Out = "# dims:";
+  for (int64_t D : T.dims())
+    Out += strfmt(" %lld", static_cast<long long>(D));
+  Out += "\n";
+  for (const Entry &E : T.Entries) {
+    for (int D = 0; D < T.order(); ++D)
+      Out += strfmt("%lld ", static_cast<long long>(E.coord(D) + 1));
+    Out += strfmt("%.17g\n", E.Val);
+  }
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FROSTT-style `.tns` coordinate I/O for tensors of any order: one line
+/// per nonzero, N 1-based coordinates followed by the value, `#` comments.
+/// FROSTT files carry no dimension header, so dimensions default to the
+/// per-mode coordinate maxima; an optional leading `# dims: d0 d1 ...`
+/// comment (which writeTns emits) pins them exactly for round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TENSOR_TNS_H
+#define CONVGEN_TENSOR_TNS_H
+
+#include "tensor/Triplets.h"
+
+#include <string>
+
+namespace convgen {
+namespace tensor {
+
+/// Parses `.tns` text. Returns false (with a diagnostic in \p Error) on
+/// malformed input, inconsistent arity across lines, or orders outside
+/// [2, kMaxOrder].
+bool readTns(const std::string &Text, Triplets *Out, std::string *Error);
+
+/// Reads a .tns file from disk; false with diagnostic on failure.
+bool readTnsFile(const std::string &Path, Triplets *Out, std::string *Error);
+
+/// Renders as `.tns` text (1-based indices, `# dims:` header).
+std::string writeTns(const Triplets &T);
+
+} // namespace tensor
+} // namespace convgen
+
+#endif // CONVGEN_TENSOR_TNS_H

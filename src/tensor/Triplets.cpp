@@ -6,33 +6,99 @@
 
 #include "tensor/Triplets.h"
 
+#include "support/Assert.h"
+
 #include <algorithm>
 #include <set>
 
 using namespace convgen;
 using namespace convgen::tensor;
 
-void Triplets::sortRowMajor() {
-  std::sort(Entries.begin(), Entries.end(),
-            [](const Entry &A, const Entry &B) {
-              return A.Row != B.Row ? A.Row < B.Row : A.Col < B.Col;
-            });
+Entry::Entry(const std::vector<int64_t> &Coords, double V) : Val(V) {
+  CONVGEN_ASSERT(Coords.size() >= 2 &&
+                     Coords.size() <= static_cast<size_t>(kMaxOrder),
+                 "entry coordinate vector must have 2..kMaxOrder modes");
+  Row = Coords[0];
+  Col = Coords[1];
+  for (size_t D = 2; D < Coords.size(); ++D)
+    Higher[D - 2] = static_cast<int32_t>(Coords[D]);
 }
 
+void Entry::setCoord(int Mode, int64_t C) {
+  if (Mode == 0)
+    Row = C;
+  else if (Mode == 1)
+    Col = C;
+  else
+    Higher[static_cast<size_t>(Mode - 2)] = static_cast<int32_t>(C);
+}
+
+std::vector<int64_t> Triplets::dims() const {
+  std::vector<int64_t> Out = {NumRows, NumCols};
+  Out.insert(Out.end(), HigherDims.begin(), HigherDims.end());
+  return Out;
+}
+
+void Triplets::setDims(const std::vector<int64_t> &Dims) {
+  CONVGEN_ASSERT(Dims.size() >= 2 &&
+                     Dims.size() <= static_cast<size_t>(kMaxOrder),
+                 "tensors must have 2..kMaxOrder modes");
+  NumRows = Dims[0];
+  NumCols = Dims[1];
+  HigherDims.assign(Dims.begin() + 2, Dims.end());
+}
+
+namespace {
+
+/// Lexicographic comparison over all modes in the given mode order.
+/// Comparing all kMaxOrder modes (not just the container's order) is
+/// correct because unused Higher slots are zero-filled.
+bool lexLess(const Entry &A, const Entry &B, const std::vector<int> &Order) {
+  for (int Mode : Order) {
+    int64_t CA = A.coord(Mode), CB = B.coord(Mode);
+    if (CA != CB)
+      return CA < CB;
+  }
+  return false;
+}
+
+std::vector<int> identityOrder() {
+  std::vector<int> Out(static_cast<size_t>(kMaxOrder));
+  for (int D = 0; D < kMaxOrder; ++D)
+    Out[static_cast<size_t>(D)] = D;
+  return Out;
+}
+
+} // namespace
+
+void Triplets::sortRowMajor() { sortByModeOrder(identityOrder()); }
+
 void Triplets::sortColMajor() {
+  std::vector<int> Order = identityOrder();
+  std::swap(Order[0], Order[1]);
+  sortByModeOrder(Order);
+}
+
+void Triplets::sortByModeOrder(const std::vector<int> &Order) {
+  // Complete a partial mode order (e.g. {1,0,2} for an order-3 tensor) with
+  // the remaining modes in ascending order so ties break deterministically.
+  std::vector<int> Full = Order;
+  for (int D = 0; D < kMaxOrder; ++D)
+    if (std::find(Full.begin(), Full.end(), D) == Full.end())
+      Full.push_back(D);
   std::sort(Entries.begin(), Entries.end(),
-            [](const Entry &A, const Entry &B) {
-              return A.Col != B.Col ? A.Col < B.Col : A.Row < B.Row;
-            });
+            [&](const Entry &A, const Entry &B) { return lexLess(A, B, Full); });
 }
 
 bool Triplets::hasDuplicates() const {
   Triplets Copy = *this;
   Copy.sortRowMajor();
-  for (size_t I = 1; I < Copy.Entries.size(); ++I)
-    if (Copy.Entries[I - 1].Row == Copy.Entries[I].Row &&
-        Copy.Entries[I - 1].Col == Copy.Entries[I].Col)
+  for (size_t I = 1; I < Copy.Entries.size(); ++I) {
+    const Entry &A = Copy.Entries[I - 1];
+    const Entry &B = Copy.Entries[I];
+    if (A.Row == B.Row && A.Col == B.Col && A.Higher == B.Higher)
       return true;
+  }
   return false;
 }
 
@@ -40,6 +106,7 @@ Triplets Triplets::canonicalized() const {
   Triplets Out;
   Out.NumRows = NumRows;
   Out.NumCols = NumCols;
+  Out.HigherDims = HigherDims;
   Out.Entries.reserve(Entries.size());
   for (const Entry &E : Entries)
     if (E.Val != 0)
@@ -64,7 +131,7 @@ int64_t Triplets::countDiagonals() const {
 }
 
 bool tensor::equal(const Triplets &A, const Triplets &B) {
-  if (A.NumRows != B.NumRows || A.NumCols != B.NumCols)
+  if (A.dims() != B.dims())
     return false;
   Triplets CA = A.canonicalized();
   Triplets CB = B.canonicalized();

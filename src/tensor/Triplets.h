@@ -5,60 +5,110 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Canonical triplet (coordinate-list) representation of a sparse matrix.
+/// Canonical coordinate-list representation of a sparse tensor of any order.
 /// This is the neutral form used by the oracle converters, the synthetic
-/// matrix generators, Matrix Market I/O, and the tensor-equality checks in
+/// generators, Matrix Market / FROSTT I/O, and the tensor-equality checks in
 /// the test suite.
+///
+/// The coordinate model is an N-vector per entry: modes 0 and 1 keep the
+/// dedicated Row/Col fields (so the pervasive matrix code stays untouched
+/// and allocation-free), modes 2..N-1 live in a fixed inline array, and
+/// coord()/setCoord() give uniform access to all of them. The order is a
+/// property of the Triplets container (via HigherDims), not of individual
+/// entries; matrix code that never touches HigherDims keeps order 2.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CONVGEN_TENSOR_TRIPLETS_H
 #define CONVGEN_TENSOR_TRIPLETS_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace convgen {
 namespace tensor {
 
+/// Maximum canonical tensor order the coordinate model stores. The JIT ABI
+/// independently caps *stored* levels at ir::kMaxLevels; canonical orders
+/// beyond this are of no practical interest and a fixed bound keeps Entry
+/// flat (no per-entry heap allocation for the multi-million-entry corpus).
+constexpr int kMaxOrder = 6;
+
 struct Entry {
-  int64_t Row = 0;
-  int64_t Col = 0;
+  int64_t Row = 0; ///< Mode-0 coordinate.
+  int64_t Col = 0; ///< Mode-1 coordinate.
+  /// Modes 2..N-1 (int32, matching the stored crd arrays); zero-filled for
+  /// matrices so comparisons need not know the container's order.
+  std::array<int32_t, kMaxOrder - 2> Higher = {};
   double Val = 0;
 
+  Entry() = default;
+  Entry(int64_t R, int64_t C, double V) : Row(R), Col(C), Val(V) {}
+  /// Order-N construction from a full coordinate vector.
+  Entry(const std::vector<int64_t> &Coords, double V);
+
+  int64_t coord(int Mode) const {
+    return Mode == 0 ? Row
+           : Mode == 1
+               ? Col
+               : static_cast<int64_t>(Higher[static_cast<size_t>(Mode - 2)]);
+  }
+  void setCoord(int Mode, int64_t C);
+
   friend bool operator==(const Entry &A, const Entry &B) {
-    return A.Row == B.Row && A.Col == B.Col && A.Val == B.Val;
+    return A.Row == B.Row && A.Col == B.Col && A.Higher == B.Higher &&
+           A.Val == B.Val;
   }
 };
 
 struct Triplets {
   int64_t NumRows = 0;
   int64_t NumCols = 0;
+  /// Dimension sizes of modes 2..N-1; empty for matrices.
+  std::vector<int64_t> HigherDims;
   std::vector<Entry> Entries;
+
+  int order() const { return 2 + static_cast<int>(HigherDims.size()); }
+  int64_t dim(int Mode) const {
+    return Mode == 0   ? NumRows
+           : Mode == 1 ? NumCols
+                       : HigherDims.at(static_cast<size_t>(Mode - 2));
+  }
+  /// All dimension sizes, mode 0 first.
+  std::vector<int64_t> dims() const;
+  /// Sets NumRows/NumCols/HigherDims from a full dimension vector.
+  void setDims(const std::vector<int64_t> &Dims);
 
   int64_t nnz() const { return static_cast<int64_t>(Entries.size()); }
 
+  /// Lexicographic sort over all modes, mode 0 outermost (the row-major
+  /// order for matrices).
   void sortRowMajor();
   void sortColMajor();
+  /// Lexicographic sort with mode \p Order[0] outermost; Order must be a
+  /// permutation of 0..order()-1.
+  void sortByModeOrder(const std::vector<int> &Order);
 
-  /// True if two entries share coordinates (requires row-major sorting
-  /// internally; the input need not be sorted).
+  /// True if two entries share all coordinates (the input need not be
+  /// sorted).
   bool hasDuplicates() const;
 
-  /// Row-major sorted copy with explicit zeros dropped. Conversions through
-  /// padded formats (DIA/ELL/...) cannot represent stored zeros, so
+  /// Lexicographically sorted copy with explicit zeros dropped. Conversions
+  /// through padded formats (DIA/ELL/...) cannot represent stored zeros, so
   /// equality is defined over this canonical form.
   Triplets canonicalized() const;
 
-  /// Maximum number of entries in any row.
+  /// Maximum number of entries in any row (mode-0 slice).
   int64_t maxRowCount() const;
 
-  /// Number of distinct nonzero diagonals (j - i offsets).
+  /// Number of distinct nonzero diagonals (j - i offsets; matrices only).
   int64_t countDiagonals() const;
 };
 
-/// Exact equality of canonical forms (coordinates and bit-exact values;
-/// conversions move values without arithmetic).
+/// Exact equality of canonical forms (all dimensions, coordinates, and
+/// bit-exact values; conversions move values without arithmetic).
 bool equal(const Triplets &A, const Triplets &B);
 
 } // namespace tensor

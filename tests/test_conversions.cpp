@@ -46,19 +46,18 @@ tensor::Triplets matrixByName(const std::string &Name) {
 //===----------------------------------------------------------------------===//
 
 TEST(ConversionSupport, ExpectedPairs) {
-  // BCSR targets need deduplicating assembly, which requires row-major
-  // iteration order in the source; csc/dia/ell/bcsr sources do not provide
-  // it. All other pairs are supported.
+  // Every standard pair is supported. BCSR targets need deduplicating
+  // assembly; sources that cannot provide the row-major iteration order
+  // the sequenced workspace wants (csc/dia/ell/bcsr) fall back to ranked
+  // dedup insertion, which assumes nothing about the source's order.
   for (const std::string &Src : formatNames())
     for (const std::string &Dst : formatNames()) {
       std::string Why;
-      bool Supported = codegen::conversionSupported(
-          formats::standardFormat(Src), formats::standardFormat(Dst), &Why);
-      bool ExpectUnsupported =
-          Dst == "bcsr" && (Src == "csc" || Src == "dia" || Src == "ell" ||
-                            Src == "bcsr");
-      EXPECT_EQ(Supported, !ExpectUnsupported)
-          << Src << " -> " << Dst << ": " << Why;
+      bool Supported =
+          codegen::conversionSupported(formats::standardFormatOrDie(Src),
+                                       formats::standardFormatOrDie(Dst),
+                                       &Why);
+      EXPECT_TRUE(Supported) << Src << " -> " << Dst << ": " << Why;
     }
 }
 
@@ -74,8 +73,8 @@ class ConversionCorrect : public ::testing::TestWithParam<ConvCase> {};
 
 TEST_P(ConversionCorrect, MatchesOracle) {
   const ConvCase &C = GetParam();
-  formats::Format Src = formats::standardFormat(C.Src);
-  formats::Format Dst = formats::standardFormat(C.Dst);
+  formats::Format Src = formats::standardFormatOrDie(C.Src);
+  formats::Format Dst = formats::standardFormatOrDie(C.Dst);
   if (!codegen::conversionSupported(Src, Dst))
     GTEST_SKIP() << "documented unsupported pair";
   tensor::Triplets T = matrixByName(C.Matrix);
@@ -113,6 +112,141 @@ INSTANTIATE_TEST_SUITE_P(AllPairs, ConversionCorrect,
                          });
 
 //===----------------------------------------------------------------------===//
+// All-pairs correctness, order 3: coo3/csf/csf-permuted on every test
+// tensor, against the oracle builders. CSF targets exercise edge insertion
+// below compressed ancestors (ranked dedup); the permuted pairs exercise
+// nontrivial 3-D coordinate remappings.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> format3Names() {
+  return {"coo3", "csf", "csf_102", "csf_021"};
+}
+
+tensor::Triplets tensor3ByName(const std::string &Name) {
+  for (auto &[N, T] : tensor::testTensors3())
+    if (N == Name)
+      return T;
+  ADD_FAILURE() << "unknown tensor " << Name;
+  return {};
+}
+
+} // namespace
+
+TEST(ConversionSupport, AllOrder3PairsSupported) {
+  for (const std::string &Src : format3Names())
+    for (const std::string &Dst : format3Names()) {
+      std::string Why;
+      EXPECT_TRUE(
+          codegen::conversionSupported(formats::standardFormatOrDie(Src),
+                                       formats::standardFormatOrDie(Dst),
+                                       &Why))
+          << Src << " -> " << Dst << ": " << Why;
+    }
+}
+
+class Conversion3Correct : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conversion3Correct, MatchesOracle) {
+  const ConvCase &C = GetParam();
+  formats::Format Src = formats::standardFormatOrDie(C.Src);
+  formats::Format Dst = formats::standardFormatOrDie(C.Dst);
+  tensor::Triplets T = tensor3ByName(C.Matrix);
+  tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+  convert::Converter Conv(Src, Dst);
+  tensor::SparseTensor Out = Conv.run(In);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T))
+      << C.Src << " -> " << C.Dst << " on " << C.Matrix << "\n"
+      << Conv.conversion().pretty();
+}
+
+namespace {
+
+std::vector<ConvCase> allCases3() {
+  std::vector<ConvCase> Cases;
+  for (const std::string &Src : format3Names())
+    for (const std::string &Dst : format3Names())
+      for (auto &[Name, T] : tensor::testTensors3())
+        Cases.push_back({Src, Dst, Name});
+  return Cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPairs3, Conversion3Correct,
+                         ::testing::ValuesIn(allCases3()),
+                         [](const auto &Info) {
+                           return Info.param.Src + "_to_" + Info.param.Dst +
+                                  "_" + Info.param.Matrix;
+                         });
+
+TEST(Conversion3, CsfRoundTripSortsUnorderedCoo) {
+  // coo3 -> csf -> coo3 is the canonical sort pipeline: CSF's ranked
+  // assembly accepts coordinates in any order and its stored order is
+  // lexicographic, so reading it back yields sorted coo3.
+  tensor::Triplets T = tensor3ByName("random3");
+  tensor::SparseTensor Coo =
+      tensor::buildFromTriplets(formats::makeCOO(3), T);
+  convert::Converter ToCsf(formats::makeCOO(3), formats::makeCSF(3));
+  convert::Converter Back(formats::makeCSF(3), formats::makeCOO(3));
+  tensor::SparseTensor Sorted = Back.run(ToCsf.run(Coo));
+  Sorted.validate();
+  // Bit-identical to the oracle's sorted coo3 build.
+  tensor::SparseTensor Want =
+      tensor::buildFromTriplets(formats::makeCOO(3), T);
+  EXPECT_EQ(Sorted.Levels[0].Crd, Want.Levels[0].Crd);
+  EXPECT_EQ(Sorted.Levels[1].Crd, Want.Levels[1].Crd);
+  EXPECT_EQ(Sorted.Levels[2].Crd, Want.Levels[2].Crd);
+  EXPECT_EQ(Sorted.Vals, Want.Vals);
+}
+
+//===----------------------------------------------------------------------===//
+// Source-order validation at the conversion boundary: plans whose dedup
+// assembly trusts the source's iteration order reject unsorted inputs.
+//===----------------------------------------------------------------------===//
+
+TEST(SourceOrderDeath, ChainedCscCooBcsrErrorsOutOnColumnMajorCoo) {
+  // csc -> coo legally yields *column-major* coo (a valid tensor whose
+  // row crd array is unsorted). Feeding it into coo -> bcsr used to
+  // assemble garbage silently, because bcsr's sequenced dedup assembly
+  // assumes the grouping coordinates arrive as an ordered prefix (the
+  // ROADMAP's open sortedness item). The boundary check now rejects it.
+  tensor::Triplets T = matrixByName("banded_random");
+  tensor::SparseTensor Csc =
+      tensor::buildFromTriplets(formats::makeCSC(), T);
+  convert::Converter ToCoo(formats::makeCSC(), formats::makeCOO());
+  tensor::SparseTensor ColMajorCoo = ToCoo.run(Csc);
+  ColMajorCoo.validate(); // a perfectly valid (unsorted) coo tensor
+  EXPECT_FALSE(ColMajorCoo.lexOrderedUpTo(1));
+
+  convert::Converter ToBcsr(formats::makeCOO(), formats::makeBCSR(4, 4));
+  EXPECT_DEATH(ToBcsr.run(ColMajorCoo), "lexicographically sorted");
+
+  // The same matrix through a sorted coo converts fine and matches the
+  // oracle (the check rejects unsorted *inputs*, not the pair).
+  tensor::SparseTensor SortedCoo =
+      tensor::buildFromTriplets(formats::makeCOO(), T);
+  tensor::SparseTensor Out = ToBcsr.run(SortedCoo);
+  Out.validate();
+  EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
+}
+
+TEST(SourceOrder, CsfTargetsAcceptUnsortedSourcesViaRankedAssembly) {
+  // Ranked dedup assembly assumes nothing about source order, so CSF
+  // targets carry no lex requirement at all: converting column-major coo3
+  // (built by permuting a sorted tensor through csf_102) works and agrees
+  // with the oracle.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCOO(3), formats::makeCSF(3));
+  EXPECT_EQ(Conv.LexCheckLevels, 0);
+  codegen::Conversion ToBcsr = codegen::generateConversion(
+      formats::makeCOO(), formats::makeBCSR(4, 4));
+  EXPECT_EQ(ToBcsr.LexCheckLevels, 1);
+}
+
+//===----------------------------------------------------------------------===//
 // Option variants exercise the ablation paths on the seven paper pairs.
 //===----------------------------------------------------------------------===//
 
@@ -130,8 +264,8 @@ TEST_P(ConversionOptions, Table3PairsStillCorrect) {
       {"csr", "ell"}, {"csc", "dia"}, {"csc", "ell"}};
   tensor::Triplets T = matrixByName("banded_random");
   for (auto [S, D] : Pairs) {
-    formats::Format Src = formats::standardFormat(S);
-    formats::Format Dst = formats::standardFormat(D);
+    formats::Format Src = formats::standardFormatOrDie(S);
+    formats::Format Dst = formats::standardFormatOrDie(D);
     tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
     convert::Converter Conv(Src, Dst, Opts);
     tensor::SparseTensor Out = Conv.run(In);

@@ -41,12 +41,44 @@ TEST(Formats, LevelSizeParams) {
 
 TEST(Formats, RegistryLookup) {
   for (const char *Name : {"coo", "csr", "csc", "dia", "ell", "bcsr", "sky"})
-    EXPECT_EQ(standardFormat(Name).Name == "bcsr"
-                  ? std::string("bcsr")
-                  : standardFormat(Name).Name,
-              standardFormat(Name).Name); // lookup does not abort
-  EXPECT_EQ(standardFormat("bcsr").Name, "bcsr4x4");
+    EXPECT_TRUE(standardFormat(Name).has_value()) << Name;
+  EXPECT_EQ(standardFormat("bcsr")->Name, "bcsr4x4");
   EXPECT_EQ(allStandardFormats().size(), 7u);
+}
+
+TEST(Formats, RegistryLookupHigherOrder) {
+  ASSERT_TRUE(standardFormat("coo3").has_value());
+  EXPECT_EQ(standardFormat("coo3")->Name, "coo3");
+  EXPECT_EQ(standardFormat("coo3")->SrcOrder, 3);
+  std::optional<Format> Csf = standardFormat("csf");
+  ASSERT_TRUE(Csf.has_value());
+  EXPECT_EQ(Csf->order(), 3);
+  for (const LevelSpec &L : Csf->Levels) {
+    EXPECT_EQ(L.Kind, LevelKind::Compressed);
+    EXPECT_TRUE(L.Unique);
+  }
+  ASSERT_TRUE(standardFormat("csf_102").has_value());
+  EXPECT_EQ(standardFormat("csf_102")->Name, "csf_102");
+  EXPECT_EQ(remap::printRemap(standardFormat("csf_102")->Remap),
+            "(i,j,k) -> (j,i,k)");
+  EXPECT_EQ(remap::printRemap(standardFormat("csf_102")->Inverse),
+            "(d0,d1,d2) -> (d1,d0,d2)");
+  EXPECT_EQ(standardOrder3Formats().size(), 4u);
+}
+
+TEST(Formats, RegistryRejectsUnknownNamesWithoutAborting) {
+  EXPECT_FALSE(standardFormat("").has_value());
+  EXPECT_FALSE(standardFormat("cootie").has_value());
+  EXPECT_FALSE(standardFormat("coo9").has_value());
+  EXPECT_FALSE(standardFormat("csf_11").has_value());  // not a permutation
+  EXPECT_FALSE(standardFormat("csf_19").has_value());  // mode out of range
+  EXPECT_FALSE(standardFormat("csrx").has_value());
+}
+
+TEST(Formats, CsfPermutedIdentityCollapses) {
+  EXPECT_EQ(makeCSFPermuted({0, 1, 2}).Name, "csf");
+  EXPECT_EQ(makeCSF(4).Name, "csf4");
+  EXPECT_EQ(makeCOO(3).Name, "coo3");
 }
 
 TEST(Formats, DiaOffsetLevelNamesAddends) {

@@ -28,7 +28,7 @@ namespace {
 
 tensor::SparseTensor convertTo(const tensor::SparseTensor &In,
                                const std::string &Dst) {
-  convert::Converter Conv(In.Format, formats::standardFormat(Dst));
+  convert::Converter Conv(In.Format, formats::standardFormatOrDie(Dst));
   tensor::SparseTensor Out = Conv.run(In);
   Out.validate();
   return Out;

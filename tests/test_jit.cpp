@@ -27,8 +27,8 @@ class JitMatchesInterpreter : public ::testing::TestWithParam<JitCase> {};
 TEST_P(JitMatchesInterpreter, OnBandedRandom) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
-  formats::Format Src = formats::standardFormat(GetParam().Src);
-  formats::Format Dst = formats::standardFormat(GetParam().Dst);
+  formats::Format Src = formats::standardFormatOrDie(GetParam().Src);
+  formats::Format Dst = formats::standardFormatOrDie(GetParam().Dst);
   tensor::Triplets T = tensor::genBandedRandom(60, 60, 5.0, 14, 11, 99);
   tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
 
@@ -63,6 +63,35 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto &Info) {
       return std::string(Info.param.Src) + "_to_" + Info.param.Dst;
     });
+
+TEST(Jit3, Order3PairsMatchInterpreterBitExactly) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  const char *Names[] = {"coo3", "csf", "csf_102", "csf_021"};
+  for (const char *S : Names)
+    for (const char *D : Names) {
+      formats::Format Src = formats::standardFormatOrDie(S);
+      formats::Format Dst = formats::standardFormatOrDie(D);
+      convert::Converter Interp(Src, Dst);
+      jit::JitConversion Native(Interp.conversion());
+      for (auto &[Name, T] : tensor::testTensors3()) {
+        tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+        tensor::SparseTensor FromInterp = Interp.run(In);
+        tensor::SparseTensor FromJit = Native.run(In);
+        FromJit.validate();
+        std::string Label = std::string(S) + " -> " + D + " on " + Name;
+        ASSERT_EQ(FromInterp.Levels.size(), FromJit.Levels.size()) << Label;
+        for (size_t K = 0; K < FromInterp.Levels.size(); ++K) {
+          EXPECT_EQ(FromInterp.Levels[K].Pos, FromJit.Levels[K].Pos)
+              << Label << " level " << K;
+          EXPECT_EQ(FromInterp.Levels[K].Crd, FromJit.Levels[K].Crd)
+              << Label << " level " << K;
+        }
+        EXPECT_EQ(FromInterp.Vals, FromJit.Vals) << Label;
+        EXPECT_TRUE(tensor::equal(tensor::toTriplets(FromJit), T)) << Label;
+      }
+    }
+}
 
 TEST(Jit, EmptyMatrix) {
   if (!jit::jitAvailable())

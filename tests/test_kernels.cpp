@@ -41,7 +41,7 @@ TEST_P(SpmvAllFormats, MatchesReference) {
     if (!Lower)
       GTEST_SKIP() << "skyline requires lower-triangular input";
   }
-  formats::Format F = formats::standardFormat(FormatName);
+  formats::Format F = formats::standardFormatOrDie(FormatName);
   tensor::SparseTensor A = tensor::buildFromTriplets(F, T);
   std::vector<double> X = unitVector(T.NumCols);
   std::vector<double> Y = kernels::spmv(A, X);

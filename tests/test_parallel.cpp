@@ -208,6 +208,42 @@ TEST(ParallelAnnotation, InterpreterIgnoresTheFlag) {
     EXPECT_EQ(R.Buffers["B1_crd"].Ints[static_cast<size_t>(I)], I);
 }
 
+TEST(ParallelAnnotation, Coo3ToCsfParallelizesAtDepthThree) {
+  // The depth-3 safety argument the higher-order pipeline rests on: CSF's
+  // grouping levels use *ranked* dedup insertion (positions are a pure
+  // function of the coordinate tuple, proven order-independent), so the
+  // only stateful level is the leaf cursor — which takes the Blocked
+  // strategy exactly as in the 2-D coo -> csr case. Count pass, offsets
+  // conversion, blocked insertion, and one rank-build loop all carry the
+  // annotation; nothing falls back to serial.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCOO(3), formats::makeCSF(3));
+  std::string Code = Conv.cSource();
+  EXPECT_NE(Code.find("B1_rnk"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("B2_rnk"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("B3_cur"), std::string::npos) << Code;
+  size_t At = Code.find("blocked coordinate insertion");
+  ASSERT_NE(At, std::string::npos) << Code;
+  EXPECT_NE(Code.find("#pragma omp parallel for", At), std::string::npos)
+      << Code;
+  // Two query temp-reduction sweeps + rank build (level 2) + count pass +
+  // offsets conversion + blocked insertion.
+  EXPECT_EQ(countPragmas(Code), 6u) << Code;
+}
+
+TEST(ParallelAnnotation, CsfToCooIsMonotoneAndFullyParallel) {
+  // A csf source iterates nonzeros in stored order; a coo3 target's root
+  // consumes source positions directly (Monotone), singletons are pure.
+  codegen::Conversion Conv = codegen::generateConversion(
+      formats::makeCSF(3), formats::makeCOO(3));
+  std::string Code = Conv.cSource();
+  EXPECT_EQ(Code.find("B1_cur"), std::string::npos) << Code;
+  size_t At = Code.find("coordinate insertion");
+  ASSERT_NE(At, std::string::npos) << Code;
+  EXPECT_NE(Code.find("#pragma omp parallel for", At), std::string::npos)
+      << Code;
+}
+
 //===----------------------------------------------------------------------===//
 // Thread-count invariance: JIT output is bit-identical to the interpreter
 // with 1 and 4 OpenMP threads, across the full conversion test matrix.
@@ -250,8 +286,8 @@ void expectBitIdentical(const tensor::SparseTensor &Want,
 TEST_P(ThreadInvariance, JitMatchesInterpreterAtOneAndFourThreads) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
-  formats::Format Src = formats::standardFormat(GetParam().Src);
-  formats::Format Dst = formats::standardFormat(GetParam().Dst);
+  formats::Format Src = formats::standardFormatOrDie(GetParam().Src);
+  formats::Format Dst = formats::standardFormatOrDie(GetParam().Dst);
   if (!codegen::conversionSupported(Src, Dst))
     GTEST_SKIP() << "documented unsupported pair";
 
@@ -300,6 +336,62 @@ std::vector<PairCase> allPairs() {
 
 INSTANTIATE_TEST_SUITE_P(AllPairs, ThreadInvariance,
                          ::testing::ValuesIn(allPairs()),
+                         [](const auto &Info) {
+                           return Info.param.Src + "_to_" + Info.param.Dst;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Order-3 thread-count invariance: the acceptance property of the
+// higher-order pipeline — coo3/csf/permuted-csf pairs are bit-identical to
+// the interpreter at 1 and 4 threads on every order-3 test tensor.
+//===----------------------------------------------------------------------===//
+
+class ThreadInvariance3 : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(ThreadInvariance3, JitMatchesInterpreterAtOneAndFourThreads) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  formats::Format Src = formats::standardFormatOrDie(GetParam().Src);
+  formats::Format Dst = formats::standardFormatOrDie(GetParam().Dst);
+
+  convert::Converter Interp(Src, Dst);
+  auto Native = convert::PlanCache::instance().jit(Src, Dst);
+
+  for (auto &[Name, T] : tensor::testTensors3()) {
+    tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+    tensor::SparseTensor Reference = Interp.run(In);
+    for (int Threads : {1, 4}) {
+      setenv("OMP_NUM_THREADS", std::to_string(Threads).c_str(), 1);
+#ifdef _OPENMP
+      omp_set_num_threads(Threads);
+#endif
+      tensor::SparseTensor FromJit = Native->run(In);
+      expectBitIdentical(Reference, FromJit,
+                         GetParam().Src + "->" + GetParam().Dst + " on " +
+                             Name + " with " + std::to_string(Threads) +
+                             " threads");
+    }
+    unsetenv("OMP_NUM_THREADS");
+#ifdef _OPENMP
+    omp_set_num_threads(omp_get_num_procs());
+#endif
+  }
+}
+
+namespace {
+
+std::vector<PairCase> allPairs3() {
+  std::vector<PairCase> Out;
+  for (const char *Src : {"coo3", "csf", "csf_102", "csf_021"})
+    for (const char *Dst : {"coo3", "csf", "csf_102", "csf_021"})
+      Out.push_back({Src, Dst});
+  return Out;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPairs3, ThreadInvariance3,
+                         ::testing::ValuesIn(allPairs3()),
                          [](const auto &Info) {
                            return Info.param.Src + "_to_" + Info.param.Dst;
                          });

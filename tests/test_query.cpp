@@ -241,7 +241,7 @@ TEST_P(QueryBruteForce, CountPerRowMatches) {
     if (Name == "banded_random")
       T = M;
   std::vector<int32_t> Got =
-      runQuery(formats::standardFormat(SrcName), formats::makeCSR(),
+      runQuery(formats::standardFormatOrDie(SrcName), formats::makeCSR(),
                countPerRow(), T, "q1_nir", Optimize);
   std::vector<int32_t> Want(static_cast<size_t>(T.NumRows), 0);
   for (const tensor::Entry &E : T.Entries)

@@ -4,10 +4,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "formats/Standard.h"
+#include "remap/RemapParser.h"
 #include "tensor/Corpus.h"
 #include "tensor/Generators.h"
 #include "tensor/MatrixMarket.h"
 #include "tensor/Oracle.h"
+#include "tensor/Tns.h"
 
 #include <gtest/gtest.h>
 
@@ -69,7 +71,7 @@ class OracleRoundTrip
 
 TEST_P(OracleRoundTrip, PreservesComponents) {
   const auto &[FormatName, MatrixName] = GetParam();
-  formats::Format F = formats::standardFormat(FormatName);
+  formats::Format F = formats::standardFormatOrDie(FormatName);
   Triplets T;
   for (auto &[Name, M] : testMatrices())
     if (Name == MatrixName)
@@ -329,6 +331,191 @@ TEST(MatrixMarket, RejectsMalformed) {
       "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n", &T,
       &Error));
   EXPECT_NE(Error.find("out of bounds"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Higher-order tensors: the N-vector coordinate model, the order-3 oracle
+// builders, and FROSTT-style .tns I/O.
+//===----------------------------------------------------------------------===//
+
+TEST(Triplets3, SortAndDuplicates) {
+  Triplets T;
+  T.setDims({4, 4, 4});
+  T.Entries = {Entry{{2, 1, 0}, 1.0}, Entry{{0, 3, 2}, 2.0},
+               Entry{{0, 3, 1}, 3.0}, Entry{{2, 0, 3}, 4.0}};
+  T.sortRowMajor();
+  EXPECT_EQ(T.Entries[0].coord(2), 1);
+  EXPECT_EQ(T.Entries[1].coord(2), 2);
+  EXPECT_EQ(T.Entries[2].Row, 2);
+  EXPECT_FALSE(T.hasDuplicates());
+  T.Entries.push_back(Entry{{0, 3, 2}, 9.0});
+  EXPECT_TRUE(T.hasDuplicates());
+
+  // Mode-order sort: outermost mode 1.
+  T.Entries.pop_back();
+  T.sortByModeOrder({1, 0, 2});
+  EXPECT_EQ(T.Entries[0].Col, 0);
+  EXPECT_EQ(T.Entries.back().Col, 3);
+}
+
+TEST(Triplets3, EqualityComparesAllModesAndDims) {
+  Triplets A, B;
+  A.setDims({3, 3, 3});
+  B.setDims({3, 3, 3});
+  A.Entries = {Entry{{0, 1, 2}, 2.0}};
+  B.Entries = {Entry{{0, 1, 2}, 2.0}};
+  EXPECT_TRUE(equal(A, B));
+  B.Entries[0].setCoord(2, 1);
+  EXPECT_FALSE(equal(A, B));
+  B.Entries[0].setCoord(2, 2);
+  B.HigherDims = {4};
+  EXPECT_FALSE(equal(A, B));
+}
+
+TEST(Generators3, DeterministicAndInBounds) {
+  Triplets A = genRandomTensor3(10, 11, 12, 100, 7);
+  Triplets B = genRandomTensor3(10, 11, 12, 100, 7);
+  EXPECT_TRUE(equal(A, B));
+  EXPECT_EQ(A.nnz(), 100);
+  EXPECT_FALSE(A.hasDuplicates());
+  for (const Entry &E : A.Entries)
+    for (int D = 0; D < 3; ++D) {
+      EXPECT_GE(E.coord(D), 0);
+      EXPECT_LT(E.coord(D), A.dim(D));
+    }
+  // Hyper-sparse keeps nnz below half the slice count.
+  Triplets H = genHyperSparse3(40, 30, 25, 1000, 9);
+  EXPECT_LE(H.nnz(), 20);
+}
+
+class OracleRoundTrip3
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(OracleRoundTrip3, PreservesComponents) {
+  const auto &[FormatName, TensorName] = GetParam();
+  formats::Format F = formats::standardFormatOrDie(FormatName);
+  Triplets T;
+  for (auto &[Name, M] : testTensors3())
+    if (Name == TensorName)
+      T = M;
+  SparseTensor S = buildFromTriplets(F, T);
+  S.validate();
+  EXPECT_TRUE(equal(toTriplets(S), T))
+      << "format " << FormatName << " on " << TensorName;
+}
+
+namespace {
+
+std::vector<std::string> allTensor3Names() {
+  std::vector<std::string> Names;
+  for (auto &[Name, M] : testTensors3())
+    Names.push_back(Name);
+  return Names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatsAllTensors, OracleRoundTrip3,
+    ::testing::Combine(::testing::Values("coo3", "csf", "csf_102", "csf_021"),
+                       ::testing::ValuesIn(allTensor3Names())),
+    [](const auto &Info) {
+      return std::get<0>(Info.param) + "_" + std::get<1>(Info.param);
+    });
+
+TEST(Oracle3, CsfLayoutOnHandExample) {
+  // hand3 from testTensors3: slices {0,1,2}, fibers per slice {2,1,2},
+  // leaf counts 2+1+4+1+1.
+  Triplets T;
+  for (auto &[Name, M] : testTensors3())
+    if (Name == "hand3")
+      T = M;
+  SparseTensor S = buildFromTriplets(formats::makeCSF(3), T);
+  EXPECT_EQ(S.Levels[0].Pos, (std::vector<int32_t>{0, 3}));
+  EXPECT_EQ(S.Levels[0].Crd, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(S.Levels[1].Pos, (std::vector<int32_t>{0, 2, 3, 5}));
+  EXPECT_EQ(S.Levels[1].Crd, (std::vector<int32_t>{0, 2, 1, 0, 2}));
+  EXPECT_EQ(S.Levels[2].Pos, (std::vector<int32_t>{0, 2, 3, 7, 8, 9}));
+  EXPECT_EQ(S.Levels[2].Crd,
+            (std::vector<int32_t>{0, 2, 1, 0, 1, 2, 3, 3, 0}));
+  EXPECT_EQ(S.Vals, (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Oracle3, PermutedCsfStoresModeOrder) {
+  // csf_102 stores mode 1 at the root: the root coordinates are the j
+  // values, and the leaf remains mode 2.
+  Triplets T;
+  T.setDims({2, 3, 2});
+  T.Entries = {Entry{{0, 2, 1}, 1.0}, Entry{{1, 0, 0}, 2.0}};
+  SparseTensor S = buildFromTriplets(formats::makeCSFPermuted({1, 0, 2}), T);
+  S.validate();
+  EXPECT_EQ(S.Levels[0].Crd, (std::vector<int32_t>{0, 2}));
+  EXPECT_EQ(S.Levels[1].Crd, (std::vector<int32_t>{1, 0}));
+  EXPECT_EQ(S.Levels[2].Crd, (std::vector<int32_t>{0, 1}));
+  EXPECT_TRUE(equal(toTriplets(S), T));
+}
+
+TEST(Oracle3, ColumnMajorCooHonorsTheRemap) {
+  // A user-defined column-major COO ((i,j) -> (j,i)) must store j at the
+  // root level; the oracle honors the remap's mode order rather than
+  // assuming identity.
+  formats::Format F;
+  F.Name = "coo_cm";
+  F.Remap = remap::parseRemapOrDie("(i,j) -> (j,i)");
+  F.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d1,d0)");
+  F.Levels = {formats::LevelSpec{formats::LevelKind::Compressed, 0,
+                                 /*Unique=*/false, false, {-1, -1}},
+              formats::LevelSpec{formats::LevelKind::Singleton, 1, true,
+                                 false, {-1, -1}}};
+  formats::validateFormat(F);
+  Triplets T;
+  T.NumRows = 3;
+  T.NumCols = 4;
+  T.Entries = {{0, 3, 1.0}, {2, 0, 2.0}, {1, 3, 3.0}};
+  SparseTensor S = buildFromTriplets(F, T);
+  S.validate();
+  EXPECT_EQ(S.Levels[0].Crd, (std::vector<int32_t>{0, 3, 3})); // j-major
+  EXPECT_EQ(S.Levels[1].Crd, (std::vector<int32_t>{2, 0, 1}));
+  EXPECT_TRUE(equal(toTriplets(S), T));
+}
+
+TEST(Tns, RoundTrip) {
+  for (auto &[Name, T] : testTensors3()) {
+    // Empty tensors round-trip too: the "# dims:" header carries them.
+    Triplets Back;
+    std::string Error;
+    ASSERT_TRUE(readTns(writeTns(T), &Back, &Error)) << Name << ": " << Error;
+    EXPECT_TRUE(equal(T, Back)) << Name;
+  }
+  // Matrices round-trip too (.tns is order-general).
+  Triplets M = genRandomUniform(20, 30, 3.0, 8, 33);
+  Triplets Back;
+  std::string Error;
+  ASSERT_TRUE(readTns(writeTns(M), &Back, &Error)) << Error;
+  EXPECT_TRUE(equal(M, Back));
+}
+
+TEST(Tns, InfersDimsFromCoordinates) {
+  std::string Text = "# FROSTT-style comment\n"
+                     "1 2 3 1.5\n"
+                     "4\t1  2 -2.0\n"; // mixed tab/space separators
+  Triplets T;
+  std::string Error;
+  ASSERT_TRUE(readTns(Text, &T, &Error)) << Error;
+  EXPECT_EQ(T.dims(), (std::vector<int64_t>{4, 2, 3}));
+  ASSERT_EQ(T.nnz(), 2);
+  EXPECT_EQ(T.Entries[0].coord(2), 2); // sorted: (0,1,2) first
+}
+
+TEST(Tns, RejectsMalformed) {
+  Triplets T;
+  std::string Error;
+  EXPECT_FALSE(readTns("", &T, &Error));
+  EXPECT_FALSE(readTns("1 2\n", &T, &Error)); // too few fields
+  EXPECT_FALSE(readTns("1 2 3 1.0\n1 2 0.5\n", &T, &Error));
+  EXPECT_NE(Error.find("arity"), std::string::npos);
+  EXPECT_FALSE(readTns("0 2 3 1.0\n", &T, &Error)); // 1-based
+  EXPECT_FALSE(readTns("# dims: 2 2\n1 2 3 1.0\n", &T, &Error));
 }
 
 TEST(Tensor, DumpMentionsEveryLevel) {
