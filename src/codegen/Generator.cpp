@@ -16,6 +16,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 using namespace convgen;
@@ -445,28 +446,25 @@ void Generator::freeCounters(ir::BlockBuilder &Out) const {
       Out.add(ir::freeBuffer(Plan.Var));
 }
 
-/// Per-level assembly decisions plus the support verdict for a conversion
-/// pair. Computed identically by conversionSupported and the generator so
-/// the two can never disagree.
-struct AsmPlanInfo {
-  std::vector<bool> Dedup;  ///< Compressed level needs dedup insertion.
-  std::vector<bool> Ranked; ///< Dedup is the ranked (order-independent)
-                            ///< variant; see LevelFormat::create.
-  /// Leading source levels whose lexicographic order the sequenced dedup
-  /// workspace trusts but the source format cannot guarantee structurally
-  /// (data-dependent crd arrays); the converter validates them at run
-  /// time. 0 when no run-time check is needed.
-  int LexCheckLevels = 0;
-  std::string Unsupported; ///< Nonempty: human-readable reason.
-};
+/// Saturating product with an "unknown" element: -1 operands (extents the
+/// numeric bounds analysis could not determine) poison the result.
+int64_t satMulUnknown(int64_t A, int64_t B) {
+  if (A < 0 || B < 0)
+    return -1;
+  if (B != 0 && A > INT64_MAX / B)
+    return INT64_MAX;
+  return A * B;
+}
 
-AsmPlanInfo planAssembly(const formats::Format &Src,
-                         const formats::Format &Dst,
-                         const levels::SourceIterator &SrcIt) {
-  AsmPlanInfo Plan;
+AssemblyPlan planAssemblyImpl(const formats::Format &Src,
+                              const formats::Format &Dst,
+                              const levels::SourceIterator &SrcIt,
+                              const std::vector<int64_t> &Dims) {
+  AssemblyPlan Plan;
   size_t N = Dst.Levels.size();
   Plan.Dedup.assign(N, false);
   Plan.Ranked.assign(N, false);
+  Plan.Sorted.assign(N, false);
 
   auto isEdge = [&](size_t K) {
     return Dst.Levels[K].Kind == LevelKind::Compressed ||
@@ -496,6 +494,8 @@ AsmPlanInfo planAssembly(const formats::Format &Src,
     return false;
   };
 
+  std::vector<int> SeqLevelsUsed(N, 0);
+  std::vector<bool> SeqStructural(N, true);
   for (size_t K = 0; K < N; ++K) {
     Plan.Dedup[K] = Dst.Levels[K].Kind == LevelKind::Compressed &&
                     Dst.Levels[K].Unique &&
@@ -513,31 +513,169 @@ AsmPlanInfo planAssembly(const formats::Format &Src,
     int LevelsUsed = 0;
     bool SeqOk = seqPrefixOk(K, &LevelsUsed);
     Plan.Ranked[K] = EdgeBelow || !SeqOk;
-    if (Plan.Ranked[K])
-      continue;
-    // The sequenced workspace stays: note when its prefix spans non-dense
-    // source levels, whose order is data-dependent (csc -> coo legally
-    // yields column-major coo) and must be validated per input tensor.
-    bool Structural = true;
+    SeqLevelsUsed[K] = LevelsUsed;
     for (int L = 0; L < LevelsUsed; ++L)
-      Structural = Structural && Src.Levels[static_cast<size_t>(L)].Kind ==
-                                     LevelKind::Dense;
-    if (!Structural)
-      Plan.LexCheckLevels = std::max(Plan.LexCheckLevels, LevelsUsed);
+      SeqStructural[K] =
+          SeqStructural[K] &&
+          Src.Levels[static_cast<size_t>(L)].Kind == LevelKind::Dense;
   }
+
+  // Size-driven strategy selection: estimate every level's dense auxiliary
+  // footprint from the grouping dims' extents (when the caller supplied
+  // concrete dimension sizes) and switch compressed levels over the
+  // CONVGEN_RANK_DENSE_MAX_BYTES budget to the O(nnz)-memory
+  // sorted-ranking strategy. Levels with no such fallback (skyline's
+  // min-query buffer, squeezed's presence/perm structures) reject the pair
+  // with a size-grounds diagnostic instead of silently allocating
+  // gigabytes. Sorted-ness propagates down the level chain by
+  // construction: a deeper compressed level's grouping dims are a
+  // superset, so its footprint is at least as large.
+  std::vector<int64_t> Ext; // Extent per destination dim; -1 unknown.
+  if (Dims.size() == static_cast<size_t>(Dst.SrcOrder)) {
+    std::vector<remap::NumericDimBounds> NB =
+        remap::analyzeBoundsNumeric(Dst.Remap, Dims);
+    for (const remap::NumericDimBounds &B : NB)
+      Ext.push_back(B.Known ? B.extent() : -1);
+  } else {
+    Ext.assign(Dst.Remap.DstDims.size(), -1);
+  }
+  auto extAt = [&](int D) {
+    return D >= 0 && static_cast<size_t>(D) < Ext.size()
+               ? Ext[static_cast<size_t>(D)]
+               : int64_t(-1);
+  };
+  auto prodExt = [&](int UpTo) -> int64_t {
+    int64_t P = 1;
+    for (int D = 0; D <= UpTo; ++D)
+      P = satMulUnknown(P, extAt(D));
+    return P;
+  };
+  int64_t Budget = rankDenseMaxBytes();
+  auto overBudget = [&](int64_t Bytes) { return Bytes > Budget; };
+  auto sizeDiagnostic = [&](size_t K, const char *What, int64_t Bytes,
+                            const std::string &NoFallback) {
+    return strfmt(
+        "conversion %s -> %s rejected on size grounds: level %zu's dense "
+        "%s would need %lld bytes at these dimensions, over the "
+        "CONVGEN_RANK_DENSE_MAX_BYTES budget of %lld, and the "
+        "sorted-ranking fallback does not apply: %s",
+        Src.Name.c_str(), Dst.Name.c_str(), K + 1, What,
+        static_cast<long long>(Bytes), static_cast<long long>(Budget),
+        NoFallback.c_str());
+  };
+  for (size_t K = 0; K < N; ++K) {
+    const formats::LevelSpec &L = Dst.Levels[K];
+    if (L.Kind == LevelKind::Skyline) {
+      int64_t F = satMulUnknown(4, prodExt(L.Dim - 1));
+      if (F >= 0 && overBudget(F)) {
+        Plan.Unsupported = sizeDiagnostic(
+            K, "min-query buffer", F,
+            "skyline assembly has no sorted-ranking variant");
+        return Plan;
+      }
+      continue;
+    }
+    if (L.Kind == LevelKind::Squeezed) {
+      int64_t F = satMulUnknown(5, extAt(L.Dim));
+      if (F >= 0 && overBudget(F)) {
+        Plan.Unsupported = sizeDiagnostic(
+            K, "coordinate-presence and perm structures", F,
+            "squeezed assembly has no sorted-ranking variant");
+        return Plan;
+      }
+      continue;
+    }
+    if (L.Kind != LevelKind::Compressed)
+      continue; // Dense/singleton/sliced/offset storage is the format's
+                // own cost, not an auxiliary ranking structure.
+    int64_t F;
+    const char *What;
+    if (Plan.Ranked[K]) {
+      // int32 rank array + presence bit set over dims 0..Dim.
+      F = satMulUnknown(5, prodExt(L.Dim));
+      What = "rank array and presence bit set";
+    } else if (Plan.Dedup[K]) {
+      // Version-stamp workspace over the level's own dim, plus the
+      // count-query buffer over the parent dims.
+      F = std::max(satMulUnknown(8, extAt(L.Dim)),
+                   satMulUnknown(4, prodExt(L.Dim - 1)));
+      What = "dedup workspace and count-query buffer";
+    } else {
+      F = satMulUnknown(4, prodExt(L.Dim - 1));
+      What = "count-query buffer";
+    }
+    bool AncestorSorted = false;
+    for (size_t P = 0; P < K; ++P)
+      AncestorSorted = AncestorSorted || Plan.Sorted[P];
+    if (!(F >= 0 && overBudget(F)) && !AncestorSorted)
+      continue;
+    // The level wants sorted ranking; check the strategy's preconditions.
+    std::string NoFallback;
+    if (!L.Unique) {
+      NoFallback = "the level stores duplicate coordinates";
+    } else if (Src.PaddedVals) {
+      NoFallback = strfmt("source format %s pads its values array, so "
+                          "stored positions are not dense in nnz",
+                          Src.Name.c_str());
+    }
+    for (int D = 0; NoFallback.empty() && D <= L.Dim; ++D)
+      if (!remap::dimIsPlainVar(Dst.Remap, static_cast<size_t>(D)))
+        NoFallback = strfmt("destination dimension %d is a computed "
+                            "expression, not a plain coordinate",
+                            D);
+    for (size_t P = 0; NoFallback.empty() && P < K; ++P) {
+      bool Pure = Dst.Levels[P].Kind == LevelKind::Dense ||
+                  (Dst.Levels[P].Kind == LevelKind::Compressed &&
+                   (Plan.Ranked[P] || Plan.Sorted[P]));
+      if (!Pure)
+        NoFallback = strfmt("ancestor level %zu cannot expose pure "
+                            "positions during edge insertion",
+                            P + 1);
+    }
+    if (!NoFallback.empty()) {
+      // This path is also reachable through AncestorSorted with this
+      // level's own footprint small or unknown; claiming "-1 bytes over
+      // the budget" would be nonsense, so name the real cause instead.
+      if (F >= 0 && overBudget(F))
+        Plan.Unsupported = sizeDiagnostic(K, What, F, NoFallback);
+      else
+        Plan.Unsupported = strfmt(
+            "conversion %s -> %s rejected on size grounds: an ancestor "
+            "level's dense ranking structures exceed the "
+            "CONVGEN_RANK_DENSE_MAX_BYTES budget of %lld, forcing level "
+            "%zu onto the sorted-ranking strategy, which does not apply: "
+            "%s",
+            Src.Name.c_str(), Dst.Name.c_str(),
+            static_cast<long long>(Budget), K + 1, NoFallback.c_str());
+      return Plan;
+    }
+    Plan.Sorted[K] = true;
+    Plan.Ranked[K] = false;
+  }
+
+  // The sequenced workspace survives only where neither ranked nor sorted
+  // replaced it; note when its prefix spans non-dense source levels, whose
+  // order is data-dependent (csc -> coo legally yields column-major coo)
+  // and must be validated per input tensor.
+  for (size_t K = 0; K < N; ++K)
+    if (Plan.Dedup[K] && !Plan.Ranked[K] && !Plan.Sorted[K] &&
+        !SeqStructural[K])
+      Plan.LexCheckLevels = std::max(Plan.LexCheckLevels, SeqLevelsUsed[K]);
 
   // Edge insertion enumerates parent positions before any insertion ran:
   // ancestors must be dense (positions are coordinate arithmetic) or
-  // ranked compressed (positions are coordinate ranks). Skyline keeps the
-  // dense-only restriction of single-group assembly.
+  // compressed with ranked/sorted insertion (positions are coordinate
+  // ranks). Sorted levels build their structures from the source directly
+  // and skip the enumeration entirely. Skyline keeps the dense-only
+  // restriction of single-group assembly.
   for (size_t K = 0; K < N; ++K) {
-    if (!isEdge(K))
+    if (!isEdge(K) || Plan.Sorted[K])
       continue;
     for (size_t P = 0; P < K; ++P) {
       if (Dst.Levels[P].Kind == LevelKind::Dense)
         continue;
-      bool RankedAncestor =
-          Dst.Levels[P].Kind == LevelKind::Compressed && Plan.Ranked[P];
+      bool RankedAncestor = Dst.Levels[P].Kind == LevelKind::Compressed &&
+                            (Plan.Ranked[P] || Plan.Sorted[P]);
       if (Dst.Levels[K].Kind == LevelKind::Skyline || !RankedAncestor) {
         Plan.Unsupported =
             strfmt("conversion to %s requires multi-pass assembly "
@@ -550,7 +688,7 @@ AsmPlanInfo planAssembly(const formats::Format &Src,
   }
 
   // Ranked levels size their rank array (and presence-query buffer) by the
-  // static bounds of dims 0..K.
+  // static bounds of dims 0..K; sorted levels need no extents at all.
   std::vector<ir::Expr> SrcDims;
   for (int D = 0; D < Dst.SrcOrder; ++D)
     SrcDims.push_back(ir::var("dim" + std::to_string(D)));
@@ -569,12 +707,6 @@ AsmPlanInfo planAssembly(const formats::Format &Src,
       }
   }
   return Plan;
-}
-
-std::string unsupportedReason(const formats::Format &Src,
-                              const formats::Format &Dst,
-                              const levels::SourceIterator &SrcIt) {
-  return planAssembly(Src, Dst, SrcIt).Unsupported;
 }
 
 ir::Stmt Generator::emitParentLoop(
@@ -678,7 +810,7 @@ std::vector<ir::Expr> Generator::dstCoords(const levels::IterEnv &Env,
 }
 
 Conversion Generator::run() {
-  AsmPlanInfo Plan = planAssembly(Src, Dst, SrcIt);
+  AssemblyPlan Plan = planAssemblyImpl(Src, Dst, SrcIt, Opts.DimsHint);
   if (!Plan.Unsupported.empty())
     fatalError(Plan.Unsupported.c_str());
   planCounters();
@@ -690,11 +822,11 @@ Conversion Generator::run() {
   Shape.Remap = Dst.Remap;
   Shape.Bounds = remap::analyzeBounds(Dst.Remap, SrcDims);
 
-  // Level formats with the plan's dedup/ranked decisions.
+  // Level formats with the plan's dedup/ranked/sorted decisions.
   for (size_t K = 0; K < Dst.Levels.size(); ++K)
     Levels.push_back(levels::LevelFormat::create(
         Dst.Levels[K], static_cast<int>(K) + 1, Plan.Dedup[K],
-        Plan.Ranked[K], Dst.order()));
+        Plan.Ranked[K], Plan.Sorted[K], Dst.order()));
 
   // Compile the attribute queries the levels declare.
   std::vector<std::pair<int, query::Query>> LevelQueries;
@@ -714,6 +846,40 @@ Conversion Generator::run() {
   };
   Ctx.ParentLoop = [this](int K, const auto &Body) {
     return emitParentLoop(K, Body);
+  };
+  // Sorted-ranking hooks: tuple collection sweeps over the source and pure
+  // ancestor-position composition (see AsmCtx).
+  Ctx.StoredSize = SrcIt.storedSizeExpr();
+  Ctx.SourceSweep =
+      [this](int UpToDim,
+             const std::function<ir::Stmt(const std::vector<ir::Expr> &,
+                                          ir::Expr)> &Body) -> ir::Stmt {
+    ir::Stmt Nest = SrcIt.build([&](const levels::IterEnv &Env) -> ir::Stmt {
+      std::vector<ir::Expr> Coords;
+      for (int D = 0; D <= UpToDim; ++D) {
+        std::string V;
+        bool Plain =
+            remap::dimIsPlainVar(Dst.Remap, static_cast<size_t>(D), &V);
+        CONVGEN_ASSERT(Plain,
+                       "sorted ranking requires plain-variable dimensions");
+        Coords.push_back(Env.Canonical.at(V));
+      }
+      return Body(Coords, Env.LastPos);
+    });
+    // Bodies write one disjoint slot per stored nonzero and read nothing
+    // mutable, so the sweep parallelizes whenever its root is a loop.
+    if (Nest && Nest->Kind == ir::StmtKind::For)
+      Nest = ir::markLoopParallel(Nest);
+    return Nest;
+  };
+  Ctx.ParentPos = [this](int K,
+                         const std::vector<ir::Expr> &Coords) -> ir::Expr {
+    ir::Expr P = ir::intImm(0);
+    for (int L = 0; L + 1 < K; ++L) {
+      P = Levels[static_cast<size_t>(L)]->pureChildPos(Ctx, P, Coords);
+      CONVGEN_ASSERT(P, "sorted ranking requires pure ancestor positions");
+    }
+    return P;
   };
 
   // Insertion strategy for cursor-based compressed levels: decided before
@@ -844,6 +1010,7 @@ Conversion Generator::run() {
   Out.Source = Src;
   Out.Target = Dst;
   Out.Opts = Opts;
+  Out.Asm = Plan;
   Out.LexCheckLevels = Plan.LexCheckLevels;
   Out.Func.Name = "convert_" + Src.Name + "_to_" + Dst.Name;
   Out.Func.Params = SrcIt.params();
@@ -854,11 +1021,48 @@ Conversion Generator::run() {
 
 } // namespace
 
+int64_t codegen::rankDenseMaxBytes() {
+  // Re-read on every call so tests (and long-lived processes) can adjust
+  // the budget through the environment.
+  if (const char *Env = std::getenv("CONVGEN_RANK_DENSE_MAX_BYTES")) {
+    char *End = nullptr;
+    long long V = std::strtoll(Env, &End, 10);
+    if (End != Env && V > 0)
+      return static_cast<int64_t>(V);
+  }
+  return int64_t(64) << 20;
+}
+
+AssemblyPlan codegen::planAssembly(const formats::Format &Source,
+                                   const formats::Format &Target,
+                                   const std::vector<int64_t> &Dims) {
+  levels::SourceIterator SrcIt(Source);
+  return planAssemblyImpl(Source, Target, SrcIt, Dims);
+}
+
+Options codegen::optionsForDims(const formats::Format &Source,
+                                const formats::Format &Target,
+                                const Options &Opts,
+                                const std::vector<int64_t> &Dims) {
+  Options Out = Opts;
+  Out.DimsHint.clear();
+  AssemblyPlan Plan = planAssembly(Source, Target, Dims);
+  if (Plan.anySorted() || !Plan.Unsupported.empty())
+    Out.DimsHint = Dims;
+  return Out;
+}
+
 bool codegen::conversionSupported(const formats::Format &Source,
                                   const formats::Format &Target,
                                   std::string *Why) {
-  levels::SourceIterator SrcIt(Source);
-  std::string Reason = unsupportedReason(Source, Target, SrcIt);
+  return conversionSupported(Source, Target, {}, Why);
+}
+
+bool codegen::conversionSupported(const formats::Format &Source,
+                                  const formats::Format &Target,
+                                  const std::vector<int64_t> &Dims,
+                                  std::string *Why) {
+  std::string Reason = planAssembly(Source, Target, Dims).Unsupported;
   if (Why)
     *Why = Reason;
   return Reason.empty();

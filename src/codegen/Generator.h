@@ -22,6 +22,7 @@
 #include "ir/IR.h"
 #include "query/Cin.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,13 +43,78 @@ struct Options {
   /// Materialize remapped coordinates in a separate pre-pass instead of
   /// fusing remapping into assembly (§3's discussion of complex orderings).
   bool MaterializeRemap = false;
+  /// The input tensor's dimension sizes, when known at plan time. Drives
+  /// the size-based assembly strategy selection: levels whose dense rank
+  /// array / query buffers would exceed rankDenseMaxBytes() switch to the
+  /// O(nnz)-memory sorted-ranking strategy (or the pair is rejected with a
+  /// size-grounds diagnostic when that fallback does not apply). Leave
+  /// empty for the extent-independent default plan; use optionsForDims()
+  /// to populate it only when the dims actually change the plan, so small
+  /// tensors keep sharing one cached plan per pair.
+  std::vector<int64_t> DimsHint;
 };
+
+/// Per-level assembly strategy decisions plus the support verdict for a
+/// conversion pair, exactly as the generator will apply them. Exposed so
+/// tests can pin which strategy the planner picks at/below/above the size
+/// threshold and so runtimes can detect when a tensor's dims require a
+/// dims-specific plan.
+struct AssemblyPlan {
+  std::vector<bool> Dedup;  ///< Compressed level needs dedup insertion.
+  std::vector<bool> Ranked; ///< Dedup is the ranked (dense rank-array)
+                            ///< variant; see levels::LevelFormat::create.
+  /// Level uses the sorted-ranking strategy: O(nnz) tuple sort + binary
+  /// search positions instead of dense rank arrays / query buffers, chosen
+  /// when the dense footprint would exceed rankDenseMaxBytes().
+  std::vector<bool> Sorted;
+  /// Leading source levels whose lexicographic order the sequenced dedup
+  /// workspace trusts but the source format cannot guarantee structurally;
+  /// the converter validates them at run time. 0 when no check is needed.
+  int LexCheckLevels = 0;
+  std::string Unsupported; ///< Nonempty: human-readable reason.
+
+  bool anySorted() const {
+    for (bool S : Sorted)
+      if (S)
+        return true;
+    return false;
+  }
+};
+
+/// Computes the assembly plan for a pair, optionally specialized to the
+/// input tensor's dimension sizes (\p Dims empty or of the wrong arity
+/// means "unknown extents": every dense-footprint check passes and the
+/// extent-independent default plan results).
+AssemblyPlan planAssembly(const formats::Format &Source,
+                          const formats::Format &Target,
+                          const std::vector<int64_t> &Dims = {});
+
+/// Byte budget for dense per-level ranking structures (rank arrays,
+/// presence bit sets, grouped query buffers): levels whose estimated
+/// footprint exceeds it take the sorted-ranking fallback. Read from
+/// CONVGEN_RANK_DENSE_MAX_BYTES on every call (so tests can vary it);
+/// defaults to 64 MiB.
+int64_t rankDenseMaxBytes();
+
+/// Returns \p Opts with DimsHint populated iff these dims change the
+/// pair's assembly plan (a sorted level or a size-grounds rejection);
+/// otherwise DimsHint is cleared so callers share the default cached plan.
+/// The conversion runners use this to route huge-dimension tensors to a
+/// dims-specialized plan automatically.
+Options optionsForDims(const formats::Format &Source,
+                       const formats::Format &Target, const Options &Opts,
+                       const std::vector<int64_t> &Dims);
 
 /// A generated conversion routine.
 struct Conversion {
   formats::Format Source;
   formats::Format Target;
   Options Opts;
+  /// The assembly plan this routine was generated from. Runtime guards
+  /// compare against these recorded bits — not a re-derivation, which
+  /// would drift from the compiled code whenever the environment's size
+  /// budget changed between generation and execution.
+  AssemblyPlan Asm;
   ir::Function Func;
   /// Optimized attribute queries, for inspection and golden tests.
   std::vector<std::pair<std::string, query::CinStmt>> Queries;
@@ -80,6 +146,15 @@ Conversion generateConversion(const formats::Format &Source,
 /// suite) distinguish documented limitations from bugs.
 bool conversionSupported(const formats::Format &Source,
                          const formats::Format &Target,
+                         std::string *Why = nullptr);
+
+/// Dims-aware variant: additionally rejects (with a size-grounds
+/// diagnostic) pairs whose dense ranking structures would exceed
+/// rankDenseMaxBytes() at these dimension sizes and no sorted-ranking
+/// fallback applies.
+bool conversionSupported(const formats::Format &Source,
+                         const formats::Format &Target,
+                         const std::vector<int64_t> &Dims,
                          std::string *Why = nullptr);
 
 } // namespace codegen

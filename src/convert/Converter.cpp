@@ -120,9 +120,24 @@ tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
     fatalError(strfmt("converter compiled for source '%s' got a '%s' tensor",
                       Conv->Source.Name.c_str(), In.Format.Name.c_str())
                    .c_str());
-  checkSourceOrder(*Conv, In);
+  // Size-driven strategy routing: when this tensor's dimensions push a
+  // level's dense ranking structures over the CONVGEN_RANK_DENSE_MAX_BYTES
+  // budget, fetch the dims-specialized plan (sorted-ranking levels, O(nnz)
+  // workspaces) from the cache instead of letting the default plan
+  // allocate by extent products — or abort with the planner's size-grounds
+  // diagnostic when no fallback applies.
+  const codegen::Conversion *Plan = Conv.get();
+  std::shared_ptr<const codegen::Conversion> DimPlan;
+  codegen::Options Effective = codegen::optionsForDims(
+      Conv->Source, Conv->Target, Conv->Opts, In.Dims);
+  if (Effective.DimsHint != Conv->Opts.DimsHint) {
+    DimPlan =
+        PlanCache::instance().plan(Conv->Source, Conv->Target, Effective);
+    Plan = DimPlan.get();
+  }
+  checkSourceOrder(*Plan, In);
   ir::Interpreter Interp;
   bindSourceTensor(Interp, In);
-  ir::RunResult Result = Interp.run(Conv->Func);
-  return collectTargetTensor(Conv->Target, In.Dims, Result);
+  ir::RunResult Result = Interp.run(Plan->Func);
+  return collectTargetTensor(Plan->Target, In.Dims, Result);
 }

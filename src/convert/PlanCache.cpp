@@ -81,10 +81,32 @@ std::string convert::formatFingerprint(const formats::Format &F) {
 std::string convert::planKey(const formats::Format &Source,
                              const formats::Format &Target,
                              const codegen::Options &Opts) {
-  return formatFingerprint(Source) + " => " + formatFingerprint(Target) +
-         strfmt(" [q%dc%du%dm%d]", Opts.OptimizeQueries ? 1 : 0,
-                Opts.CounterReuse ? 1 : 0, Opts.ForceUnseqEdges ? 1 : 0,
-                Opts.MaterializeRemap ? 1 : 0);
+  std::string Key =
+      formatFingerprint(Source) + " => " + formatFingerprint(Target) +
+      strfmt(" [q%dc%du%dm%d]", Opts.OptimizeQueries ? 1 : 0,
+             Opts.CounterReuse ? 1 : 0, Opts.ForceUnseqEdges ? 1 : 0,
+             Opts.MaterializeRemap ? 1 : 0);
+  // A dims hint changes the generated code only through the assembly
+  // strategy it selects (which levels go sorted/ranked/dedup), so the key
+  // carries those bits rather than the raw dims: every huge-dims tensor
+  // that lands on the same strategy shares one plan and one JIT object.
+  // optionsForDims() keeps the hint empty whenever the dims do not affect
+  // the plan, so ordinary tensors share the default entry per pair.
+  if (!Opts.DimsHint.empty()) {
+    codegen::AssemblyPlan Plan =
+        codegen::planAssembly(Source, Target, Opts.DimsHint);
+    Key += " [s";
+    for (size_t K = 0; K < Plan.Sorted.size(); ++K)
+      Key += Plan.Sorted[K] ? '1' : (Plan.Ranked[K] ? 'r' : '0');
+    if (!Plan.Unsupported.empty()) {
+      // Unsupported-at-these-dims plans abort in codegen; keep their keys
+      // distinct per dims so the diagnostic mentions the right sizes.
+      for (int64_t D : Opts.DimsHint)
+        Key += ":" + std::to_string(D);
+    }
+    Key += "]";
+  }
+  return Key;
 }
 
 PlanCache &PlanCache::instance() {

@@ -260,6 +260,19 @@ Expr ir::numParts() {
   return E;
 }
 
+Expr ir::lowerBound(const std::string &Buffer, Expr Count,
+                    std::vector<Expr> Keys) {
+  CONVGEN_ASSERT(Count != nullptr, "lowerBound requires a tuple count");
+  CONVGEN_ASSERT(!Keys.empty(), "lowerBound requires at least one key");
+  Expr E = makeExpr(ExprKind::LowerBound);
+  ExprNode &N = const_cast<ExprNode &>(*E);
+  N.Name = Buffer;
+  N.A = std::move(Count);
+  N.Args = std::move(Keys);
+  N.Type = ScalarKind::Int;
+  return E;
+}
+
 Expr ir::select(Expr Cond, Expr IfTrue, Expr IfFalse) {
   int64_t C = 0;
   if (isIntConst(Cond, &C))
@@ -407,6 +420,31 @@ Stmt ir::scan(const std::string &Buffer, Expr Length, ScanKind Kind) {
   return S;
 }
 
+Stmt ir::sortTuples(const std::string &Buffer, Expr Count, int64_t Arity) {
+  CONVGEN_ASSERT(Count != nullptr, "sortTuples requires a tuple count");
+  CONVGEN_ASSERT(Arity >= 1, "sortTuples requires a positive arity");
+  Stmt S = makeStmt(StmtKind::SortTuples);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Buffer;
+  N.A = std::move(Count);
+  N.Arity = Arity;
+  return S;
+}
+
+Stmt ir::uniqueTuples(const std::string &Buffer, Expr Count, int64_t Arity,
+                      const std::string &CountVar) {
+  CONVGEN_ASSERT(Count != nullptr, "uniqueTuples requires a tuple count");
+  CONVGEN_ASSERT(Arity >= 1, "uniqueTuples requires a positive arity");
+  CONVGEN_ASSERT(!CountVar.empty(), "uniqueTuples requires a result name");
+  Stmt S = makeStmt(StmtKind::UniqueTuples);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Buffer;
+  N.Slot = CountVar;
+  N.A = std::move(Count);
+  N.Arity = Arity;
+  return S;
+}
+
 Stmt ir::phaseMark(int64_t Phase, const std::string &Label) {
   Stmt S = makeStmt(StmtKind::PhaseMark);
   StmtNode &N = const_cast<StmtNode &>(*S);
@@ -508,6 +546,18 @@ std::string ir::printExpr(const Expr &E) {
     // The emitted C prelude defines cvg_nparts() as the OpenMP max thread
     // count (1 without OpenMP); the interpreter evaluates it to 1.
     return "cvg_nparts()";
+  case ExprKind::LowerBound: {
+    // The C prelude defines cvg_lower_bound; the key tuple is passed as a
+    // C99 compound literal so the call stays a plain expression. The same
+    // spelling doubles as the readable view.
+    std::vector<std::string> Keys;
+    Keys.reserve(E->Args.size());
+    for (const Expr &K : E->Args)
+      Keys.push_back(printExpr(K));
+    return "cvg_lower_bound(" + E->Name + ", " + printExpr(E->A) + ", " +
+           std::to_string(E->Args.size()) + ", (const int64_t[]){" +
+           join(Keys, ", ") + "})";
+  }
   }
   convgen_unreachable("unknown expression kind");
 }
@@ -717,6 +767,31 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out,
              (S->Scan == ScanKind::Inclusive ? "inclusive_scan("
                                              : "exclusive_scan(") +
              S->Name + ", " + printExpr(S->A) + ");\n";
+    }
+    return;
+  case StmtKind::SortTuples:
+    if (CMode) {
+      Out += Pad + strfmt("cvg_sort_tuples(%s, %s, %lld);\n", S->Name.c_str(),
+                          printExpr(S->A).c_str(),
+                          static_cast<long long>(S->Arity));
+    } else {
+      // Figure 6 view: a compact pseudo-op keeps the routine readable.
+      Out += Pad + strfmt("sort_tuples(%s, %s, %lld);\n", S->Name.c_str(),
+                          printExpr(S->A).c_str(),
+                          static_cast<long long>(S->Arity));
+    }
+    return;
+  case StmtKind::UniqueTuples:
+    if (CMode) {
+      Out += Pad + strfmt("int64_t %s = cvg_unique_tuples(%s, %s, %lld);\n",
+                          S->Slot.c_str(), S->Name.c_str(),
+                          printExpr(S->A).c_str(),
+                          static_cast<long long>(S->Arity));
+    } else {
+      Out += Pad + strfmt("int64_t %s = unique_tuples(%s, %s, %lld);\n",
+                          S->Slot.c_str(), S->Name.c_str(),
+                          printExpr(S->A).c_str(),
+                          static_cast<long long>(S->Arity));
     }
     return;
   case StmtKind::PhaseMark:

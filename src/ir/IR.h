@@ -47,11 +47,12 @@ enum class ExprKind : uint8_t {
   FloatImm,
   BoolImm,
   Var,
-  Load,     ///< BufferName[A]
-  Binary,   ///< A op B
-  Unary,    ///< op A
-  Select,   ///< A ? B : C
-  NumParts, ///< Partition count for blocked parallel passes (see numParts).
+  Load,       ///< BufferName[A]
+  Binary,     ///< A op B
+  Unary,      ///< op A
+  Select,     ///< A ? B : C
+  NumParts,   ///< Partition count for blocked parallel passes (see numParts).
+  LowerBound, ///< Rank of a key tuple in a sorted tuple buffer (lowerBound).
 };
 
 enum class BinOp : uint8_t {
@@ -88,8 +89,11 @@ struct ExprNode {
   ScalarKind Type = ScalarKind::Int;
   int64_t IntVal = 0;
   double FloatVal = 0;
-  std::string Name; ///< Variable name, or buffer name for Load.
+  std::string Name; ///< Variable name, or buffer name for Load/LowerBound.
   Expr A, B, C;
+  /// LowerBound only: the key tuple's component expressions (the arity of
+  /// the searched tuples is Args.size()).
+  std::vector<Expr> Args;
   BinOp BOp = BinOp::Add;
   UnOp UOp = UnOp::Neg;
 };
@@ -133,6 +137,18 @@ Expr numParts();
 /// Returns true (and sets \p Value) if \p E is an integer immediate.
 bool isIntConst(const Expr &E, int64_t *Value = nullptr);
 
+/// Rank of the key tuple \p Keys among the sorted tuples of \p Buffer: the
+/// index of the first tuple lexicographically >= the key, with tuples
+/// stored contiguously (tuple t occupies Buffer[t*R .. t*R+R-1] for arity
+/// R = Keys.size()) and \p Count giving the tuple count. On a sorted,
+/// deduplicated buffer that contains the key this is exactly the key's
+/// rank among the stored tuples — how sorted-ranking assembly computes
+/// positions in O(nnz) memory where a dense rank array would need the
+/// product of the grouping dimensions' extents. The expression is pure:
+/// the interpreter runs a binary search, the C emitter lowers to the
+/// prelude helper cvg_lower_bound.
+Expr lowerBound(const std::string &Buffer, Expr Count, std::vector<Expr> Keys);
+
 //===----------------------------------------------------------------------===//
 // Statements
 //===----------------------------------------------------------------------===//
@@ -152,6 +168,8 @@ enum class StmtKind : uint8_t {
   YieldScalar, ///< Publish scalar A to output slot Slot.
   Scan,      ///< In-place prefix sum over Buffer[0:A] (see scan()).
   PhaseMark, ///< Phase-boundary timing probe (see phaseMark()).
+  SortTuples,   ///< Lexicographic in-place tuple sort (see sortTuples()).
+  UniqueTuples, ///< Adjacent-duplicate compaction (see uniqueTuples()).
 };
 
 /// Reduction applied by a Store: Buffer[I] op= V.
@@ -187,6 +205,7 @@ struct StmtNode {
   ReduceOp Reduce = ReduceOp::None;
   ScanKind Scan = ScanKind::Inclusive; ///< Scan only.
   int64_t Phase = 0;                   ///< PhaseMark only: phase index.
+  int64_t Arity = 1; ///< SortTuples/UniqueTuples only: ints per tuple.
   bool ZeroInit = false;
   /// For only: iterations are independent (or reduction-combined) and may
   /// run concurrently. Lowered by the C emitter to `#pragma omp parallel
@@ -231,6 +250,23 @@ Stmt yieldScalar(const std::string &Slot, Expr Value);
 /// baking in a serial loop.
 Stmt scan(const std::string &Buffer, Expr Length,
           ScanKind Kind = ScanKind::Inclusive);
+
+/// Sorts the \p Count tuples of \p Buffer in place into lexicographic
+/// order. Tuples are \p Arity consecutive int32 elements each (row-major,
+/// tuple t at Buffer[t*Arity]). The interpreter is the serial oracle; the C
+/// emitter lowers to cvg_sort_tuples, a bottom-up merge sort whose per-width
+/// merge passes parallelize under OpenMP. The output is the fully sorted
+/// sequence — a pure function of the input multiset — so any thread count
+/// (and the interpreter) produce bit-identical buffers. This is the
+/// O(nnz)-memory replacement for dense rank arrays in sorted-ranking
+/// assembly (huge-dimension hyper-sparse tensors).
+Stmt sortTuples(const std::string &Buffer, Expr Count, int64_t Arity);
+
+/// Compacts adjacent duplicate tuples of the (sorted) \p Buffer in place
+/// and declares the int64 variable \p CountVar holding the number of
+/// distinct tuples kept. Serial in both backends (a single O(n) pass).
+Stmt uniqueTuples(const std::string &Buffer, Expr Count, int64_t Arity,
+                  const std::string &CountVar);
 
 /// Phase-boundary probe for the per-phase timing breakdown: the C emitter
 /// accumulates wall-clock seconds since the previous mark into slot

@@ -9,6 +9,7 @@
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <unordered_map>
@@ -123,6 +124,38 @@ Value ExecState::eval(const Expr &E) {
     // Generated code must produce identical results for any value >= 1,
     // which the thread-invariance tests check against the JIT.
     return Value::makeInt(1);
+  case ExprKind::LowerBound: {
+    RuntimeBuffer &Buf = buffer(E->Name);
+    if (Buf.Elem != ScalarKind::Int)
+      fail("lower_bound over a non-integer buffer '" + E->Name + "'");
+    int64_t N = eval(E->A).asInt();
+    int64_t R = static_cast<int64_t>(E->Args.size());
+    if (N < 0 || N * R > Buf.size())
+      fail(strfmt("lower_bound range %lld tuples of arity %lld out of "
+                  "bounds for buffer %s (size %lld)",
+                  static_cast<long long>(N), static_cast<long long>(R),
+                  E->Name.c_str(), static_cast<long long>(Buf.size())));
+    std::vector<int64_t> Key;
+    Key.reserve(E->Args.size());
+    for (const Expr &K : E->Args)
+      Key.push_back(eval(K).asInt());
+    int64_t Lo = 0, Hi = N;
+    while (Lo < Hi) {
+      int64_t Mid = Lo + (Hi - Lo) / 2;
+      int Cmp = 0;
+      for (int64_t I = 0; I < R && Cmp == 0; ++I) {
+        int64_t T = Buf.Ints[static_cast<size_t>(Mid * R + I)];
+        Cmp = T < Key[static_cast<size_t>(I)]
+                  ? -1
+                  : (T > Key[static_cast<size_t>(I)] ? 1 : 0);
+      }
+      if (Cmp < 0)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Value::makeInt(Lo);
+  }
   case ExprKind::Unary: {
     Value A = eval(E->A);
     if (E->UOp == UnOp::LNot)
@@ -384,6 +417,62 @@ void ExecState::exec(const Stmt &S) {
         Acc = static_cast<int32_t>(Acc + V);
       }
     }
+    return;
+  }
+  case StmtKind::SortTuples: {
+    // The serial oracle for the C emitter's parallel merge sort: the fully
+    // sorted sequence is a pure function of the input multiset, so both
+    // agree bit-for-bit for any thread count.
+    RuntimeBuffer &Buf = buffer(S->Name);
+    if (Buf.Elem != ScalarKind::Int)
+      fail("sort_tuples over a non-integer buffer '" + S->Name + "'");
+    int64_t N = eval(S->A).asInt();
+    int64_t R = S->Arity;
+    if (N < 0 || N * R > Buf.size())
+      fail(strfmt("sort_tuples range %lld tuples of arity %lld out of "
+                  "bounds for buffer %s (size %lld)",
+                  static_cast<long long>(N), static_cast<long long>(R),
+                  S->Name.c_str(), static_cast<long long>(Buf.size())));
+    std::vector<int64_t> Order(static_cast<size_t>(N));
+    for (int64_t I = 0; I < N; ++I)
+      Order[static_cast<size_t>(I)] = I;
+    const std::vector<int32_t> &Ints = Buf.Ints;
+    std::sort(Order.begin(), Order.end(), [&](int64_t A, int64_t B) {
+      return std::lexicographical_compare(
+          Ints.begin() + A * R, Ints.begin() + (A + 1) * R,
+          Ints.begin() + B * R, Ints.begin() + (B + 1) * R);
+    });
+    std::vector<int32_t> Sorted(static_cast<size_t>(N * R));
+    for (int64_t I = 0; I < N; ++I)
+      std::copy(Ints.begin() + Order[static_cast<size_t>(I)] * R,
+                Ints.begin() + (Order[static_cast<size_t>(I)] + 1) * R,
+                Sorted.begin() + I * R);
+    std::copy(Sorted.begin(), Sorted.end(), Buf.Ints.begin());
+    return;
+  }
+  case StmtKind::UniqueTuples: {
+    RuntimeBuffer &Buf = buffer(S->Name);
+    if (Buf.Elem != ScalarKind::Int)
+      fail("unique_tuples over a non-integer buffer '" + S->Name + "'");
+    int64_t N = eval(S->A).asInt();
+    int64_t R = S->Arity;
+    if (N < 0 || N * R > Buf.size())
+      fail(strfmt("unique_tuples range %lld tuples of arity %lld out of "
+                  "bounds for buffer %s (size %lld)",
+                  static_cast<long long>(N), static_cast<long long>(R),
+                  S->Name.c_str(), static_cast<long long>(Buf.size())));
+    int64_t U = 0;
+    for (int64_t I = 0; I < N; ++I) {
+      if (U > 0 &&
+          std::equal(Buf.Ints.begin() + I * R, Buf.Ints.begin() + (I + 1) * R,
+                     Buf.Ints.begin() + (U - 1) * R))
+        continue;
+      if (U != I)
+        std::copy(Buf.Ints.begin() + I * R, Buf.Ints.begin() + (I + 1) * R,
+                  Buf.Ints.begin() + U * R);
+      ++U;
+    }
+    Env[S->Slot] = Value::makeInt(U);
     return;
   }
   case StmtKind::YieldBuffer: {

@@ -117,6 +117,17 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
   std::string Flags = "-O3 -march=native -std=c11 -shared -fPIC";
   if (jitOpenMPAvailable())
     Flags += " -fopenmp";
+  // CONVGEN_JIT_FLAGS appends to every JIT compile: the sanitizer CI leg
+  // uses it to build generated code with ASan/UBSan so the whole
+  // host-binary + dlopen'd-routine boundary runs instrumented. The env
+  // value flows through this function into the disk-cache key, so
+  // differently-flagged objects never alias.
+  if (const char *Env = std::getenv("CONVGEN_JIT_FLAGS")) {
+    if (*Env) {
+      Flags += " ";
+      Flags += Env;
+    }
+  }
   if (!ExtraFlags.empty())
     Flags += " " + ExtraFlags;
   return Flags;
@@ -321,6 +332,35 @@ void jit::freeOutput(CTensor *B) {
 }
 
 tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
+  // Size guard: a natively compiled routine cannot switch strategies per
+  // tensor, so reject inputs whose dimensions demand sorted-ranking levels
+  // this object was not compiled with — running the dense-ranking code
+  // would allocate by the product of the grouping extents (gigabytes for a
+  // 2^31-extent mode) instead of O(nnz). Callers route such tensors
+  // through a dims-specialized plan (codegen::optionsForDims +
+  // PlanCache::jit); the interpreter-backed Converter does so
+  // automatically.
+  codegen::AssemblyPlan Need =
+      codegen::planAssembly(Conv.Source, Conv.Target, In.Dims);
+  if (!Need.Unsupported.empty())
+    fatalError(Need.Unsupported.c_str());
+  // Compare against the plan recorded at generation time (Conv.Asm), not
+  // a re-derivation: re-planning here would read the *current*
+  // CONVGEN_RANK_DENSE_MAX_BYTES and silently disagree with the compiled
+  // code whenever the budget changed since generation.
+  for (size_t K = 0; K < Need.Sorted.size(); ++K)
+    if (Need.Sorted[K] &&
+        (K >= Conv.Asm.Sorted.size() || !Conv.Asm.Sorted[K]))
+      fatalError(
+          strfmt("jit: conversion %s -> %s was compiled without the "
+                 "sorted-ranking strategy level %zu needs at these "
+                 "dimensions (dense ranking structures would exceed the "
+                 "CONVGEN_RANK_DENSE_MAX_BYTES budget of %lld); rebuild "
+                 "the plan with codegen::optionsForDims(source, target, "
+                 "opts, tensor.Dims)",
+                 Conv.Source.Name.c_str(), Conv.Target.Name.c_str(), K + 1,
+                 static_cast<long long>(codegen::rankDenseMaxBytes()))
+              .c_str());
   convert::checkSourceOrder(Conv, In);
   CTensor A, B;
   marshalInput(In, &A);

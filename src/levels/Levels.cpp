@@ -73,12 +73,17 @@ public:
     return ir::mul(ParentSize, Ctx.dimExtent(Spec.Dim));
   }
 
+  ir::Expr pureChildPos(AsmCtx &Ctx, ir::Expr ParentPos,
+                        const std::vector<ir::Expr> &Coords) const override {
+    ir::Expr Rel = ir::sub(Coords[static_cast<size_t>(Spec.Dim)],
+                           Ctx.dimLo(Spec.Dim));
+    return ir::add(ir::mul(ParentPos, Ctx.dimExtent(Spec.Dim)), Rel);
+  }
+
   ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
                    ir::BlockBuilder &Out) const override {
     (void)Out;
-    ir::Expr Rel = ir::sub(Env.DstCoords[static_cast<size_t>(Spec.Dim)],
-                           Ctx.dimLo(Spec.Dim));
-    return ir::add(ir::mul(Env.ParentPos, Ctx.dimExtent(Spec.Dim)), Rel);
+    return pureChildPos(Ctx, Env.ParentPos, Env.DstCoords);
   }
 };
 
@@ -89,26 +94,36 @@ public:
 class CompressedLevel : public LevelFormat {
 public:
   CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, bool Ranked,
-                  int Order)
-      : LevelFormat(Spec, K), Dedup(Dedup), Ranked(Ranked), Order(Order) {
+                  bool Sorted, int Order)
+      : LevelFormat(Spec, K), Dedup(Dedup), Ranked(Ranked), Sorted(Sorted),
+        Order(Order) {
     CONVGEN_ASSERT(!Ranked || Dedup, "ranked insertion is a dedup variant");
+    CONVGEN_ASSERT(!(Ranked && Sorted), "ranked and sorted are exclusive");
+    CONVGEN_ASSERT(!Sorted || Spec.Unique,
+                   "sorted ranking requires a unique compressed level");
   }
 
   /// Cursor-based insertion is parallel-safe exactly when the generator
   /// replaced the shared cursor: Monotone (no cursor at all) or Blocked
-  /// (partition-private cursor rows). Ranked dedup positions are a pure
-  /// function of the coordinates and parallelize under every strategy;
-  /// workspace dedup mutates shared state and never does.
+  /// (partition-private cursor rows). Ranked dedup and sorted-ranking
+  /// positions are a pure function of the coordinates and parallelize
+  /// under every strategy; workspace dedup mutates shared state and never
+  /// does.
   bool insertIsParallelSafe(const AsmCtx &Ctx) const override {
-    if (Ranked)
+    if (Ranked || Sorted)
       return true;
     return !Dedup && (Ctx.Insert == InsertStrategy::Monotone ||
                       Ctx.Insert == InsertStrategy::Blocked);
   }
 
-  bool insertUsesCursor() const override { return !Dedup; }
+  bool insertUsesCursor() const override { return !Dedup && !Sorted; }
 
   std::vector<query::Query> queries() const override {
+    // Sorted ranking derives everything (pos, crd, positions) from its
+    // own sorted tuple list; a dense-grouped query buffer is exactly what
+    // it exists to avoid.
+    if (Sorted)
+      return {};
     query::Query Q;
     for (int D = 0; D < Spec.Dim; ++D)
       Q.GroupDims.push_back(D);
@@ -144,6 +159,10 @@ public:
 
   void emitInit(AsmCtx &Ctx, ir::Expr ParentSize,
                 ir::BlockBuilder &Out) const override {
+    if (Sorted) {
+      emitSortedInit(Ctx, ParentSize, Out);
+      return;
+    }
     std::string Pos = Ctx.posName(K);
     QueryResultRef Count = Ctx.Result(K, "nir");
     if (!Ctx.ForceUnseqEdges) {
@@ -179,7 +198,7 @@ public:
   void emitInitPos(AsmCtx &Ctx, ir::Expr ParentSize,
                    ir::BlockBuilder &Out) const override {
     (void)ParentSize;
-    if (!Dedup || Ranked)
+    if (!Dedup || Ranked || Sorted)
       return;
     // Version-stamped workspace: get_pos semantics over yield_pos storage.
     Out.add(ir::alloc(wsStamp(), ir::ScalarKind::Int, Ctx.dimExtent(Spec.Dim),
@@ -242,10 +261,130 @@ public:
     Out.add(Nest);
   }
 
+  /// Sorted-ranking edge insertion (O(nnz) workspace, no dense-grouped
+  /// structure anywhere):
+  ///
+  ///   1. collect the grouping tuple (dims 0..Dim) of every stored source
+  ///      nonzero into an append buffer (one slot per stored position, so
+  ///      the pass parallelizes with disjoint writes);
+  ///   2. sort + unique the tuples — a tuple's index u in the unique list
+  ///      is its destination position, because parent positions follow
+  ///      lexicographic coordinate order for dense/ranked/sorted ancestors
+  ///      and the list is sorted in exactly that order;
+  ///   3. build the pos array from block ends: the last tuple of each
+  ///      parent's block stores u+1 into pos[parent+1] (one writer per
+  ///      cell — the loop parallelizes), then a serial forward max-fill
+  ///      closes the gaps of empty parents;
+  ///   4. write the crd array straight from the unique list.
+  ///
+  /// get_pos at insertion time is then a pure binary search (ir::lowerBound)
+  /// into the list, so insertion stays order-independent and parallel-safe.
+  void emitSortedInit(AsmCtx &Ctx, ir::Expr ParentSize,
+                      ir::BlockBuilder &Out) const {
+    int64_t R = Spec.Dim + 1;
+    ir::Expr RImm = ir::intImm(R);
+    std::string Srt = srtName();
+    std::string U = uniqueVar();
+    std::string Pos = Ctx.posName(K);
+    Out.add(ir::comment(
+        strfmt("level %d sorted ranking: collect, sort, and rank the "
+               "grouping tuples (O(nnz) workspace)",
+               K)));
+    Out.add(ir::alloc(Srt, ir::ScalarKind::Int, ir::mul(Ctx.StoredSize, RImm),
+                      false));
+    Out.add(Ctx.SourceSweep(
+        Spec.Dim,
+        [&](const std::vector<ir::Expr> &Coords, ir::Expr SrcPos) -> ir::Stmt {
+          std::string Base = "t" + std::to_string(K);
+          ir::BlockBuilder B;
+          B.add(ir::decl(Base, ir::mul(SrcPos, RImm)));
+          for (int D = 0; D <= Spec.Dim; ++D)
+            B.add(ir::store(Srt, ir::add(ir::var(Base), ir::intImm(D)),
+                            Coords[static_cast<size_t>(D)]));
+          return B.build();
+        }));
+    Out.add(ir::sortTuples(Srt, Ctx.StoredSize, R));
+    Out.add(ir::uniqueTuples(Srt, Ctx.StoredSize, R, U));
+
+    auto tupleCoords = [&](ir::Expr Index) {
+      std::vector<ir::Expr> C;
+      for (int D = 0; D <= Spec.Dim; ++D)
+        C.push_back(ir::load(
+            Srt, ir::add(ir::mul(Index, RImm), ir::intImm(D))));
+      return C;
+    };
+    Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
+                      ir::add(ParentSize, ir::intImm(1)), true));
+    {
+      std::string UV = "u" + std::to_string(K);
+      std::string PV = "up" + std::to_string(K);
+      ir::BlockBuilder Body;
+      Body.add(ir::decl(PV, Ctx.ParentPos(K, tupleCoords(ir::var(UV)))));
+      // One writer per pos cell: exactly the last tuple of each parent's
+      // block stores, so the loop needs no reduction to parallelize.
+      ir::Expr NextParent = Ctx.ParentPos(
+          K, tupleCoords(ir::add(ir::var(UV), ir::intImm(1))));
+      ir::Stmt MarkEnd =
+          ir::store(Pos, ir::add(ir::var(PV), ir::intImm(1)),
+                    ir::add(ir::var(UV), ir::intImm(1)));
+      Body.add(ir::ifThen(
+          ir::eq(ir::var(UV), ir::sub(ir::var(U), ir::intImm(1))), MarkEnd,
+          ir::ifThen(ir::ne(NextParent, ir::var(PV)), MarkEnd)));
+      Out.add(ir::markLoopParallel(
+          ir::forRange(UV, ir::intImm(0), ir::var(U), Body.build())));
+    }
+    {
+      // Forward max-fill: parents with no tuples inherit the previous
+      // block's end, pos[0] stays 0. Serial by construction (each cell
+      // reads its predecessor).
+      std::string Q = "f" + std::to_string(K);
+      ir::Expr Next = ir::add(ir::var(Q), ir::intImm(1));
+      Out.add(ir::forRange(
+          Q, ir::intImm(0), ParentSize,
+          ir::store(Pos, Next,
+                    ir::max(ir::load(Pos, Next), ir::load(Pos, ir::var(Q))))));
+    }
+    Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
+                      ir::load(Pos, ParentSize), false));
+    {
+      std::string UV = "c" + std::to_string(K);
+      Out.add(ir::markLoopParallel(ir::forRange(
+          UV, ir::intImm(0), ir::var(U),
+          ir::store(Ctx.crdName(K), ir::var(UV),
+                    ir::load(Srt, ir::add(ir::mul(ir::var(UV), RImm),
+                                          ir::intImm(Spec.Dim)))))));
+    }
+  }
+
+  ir::Expr pureChildPos(AsmCtx &Ctx, ir::Expr ParentPos,
+                        const std::vector<ir::Expr> &Coords) const override {
+    if (Sorted) {
+      // The sorted unique list is global over dims 0..Dim: the rank IS the
+      // position, independent of the parent position.
+      (void)ParentPos;
+      std::vector<ir::Expr> Keys;
+      for (int D = 0; D <= Spec.Dim; ++D)
+        Keys.push_back(Coords[static_cast<size_t>(D)]);
+      return ir::lowerBound(srtName(), ir::var(uniqueVar()), Keys);
+    }
+    if (Ranked) {
+      std::vector<ir::Expr> Rel;
+      for (int D = 0; D <= Spec.Dim; ++D)
+        Rel.push_back(ir::sub(Coords[static_cast<size_t>(D)], Ctx.dimLo(D)));
+      return ir::add(ir::load(Ctx.posName(K), ParentPos),
+                     ir::load(rankName(), rankIndex(Ctx, Rel)));
+    }
+    return nullptr;
+  }
+
   ir::Expr emitPos(AsmCtx &Ctx, const PosEnv &Env,
                    ir::BlockBuilder &Out) const override {
     std::string Pos = Ctx.posName(K);
     std::string PVar = "pB" + std::to_string(K);
+    if (Sorted) {
+      Out.add(ir::decl(PVar, pureChildPos(Ctx, Env.ParentPos, Env.DstCoords)));
+      return ir::var(PVar);
+    }
     if (Ranked) {
       // Pure: position = pos[parent] + rank of the coordinate tuple. The
       // pos array is final from edge insertion (no cursor, no shift-back),
@@ -309,12 +448,25 @@ public:
 
   void emitInsertCoord(AsmCtx &Ctx, const PosEnv &Env, ir::Expr Pk,
                        ir::BlockBuilder &Out) const override {
+    // Sorted ranking wrote the crd array from the unique list during edge
+    // insertion; repeating the store here would be redundant (and racy
+    // only in the benign identical-value sense — skip it entirely).
+    if (Sorted)
+      return;
     Out.add(ir::store(Ctx.crdName(K), Pk,
                       Env.DstCoords[static_cast<size_t>(Spec.Dim)]));
   }
 
   void emitFinalize(AsmCtx &Ctx, ir::Expr ParentSize,
                     ir::BlockBuilder &Out) const override {
+    if (Sorted) {
+      // pos was never consumed (no cursor) and crd is final: only the
+      // sorted tuple list remains to release.
+      (void)Ctx;
+      (void)ParentSize;
+      Out.add(ir::freeBuffer(srtName()));
+      return;
+    }
     if (Ranked) {
       // Ranked insertion reads pos without consuming it: nothing to shift.
       Out.add(ir::freeBuffer(rankName()));
@@ -352,12 +504,15 @@ private:
   std::string wsStamp() const { return "ws" + std::to_string(K) + "_stamp"; }
   std::string wsPos() const { return "ws" + std::to_string(K) + "_pos"; }
   std::string rankName() const { return "B" + std::to_string(K) + "_rnk"; }
+  std::string srtName() const { return "B" + std::to_string(K) + "_srt"; }
+  std::string uniqueVar() const { return "uB" + std::to_string(K); }
   std::string rankLoopVar(int D) const {
     return "r" + std::to_string(K) + "d" + std::to_string(D);
   }
 
   bool Dedup;
   bool Ranked;
+  bool Sorted;
   int Order;
 };
 
@@ -646,12 +801,15 @@ public:
 
 std::unique_ptr<LevelFormat> LevelFormat::create(const LevelSpec &Spec, int K,
                                                  bool Dedup, bool Ranked,
-                                                 int Order) {
+                                                 bool Sorted, int Order) {
+  CONVGEN_ASSERT(!Sorted || Spec.Kind == LevelKind::Compressed,
+                 "sorted ranking applies to compressed levels only");
   switch (Spec.Kind) {
   case LevelKind::Dense:
     return std::make_unique<DenseLevel>(Spec, K);
   case LevelKind::Compressed:
-    return std::make_unique<CompressedLevel>(Spec, K, Dedup, Ranked, Order);
+    return std::make_unique<CompressedLevel>(Spec, K, Dedup, Ranked, Sorted,
+                                             Order);
   case LevelKind::Singleton:
     return std::make_unique<SingletonLevel>(Spec, K);
   case LevelKind::Squeezed:

@@ -114,6 +114,30 @@ struct AsmCtx {
                                         const std::vector<ir::Expr> &)> &)>
       ParentLoop;
 
+  /// Total number of stored source positions (the size of A_vals) — the
+  /// nnz-proportional bound sorted-ranking levels size their tuple
+  /// workspaces by.
+  ir::Expr StoredSize;
+
+  /// Sorted-ranking support: emits one full pass over the source whose
+  /// body receives the destination coordinates of dims 0..UpToDim (all
+  /// plain canonical variables; planAssembly guarantees this before
+  /// selecting the sorted strategy) plus the nonzero's stored position,
+  /// and is annotated parallel when the nest's root is a loop (bodies must
+  /// write disjoint per-nonzero slots). The generator implements this over
+  /// the source iterator, with no counters involved.
+  std::function<ir::Stmt(
+      int, const std::function<ir::Stmt(const std::vector<ir::Expr> &,
+                                        ir::Expr)> &)>
+      SourceSweep;
+
+  /// Parent position of level K for the given destination coordinates, as
+  /// a pure expression (no statements): folds pureChildPos over levels
+  /// 1..K-1. Only valid when every ancestor is pure-positioned (dense, or
+  /// compressed with ranked/sorted insertion) — which planAssembly
+  /// enforces for sorted levels.
+  std::function<ir::Expr(int, const std::vector<ir::Expr> &)> ParentPos;
+
   /// Use unsequenced edge insertion (calloc + scatter + prefix sum) even
   /// where sequenced insertion is available; exercised by tests/ablations.
   bool ForceUnseqEdges = false;
@@ -165,9 +189,21 @@ public:
   /// O(prod extents of dims 0..Dim) rank array, so the generator prefers
   /// the workspace variant where the source's iteration order permits it
   /// and no descendant needs the enumeration.
+  ///
+  /// \p Sorted selects the O(nnz)-memory ranking strategy for unique
+  /// compressed levels whose dense rank array / query buffers would exceed
+  /// the planner's size threshold (huge-dimension hyper-sparse tensors):
+  /// edge insertion collects the grouping tuples of every stored nonzero
+  /// into an append buffer, sorts and uniques them, and a position is the
+  /// tuple's index in that sorted unique list (a binary search at
+  /// insertion time). Like Ranked, positions are a pure function of the
+  /// coordinates — order-independent and parallel-safe — but no structure
+  /// is sized by a dimension extent product. Coordinates are written
+  /// during edge insertion (insert_coord is a no-op) and the level issues
+  /// no attribute queries.
   static std::unique_ptr<LevelFormat> create(const formats::LevelSpec &Spec,
                                              int K, bool Dedup, bool Ranked,
-                                             int Order);
+                                             bool Sorted, int Order);
 
   virtual ~LevelFormat();
 
@@ -228,6 +264,22 @@ public:
   /// support the Monotone and Blocked strategies; the generator checks
   /// their preconditions before selecting either.
   virtual bool insertUsesCursor() const { return false; }
+
+  /// The child position for the given (parent position, destination
+  /// coordinates) as a pure expression with no emitted statements, or null
+  /// when this level's positions are not expressible that way. Dense
+  /// levels (coordinate arithmetic) and compressed levels under ranked or
+  /// sorted insertion (rank lookups / binary searches) provide it; the
+  /// sorted-ranking pos construction composes ancestor positions through
+  /// this hook, twice per loop body, which statement-emitting emitPos
+  /// variants could not support without name collisions.
+  virtual ir::Expr pureChildPos(AsmCtx &Ctx, ir::Expr ParentPos,
+                                const std::vector<ir::Expr> &Coords) const {
+    (void)Ctx;
+    (void)ParentPos;
+    (void)Coords;
+    return nullptr;
+  }
 
   /// get_pos / yield_pos: emits statements computing this nonzero's
   /// position at this level and returns the position expression.

@@ -287,3 +287,42 @@ std::vector<std::pair<std::string, Triplets>> tensor::testTensors3() {
 
   return Out;
 }
+
+std::vector<std::pair<std::string, Triplets>> tensor::testTensorsHuge3() {
+  std::vector<std::pair<std::string, Triplets>> Out;
+  const int64_t Big = int64_t(1) << 31; // A full 2^31-extent mode.
+  const int64_t Mid = int64_t(1) << 20;
+
+  // The acceptance workload: a 2^31-extent outer mode, nonzeros uniform in
+  // the box, every slice/fiber almost surely a singleton.
+  Out.push_back({"huge_mode0",
+                 genHyperSparse3(Big, Mid, Mid, 400, 71)});
+
+  // Huge inner modes: the outer mode is tame, so only the deeper levels'
+  // grouping products blow the budget (genRandomTensor3 directly, since
+  // genHyperSparse3 caps nnz at half the outer extent).
+  Out.push_back({"huge_mode12",
+                 genRandomTensor3(64, Big, Big, 300, 72)});
+
+  // Shared prefixes despite huge extents: a few mode-0 slices carry many
+  // entries, so sorted-ranking's pos/crd construction sees real fan-out.
+  Out.push_back({"huge_skewed",
+                 genSliceSkewed3(32, Big, Mid, 350, 73)});
+
+  // Duplicated boundary coordinates (0 and extent-1) exercise the binary
+  // search at both ends of the sorted list.
+  Triplets Edges;
+  Edges.setDims({Big, Big, Big});
+  Edges.Entries = {Entry{{0, 0, 0}, 1.0},
+                   Entry{{0, 0, Big - 1}, 2.0},
+                   Entry{{0, Big - 1, 0}, 3.0},
+                   Entry{{Big - 1, 0, 5}, 4.0},
+                   Entry{{Big - 1, Big - 1, Big - 1}, 5.0}};
+  Out.push_back({"huge_corners", Edges});
+
+  Triplets Empty;
+  Empty.setDims({Big, Mid, Mid});
+  Out.push_back({"huge_empty", Empty});
+
+  return Out;
+}

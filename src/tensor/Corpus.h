@@ -55,6 +55,13 @@ std::vector<std::pair<std::string, Triplets>> testMatrices();
 /// synthetics (the order-3 analog of testMatrices()).
 std::vector<std::pair<std::string, Triplets>> testTensors3();
 
+/// Huge-dimension hyper-sparse third-order tensors (up to a 2^31-extent
+/// mode, a few hundred nonzeros): the workload class where dense
+/// rank-array assembly would allocate by the product of the grouping
+/// extents and the sorted-ranking strategy must engage. Kept separate from
+/// testTensors3() so only the tests that opt in pay the strategy switch.
+std::vector<std::pair<std::string, Triplets>> testTensorsHuge3();
+
 } // namespace tensor
 } // namespace convgen
 

@@ -170,7 +170,12 @@ Triplets fill3(int64_t I, int64_t J, int64_t K, int64_t Target, uint64_t Seed,
                const std::function<int64_t(std::mt19937_64 &)> &Slice) {
   Triplets T;
   T.setDims({I, J, K});
-  Target = std::min(Target, I * J * K);
+  // Saturating capacity: huge-dimension boxes (2^31 x 2^20 x 2^20)
+  // overflow a plain I * J * K, which is UB and used to zero the target.
+  int64_t Cap = I;
+  Cap = (Cap != 0 && J > INT64_MAX / Cap) ? INT64_MAX : Cap * J;
+  Cap = (Cap != 0 && K > INT64_MAX / Cap) ? INT64_MAX : Cap * K;
+  Target = std::min(Target, Cap);
   std::mt19937_64 Rng(Seed);
   std::uniform_int_distribution<int64_t> DJ(0, J - 1), DK(0, K - 1);
   std::set<std::array<int64_t, 3>> Seen;

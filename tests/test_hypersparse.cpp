@@ -1,0 +1,291 @@
+//===----------------------------------------------------------------------===//
+// Scale-robustness tests for the sorted-ranking assembly strategy: the
+// planner's size-driven strategy selection (at/below/above the
+// CONVGEN_RANK_DENSE_MAX_BYTES budget), the O(nnz) workspace guarantee of
+// the generated code, all-pairs correctness on huge-dimension hyper-sparse
+// tensors (a 2^31-extent mode with a few hundred nonzeros) against the
+// oracle, JIT thread-count invariance on the sorted path, and the
+// size-grounds diagnostics for pairs where no fallback applies.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Generator.h"
+#include "convert/Converter.h"
+#include "convert/PlanCache.h"
+#include "formats/Standard.h"
+#include "jit/Jit.h"
+#include "tensor/Corpus.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+using namespace convgen;
+
+namespace {
+
+std::vector<int64_t> hugeDims() {
+  return {int64_t(1) << 31, int64_t(1) << 20, int64_t(1) << 20};
+}
+
+/// Scoped environment override (restores the previous value on scope exit).
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name))
+      Saved = Old;
+    setenv(Name, Value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (Saved.empty())
+      unsetenv(Name);
+    else
+      setenv(Name, Saved.c_str(), 1);
+  }
+
+private:
+  const char *Name;
+  std::string Saved;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Strategy selection
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingPlan, BudgetBoundaryPinsTheStrategy) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  // coo3 -> csf makes level 1 ranked by default; its dense footprint is
+  // the rank array plus the presence bit set: 5 bytes * dim0. With
+  // dims {64, 2, 2} that is exactly 320 bytes — at a budget of 320 the
+  // dense structures fit (<=) and ranked stays, one byte less flips the
+  // level to sorted.
+  {
+    ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "320");
+    codegen::AssemblyPlan At = codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+    EXPECT_TRUE(At.Unsupported.empty()) << At.Unsupported;
+    EXPECT_TRUE(At.Ranked[0]);
+    EXPECT_FALSE(At.Sorted[0]);
+  }
+  {
+    ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "319");
+    codegen::AssemblyPlan Above =
+        codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+    EXPECT_TRUE(Above.Unsupported.empty()) << Above.Unsupported;
+    EXPECT_TRUE(Above.Sorted[0]);
+    EXPECT_FALSE(Above.Ranked[0]);
+  }
+  {
+    // Well below the budget nothing changes.
+    ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1000000");
+    codegen::AssemblyPlan Below =
+        codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+    EXPECT_FALSE(Below.anySorted());
+    EXPECT_TRUE(Below.Ranked[0]);
+    EXPECT_TRUE(Below.Ranked[1]);
+  }
+}
+
+TEST(SortedRankingPlan, HugeDimsSwitchEveryCsfLevelAtTheDefaultBudget) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo3, Csf, hugeDims());
+  ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
+  // Level 1's rank array would be 5 * 2^31 bytes, level 2's the product
+  // with dim1, level 3's count-query buffer 4 * 2^31 * 2^20: all three
+  // take the sorted strategy.
+  EXPECT_TRUE(Plan.Sorted[0]);
+  EXPECT_TRUE(Plan.Sorted[1]);
+  EXPECT_TRUE(Plan.Sorted[2]);
+  EXPECT_FALSE(Plan.Ranked[0]);
+  EXPECT_FALSE(Plan.Ranked[1]);
+}
+
+TEST(SortedRankingPlan, NoDimsHintKeepsTheDenseDefaultPlan) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo3, Csf);
+  EXPECT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
+  EXPECT_FALSE(Plan.anySorted());
+  EXPECT_TRUE(Plan.Ranked[0]);
+  EXPECT_TRUE(Plan.Ranked[1]);
+}
+
+TEST(SortedRankingPlan, OptionsForDimsSetsTheHintOnlyWhenThePlanChanges) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Small =
+      codegen::optionsForDims(Coo3, Csf, {}, {16, 16, 16});
+  EXPECT_TRUE(Small.DimsHint.empty());
+  codegen::Options Huge = codegen::optionsForDims(Coo3, Csf, {}, hugeDims());
+  EXPECT_EQ(Huge.DimsHint, hugeDims());
+}
+
+//===----------------------------------------------------------------------===//
+// Generated-code structure: every workspace is nnz-proportional
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingCodegen, AllAllocationsAreNnzSizedNotExtentSized) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts;
+  Opts.DimsHint = hugeDims();
+  codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+  std::string Code = Conv.cSource();
+  // The sorted machinery is present; the dense ranking machinery is not.
+  EXPECT_NE(Code.find("cvg_sort_tuples"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("cvg_unique_tuples"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("cvg_lower_bound"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("_rnk"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("present"), std::string::npos) << Code;
+  // The acceptance property: no allocation in the routine is sized by a
+  // dimension extent. Every malloc/calloc derives from A1_pos[1] (= nnz)
+  // or from fiber counts bounded by it — peak rank-workspace memory is
+  // O(nnz).
+  std::istringstream Lines(Code);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.find("malloc") == std::string::npos &&
+        Line.find("calloc") == std::string::npos)
+      continue;
+    EXPECT_EQ(Line.find("dim"), std::string::npos)
+        << "extent-sized allocation in sorted-ranking routine: " << Line;
+  }
+  // The readable view shows the strategy too.
+  EXPECT_NE(Conv.pretty().find("sorted ranking"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// All-pairs correctness on the huge-dimension corpus (interpreter path;
+// Converter::run routes to the dims-specialized plan automatically)
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingConversions, HugeCorpusMatchesTheOracleAllPairs) {
+  const char *Names[] = {"coo3", "csf", "csf_102", "csf_021"};
+  auto Corpus = tensor::testTensorsHuge3();
+  for (const char *SrcName : Names) {
+    for (const char *DstName : Names) {
+      formats::Format Src = formats::standardFormatOrDie(SrcName);
+      formats::Format Dst = formats::standardFormatOrDie(DstName);
+      convert::Converter Conv(Src, Dst);
+      for (auto &[TName, T] : Corpus) {
+        tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+        tensor::SparseTensor Out = Conv.run(In);
+        Out.validate();
+        tensor::SparseTensor Want = tensor::buildFromTriplets(Dst, T);
+        EXPECT_TRUE(
+            tensor::equal(tensor::toTriplets(Out), tensor::toTriplets(Want)))
+            << SrcName << " -> " << DstName << " on " << TName;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JIT: 1-vs-4-thread bit-identity on the sorted path (acceptance criterion)
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingJit, Coo3ToCsfBitIdenticalAtOneAndFourThreads) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  std::vector<int64_t> Dims = hugeDims();
+  tensor::Triplets T =
+      tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], 20000, 91);
+  tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
+
+  convert::Converter Interp(Coo3, Csf);
+  tensor::SparseTensor Reference = Interp.run(In);
+
+  codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
+  ASSERT_EQ(Opts.DimsHint, Dims);
+  auto Native = convert::PlanCache::instance().jit(Coo3, Csf, Opts);
+  EXPECT_TRUE(Native->conversion().cSource().find("cvg_sort_tuples") !=
+              std::string::npos);
+  for (int Threads : {1, 4}) {
+    setenv("OMP_NUM_THREADS", std::to_string(Threads).c_str(), 1);
+#ifdef _OPENMP
+    omp_set_num_threads(Threads);
+#endif
+    tensor::SparseTensor FromJit = Native->run(In);
+    ASSERT_EQ(Reference.Levels.size(), FromJit.Levels.size());
+    for (size_t K = 0; K < Reference.Levels.size(); ++K) {
+      EXPECT_EQ(Reference.Levels[K].Pos, FromJit.Levels[K].Pos)
+          << "level " << K << " with " << Threads << " threads";
+      EXPECT_EQ(Reference.Levels[K].Crd, FromJit.Levels[K].Crd)
+          << "level " << K << " with " << Threads << " threads";
+    }
+    EXPECT_EQ(Reference.Vals, FromJit.Vals) << Threads << " threads";
+  }
+  unsetenv("OMP_NUM_THREADS");
+#ifdef _OPENMP
+  omp_set_num_threads(omp_get_num_procs());
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Size-grounds diagnostics where no fallback applies
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingDiagnostics, SkylineTargetIsRejectedOnSizeGrounds) {
+  formats::Format Csr = formats::standardFormatOrDie("csr");
+  formats::Format Sky = formats::standardFormatOrDie("sky");
+  // Supported at ordinary sizes...
+  EXPECT_TRUE(codegen::conversionSupported(Csr, Sky));
+  // ...but the skyline min-query buffer is 4 bytes * rows, with no sorted
+  // fallback: a 2^28-row tensor must be rejected with a diagnostic that
+  // names the budget knob instead of allocating a gigabyte.
+  std::string Why;
+  std::vector<int64_t> Dims = {int64_t(1) << 28, int64_t(1) << 28};
+  EXPECT_FALSE(codegen::conversionSupported(Csr, Sky, Dims, &Why));
+  EXPECT_NE(Why.find("size grounds"), std::string::npos) << Why;
+  EXPECT_NE(Why.find("CONVGEN_RANK_DENSE_MAX_BYTES"), std::string::npos)
+      << Why;
+}
+
+TEST(SortedRankingDiagnostics, ComputedDimensionsCannotTakeTheFallback) {
+  formats::Format Coo = formats::standardFormatOrDie("coo");
+  formats::Format Bcsr = formats::standardFormatOrDie("bcsr");
+  EXPECT_TRUE(codegen::conversionSupported(Coo, Bcsr));
+  // BCSR's stored dimensions are computed (block indices), which the
+  // tuple-collection sweep cannot read as plain coordinates.
+  std::string Why;
+  std::vector<int64_t> Dims = {int64_t(1) << 26, int64_t(1) << 26};
+  EXPECT_FALSE(codegen::conversionSupported(Coo, Bcsr, Dims, &Why));
+  EXPECT_NE(Why.find("size grounds"), std::string::npos) << Why;
+}
+
+TEST(SortedRankingDiagnosticsDeathTest, ConverterAbortsWithTheSizeReason) {
+  formats::Format Coo = formats::standardFormatOrDie("coo");
+  formats::Format Sky = formats::standardFormatOrDie("sky");
+  tensor::Triplets T;
+  T.NumRows = int64_t(1) << 28;
+  T.NumCols = int64_t(1) << 28;
+  T.Entries = {tensor::Entry{5, 2, 1.0}, tensor::Entry{9, 9, 2.0}};
+  tensor::SparseTensor In = tensor::buildFromTriplets(Coo, T);
+  convert::Converter Conv(Coo, Sky);
+  EXPECT_DEATH(Conv.run(In), "size grounds");
+}
+
+TEST(SortedRankingDiagnosticsDeathTest, JitWithoutTheSortedPlanIsRejected) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  std::vector<int64_t> Dims = hugeDims();
+  tensor::Triplets T = tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], 50, 5);
+  tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
+  // A JIT object compiled from the default (dense-ranking) plan must
+  // refuse huge-dims inputs instead of allocating by extent products.
+  auto Native = convert::PlanCache::instance().jit(Coo3, Csf);
+  EXPECT_DEATH(Native->run(In), "sorted-ranking");
+}

@@ -418,3 +418,99 @@ TEST(IrCEmit, EmitsCompleteTranslationUnit) {
   EXPECT_NE(C.find("B->pos[1] = out_pos;"), std::string::npos);
   EXPECT_NE(C.find("cvg_tensor_t"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Sorted-ranking constructs: sortTuples / uniqueTuples / lowerBound
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs sort + unique over the tuples and returns (kept tuples, count).
+std::pair<std::vector<int32_t>, int64_t>
+runSortUnique(std::vector<int32_t> Data, int64_t N, int64_t Arity) {
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(N * Arity), false));
+  B.add(forRange("i", intImm(0), intImm(N * Arity),
+                 store("buf", var("i"), load("in", var("i")))));
+  B.add(sortTuples("buf", intImm(N), Arity));
+  B.add(uniqueTuples("buf", intImm(N), Arity, "u"));
+  B.add(yieldBuffer("B1_crd", "buf", mul(var("u"), intImm(Arity))));
+  B.add(yieldScalar("B1_param", var("u")));
+  Function F{"dosort", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("in", std::move(Data));
+  RunResult R = Interp.run(F);
+  return {R.Buffers["B1_crd"].Ints, R.Scalars["B1_param"]};
+}
+
+} // namespace
+
+TEST(IrSortedRanking, SortUniqueInterpreterSemantics) {
+  // Pairs with duplicates, given unsorted: (2,1) (0,5) (2,1) (0,3) (2,0).
+  auto [Kept, U] = runSortUnique({2, 1, 0, 5, 2, 1, 0, 3, 2, 0}, 5, 2);
+  EXPECT_EQ(U, 4);
+  EXPECT_EQ(Kept, (std::vector<int32_t>{0, 3, 0, 5, 2, 0, 2, 1}));
+}
+
+TEST(IrSortedRanking, SortUniqueEmptyAndSingleton) {
+  auto [KeptEmpty, UEmpty] = runSortUnique({}, 0, 3);
+  EXPECT_EQ(UEmpty, 0);
+  EXPECT_TRUE(KeptEmpty.empty());
+  auto [KeptOne, UOne] = runSortUnique({7, 8, 9}, 1, 3);
+  EXPECT_EQ(UOne, 1);
+  EXPECT_EQ(KeptOne, (std::vector<int32_t>{7, 8, 9}));
+}
+
+TEST(IrSortedRanking, LowerBoundRanksSortedTuples) {
+  // Sorted unique pairs: (0,3) (0,5) (2,0) (2,1).
+  BlockBuilder B;
+  B.add(alloc("out", ScalarKind::Int, intImm(4), false));
+  auto Rank = [&](int Slot, int64_t K0, int64_t K1) {
+    B.add(store("out", intImm(Slot),
+                lowerBound("buf", intImm(4), {intImm(K0), intImm(K1)})));
+  };
+  Rank(0, 0, 3);  // exact hit at 0
+  Rank(1, 2, 1);  // exact hit at 3
+  Rank(2, 1, 0);  // between (0,5) and (2,0) -> 2
+  Rank(3, 9, 9);  // past the end -> 4
+  B.add(yieldBuffer("B1_crd", "out", intImm(4)));
+  Function F{"dolb", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("buf", {0, 3, 0, 5, 2, 0, 2, 1});
+  RunResult R = Interp.run(F);
+  EXPECT_EQ(R.Buffers["B1_crd"].Ints, (std::vector<int32_t>{0, 3, 2, 4}));
+}
+
+TEST(IrSortedRanking, PrintingInBothViews) {
+  Stmt Sort = sortTuples("B2_srt", var("n"), 2);
+  EXPECT_EQ(printStmt(Sort), "sort_tuples(B2_srt, n, 2);\n");
+  EXPECT_EQ(printStmtAsC(Sort), "cvg_sort_tuples(B2_srt, n, 2);\n");
+  Stmt Uniq = uniqueTuples("B2_srt", var("n"), 2, "uB2");
+  EXPECT_EQ(printStmtAsC(Uniq),
+            "int64_t uB2 = cvg_unique_tuples(B2_srt, n, 2);\n");
+  Expr Lb = lowerBound("B2_srt", var("uB2"), {var("i"), var("j")});
+  EXPECT_EQ(printExpr(Lb),
+            "cvg_lower_bound(B2_srt, uB2, 2, (const int64_t[]){i, j})");
+}
+
+TEST(IrSortedRanking, PreludeHelpersAreEmittedOnlyWhenUsed) {
+  BlockBuilder With;
+  With.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  With.add(sortTuples("b", intImm(2), 2));
+  Function FWith{"f", {{"dim0", ScalarKind::Int, false}}, With.build()};
+  EXPECT_NE(emitC(FWith).find("static void cvg_sort_tuples"),
+            std::string::npos);
+  BlockBuilder Without;
+  Without.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  Function FWithout{"f", {{"dim0", ScalarKind::Int, false}}, Without.build()};
+  EXPECT_EQ(emitC(FWithout).find("cvg_sort_tuples"), std::string::npos);
+}
+
+TEST(IrInterpDeath, SortTuplesRangeOutOfBoundsAborts) {
+  BlockBuilder B;
+  B.add(alloc("b", ScalarKind::Int, intImm(4), true));
+  B.add(sortTuples("b", intImm(3), 2)); // 3 pairs need 6 slots, only 4.
+  Function F{"f", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_DEATH(Interp.run(F), "sort_tuples range");
+}
