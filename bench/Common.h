@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace convgen {
@@ -98,6 +99,12 @@ public:
   explicit BenchReport(std::string File) : File(std::move(File)) {
     meta("scale", strfmt("%.3f", benchScale()));
     meta("reps", strfmt("%d", benchReps()));
+    // Provenance: parallel-speedup numbers are only meaningful relative to
+    // the recording host's core count (the repo's historical JSONs were
+    // recorded on a 1-CPU dev container; the CI bench-multicore leg
+    // uploads multi-core artifacts with this field set accordingly).
+    meta("host_threads",
+         strfmt("%u", std::max(1u, std::thread::hardware_concurrency())));
   }
 
   /// Adds one metadata key with a raw JSON value ("3", "0.2", "true").

@@ -1,15 +1,28 @@
 //===----------------------------------------------------------------------===//
 // Huge-dimension hyper-sparse benchmark: the workload class the
-// sorted-ranking strategy opens. A coo3 tensor with a 2^31-extent mode and
-// ~10^5 nonzeros cannot go through dense rank-array assembly at all (the
-// rank array alone would be 5 * 2^31 bytes — the planner reports the
-// size-grounds verdict, printed below), while the sorted path converts it
-// with O(nnz) workspaces; the nnz sweep demonstrates the cost tracking nnz
-// rather than any dimension extent.
+// sorted-ranking strategy opens. A coo3 tensor with a 2^31-extent mode
+// cannot go through dense rank-array assembly at all (the rank array alone
+// would be 5 * 2^31 bytes — the planner reports the size-grounds verdict,
+// printed below), while the sorted path converts it with O(nnz)
+// workspaces; the nnz sweep demonstrates the cost tracking nnz rather than
+// any dimension extent.
 //
-// Emits a human-readable table and machine-readable BENCH_hypersparse.json.
-// Environment: CONVGEN_BENCH_SCALE / CONVGEN_BENCH_REPS as usual; the
-// default scale 0.2 runs ~20k-nonzero points, scale 1.0 the full 10^5.
+// Each nnz point is measured under three list-construction variants so the
+// strategy knobs' effect is a recorded number, not a claim:
+//
+//   shared     one full-arity sort, ancestor lists by prefix compaction
+//              (the default for nested sorted levels)
+//   per-level  CONVGEN_NO_SHARED_SORT=1 CONVGEN_RANK_STRATEGY=sorted —
+//              the pre-shared-sort behavior: every level re-collects and
+//              re-sorts the same nonzeros
+//   hashed     CONVGEN_RANK_STRATEGY=hashed — open-addressing dedup before
+//              the (shared) sort
+//
+// Emits a human-readable table and machine-readable BENCH_hypersparse.json
+// (speedup columns included). Environment: CONVGEN_BENCH_SCALE /
+// CONVGEN_BENCH_REPS as usual; scale 1.0 runs the full 10^6-nonzero point
+// the shared-vs-per-level acceptance number is defined at, the default 0.2
+// a 200k smoke point.
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
@@ -18,6 +31,8 @@
 #include "tensor/Generators.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +45,41 @@ int64_t scaled(int64_t V) {
   return std::max<int64_t>(
       64, static_cast<int64_t>(static_cast<double>(V) * benchScale()));
 }
+
+/// One list-construction variant: a label plus the env overrides that
+/// select it. Overrides are applied for plan acquisition AND the timed
+/// runs (the plan key re-derives its strategy bits from the environment,
+/// so each variant lands on its own cached plan and JIT object).
+struct Variant {
+  const char *Label;
+  std::vector<std::pair<const char *, const char *>> Env;
+};
+
+class ScopedVariant {
+public:
+  explicit ScopedVariant(const Variant &V) {
+    for (const auto &[Name, Value] : V.Env) {
+      const char *Old = std::getenv(Name);
+      Saved.emplace_back(Name, Old ? std::make_optional<std::string>(Old)
+                                   : std::nullopt);
+      setenv(Name, Value, 1);
+    }
+  }
+  ~ScopedVariant() {
+    // Restore, don't unset: an ambient knob (e.g. the README-documented
+    // CONVGEN_RANK_STRATEGY) must survive across variants, or later
+    // "shared" rows would silently measure a different configuration.
+    for (const auto &[Name, Old] : Saved) {
+      if (Old)
+        setenv(Name, Old->c_str(), 1);
+      else
+        unsetenv(Name);
+    }
+  }
+
+private:
+  std::vector<std::pair<const char *, std::optional<std::string>>> Saved;
+};
 
 } // namespace
 
@@ -53,7 +103,8 @@ int main() {
   // The dense path is genuinely rejected at these dimensions: without the
   // sorted fallback the planner's only honest answer is a size-grounds
   // diagnostic (exercised here through a pair that has no fallback), and
-  // with it the plan switches every CSF level to sorted ranking.
+  // with it the plan switches every CSF level to sorted ranking sharing
+  // one full-arity sort.
   {
     std::string Why;
     bool Rejected = !codegen::conversionSupported(
@@ -66,34 +117,76 @@ int main() {
     std::string Sorted;
     for (bool S : Plan.Sorted)
       Sorted += S ? '1' : '0';
-    std::printf("coo3->csf strategy at (2^31, 2^20, 2^20): sorted levels %s\n\n",
-                Sorted.c_str());
+    std::printf("coo3->csf strategy at (2^31, 2^20, 2^20): sorted levels %s, "
+                "shared-sort anchor level %d\n\n",
+                Sorted.c_str(), Plan.SharedSortAnchor);
     Report.metaStr("sorted_levels", Sorted);
+    Report.meta("shared_sort_anchor",
+                strfmt("%d", Plan.SharedSortAnchor));
   }
 
-  codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
-  std::printf("%-22s %12s %12s %14s\n", "case", "median_ms", "min_ms",
+  // Every knob is pinned in every variant, so an ambient
+  // CONVGEN_RANK_STRATEGY / CONVGEN_NO_SHARED_SORT in the caller's
+  // environment cannot relabel a row.
+  const Variant Variants[] = {
+      {"shared",
+       {{"CONVGEN_NO_SHARED_SORT", "0"}, {"CONVGEN_RANK_STRATEGY", "sorted"}}},
+      {"perlevel",
+       {{"CONVGEN_NO_SHARED_SORT", "1"}, {"CONVGEN_RANK_STRATEGY", "sorted"}}},
+      {"hashed",
+       {{"CONVGEN_NO_SHARED_SORT", "0"}, {"CONVGEN_RANK_STRATEGY", "hashed"}}},
+  };
+
+  std::printf("%-26s %12s %12s %14s\n", "case", "median_ms", "min_ms",
               "ns_per_nnz");
-  const int64_t FullNnz = scaled(100000);
+  const int64_t FullNnz = scaled(1000000);
+  double SharedVsPerLevel = 0;
   for (int64_t Nnz : {FullNnz / 4, FullNnz / 2, FullNnz}) {
     tensor::Triplets T =
         tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], Nnz, 401);
     tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
-    const jit::JitConversion &Fwd = jitConversion("coo3", "csf", Opts);
-    TimeStats S = timeJitStats(Fwd, In);
-    std::string Label = strfmt("coo3_to_csf.%lldk",
-                               static_cast<long long>(T.nnz() / 1000));
-    double NsPerNnz = T.nnz() ? S.MedianSeconds * 1e9 /
-                                    static_cast<double>(T.nnz())
-                              : 0;
-    std::printf("%-22s %12.3f %12.3f %14.1f\n", Label.c_str(),
-                S.MedianSeconds * 1e3, S.MinSeconds * 1e3, NsPerNnz);
-    Report.add(strfmt("{\"label\": \"%s\", \"nnz\": %lld, "
-                      "\"median_seconds\": %.6g, \"min_seconds\": %.6g, "
-                      "\"ns_per_nnz\": %.1f}",
-                      Label.c_str(), static_cast<long long>(T.nnz()),
-                      S.MedianSeconds, S.MinSeconds, NsPerNnz));
+    double MedianByVariant[3] = {0, 0, 0};
+    for (size_t V = 0; V < 3; ++V) {
+      ScopedVariant Env(Variants[V]);
+      codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
+      const jit::JitConversion &Fwd = jitConversion("coo3", "csf", Opts);
+      TimeStats S = timeJitStats(Fwd, In);
+      MedianByVariant[V] = S.MedianSeconds;
+      std::string Label =
+          strfmt("coo3_to_csf.%lldk.%s",
+                 static_cast<long long>(T.nnz() / 1000), Variants[V].Label);
+      double NsPerNnz = T.nnz() ? S.MedianSeconds * 1e9 /
+                                      static_cast<double>(T.nnz())
+                                : 0;
+      std::printf("%-26s %12.3f %12.3f %14.1f\n", Label.c_str(),
+                  S.MedianSeconds * 1e3, S.MinSeconds * 1e3, NsPerNnz);
+      Report.add(strfmt("{\"label\": \"%s\", \"variant\": \"%s\", "
+                        "\"nnz\": %lld, \"median_seconds\": %.6g, "
+                        "\"min_seconds\": %.6g, \"ns_per_nnz\": %.1f}",
+                        Label.c_str(), Variants[V].Label,
+                        static_cast<long long>(T.nnz()), S.MedianSeconds,
+                        S.MinSeconds, NsPerNnz));
+    }
+    double Speedup = MedianByVariant[0] > 0
+                         ? MedianByVariant[1] / MedianByVariant[0]
+                         : 0;
+    double HashedRatio = MedianByVariant[0] > 0
+                             ? MedianByVariant[2] / MedianByVariant[0]
+                             : 0;
+    std::printf("  %-24s %.2fx vs per-level, hashed/shared %.2fx\n",
+                "shared-sort speedup:", Speedup, HashedRatio);
+    Report.add(strfmt("{\"label\": \"coo3_to_csf.%lldk.speedups\", "
+                      "\"nnz\": %lld, "
+                      "\"shared_vs_perlevel_speedup\": %.3f, "
+                      "\"hashed_over_shared_ratio\": %.3f}",
+                      static_cast<long long>(T.nnz() / 1000),
+                      static_cast<long long>(T.nnz()), Speedup,
+                      HashedRatio));
+    if (Nnz == FullNnz)
+      SharedVsPerLevel = Speedup;
   }
+  Report.meta("shared_vs_perlevel_speedup_full",
+              strfmt("%.3f", SharedVsPerLevel));
 
   // Round-trip leg: csf back to coo3 at the full point (needs no sorted
   // levels — the coo3 target has no dense ranking structures — so it also
@@ -105,7 +198,7 @@ int main() {
     codegen::Options Back = codegen::optionsForDims(Csf, Coo3, {}, Dims);
     const jit::JitConversion &Rev = jitConversion("csf", "coo3", Back);
     TimeStats S = timeJitStats(Rev, InCsf);
-    std::printf("%-22s %12.3f %12.3f %14.1f\n", "csf_to_coo3",
+    std::printf("%-26s %12.3f %12.3f %14.1f\n", "csf_to_coo3",
                 S.MedianSeconds * 1e3, S.MinSeconds * 1e3,
                 T.nnz() ? S.MedianSeconds * 1e9 /
                               static_cast<double>(T.nnz())

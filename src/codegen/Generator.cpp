@@ -465,6 +465,7 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
   Plan.Dedup.assign(N, false);
   Plan.Ranked.assign(N, false);
   Plan.Sorted.assign(N, false);
+  Plan.Hashed.assign(N, false);
 
   auto isEdge = [&](size_t K) {
     return Dst.Levels[K].Kind == LevelKind::Compressed ||
@@ -653,6 +654,55 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
     Plan.Ranked[K] = false;
   }
 
+  // List-construction variant per sorted level: the hashed-presence
+  // pre-dedup when forced by CONVGEN_RANK_STRATEGY=hashed, or — in auto —
+  // when the level's grouping tuple is narrower than the tensor order:
+  // projection onto the narrower tuple is where duplicates arise at all
+  // (certain once nnz exceeds the grouping space; on fully hyper-sparse
+  // data the pre-dedup finds none and costs one O(nnz) hash pass, which
+  // the saved comparison depth of the wider-tuple sort does not always
+  // repay — width is a heuristic, not a proof, and the knob overrides it).
+  RankStrategy Strategy = rankStrategyKnob();
+  for (size_t K = 0; K < N; ++K) {
+    if (!Plan.Sorted[K])
+      continue;
+    int Width = Dst.Levels[K].Dim + 1;
+    Plan.Hashed[K] =
+        Strategy == RankStrategy::Hashed ||
+        (Strategy == RankStrategy::Auto && Width < Dst.order());
+  }
+
+  // Shared full-arity sort: when several levels are sorted, their grouping
+  // tuples (dims 0..Dim each) nest by construction whenever the arities
+  // strictly increase with level depth — every shallower tuple is then a
+  // prefix of the deepest level's. One collect+sort+unique at the deepest
+  // arity serves them all: ancestor lists are prefix compactions of the
+  // anchor's (Chou et al.'s attribute queries are projections of one
+  // deepest-level sorted tuple list). Non-nested grouping keeps the
+  // per-level sorts.
+  {
+    std::vector<size_t> SortedLevels;
+    for (size_t K = 0; K < N; ++K)
+      if (Plan.Sorted[K])
+        SortedLevels.push_back(K);
+    bool Nested = SortedLevels.size() >= 2;
+    for (size_t I = 0; I + 1 < SortedLevels.size(); ++I)
+      Nested = Nested && Dst.Levels[SortedLevels[I]].Dim <
+                             Dst.Levels[SortedLevels[I + 1]].Dim;
+    const char *Disable = std::getenv("CONVGEN_NO_SHARED_SORT");
+    if (Disable && *Disable && std::string(Disable) != "0")
+      Nested = false;
+    if (Nested) {
+      Plan.SharedSortAnchor = static_cast<int>(SortedLevels.back()) + 1;
+      // Only the anchor constructs a list under sharing (everyone else
+      // prefix-compacts the anchor's buffer), so only its hashed bit is
+      // live — clear the rest to keep the reported plan truthful.
+      for (size_t K : SortedLevels)
+        if (static_cast<int>(K) + 1 != Plan.SharedSortAnchor)
+          Plan.Hashed[K] = false;
+    }
+  }
+
   // The sequenced workspace survives only where neither ranked nor sorted
   // replaced it; note when its prefix spans non-dense source levels, whose
   // order is data-dependent (csc -> coo legally yields column-major coo)
@@ -822,11 +872,11 @@ Conversion Generator::run() {
   Shape.Remap = Dst.Remap;
   Shape.Bounds = remap::analyzeBounds(Dst.Remap, SrcDims);
 
-  // Level formats with the plan's dedup/ranked/sorted decisions.
+  // Level formats with the plan's dedup/ranked/sorted/hashed decisions.
   for (size_t K = 0; K < Dst.Levels.size(); ++K)
     Levels.push_back(levels::LevelFormat::create(
         Dst.Levels[K], static_cast<int>(K) + 1, Plan.Dedup[K],
-        Plan.Ranked[K], Plan.Sorted[K], Dst.order()));
+        Plan.Ranked[K], Plan.Sorted[K], Plan.Hashed[K], Dst.order()));
 
   // Compile the attribute queries the levels declare.
   std::vector<std::pair<int, query::Query>> LevelQueries;
@@ -935,6 +985,20 @@ Conversion Generator::run() {
 
   // Phase 2: per-level initialization (edge insertion, perm/K, arrays).
   Fn.add(ir::comment("assembly: edge insertion and initialization"));
+  // Shared full-arity sort: one collect+sort+unique at the anchor level's
+  // arity, emitted before any level init so every sorted level's emitInit
+  // (shallowest first) can derive its own list from the shared buffer.
+  if (Plan.SharedSortAnchor > 0) {
+    Ctx.SharedSortAnchor = Plan.SharedSortAnchor;
+    Ctx.SharedSortArity =
+        Dst.Levels[static_cast<size_t>(Plan.SharedSortAnchor - 1)].Dim + 1;
+    Fn.add(ir::comment(strfmt(
+        "shared sorted ranking: one full-arity sort feeds levels' prefix "
+        "lists (anchor level %d)",
+        Plan.SharedSortAnchor)));
+    Levels[static_cast<size_t>(Plan.SharedSortAnchor - 1)]
+        ->emitSharedListBuild(Ctx, Fn);
+  }
   LevelSizes.push_back(ir::intImm(1));
   for (size_t K = 0; K < Levels.size(); ++K) {
     Ctx.ParentSize[static_cast<int>(K) + 1] = LevelSizes.back();
@@ -958,6 +1022,21 @@ Conversion Generator::run() {
     emitCounterSetup(CounterInit, Resets);
     Fn.add(CounterInit.build());
   }
+  // Liveness of each level's position inside the insertion body: level K's
+  // position feeds its own insert_coord store, level K+1's get_pos (as the
+  // parent position), and — for the last level — the vals store. Sorted
+  // levels consume neither (their get_pos is a global rank and their crd
+  // was written during edge insertion), so in an all-sorted chain only the
+  // deepest rank is computed: one binary search per nonzero instead of one
+  // per level. Only side-effect-free positions may be skipped (cursor
+  // advances and workspace stamps must run regardless).
+  std::vector<bool> PosSkipped(Levels.size(), false);
+  for (size_t K = 0; K < Levels.size(); ++K) {
+    bool Consumed = K + 1 == Levels.size() ||
+                    !Levels[K]->insertCoordIsNoOp() ||
+                    !Levels[K + 1]->posIgnoresParent();
+    PosSkipped[K] = !Consumed && Levels[K]->posIsPure();
+  }
   auto InsertionBody = [&](const levels::IterEnv &Env) -> ir::Stmt {
     ir::BlockBuilder Body;
     if (!Materialize)
@@ -965,6 +1044,12 @@ Conversion Generator::run() {
     std::vector<ir::Expr> Coords = dstCoords(Env, Body, Materialize);
     levels::PosEnv PEnv{ir::intImm(0), Coords, Env.LastPos};
     for (size_t K = 0; K < Levels.size(); ++K) {
+      if (PosSkipped[K]) {
+        // The next level ignores the parent position; keep a harmless
+        // placeholder so PosEnv stays well-formed.
+        PEnv.ParentPos = ir::intImm(0);
+        continue;
+      }
       ir::Expr Pk = Levels[K]->emitPos(Ctx, PEnv, Body);
       if (Pk->Kind != ir::ExprKind::Var &&
           Pk->Kind != ir::ExprKind::IntImm) {
@@ -1031,6 +1116,18 @@ int64_t codegen::rankDenseMaxBytes() {
       return static_cast<int64_t>(V);
   }
   return int64_t(64) << 20;
+}
+
+RankStrategy codegen::rankStrategyKnob() {
+  const char *Env = std::getenv("CONVGEN_RANK_STRATEGY");
+  if (!Env)
+    return RankStrategy::Auto;
+  std::string V = Env;
+  if (V == "sorted")
+    return RankStrategy::Sorted;
+  if (V == "hashed")
+    return RankStrategy::Hashed;
+  return RankStrategy::Auto;
 }
 
 AssemblyPlan codegen::planAssembly(const formats::Format &Source,

@@ -67,6 +67,22 @@ struct AssemblyPlan {
   /// search positions instead of dense rank arrays / query buffers, chosen
   /// when the dense footprint would exceed rankDenseMaxBytes().
   std::vector<bool> Sorted;
+  /// Sorted level builds its list through the hashed-presence variant
+  /// (open-addressing dedup before the sort, so the sort touches only
+  /// distinct tuples). Selected by CONVGEN_RANK_STRATEGY=hashed, or — as
+  /// a width heuristic — automatically when the level's grouping tuple is
+  /// narrower than the tensor order, where projection creates duplicates
+  /// (certain once nnz exceeds the grouping space, though hyper-sparse
+  /// data may still dedup nothing). Always a subset of Sorted; results
+  /// are bit-identical to the plain sorted variant.
+  std::vector<bool> Hashed;
+  /// Nonzero: all sorted levels group by nested prefixes of one coordinate
+  /// tuple, and this (1-based) level — the deepest, full-arity one —
+  /// anchors a single shared collect+sort+unique that every other sorted
+  /// level derives its list from by prefix compaction. 0 when levels sort
+  /// independently (fewer than two sorted levels, non-nested grouping
+  /// tuples, or CONVGEN_NO_SHARED_SORT=1).
+  int SharedSortAnchor = 0;
   /// Leading source levels whose lexicographic order the sequenced dedup
   /// workspace trusts but the source format cannot guarantee structurally;
   /// the converter validates them at run time. 0 when no check is needed.
@@ -76,6 +92,12 @@ struct AssemblyPlan {
   bool anySorted() const {
     for (bool S : Sorted)
       if (S)
+        return true;
+    return false;
+  }
+  bool anyHashed() const {
+    for (bool H : Hashed)
+      if (H)
         return true;
     return false;
   }
@@ -95,6 +117,19 @@ AssemblyPlan planAssembly(const formats::Format &Source,
 /// CONVGEN_RANK_DENSE_MAX_BYTES on every call (so tests can vary it);
 /// defaults to 64 MiB.
 int64_t rankDenseMaxBytes();
+
+/// How sorted-ranking levels build their unique tuple lists. Auto applies
+/// the width heuristic (hash-dedup before sorting whenever the level's
+/// grouping tuple is narrower than the tensor order, i.e. duplicates are
+/// guaranteed); Sorted forces the plain sort+unique; Hashed forces the
+/// hash-dedup pre-pass everywhere.
+enum class RankStrategy : uint8_t { Auto, Sorted, Hashed };
+
+/// The CONVGEN_RANK_STRATEGY environment knob ("auto" | "sorted" |
+/// "hashed"; anything else, including unset, reads as auto). Re-read on
+/// every call. The knob participates in plan keys and JIT compile flags so
+/// flipping it can never hit a stale cached plan or shared object.
+RankStrategy rankStrategyKnob();
 
 /// Returns \p Opts with DimsHint populated iff these dims change the
 /// pair's assembly plan (a sorted level or a size-grounds rejection);

@@ -87,9 +87,13 @@ std::string convert::planKey(const formats::Format &Source,
              Opts.CounterReuse ? 1 : 0, Opts.ForceUnseqEdges ? 1 : 0,
              Opts.MaterializeRemap ? 1 : 0);
   // A dims hint changes the generated code only through the assembly
-  // strategy it selects (which levels go sorted/ranked/dedup), so the key
-  // carries those bits rather than the raw dims: every huge-dims tensor
-  // that lands on the same strategy shares one plan and one JIT object.
+  // strategy it selects (which levels go sorted/hashed/ranked/dedup and
+  // whether they share one full-arity sort), so the key carries those bits
+  // rather than the raw dims: every huge-dims tensor that lands on the
+  // same strategy shares one plan and one JIT object. The bits are
+  // re-derived from the *current* environment on every lookup, so flipping
+  // CONVGEN_RANK_STRATEGY / CONVGEN_NO_SHARED_SORT /
+  // CONVGEN_RANK_DENSE_MAX_BYTES can never hit a stale cached plan.
   // optionsForDims() keeps the hint empty whenever the dims do not affect
   // the plan, so ordinary tensors share the default entry per pair.
   if (!Opts.DimsHint.empty()) {
@@ -97,7 +101,10 @@ std::string convert::planKey(const formats::Format &Source,
         codegen::planAssembly(Source, Target, Opts.DimsHint);
     Key += " [s";
     for (size_t K = 0; K < Plan.Sorted.size(); ++K)
-      Key += Plan.Sorted[K] ? '1' : (Plan.Ranked[K] ? 'r' : '0');
+      Key += Plan.Sorted[K] ? (Plan.Hashed[K] ? 'h' : '1')
+                            : (Plan.Ranked[K] ? 'r' : '0');
+    if (Plan.SharedSortAnchor > 0)
+      Key += ":g" + std::to_string(Plan.SharedSortAnchor);
     if (!Plan.Unsupported.empty()) {
       // Unsupported-at-these-dims plans abort in codegen; keep their keys
       // distinct per dims so the diagnostic mentions the right sizes.

@@ -410,13 +410,19 @@ Stmt ir::yieldScalar(const std::string &Slot, Expr Value) {
   return S;
 }
 
-Stmt ir::scan(const std::string &Buffer, Expr Length, ScanKind Kind) {
+Stmt ir::scan(const std::string &Buffer, Expr Length, ScanKind Kind,
+              ReduceOp Op) {
   CONVGEN_ASSERT(Length != nullptr, "scan requires a length");
+  CONVGEN_ASSERT(Op == ReduceOp::Add || Op == ReduceOp::Max,
+                 "scan combines with Add or Max only");
+  CONVGEN_ASSERT(Op == ReduceOp::Add || Kind == ScanKind::Inclusive,
+                 "max scans are inclusive (identity 0 over non-negatives)");
   Stmt S = makeStmt(StmtKind::Scan);
   StmtNode &N = const_cast<StmtNode &>(*S);
   N.Name = Buffer;
   N.A = std::move(Length);
   N.Scan = Kind;
+  N.Reduce = Op;
   return S;
 }
 
@@ -439,6 +445,39 @@ Stmt ir::uniqueTuples(const std::string &Buffer, Expr Count, int64_t Arity,
   Stmt S = makeStmt(StmtKind::UniqueTuples);
   StmtNode &N = const_cast<StmtNode &>(*S);
   N.Name = Buffer;
+  N.Slot = CountVar;
+  N.A = std::move(Count);
+  N.Arity = Arity;
+  return S;
+}
+
+Stmt ir::uniquePrefix(const std::string &Src, Expr Count, int64_t SrcArity,
+                      const std::string &Dst, int64_t DstArity,
+                      const std::string &CountVar) {
+  CONVGEN_ASSERT(Count != nullptr, "uniquePrefix requires a tuple count");
+  CONVGEN_ASSERT(SrcArity >= 1 && DstArity >= 1 && DstArity <= SrcArity,
+                 "uniquePrefix requires 1 <= DstArity <= SrcArity");
+  CONVGEN_ASSERT(!CountVar.empty(), "uniquePrefix requires a result name");
+  Stmt S = makeStmt(StmtKind::UniquePrefix);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Src;
+  N.Buffer2 = Dst;
+  N.Slot = CountVar;
+  N.A = std::move(Count);
+  N.Arity = SrcArity;
+  N.Arity2 = DstArity;
+  return S;
+}
+
+Stmt ir::hashDistinct(const std::string &Src, Expr Count, int64_t Arity,
+                      const std::string &Dst, const std::string &CountVar) {
+  CONVGEN_ASSERT(Count != nullptr, "hashDistinct requires a tuple count");
+  CONVGEN_ASSERT(Arity >= 1, "hashDistinct requires a positive arity");
+  CONVGEN_ASSERT(!CountVar.empty(), "hashDistinct requires a result name");
+  Stmt S = makeStmt(StmtKind::HashDistinct);
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Name = Src;
+  N.Buffer2 = Dst;
   N.Slot = CountVar;
   N.A = std::move(Count);
   N.Arity = Arity;
@@ -583,13 +622,24 @@ static const char *cElemType(ScalarKind Kind) {
 static void printScanC(const Stmt &S, const std::string &Pad,
                        std::string &Out) {
   bool Incl = S->Scan == ScanKind::Inclusive;
+  bool IsMax = S->Reduce == ReduceOp::Max;
   const std::string &X = S->Name;
   std::string Body =
-      Incl ? "cvg_acc += " + X + "[cvg_k]; " + X + "[cvg_k] = cvg_acc;"
-           : "int32_t cvg_v = " + X + "[cvg_k]; " + X +
-                 "[cvg_k] = cvg_acc; cvg_acc += cvg_v;";
-  Out += Pad + "{ // " + (Incl ? "inclusive" : "exclusive") + " scan of " +
-         X + "[0:" + printExpr(S->A) + "]\n";
+      IsMax ? "cvg_acc = cvg_max(cvg_acc, " + X + "[cvg_k]); " + X +
+                  "[cvg_k] = cvg_acc;"
+      : Incl ? "cvg_acc += " + X + "[cvg_k]; " + X + "[cvg_k] = cvg_acc;"
+             : "int32_t cvg_v = " + X + "[cvg_k]; " + X +
+                   "[cvg_k] = cvg_acc; cvg_acc += cvg_v;";
+  std::string Accumulate =
+      IsMax ? "cvg_acc = cvg_max(cvg_acc, " + X + "[cvg_k]);"
+            : "cvg_acc += " + X + "[cvg_k];";
+  std::string Carry =
+      IsMax ? "cvg_sums[cvg_b] = cvg_carry; "
+              "cvg_carry = cvg_max(cvg_carry, cvg_t);"
+            : "cvg_sums[cvg_b] = cvg_carry; cvg_carry += cvg_t;";
+  Out += Pad + "{ // " + (Incl ? "inclusive" : "exclusive") +
+         (IsMax ? " max scan of " : " scan of ") + X + "[0:" +
+         printExpr(S->A) + "]\n";
   std::string In = Pad + "  ";
   Out += In + "int64_t cvg_n = " + printExpr(S->A) + ";\n";
   Out += In + "int64_t cvg_p = cvg_nparts();\n";
@@ -602,13 +652,12 @@ static void printScanC(const Stmt &S, const std::string &Pad,
   Out += In + "    int32_t cvg_acc = 0;\n";
   Out += In + "    for (int64_t cvg_k = cvg_n * cvg_b / cvg_p; "
               "cvg_k < cvg_n * (cvg_b + 1) / cvg_p; cvg_k++)\n";
-  Out += In + "      cvg_acc += " + X + "[cvg_k];\n";
+  Out += In + "      " + Accumulate + "\n";
   Out += In + "    cvg_sums[cvg_b] = cvg_acc;\n";
   Out += In + "  }\n";
   Out += In + "  int32_t cvg_carry = 0;\n";
   Out += In + "  for (int64_t cvg_b = 0; cvg_b < cvg_p; cvg_b++) {\n";
-  Out += In + "    int32_t cvg_t = cvg_sums[cvg_b]; "
-              "cvg_sums[cvg_b] = cvg_carry; cvg_carry += cvg_t;\n";
+  Out += In + "    int32_t cvg_t = cvg_sums[cvg_b]; " + Carry + "\n";
   Out += In + "  }\n";
   Out += In + "  #pragma omp parallel for\n";
   Out += In + "  for (int64_t cvg_b = 0; cvg_b < cvg_p; cvg_b++) {\n";
@@ -763,10 +812,12 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out,
       printScanC(S, Pad, Out);
     } else {
       // Figure 6 view: a compact pseudo-op keeps the routine readable.
-      Out += Pad +
-             (S->Scan == ScanKind::Inclusive ? "inclusive_scan("
-                                             : "exclusive_scan(") +
-             S->Name + ", " + printExpr(S->A) + ");\n";
+      const char *Op = S->Reduce == ReduceOp::Max
+                           ? "inclusive_max_scan("
+                           : (S->Scan == ScanKind::Inclusive
+                                  ? "inclusive_scan("
+                                  : "exclusive_scan(");
+      Out += Pad + Op + S->Name + ", " + printExpr(S->A) + ");\n";
     }
     return;
   case StmtKind::SortTuples:
@@ -793,6 +844,23 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out,
                           printExpr(S->A).c_str(),
                           static_cast<long long>(S->Arity));
     }
+    return;
+  case StmtKind::UniquePrefix:
+    Out += Pad + strfmt("int64_t %s = %s(%s, %s, %lld, %s, %lld);\n",
+                        S->Slot.c_str(),
+                        CMode ? "cvg_unique_prefix" : "unique_prefix",
+                        S->Name.c_str(), printExpr(S->A).c_str(),
+                        static_cast<long long>(S->Arity),
+                        S->Buffer2.c_str(),
+                        static_cast<long long>(S->Arity2));
+    return;
+  case StmtKind::HashDistinct:
+    Out += Pad + strfmt("int64_t %s = %s(%s, %s, %lld, %s);\n",
+                        S->Slot.c_str(),
+                        CMode ? "cvg_hash_distinct" : "hash_distinct",
+                        S->Name.c_str(), printExpr(S->A).c_str(),
+                        static_cast<long long>(S->Arity),
+                        S->Buffer2.c_str());
     return;
   case StmtKind::PhaseMark:
     if (!CMode) {

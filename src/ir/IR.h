@@ -166,10 +166,12 @@ enum class StmtKind : uint8_t {
   Comment,
   YieldBuffer, ///< Publish Buffer (length A) to output slot Slot.
   YieldScalar, ///< Publish scalar A to output slot Slot.
-  Scan,      ///< In-place prefix sum over Buffer[0:A] (see scan()).
+  Scan,      ///< In-place prefix sum/max over Buffer[0:A] (see scan()).
   PhaseMark, ///< Phase-boundary timing probe (see phaseMark()).
   SortTuples,   ///< Lexicographic in-place tuple sort (see sortTuples()).
   UniqueTuples, ///< Adjacent-duplicate compaction (see uniqueTuples()).
+  UniquePrefix, ///< Prefix compaction of a sorted list (see uniquePrefix()).
+  HashDistinct, ///< Hash-table tuple dedup (see hashDistinct()).
 };
 
 /// Reduction applied by a Store: Buffer[I] op= V.
@@ -198,14 +200,19 @@ struct StmtNode {
   StmtKind Kind;
   std::vector<Stmt> Stmts; ///< Block members.
   std::string Name;        ///< Variable or buffer name; comment text.
-  std::string Slot;        ///< Yield output slot.
+  std::string Slot;        ///< Yield output slot; count-variable name for
+                           ///< UniqueTuples/UniquePrefix/HashDistinct.
   ScalarKind Type = ScalarKind::Int;
   Expr A, B;
   Stmt Body, Else;
-  ReduceOp Reduce = ReduceOp::None;
+  ReduceOp Reduce = ReduceOp::None; ///< Store reduction; Scan combiner.
   ScanKind Scan = ScanKind::Inclusive; ///< Scan only.
   int64_t Phase = 0;                   ///< PhaseMark only: phase index.
-  int64_t Arity = 1; ///< SortTuples/UniqueTuples only: ints per tuple.
+  int64_t Arity = 1; ///< Tuple ops only: ints per (source) tuple.
+  /// UniquePrefix/HashDistinct only: the destination buffer.
+  std::string Buffer2;
+  /// UniquePrefix only: ints per destination tuple (the prefix length).
+  int64_t Arity2 = 0;
   bool ZeroInit = false;
   /// For only: iterations are independent (or reduction-combined) and may
   /// run concurrently. Lowered by the C emitter to `#pragma omp parallel
@@ -238,18 +245,21 @@ Stmt yieldBuffer(const std::string &Slot, const std::string &Buffer,
                  Expr Length);
 Stmt yieldScalar(const std::string &Slot, Expr Value);
 
-/// In-place integer prefix sum of Buffer[0:Length]: after execution,
-/// element k holds the sum of elements 0..k (inclusive) or 0..k-1
-/// (exclusive) of the original contents, in int32 arithmetic. The
-/// interpreter runs it as the obvious serial loop (the bit-exact oracle);
-/// the C emitter lowers it to a two-pass blocked scan that parallelizes
-/// under OpenMP and degenerates to the serial loop at one partition. Both
-/// agree bit-for-bit for any partition count because int32 addition is
-/// associative modulo 2^32. This is how generated routines express the
-/// pos-array accumulation of unsequenced edge insertion (§6.1) without
-/// baking in a serial loop.
+/// In-place integer prefix combine of Buffer[0:Length]: after execution,
+/// element k holds the combination of elements 0..k (inclusive) or 0..k-1
+/// (exclusive) of the original contents, in int32 arithmetic. \p Op picks
+/// the combiner: Add (the default prefix sum) or Max (prefix maximum; only
+/// the inclusive kind, with identity 0, so buffers must be non-negative —
+/// how sorted-ranking assembly closes the gaps of empty parents in its pos
+/// arrays without a serial forward fill). The interpreter runs the obvious
+/// serial loop (the bit-exact oracle); the C emitter lowers to a two-pass
+/// blocked scan that parallelizes under OpenMP and degenerates to the
+/// serial loop at one partition. Both agree bit-for-bit for any partition
+/// count because int32 addition (mod 2^32) and max are associative. This
+/// is how generated routines express the pos-array accumulation of
+/// unsequenced edge insertion (§6.1) without baking in a serial loop.
 Stmt scan(const std::string &Buffer, Expr Length,
-          ScanKind Kind = ScanKind::Inclusive);
+          ScanKind Kind = ScanKind::Inclusive, ReduceOp Op = ReduceOp::Add);
 
 /// Sorts the \p Count tuples of \p Buffer in place into lexicographic
 /// order. Tuples are \p Arity consecutive int32 elements each (row-major,
@@ -267,6 +277,33 @@ Stmt sortTuples(const std::string &Buffer, Expr Count, int64_t Arity);
 /// distinct tuples kept. Serial in both backends (a single O(n) pass).
 Stmt uniqueTuples(const std::string &Buffer, Expr Count, int64_t Arity,
                   const std::string &CountVar);
+
+/// Compacts the distinct length-\p DstArity prefixes of the \p Count sorted
+/// tuples in \p Src (arity \p SrcArity >= DstArity) into \p Dst, in order,
+/// and declares the int64 variable \p CountVar holding how many were kept.
+/// Because Src is sorted, the distinct prefixes come out sorted too — this
+/// is how shared-sort assembly derives every ancestor level's unique list
+/// from the one full-arity sorted buffer instead of re-sorting per level.
+/// The interpreter runs the serial compaction (the bit-exact oracle); the C
+/// emitter lowers to cvg_unique_prefix, a blocked two-pass compaction
+/// (count first-of-prefix flags per partition, offset, copy) that
+/// parallelizes under OpenMP. The output is a pure function of the input,
+/// so any partition count produces bit-identical buffers.
+Stmt uniquePrefix(const std::string &Src, Expr Count, int64_t SrcArity,
+                  const std::string &Dst, int64_t DstArity,
+                  const std::string &CountVar);
+
+/// Gathers the distinct tuples of \p Src (first-seen order, \p Count tuples
+/// of \p Arity ints) into \p Dst via an open-addressing hash table sized
+/// O(Count), and declares the int64 variable \p CountVar with the distinct
+/// count. Dst must have capacity for Count tuples. The output order is the
+/// first-seen order in both backends (serial insertion), so interpreter and
+/// C agree exactly; callers that need a canonical order sort Dst afterwards
+/// — the hashed-presence ranking variant runs hashDistinct + sortTuples,
+/// paying O(distinct log distinct) comparison work instead of
+/// O(nnz log nnz) when duplicates dominate.
+Stmt hashDistinct(const std::string &Src, Expr Count, int64_t Arity,
+                  const std::string &Dst, const std::string &CountVar);
 
 /// Phase-boundary probe for the per-phase timing breakdown: the C emitter
 /// accumulates wall-clock seconds since the previous mark into slot

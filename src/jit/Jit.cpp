@@ -128,6 +128,29 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
       Flags += Env;
     }
   }
+  // The ranking-strategy knobs change the generated C (hashed presence,
+  // shared-sort structure). The plan key already re-derives their strategy
+  // bits per lookup, but the effective flag string is the other half of
+  // every cache key (in-memory JIT map and on-disk object names), so bake
+  // the knobs in as benign -D defines: a knob flip can never dlopen a
+  // stale shared object, even for exotic callers that bypass planKey.
+  // Values are normalized through rankStrategyKnob() — an explicit "auto"
+  // (or a typo, which reads as auto) must land on the same flag string as
+  // unset, or identical code would recompile into a second cached object.
+  switch (codegen::rankStrategyKnob()) {
+  case codegen::RankStrategy::Auto:
+    break;
+  case codegen::RankStrategy::Sorted:
+    Flags += " -DCONVGEN_RANK_STRATEGY_SORTED=1";
+    break;
+  case codegen::RankStrategy::Hashed:
+    Flags += " -DCONVGEN_RANK_STRATEGY_HASHED=1";
+    break;
+  }
+  if (const char *Env = std::getenv("CONVGEN_NO_SHARED_SORT")) {
+    if (*Env && std::string(Env) != "0")
+      Flags += " -DCONVGEN_NO_SHARED_SORT=1";
+  }
   if (!ExtraFlags.empty())
     Flags += " " + ExtraFlags;
   return Flags;

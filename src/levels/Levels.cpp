@@ -94,13 +94,15 @@ public:
 class CompressedLevel : public LevelFormat {
 public:
   CompressedLevel(const LevelSpec &Spec, int K, bool Dedup, bool Ranked,
-                  bool Sorted, int Order)
+                  bool Sorted, bool Hashed, int Order)
       : LevelFormat(Spec, K), Dedup(Dedup), Ranked(Ranked), Sorted(Sorted),
-        Order(Order) {
+        Hashed(Hashed), Order(Order) {
     CONVGEN_ASSERT(!Ranked || Dedup, "ranked insertion is a dedup variant");
     CONVGEN_ASSERT(!(Ranked && Sorted), "ranked and sorted are exclusive");
     CONVGEN_ASSERT(!Sorted || Spec.Unique,
                    "sorted ranking requires a unique compressed level");
+    CONVGEN_ASSERT(!Hashed || Sorted,
+                   "hashed presence is a sorted-ranking variant");
   }
 
   /// Cursor-based insertion is parallel-safe exactly when the generator
@@ -117,6 +119,10 @@ public:
   }
 
   bool insertUsesCursor() const override { return !Dedup && !Sorted; }
+
+  bool posIgnoresParent() const override { return Sorted; }
+  bool posIsPure() const override { return Sorted || Ranked; }
+  bool insertCoordIsNoOp() const override { return Sorted; }
 
   std::vector<query::Query> queries() const override {
     // Sorted ranking derives everything (pos, crd, positions) from its
@@ -261,20 +267,76 @@ public:
     Out.add(Nest);
   }
 
+  /// Builds this level's sorted unique tuple list from the source in
+  /// O(nnz) memory: collect the grouping tuple (dims 0..Dim) of every
+  /// stored nonzero into an append buffer (one slot per stored position,
+  /// so the pass parallelizes with disjoint writes), then either
+  /// sort + unique (plain sorted ranking), or — under the hashed-presence
+  /// variant — dedup through an open-addressing hash table first and sort
+  /// only the distinct tuples, which wins when duplicates dominate the
+  /// collected multiset. Both orders of operations produce the identical
+  /// sorted unique list, so downstream pos/crd/position code never knows
+  /// the difference.
+  void emitListBuild(AsmCtx &Ctx, ir::BlockBuilder &Out) const {
+    int64_t R = Spec.Dim + 1;
+    ir::Expr RImm = ir::intImm(R);
+    std::string Srt = Ctx.srtName(K);
+    std::string U = Ctx.uniqueVar(K);
+    std::string Collect =
+        Hashed ? "B" + std::to_string(K) + "_tup" : Srt;
+    Out.add(ir::comment(
+        strfmt("level %d sorted ranking: collect%s and sort the grouping "
+               "tuples (O(nnz) workspace)",
+               K, Hashed ? ", hash-dedup," : "")));
+    Out.add(ir::alloc(Collect, ir::ScalarKind::Int,
+                      ir::mul(Ctx.StoredSize, RImm), false));
+    Out.add(Ctx.SourceSweep(
+        Spec.Dim,
+        [&](const std::vector<ir::Expr> &Coords, ir::Expr SrcPos) -> ir::Stmt {
+          std::string Base = "t" + std::to_string(K);
+          ir::BlockBuilder B;
+          B.add(ir::decl(Base, ir::mul(SrcPos, RImm)));
+          for (int D = 0; D <= Spec.Dim; ++D)
+            B.add(ir::store(Collect, ir::add(ir::var(Base), ir::intImm(D)),
+                            Coords[static_cast<size_t>(D)]));
+          return B.build();
+        }));
+    if (Hashed) {
+      Out.add(ir::alloc(Srt, ir::ScalarKind::Int,
+                        ir::mul(Ctx.StoredSize, RImm), false));
+      Out.add(ir::hashDistinct(Collect, Ctx.StoredSize, R, Srt, U));
+      Out.add(ir::freeBuffer(Collect));
+      Out.add(ir::sortTuples(Srt, ir::var(U), R));
+    } else {
+      Out.add(ir::sortTuples(Srt, Ctx.StoredSize, R));
+      Out.add(ir::uniqueTuples(Srt, Ctx.StoredSize, R, U));
+    }
+  }
+
+  void emitSharedListBuild(AsmCtx &Ctx,
+                           ir::BlockBuilder &Out) const override {
+    CONVGEN_ASSERT(Sorted, "shared list build applies to sorted levels");
+    emitListBuild(Ctx, Out);
+  }
+
   /// Sorted-ranking edge insertion (O(nnz) workspace, no dense-grouped
   /// structure anywhere):
   ///
-  ///   1. collect the grouping tuple (dims 0..Dim) of every stored source
-  ///      nonzero into an append buffer (one slot per stored position, so
-  ///      the pass parallelizes with disjoint writes);
-  ///   2. sort + unique the tuples — a tuple's index u in the unique list
-  ///      is its destination position, because parent positions follow
-  ///      lexicographic coordinate order for dense/ranked/sorted ancestors
-  ///      and the list is sorted in exactly that order;
+  ///   1. obtain this level's sorted unique tuple list — built here
+  ///      (emitListBuild), or, when the generator detected that all sorted
+  ///      levels group by nested prefixes of one tuple, derived from the
+  ///      shared full-arity list: the anchor level's list IS the shared
+  ///      buffer, every other level prefix-compacts it (ir::uniquePrefix)
+  ///      instead of re-collecting and re-sorting the same nonzeros;
+  ///   2. a tuple's index u in the unique list is its destination
+  ///      position, because parent positions follow lexicographic
+  ///      coordinate order for dense/ranked/sorted ancestors and the list
+  ///      is sorted in exactly that order;
   ///   3. build the pos array from block ends: the last tuple of each
   ///      parent's block stores u+1 into pos[parent+1] (one writer per
-  ///      cell — the loop parallelizes), then a serial forward max-fill
-  ///      closes the gaps of empty parents;
+  ///      cell — the loop parallelizes), then an inclusive max scan closes
+  ///      the gaps of empty parents (blocked and parallel in the C
+  ///      lowering — no serial forward fill);
   ///   4. write the crd array straight from the unique list.
   ///
   /// get_pos at insertion time is then a pure binary search (ir::lowerBound)
@@ -283,28 +345,29 @@ public:
                       ir::BlockBuilder &Out) const {
     int64_t R = Spec.Dim + 1;
     ir::Expr RImm = ir::intImm(R);
-    std::string Srt = srtName();
-    std::string U = uniqueVar();
+    std::string Srt = Ctx.srtName(K);
+    std::string U = Ctx.uniqueVar(K);
     std::string Pos = Ctx.posName(K);
-    Out.add(ir::comment(
-        strfmt("level %d sorted ranking: collect, sort, and rank the "
-               "grouping tuples (O(nnz) workspace)",
-               K)));
-    Out.add(ir::alloc(Srt, ir::ScalarKind::Int, ir::mul(Ctx.StoredSize, RImm),
-                      false));
-    Out.add(Ctx.SourceSweep(
-        Spec.Dim,
-        [&](const std::vector<ir::Expr> &Coords, ir::Expr SrcPos) -> ir::Stmt {
-          std::string Base = "t" + std::to_string(K);
-          ir::BlockBuilder B;
-          B.add(ir::decl(Base, ir::mul(SrcPos, RImm)));
-          for (int D = 0; D <= Spec.Dim; ++D)
-            B.add(ir::store(Srt, ir::add(ir::var(Base), ir::intImm(D)),
-                            Coords[static_cast<size_t>(D)]));
-          return B.build();
-        }));
-    Out.add(ir::sortTuples(Srt, Ctx.StoredSize, R));
-    Out.add(ir::uniqueTuples(Srt, Ctx.StoredSize, R, U));
+    if (Ctx.SharedSortAnchor == K) {
+      Out.add(ir::comment(strfmt(
+          "level %d sorted ranking: positions from the shared full-arity "
+          "list",
+          K)));
+    } else if (Ctx.SharedSortAnchor > 0) {
+      Out.add(ir::comment(strfmt(
+          "level %d sorted ranking: unique prefix list derived from the "
+          "shared sort",
+          K)));
+      Out.add(ir::alloc(
+          Srt, ir::ScalarKind::Int,
+          ir::mul(ir::var(Ctx.uniqueVar(Ctx.SharedSortAnchor)), RImm),
+          false));
+      Out.add(ir::uniquePrefix(Ctx.srtName(Ctx.SharedSortAnchor),
+                               ir::var(Ctx.uniqueVar(Ctx.SharedSortAnchor)),
+                               Ctx.SharedSortArity, Srt, R, U));
+    } else {
+      emitListBuild(Ctx, Out);
+    }
 
     auto tupleCoords = [&](ir::Expr Index) {
       std::vector<ir::Expr> C;
@@ -318,32 +381,41 @@ public:
     {
       std::string UV = "u" + std::to_string(K);
       std::string PV = "up" + std::to_string(K);
-      ir::BlockBuilder Body;
-      Body.add(ir::decl(PV, Ctx.ParentPos(K, tupleCoords(ir::var(UV)))));
       // One writer per pos cell: exactly the last tuple of each parent's
-      // block stores, so the loop needs no reduction to parallelize.
-      ir::Expr NextParent = Ctx.ParentPos(
-          K, tupleCoords(ir::add(ir::var(UV), ir::intImm(1))));
-      ir::Stmt MarkEnd =
-          ir::store(Pos, ir::add(ir::var(PV), ir::intImm(1)),
-                    ir::add(ir::var(UV), ir::intImm(1)));
+      // block stores, so the loop needs no reduction to parallelize. Two
+      // adjacent sorted tuples share a parent iff their parent-coordinate
+      // prefixes (dims 0..Dim-1) are equal — ancestor positions are pure
+      // functions of those coordinates — so the block-end test is a few
+      // loads, and the (binary-search) parent position is computed only
+      // for the one tuple per block that actually stores.
+      ir::BlockBuilder MarkEndB;
+      MarkEndB.add(
+          ir::decl(PV, Ctx.ParentPos(K, tupleCoords(ir::var(UV)))));
+      MarkEndB.add(ir::store(Pos, ir::add(ir::var(PV), ir::intImm(1)),
+                             ir::add(ir::var(UV), ir::intImm(1))));
+      ir::Stmt MarkEnd = MarkEndB.build();
+      ir::Expr NextDiffers; // Null for a root level: one all-tuples block.
+      for (int D = 0; D < Spec.Dim; ++D) {
+        auto At = [&](ir::Expr Index) {
+          return ir::load(Srt,
+                          ir::add(ir::mul(Index, RImm), ir::intImm(D)));
+        };
+        ir::Expr Ne = ir::ne(At(ir::var(UV)),
+                             At(ir::add(ir::var(UV), ir::intImm(1))));
+        NextDiffers = NextDiffers ? ir::logicalOr(NextDiffers, Ne) : Ne;
+      }
+      ir::BlockBuilder Body;
       Body.add(ir::ifThen(
           ir::eq(ir::var(UV), ir::sub(ir::var(U), ir::intImm(1))), MarkEnd,
-          ir::ifThen(ir::ne(NextParent, ir::var(PV)), MarkEnd)));
+          NextDiffers ? ir::ifThen(NextDiffers, MarkEnd) : nullptr));
       Out.add(ir::markLoopParallel(
           ir::forRange(UV, ir::intImm(0), ir::var(U), Body.build())));
     }
-    {
-      // Forward max-fill: parents with no tuples inherit the previous
-      // block's end, pos[0] stays 0. Serial by construction (each cell
-      // reads its predecessor).
-      std::string Q = "f" + std::to_string(K);
-      ir::Expr Next = ir::add(ir::var(Q), ir::intImm(1));
-      Out.add(ir::forRange(
-          Q, ir::intImm(0), ParentSize,
-          ir::store(Pos, Next,
-                    ir::max(ir::load(Pos, Next), ir::load(Pos, ir::var(Q))))));
-    }
+    // Parents with no tuples inherit the previous block's end, pos[0]
+    // stays 0: an inclusive prefix max over non-negative end markers,
+    // lowered to the blocked parallel scan.
+    Out.add(ir::scan(Pos, ir::add(ParentSize, ir::intImm(1)),
+                     ir::ScanKind::Inclusive, ir::ReduceOp::Max));
     Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
                       ir::load(Pos, ParentSize), false));
     {
@@ -365,7 +437,7 @@ public:
       std::vector<ir::Expr> Keys;
       for (int D = 0; D <= Spec.Dim; ++D)
         Keys.push_back(Coords[static_cast<size_t>(D)]);
-      return ir::lowerBound(srtName(), ir::var(uniqueVar()), Keys);
+      return ir::lowerBound(Ctx.srtName(K), ir::var(Ctx.uniqueVar(K)), Keys);
     }
     if (Ranked) {
       std::vector<ir::Expr> Rel;
@@ -461,10 +533,10 @@ public:
                     ir::BlockBuilder &Out) const override {
     if (Sorted) {
       // pos was never consumed (no cursor) and crd is final: only the
-      // sorted tuple list remains to release.
-      (void)Ctx;
+      // sorted tuple list remains to release. Each level owns its own list
+      // under shared sort too (the anchor's IS the shared buffer).
       (void)ParentSize;
-      Out.add(ir::freeBuffer(srtName()));
+      Out.add(ir::freeBuffer(Ctx.srtName(K)));
       return;
     }
     if (Ranked) {
@@ -504,8 +576,6 @@ private:
   std::string wsStamp() const { return "ws" + std::to_string(K) + "_stamp"; }
   std::string wsPos() const { return "ws" + std::to_string(K) + "_pos"; }
   std::string rankName() const { return "B" + std::to_string(K) + "_rnk"; }
-  std::string srtName() const { return "B" + std::to_string(K) + "_srt"; }
-  std::string uniqueVar() const { return "uB" + std::to_string(K); }
   std::string rankLoopVar(int D) const {
     return "r" + std::to_string(K) + "d" + std::to_string(D);
   }
@@ -513,6 +583,7 @@ private:
   bool Dedup;
   bool Ranked;
   bool Sorted;
+  bool Hashed;
   int Order;
 };
 
@@ -801,7 +872,8 @@ public:
 
 std::unique_ptr<LevelFormat> LevelFormat::create(const LevelSpec &Spec, int K,
                                                  bool Dedup, bool Ranked,
-                                                 bool Sorted, int Order) {
+                                                 bool Sorted, bool Hashed,
+                                                 int Order) {
   CONVGEN_ASSERT(!Sorted || Spec.Kind == LevelKind::Compressed,
                  "sorted ranking applies to compressed levels only");
   switch (Spec.Kind) {
@@ -809,7 +881,7 @@ std::unique_ptr<LevelFormat> LevelFormat::create(const LevelSpec &Spec, int K,
     return std::make_unique<DenseLevel>(Spec, K);
   case LevelKind::Compressed:
     return std::make_unique<CompressedLevel>(Spec, K, Dedup, Ranked, Sorted,
-                                             Order);
+                                             Hashed, Order);
   case LevelKind::Singleton:
     return std::make_unique<SingletonLevel>(Spec, K);
   case LevelKind::Squeezed:

@@ -138,6 +138,16 @@ struct AsmCtx {
   /// enforces for sorted levels.
   std::function<ir::Expr(int, const std::vector<ir::Expr> &)> ParentPos;
 
+  /// Shared full-arity sort (set by the generator when the plan's sorted
+  /// levels group by nested prefixes of one coordinate tuple): the 1-based
+  /// anchor level whose sorted unique tuple list every other sorted level
+  /// derives its own list from by prefix compaction, instead of running a
+  /// redundant collect+sort over the same nonzeros. 0 when each sorted
+  /// level builds independently.
+  int SharedSortAnchor = 0;
+  /// Arity of the anchor's tuples (anchor grouping dims 0..Arity-1).
+  int64_t SharedSortArity = 0;
+
   /// Use unsequenced edge insertion (calloc + scatter + prefix sum) even
   /// where sequenced insertion is available; exercised by tests/ablations.
   bool ForceUnseqEdges = false;
@@ -153,6 +163,11 @@ struct AsmCtx {
   std::string cursorName(int K) const {
     return "B" + std::to_string(K) + "_cur";
   }
+  /// Sorted ranking's per-level sorted unique tuple list and its count
+  /// variable (shared between CompressedLevel and the generator's shared-
+  /// sort emission, like the pos/crd ABI names above).
+  std::string srtName(int K) const { return "B" + std::to_string(K) + "_srt"; }
+  std::string uniqueVar(int K) const { return "uB" + std::to_string(K); }
 
   ir::Expr dimLo(int D) const;
   ir::Expr dimHi(int D) const;
@@ -200,10 +215,22 @@ public:
   /// coordinates — order-independent and parallel-safe — but no structure
   /// is sized by a dimension extent product. Coordinates are written
   /// during edge insertion (insert_coord is a no-op) and the level issues
-  /// no attribute queries.
+  /// no attribute queries. When the context carries a shared-sort anchor,
+  /// non-anchor sorted levels derive their unique list from the anchor's
+  /// full-arity buffer by prefix compaction instead of collecting and
+  /// sorting again.
+  ///
+  /// \p Hashed (sorted levels only) selects the hashed-presence variant of
+  /// list construction: the collected tuples are deduplicated through an
+  /// open-addressing hash table before the sort, so the sort touches only
+  /// distinct tuples — O(distinct log distinct) instead of O(nnz log nnz)
+  /// comparison work when duplicates dominate. Positions, pos, and crd are
+  /// built from the identical sorted unique list, so results are
+  /// bit-identical to the plain sorted variant.
   static std::unique_ptr<LevelFormat> create(const formats::LevelSpec &Spec,
                                              int K, bool Dedup, bool Ranked,
-                                             bool Sorted, int Order);
+                                             bool Sorted, bool Hashed,
+                                             int Order);
 
   virtual ~LevelFormat();
 
@@ -225,6 +252,16 @@ public:
                         ir::BlockBuilder &Out) const {
     (void)Ctx;
     (void)ParentSize;
+    (void)Out;
+  }
+
+  /// Shared-sort hook, called by the generator on the anchor level before
+  /// any per-level emitInit: builds the full-arity sorted unique tuple
+  /// list (collect sweep, optional hash dedup, sort, unique) that every
+  /// sorted level's emitInit then reads. Only the sorted compressed level
+  /// implements it.
+  virtual void emitSharedListBuild(AsmCtx &Ctx, ir::BlockBuilder &Out) const {
+    (void)Ctx;
     (void)Out;
   }
 
@@ -264,6 +301,25 @@ public:
   /// support the Monotone and Blocked strategies; the generator checks
   /// their preconditions before selecting either.
   virtual bool insertUsesCursor() const { return false; }
+
+  /// True when emitPos never reads Env.ParentPos (sorted ranking: the
+  /// position is the tuple's global rank over dims 0..Dim). The generator
+  /// then need not materialize the parent chain's positions for this
+  /// level's sake.
+  virtual bool posIgnoresParent() const { return false; }
+
+  /// True when emitPos touches no mutable state (no cursor advance, no
+  /// workspace stamp): a position nothing consumes may be skipped
+  /// entirely. Together with posIgnoresParent and insert_coord being a
+  /// no-op, this lets the coordinate-insertion pass over an all-sorted
+  /// chain compute only the deepest level's rank — one binary search per
+  /// nonzero instead of one per level.
+  virtual bool posIsPure() const { return false; }
+
+  /// True when emitInsertCoord emits nothing (sorted ranking writes crd
+  /// from the unique list during edge insertion), so the position is not
+  /// needed for a coordinate store either.
+  virtual bool insertCoordIsNoOp() const { return false; }
 
   /// The child position for the given (parent position, destination
   /// coordinates) as a pure expression with no emitted statements, or null

@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared RAII environment override for the test suite: sets a variable
+/// for the scope and restores the previous value (or unsets) on exit. The
+/// library re-reads its knobs (CONVGEN_RANK_DENSE_MAX_BYTES,
+/// CONVGEN_RANK_STRATEGY, CONVGEN_NO_SHARED_SORT, cache settings) on
+/// every call, so scoping the environment scopes the behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_TESTS_SCOPEDENV_H
+#define CONVGEN_TESTS_SCOPEDENV_H
+
+#include <cstdlib>
+#include <string>
+
+namespace convgen {
+namespace testing {
+
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
+    if (const char *Old = std::getenv(Name)) {
+      Had = true;
+      Saved = Old;
+    }
+    setenv(Name, Value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (Had)
+      setenv(Name, Saved.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+  ScopedEnv(const ScopedEnv &) = delete;
+  ScopedEnv &operator=(const ScopedEnv &) = delete;
+
+private:
+  const char *Name;
+  std::string Saved;
+  bool Had = false; ///< Distinguishes set-but-empty from unset.
+};
+
+} // namespace testing
+} // namespace convgen
+
+#endif // CONVGEN_TESTS_SCOPEDENV_H

@@ -13,9 +13,12 @@
 #include "convert/PlanCache.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
+#include "remap/RemapParser.h"
 #include "tensor/Corpus.h"
 #include "tensor/Generators.h"
 #include "tensor/Oracle.h"
+
+#include "ScopedEnv.h"
 
 #include <gtest/gtest.h>
 
@@ -27,32 +30,13 @@
 #endif
 
 using namespace convgen;
+using convgen::testing::ScopedEnv;
 
 namespace {
 
 std::vector<int64_t> hugeDims() {
   return {int64_t(1) << 31, int64_t(1) << 20, int64_t(1) << 20};
 }
-
-/// Scoped environment override (restores the previous value on scope exit).
-class ScopedEnv {
-public:
-  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
-    if (const char *Old = std::getenv(Name))
-      Saved = Old;
-    setenv(Name, Value.c_str(), 1);
-  }
-  ~ScopedEnv() {
-    if (Saved.empty())
-      unsetenv(Name);
-    else
-      setenv(Name, Saved.c_str(), 1);
-  }
-
-private:
-  const char *Name;
-  std::string Saved;
-};
 
 } // namespace
 
@@ -107,6 +91,125 @@ TEST(SortedRankingPlan, HugeDimsSwitchEveryCsfLevelAtTheDefaultBudget) {
   EXPECT_TRUE(Plan.Sorted[2]);
   EXPECT_FALSE(Plan.Ranked[0]);
   EXPECT_FALSE(Plan.Ranked[1]);
+  // The three grouping tuples nest (i) < (i,j) < (i,j,k): one shared sort,
+  // anchored at the deepest (full-arity) level. In auto strategy the
+  // anchor sorts the full-arity tuples directly — coo3 stores each
+  // coordinate once, so hash-dedup before the sort would buy nothing.
+  EXPECT_EQ(Plan.SharedSortAnchor, 3);
+  EXPECT_FALSE(Plan.anyHashed());
+}
+
+//===----------------------------------------------------------------------===//
+// Strategy pinning: shared sort, forced hashed, non-nested per-level
+//===----------------------------------------------------------------------===//
+
+TEST(SortedRankingPlan, SharedSortEmitsExactlyOneSortCall) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts;
+  Opts.DimsHint = hugeDims();
+  codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+  std::string Code = Conv.cSource();
+  // Counted textually like the no-extent-malloc assertion: call sites
+  // reference a B<k>_srt buffer, so "cvg_sort_tuples(B" never matches the
+  // helper definition. One shared full-arity sort; the two ancestor levels
+  // derive their lists by prefix compaction instead of re-sorting.
+  auto count = [&](const char *Needle) {
+    size_t Hits = 0;
+    for (size_t At = Code.find(Needle); At != std::string::npos;
+         At = Code.find(Needle, At + 1))
+      ++Hits;
+    return Hits;
+  };
+  EXPECT_EQ(count("cvg_sort_tuples(B"), 1u) << Code;
+  EXPECT_EQ(count("cvg_unique_prefix(B"), 2u) << Code;
+  // The pos construction's gap fill is the blocked parallel max scan, not
+  // the old serial forward loop (whose stores indexed pos by the fill
+  // variable f<k>).
+  EXPECT_NE(Code.find("max scan of"), std::string::npos) << Code;
+  EXPECT_EQ(Code.find("_pos[f"), std::string::npos) << Code;
+}
+
+TEST(SortedRankingPlan, ForcedHashedSelectsHashDistinct) {
+  ScopedEnv Strategy("CONVGEN_RANK_STRATEGY", "hashed");
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo3, Csf, hugeDims());
+  ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
+  EXPECT_EQ(Plan.SharedSortAnchor, 3);
+  EXPECT_TRUE(Plan.Hashed[2]); // The anchor builds the one shared list.
+  codegen::Options Opts;
+  Opts.DimsHint = hugeDims();
+  codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+  std::string Code = Conv.cSource();
+  EXPECT_NE(Code.find("cvg_hash_distinct(B"), std::string::npos) << Code;
+  // The sort then touches only the distinct tuples the table kept.
+  EXPECT_NE(Code.find("cvg_sort_tuples(B3_srt, uB3, 3)"), std::string::npos)
+      << Code;
+}
+
+TEST(SortedRankingPlan, NonNestedGroupingKeepsPerLevelSorts) {
+  // A target whose two compressed levels group by (d0,d1) then (d0) —
+  // tuples that do NOT nest as prefixes in level order (the shallower
+  // level's tuple is wider). planAssembly must keep the per-level sorts;
+  // the shared derivation only knows how to compact prefixes of the
+  // anchor's full-arity tuple.
+  formats::Format Weird;
+  Weird.Name = "nonnested";
+  Weird.SrcOrder = 2;
+  Weird.Remap = remap::parseRemapOrDie("(i,j) -> (i,j)");
+  Weird.Inverse = remap::parseRemapOrDie("(d0,d1) -> (d0,d1)");
+  Weird.Levels = {
+      formats::LevelSpec{formats::LevelKind::Compressed, 1, true, false,
+                         {-1, -1}},
+      formats::LevelSpec{formats::LevelKind::Compressed, 0, true, false,
+                         {-1, -1}},
+  };
+  formats::Format Coo = formats::standardFormatOrDie("coo");
+  ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1");
+  codegen::AssemblyPlan Plan =
+      codegen::planAssembly(Coo, Weird, {1000, 1000});
+  ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
+  EXPECT_TRUE(Plan.Sorted[0]);
+  EXPECT_TRUE(Plan.Sorted[1]);
+  EXPECT_EQ(Plan.SharedSortAnchor, 0);
+}
+
+TEST(SortedRankingPlan, SingleSortedLevelNeedsNoSharing) {
+  // coo -> csr at a tiny budget: only the column level is compressed, so
+  // there is exactly one sorted level and nothing to share.
+  ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1");
+  formats::Format Coo = formats::standardFormatOrDie("coo");
+  formats::Format Csr = formats::standardFormatOrDie("csr");
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo, Csr, {100, 100});
+  ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
+  EXPECT_TRUE(Plan.Sorted[1]);
+  EXPECT_EQ(Plan.SharedSortAnchor, 0);
+  codegen::Options Opts;
+  Opts.DimsHint = {100, 100};
+  codegen::Conversion Conv = codegen::generateConversion(Coo, Csr, Opts);
+  EXPECT_NE(Conv.cSource().find("cvg_sort_tuples(B2_srt"),
+            std::string::npos);
+  // No prefix derivation anywhere (the prelude always defines the helper;
+  // only call sites reference a B<k>_srt buffer).
+  EXPECT_EQ(Conv.cSource().find("cvg_unique_prefix(B"), std::string::npos);
+}
+
+TEST(SortedRankingPlan, NoSharedSortKnobForcesPerLevelSorts) {
+  ScopedEnv Disable("CONVGEN_NO_SHARED_SORT", "1");
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo3, Csf, hugeDims());
+  EXPECT_EQ(Plan.SharedSortAnchor, 0);
+  codegen::Options Opts;
+  Opts.DimsHint = hugeDims();
+  codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+  std::string Code = Conv.cSource();
+  size_t Sorts = 0;
+  for (size_t At = Code.find("cvg_sort_tuples(B"); At != std::string::npos;
+       At = Code.find("cvg_sort_tuples(B", At + 1))
+    ++Sorts;
+  EXPECT_EQ(Sorts, 3u) << Code;
 }
 
 TEST(SortedRankingPlan, NoDimsHintKeepsTheDenseDefaultPlan) {

@@ -311,6 +311,59 @@ TEST(IrScan, PrettyPrintsAsPseudoOp) {
   EXPECT_EQ(printStmt(S), "inclusive_scan(B2_pos, n + 1);\n");
   EXPECT_EQ(printStmt(scan("w", intImm(4), ScanKind::Exclusive)),
             "exclusive_scan(w, 4);\n");
+  EXPECT_EQ(printStmt(scan("B1_pos", intImm(4), ScanKind::Inclusive,
+                           ReduceOp::Max)),
+            "inclusive_max_scan(B1_pos, 4);\n");
+}
+
+namespace {
+
+/// Runs an inclusive max scan over the given contents.
+std::vector<int32_t> runMaxScan(std::vector<int32_t> Data) {
+  int64_t N = static_cast<int64_t>(Data.size());
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(N), true));
+  B.add(forRange("i", intImm(0), intImm(N),
+                 store("buf", var("i"), load("in", var("i")))));
+  B.add(scan("buf", intImm(N), ScanKind::Inclusive, ReduceOp::Max));
+  B.add(yieldBuffer("B1_pos", "buf", intImm(N)));
+  Function F{"domaxscan", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("in", std::move(Data));
+  return Interp.run(F).Buffers["B1_pos"].Ints;
+}
+
+} // namespace
+
+TEST(IrScan, InterpreterInclusiveMax) {
+  // The sorted-ranking pos fill: zeros between block-end markers inherit
+  // the previous end.
+  EXPECT_EQ(runMaxScan({0, 3, 0, 0, 7, 0}),
+            (std::vector<int32_t>{0, 3, 3, 3, 7, 7}));
+  EXPECT_EQ(runMaxScan({}), (std::vector<int32_t>{}));
+  EXPECT_EQ(runMaxScan({5}), (std::vector<int32_t>{5}));
+}
+
+TEST(IrScan, MaxCLoweringIsTheBlockedTwoPassScan) {
+  std::string C = printStmtAsC(
+      scan("B2_pos", var("n"), ScanKind::Inclusive, ReduceOp::Max));
+  EXPECT_NE(C.find("// inclusive max scan of B2_pos[0:n]"),
+            std::string::npos)
+      << C;
+  EXPECT_NE(C.find("cvg_acc = cvg_max(cvg_acc, B2_pos[cvg_k]); "
+                   "B2_pos[cvg_k] = cvg_acc;"),
+            std::string::npos)
+      << C;
+  // The partition carry combines with max too, not addition.
+  EXPECT_NE(C.find("cvg_carry = cvg_max(cvg_carry, cvg_t);"),
+            std::string::npos)
+      << C;
+  size_t Pragmas = 0;
+  for (size_t At = C.find("#pragma omp parallel for");
+       At != std::string::npos;
+       At = C.find("#pragma omp parallel for", At + 1))
+    ++Pragmas;
+  EXPECT_EQ(Pragmas, 2u) << C;
 }
 
 TEST(IrScan, CLoweringIsTheBlockedTwoPassScan) {
@@ -513,4 +566,126 @@ TEST(IrInterpDeath, SortTuplesRangeOutOfBoundsAborts) {
   Function F{"f", {}, B.build()};
   Interpreter Interp;
   EXPECT_DEATH(Interp.run(F), "sort_tuples range");
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-sort constructs: uniquePrefix / hashDistinct
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs uniquePrefix from a bound source buffer into a fresh destination
+/// and returns (kept prefixes, count).
+std::pair<std::vector<int32_t>, int64_t>
+runUniquePrefix(std::vector<int32_t> Src, int64_t N, int64_t SrcArity,
+                int64_t DstArity) {
+  BlockBuilder B;
+  B.add(alloc("dst", ScalarKind::Int, intImm(N * DstArity), false));
+  B.add(uniquePrefix("src", intImm(N), SrcArity, "dst", DstArity, "u"));
+  B.add(yieldBuffer("B1_crd", "dst", mul(var("u"), intImm(DstArity))));
+  B.add(yieldScalar("B1_param", var("u")));
+  Function F{"doprefix", {{"src", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("src", std::move(Src));
+  RunResult R = Interp.run(F);
+  return {R.Buffers["B1_crd"].Ints, R.Scalars["B1_param"]};
+}
+
+} // namespace
+
+TEST(IrSharedSort, UniquePrefixCompactsSortedTriplesToPairs) {
+  // Sorted unique triples: (0,1,2) (0,1,5) (0,2,0) (3,1,1) (3,1,4).
+  auto [Kept, U] = runUniquePrefix(
+      {0, 1, 2, 0, 1, 5, 0, 2, 0, 3, 1, 1, 3, 1, 4}, 5, 3, 2);
+  EXPECT_EQ(U, 3);
+  EXPECT_EQ(Kept, (std::vector<int32_t>{0, 1, 0, 2, 3, 1}));
+}
+
+TEST(IrSharedSort, UniquePrefixSingleComponentAndFullArity) {
+  // Prefix length 1 over the same triples: distinct leading coordinates.
+  auto [Roots, URoots] = runUniquePrefix(
+      {0, 1, 2, 0, 1, 5, 0, 2, 0, 3, 1, 1, 3, 1, 4}, 5, 3, 1);
+  EXPECT_EQ(URoots, 2);
+  EXPECT_EQ(Roots, (std::vector<int32_t>{0, 3}));
+  // DstArity == SrcArity degenerates to a copy of the (unique) input.
+  auto [Full, UFull] = runUniquePrefix({1, 2, 3, 4}, 2, 2, 2);
+  EXPECT_EQ(UFull, 2);
+  EXPECT_EQ(Full, (std::vector<int32_t>{1, 2, 3, 4}));
+  auto [None, UNone] = runUniquePrefix({}, 0, 3, 1);
+  EXPECT_EQ(UNone, 0);
+  EXPECT_TRUE(None.empty());
+}
+
+TEST(IrSharedSort, HashDistinctKeepsFirstSeenOrder) {
+  BlockBuilder B;
+  B.add(alloc("dst", ScalarKind::Int, intImm(10), false));
+  B.add(hashDistinct("src", intImm(5), 2, "dst", "u"));
+  B.add(yieldBuffer("B1_crd", "dst", mul(var("u"), intImm(2))));
+  B.add(yieldScalar("B1_param", var("u")));
+  Function F{"dohash", {{"src", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  // (2,1) (0,5) (2,1) (0,3) (0,5): three distinct pairs, first-seen order.
+  Interp.bindIntBuffer("src", {2, 1, 0, 5, 2, 1, 0, 3, 0, 5});
+  RunResult R = Interp.run(F);
+  EXPECT_EQ(R.Scalars["B1_param"], 3);
+  EXPECT_EQ(R.Buffers["B1_crd"].Ints,
+            (std::vector<int32_t>{2, 1, 0, 5, 0, 3}));
+}
+
+TEST(IrSharedSort, HashDistinctThenSortMatchesSortUnique) {
+  // The hashed-presence pipeline (dedup, then sort the distinct tuples)
+  // lands on the identical buffer as sort + unique — the property that
+  // makes the variants interchangeable bit-for-bit.
+  std::vector<int32_t> Data = {5, 0, 1, 1, 5, 0, 1, 1, 0, 9, 5, 0};
+  int64_t N = 6, Arity = 2;
+  BlockBuilder B;
+  B.add(alloc("dst", ScalarKind::Int, intImm(N * Arity), false));
+  B.add(hashDistinct("src", intImm(N), Arity, "dst", "u"));
+  B.add(sortTuples("dst", var("u"), Arity));
+  B.add(yieldBuffer("B1_crd", "dst", mul(var("u"), intImm(Arity))));
+  Function F{"dohashsort", {{"src", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("src", Data);
+  std::vector<int32_t> Hashed = Interp.run(F).Buffers["B1_crd"].Ints;
+  auto [Sorted, U] = runSortUnique(Data, N, Arity);
+  EXPECT_EQ(static_cast<int64_t>(Hashed.size()), U * Arity);
+  EXPECT_EQ(Hashed, Sorted);
+}
+
+TEST(IrSharedSort, PrintingInBothViews) {
+  Stmt P = uniquePrefix("B3_srt", var("uB3"), 3, "B1_srt", 1, "uB1");
+  EXPECT_EQ(printStmt(P),
+            "int64_t uB1 = unique_prefix(B3_srt, uB3, 3, B1_srt, 1);\n");
+  EXPECT_EQ(printStmtAsC(P),
+            "int64_t uB1 = cvg_unique_prefix(B3_srt, uB3, 3, B1_srt, 1);\n");
+  Stmt H = hashDistinct("B3_tup", var("n"), 3, "B3_srt", "uB3");
+  EXPECT_EQ(printStmt(H),
+            "int64_t uB3 = hash_distinct(B3_tup, n, 3, B3_srt);\n");
+  EXPECT_EQ(printStmtAsC(H),
+            "int64_t uB3 = cvg_hash_distinct(B3_tup, n, 3, B3_srt);\n");
+}
+
+TEST(IrSharedSort, PreludeHelpersAreEmittedOnlyWhenUsed) {
+  BlockBuilder With;
+  With.add(alloc("a", ScalarKind::Int, intImm(4), false));
+  With.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  With.add(uniquePrefix("a", intImm(2), 2, "b", 1, "u"));
+  Function FWith{"f", {{"dim0", ScalarKind::Int, false}}, With.build()};
+  std::string C = emitC(FWith);
+  EXPECT_NE(C.find("static int64_t cvg_unique_prefix"), std::string::npos);
+  EXPECT_NE(C.find("static int64_t cvg_hash_distinct"), std::string::npos);
+  BlockBuilder Without;
+  Without.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  Function FWithout{"f", {{"dim0", ScalarKind::Int, false}}, Without.build()};
+  EXPECT_EQ(emitC(FWithout).find("cvg_unique_prefix"), std::string::npos);
+}
+
+TEST(IrInterpDeath, UniquePrefixRangeOutOfBoundsAborts) {
+  BlockBuilder B;
+  B.add(alloc("a", ScalarKind::Int, intImm(4), true));
+  B.add(alloc("b", ScalarKind::Int, intImm(4), true));
+  B.add(uniquePrefix("a", intImm(3), 2, "b", 1, "u")); // 3 pairs > 4 slots.
+  Function F{"f", {}, B.build()};
+  Interpreter Interp;
+  EXPECT_DEATH(Interp.run(F), "unique_prefix range");
 }

@@ -12,6 +12,8 @@
 #include "tensor/Generators.h"
 #include "tensor/Oracle.h"
 
+#include "ScopedEnv.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -82,26 +84,7 @@ TEST(PlanCacheMemo, ConvertersStillConvertCorrectly) {
   EXPECT_TRUE(tensor::equal(tensor::toTriplets(Out), T));
 }
 
-namespace {
-
-/// RAII environment override (the cache reads env on every call).
-struct ScopedEnv {
-  ScopedEnv(const char *Name, const std::string &Value) : Name(Name) {
-    if (const char *Old = std::getenv(Name))
-      Saved = Old;
-    setenv(Name, Value.c_str(), 1);
-  }
-  ~ScopedEnv() {
-    if (Saved.empty())
-      unsetenv(Name);
-    else
-      setenv(Name, Saved.c_str(), 1);
-  }
-  const char *Name;
-  std::string Saved;
-};
-
-} // namespace
+using convgen::testing::ScopedEnv;
 
 TEST(PlanCacheJit, HandleSharedWithinTheProcess) {
   if (!jit::jitAvailable())
@@ -168,4 +151,63 @@ TEST(PlanCacheJit, DiskCacheSkipsTheExternalCompiler) {
 TEST(PlanCacheJit, DisablingTheDiskCacheStaysInMemory) {
   ScopedEnv Disable("CONVGEN_DISABLE_DISK_CACHE", "1");
   EXPECT_EQ(PlanCache::diskCacheDir(), "");
+}
+
+TEST(PlanCacheKeys, RankStrategyKnobChangesKeyAndJitFlags) {
+  // A CONVGEN_RANK_STRATEGY flip changes the generated code (hashed
+  // presence vs plain sort), so both halves of every cache key must move
+  // with it: the plan key's strategy bits (re-derived from the environment
+  // per lookup) and the effective JIT flag string (part of the in-memory
+  // JIT key and the on-disk object name). Otherwise a knob flip could
+  // dlopen a stale shared object compiled under the other strategy.
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts;
+  Opts.DimsHint = {int64_t(1) << 31, int64_t(1) << 20, int64_t(1) << 20};
+  std::string DefaultKey = convert::planKey(Coo3, Csf, Opts);
+  std::string DefaultFlags = jit::jitEffectiveFlags("");
+  {
+    ScopedEnv Strategy("CONVGEN_RANK_STRATEGY", "hashed");
+    EXPECT_NE(convert::planKey(Coo3, Csf, Opts), DefaultKey);
+    std::string Flags = jit::jitEffectiveFlags("");
+    EXPECT_NE(Flags, DefaultFlags);
+    EXPECT_NE(Flags.find("-DCONVGEN_RANK_STRATEGY_HASHED=1"),
+              std::string::npos)
+        << Flags;
+  }
+  {
+    ScopedEnv NoShare("CONVGEN_NO_SHARED_SORT", "1");
+    EXPECT_NE(convert::planKey(Coo3, Csf, Opts), DefaultKey);
+    EXPECT_NE(jit::jitEffectiveFlags("").find("-DCONVGEN_NO_SHARED_SORT=1"),
+              std::string::npos);
+  }
+  // Back to default: keys and flags are restored, so the original cache
+  // entries are found again (no permanent split).
+  EXPECT_EQ(convert::planKey(Coo3, Csf, Opts), DefaultKey);
+  EXPECT_EQ(jit::jitEffectiveFlags(""), DefaultFlags);
+  // Without a dims hint no level is sorted and the knob is inert: small
+  // tensors keep sharing one cached plan per pair.
+  codegen::Options NoHint;
+  std::string SmallKey = convert::planKey(Coo3, Csf, NoHint);
+  ScopedEnv Strategy("CONVGEN_RANK_STRATEGY", "hashed");
+  EXPECT_EQ(convert::planKey(Coo3, Csf, NoHint), SmallKey);
+}
+
+TEST(PlanCacheJit, KnobFlipCompilesAFreshObjectNotAStaleOne) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts = codegen::optionsForDims(
+      Coo3, Csf, {}, {int64_t(1) << 31, int64_t(1) << 20, int64_t(1) << 20});
+  auto Default = Cache.jit(Coo3, Csf, Opts);
+  EXPECT_EQ(Default->conversion().cSource().find("cvg_hash_distinct(B"),
+            std::string::npos);
+  ScopedEnv Strategy("CONVGEN_RANK_STRATEGY", "hashed");
+  auto Hashed = Cache.jit(Coo3, Csf, Opts);
+  EXPECT_NE(Hashed.get(), Default.get());
+  EXPECT_NE(Hashed->conversion().cSource().find("cvg_hash_distinct(B"),
+            std::string::npos);
 }
