@@ -24,6 +24,7 @@
 #include "convert/PlanCache.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
+#include "support/DegradationLog.h"
 #include "support/StringUtils.h"
 #include "tensor/Corpus.h"
 #include "tensor/Oracle.h"
@@ -128,8 +129,18 @@ public:
   }
 
   /// Writes the report; returns false (with a note on stderr) on failure.
+  /// The process's degradation summary is embedded (and echoed to stderr
+  /// when nonempty): a run whose JIT silently fell back to the interpreter
+  /// must not pass its timings off as native numbers.
   bool write() const {
+    std::string Degraded = support::DegradationLog::instance().summary();
+    if (Degraded != "none")
+      std::fprintf(stderr,
+                   "convgen: runtime degraded during this benchmark (%s); "
+                   "affected timings are interpreter timings, not native\n",
+                   Degraded.c_str());
     std::string Json = "{\n";
+    Json += "  \"degradations\": \"" + Degraded + "\",\n";
     for (const std::string &M : Meta)
       Json += "  " + M + ",\n";
     Json += "  \"results\": [\n";

@@ -9,10 +9,12 @@
 
 #include "Common.h"
 
+#include <dirent.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <unistd.h>
 
 using namespace convgen;
 using namespace convgen::bench;
@@ -72,8 +74,16 @@ void reportCacheAmortization() {
   (void)Hit;
 
   if (Dir) {
-    std::string Cleanup = "rm -rf " + std::string(Dir);
-    (void)std::system(Cleanup.c_str());
+    // Flat directory of .so/.c/.sum/.lock entries; no shell involved.
+    if (DIR *D = opendir(Dir)) {
+      while (struct dirent *E = readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          std::remove((std::string(Dir) + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    rmdir(Dir);
     if (SavedDir)
       setenv("CONVGEN_CACHE_DIR", Saved.c_str(), 1);
     else

@@ -83,9 +83,16 @@ int main(int Argc, char **Argv) {
                     std::chrono::steady_clock::now() - Begin)
                     .count() *
                 1e3;
-    std::printf("converted %s -> %s natively in %.3f ms (+%.0f ms compile)\n",
-                Source.Name.c_str(), Target->Name.c_str(), Ms,
-                Native.compileSeconds() * 1e3);
+    if (Native.degraded())
+      std::printf("converted %s -> %s in %.3f ms (degraded to the "
+                  "interpreter: %s)\n",
+                  Source.Name.c_str(), Target->Name.c_str(), Ms,
+                  Native.degradationReason().c_str());
+    else
+      std::printf("converted %s -> %s natively in %.3f ms (+%.0f ms "
+                  "compile)\n",
+                  Source.Name.c_str(), Target->Name.c_str(), Ms,
+                  Native.compileSeconds() * 1e3);
   } else {
     Out = Conv.run(Coo);
     std::printf("converted %s -> %s with the interpreter backend\n",

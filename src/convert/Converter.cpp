@@ -19,6 +19,16 @@ Converter::Converter(formats::Format Source, formats::Format Target,
                      codegen::Options Opts)
     : Conv(PlanCache::instance().plan(Source, Target, Opts)) {}
 
+StatusOr<Converter> Converter::tryCreate(formats::Format Source,
+                                         formats::Format Target,
+                                         codegen::Options Opts) {
+  StatusOr<std::shared_ptr<const codegen::Conversion>> Plan =
+      PlanCache::instance().tryPlan(Source, Target, Opts);
+  if (!Plan.ok())
+    return Plan.status();
+  return Converter(Plan.take());
+}
+
 void convert::bindSourceTensor(ir::Interpreter &Interp,
                                const tensor::SparseTensor &In) {
   for (size_t D = 0; D < In.Dims.size(); ++D)
@@ -100,44 +110,59 @@ convert::collectTargetTensor(const formats::Format &Target,
   return Out;
 }
 
-void convert::checkSourceOrder(const codegen::Conversion &Conv,
-                               const tensor::SparseTensor &In) {
+Status convert::checkSourceOrder(const codegen::Conversion &Conv,
+                                 const tensor::SparseTensor &In) {
   if (Conv.LexCheckLevels <= 0)
-    return;
+    return Status();
   std::string Why;
   if (!In.lexOrderedUpTo(Conv.LexCheckLevels, &Why))
-    fatalError(
+    return Status::error(
+        ErrorCode::InvalidArgument,
         strfmt("conversion %s -> %s requires a lexicographically sorted "
                "source (its dedup assembly visits grouping coordinates as "
                "an ordered prefix), but the input is unsorted: %s",
                Conv.Source.Name.c_str(), Conv.Target.Name.c_str(),
-               Why.c_str())
-            .c_str());
+               Why.c_str()));
+  return Status();
 }
 
-tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
+StatusOr<tensor::SparseTensor>
+Converter::tryRun(const tensor::SparseTensor &In) const {
   if (In.Format.Name != Conv->Source.Name)
-    fatalError(strfmt("converter compiled for source '%s' got a '%s' tensor",
-                      Conv->Source.Name.c_str(), In.Format.Name.c_str())
-                   .c_str());
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        strfmt("converter compiled for source '%s' got a '%s' tensor",
+               Conv->Source.Name.c_str(), In.Format.Name.c_str()));
   // Size-driven strategy routing: when this tensor's dimensions push a
   // level's dense ranking structures over the CONVGEN_RANK_DENSE_MAX_BYTES
   // budget, fetch the dims-specialized plan (sorted-ranking levels, O(nnz)
   // workspaces) from the cache instead of letting the default plan
-  // allocate by extent products — or abort with the planner's size-grounds
+  // allocate by extent products — or return the planner's size-grounds
   // diagnostic when no fallback applies.
   const codegen::Conversion *Plan = Conv.get();
   std::shared_ptr<const codegen::Conversion> DimPlan;
   codegen::Options Effective = codegen::optionsForDims(
       Conv->Source, Conv->Target, Conv->Opts, In.Dims);
   if (Effective.DimsHint != Conv->Opts.DimsHint) {
-    DimPlan =
-        PlanCache::instance().plan(Conv->Source, Conv->Target, Effective);
+    StatusOr<std::shared_ptr<const codegen::Conversion>> Specialized =
+        PlanCache::instance().tryPlan(Conv->Source, Conv->Target, Effective);
+    if (!Specialized.ok())
+      return Specialized.status();
+    DimPlan = Specialized.take();
     Plan = DimPlan.get();
   }
-  checkSourceOrder(*Plan, In);
+  Status Order = checkSourceOrder(*Plan, In);
+  if (!Order.ok())
+    return Order;
   ir::Interpreter Interp;
   bindSourceTensor(Interp, In);
   ir::RunResult Result = Interp.run(Plan->Func);
   return collectTargetTensor(Plan->Target, In.Dims, Result);
+}
+
+tensor::SparseTensor Converter::run(const tensor::SparseTensor &In) const {
+  StatusOr<tensor::SparseTensor> R = tryRun(In);
+  if (!R.ok())
+    fatalError(R.status().message().c_str());
+  return R.take();
 }

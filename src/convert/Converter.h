@@ -29,6 +29,7 @@
 
 #include "codegen/Generator.h"
 #include "ir/Interpreter.h"
+#include "support/Status.h"
 #include "tensor/SparseTensor.h"
 
 #include <memory>
@@ -40,18 +41,36 @@ class Converter {
 public:
   /// Obtains the generated routine through the process-wide PlanCache:
   /// the first Converter for a (source, target, options) triple runs
-  /// codegen, later ones share its plan.
+  /// codegen, later ones share its plan. Aborts on an unsupported pair;
+  /// tryCreate is the checked form.
   Converter(formats::Format Source, formats::Format Target,
             codegen::Options Opts = codegen::Options());
+
+  /// Checked construction: an unsupported pair comes back as
+  /// ErrorCode::Unsupported with the planner's diagnostic instead of
+  /// aborting.
+  static StatusOr<Converter> tryCreate(formats::Format Source,
+                                       formats::Format Target,
+                                       codegen::Options Opts =
+                                           codegen::Options());
 
   const codegen::Conversion &conversion() const { return *Conv; }
 
   /// Converts \p In (which must be in the source format) by interpreting
   /// the generated routine. The result is fully validated in debug use via
-  /// SparseTensor::validate by the caller if desired.
+  /// SparseTensor::validate by the caller if desired. Aborts on request
+  /// errors; tryRun is the checked form.
   tensor::SparseTensor run(const tensor::SparseTensor &In) const;
 
+  /// Checked conversion: a tensor in the wrong format, an unsorted source
+  /// where the plan requires order, or dimensions no plan supports come
+  /// back as a Status instead of aborting.
+  StatusOr<tensor::SparseTensor> tryRun(const tensor::SparseTensor &In) const;
+
 private:
+  explicit Converter(std::shared_ptr<const codegen::Conversion> Plan)
+      : Conv(std::move(Plan)) {}
+
   std::shared_ptr<const codegen::Conversion> Conv;
 };
 
@@ -60,11 +79,12 @@ private:
 void bindSourceTensor(ir::Interpreter &Interp, const tensor::SparseTensor &In);
 
 /// Enforces the plan's source-order requirement (Conversion's
-/// LexCheckLevels): aborts with a diagnostic when \p In's leading levels
-/// are not lexicographically sorted but the routine's dedup assembly
-/// assumes they are. Shared by the interpreter and JIT runners.
-void checkSourceOrder(const codegen::Conversion &Conv,
-                      const tensor::SparseTensor &In);
+/// LexCheckLevels): returns ErrorCode::InvalidArgument with a diagnostic
+/// when \p In's leading levels are not lexicographically sorted but the
+/// routine's dedup assembly assumes they are. Shared by the interpreter
+/// and JIT runners.
+Status checkSourceOrder(const codegen::Conversion &Conv,
+                        const tensor::SparseTensor &In);
 
 /// Assembles the output tensor from interpreter yields.
 tensor::SparseTensor collectTargetTensor(const formats::Format &Target,

@@ -7,15 +7,21 @@
 #include "convert/PlanCache.h"
 
 #include "support/Assert.h"
+#include "support/DegradationLog.h"
+#include "support/Fault.h"
 #include "support/StringUtils.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/utsname.h>
+#include <unistd.h>
 
 namespace {
 
@@ -50,10 +56,161 @@ std::string hostIsaFingerprint() {
   return Out;
 }
 
+/// Reads a whole file into \p Out; false when it cannot be opened or read.
+bool readWholeFile(const std::string &Path, std::string *Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Out->clear();
+  char Buf[1 << 16];
+  for (size_t Got; (Got = std::fread(Buf, 1, sizeof(Buf), File)) > 0;)
+    Out->append(Buf, Got);
+  bool Ok = !std::ferror(File);
+  std::fclose(File);
+  return Ok;
+}
+
+/// Writes \p Data to a staging name beside \p Path and renames it into
+/// place (atomic within the directory); false on any failure, with the
+/// staged file removed.
+bool writeFileAtomic(const std::string &Path, const std::string &Data) {
+  static std::atomic<uint64_t> StageCounter{0};
+  std::string Staged = Path + ".tmp." + std::to_string(getpid()) + "." +
+                       std::to_string(++StageCounter);
+  std::FILE *Out = std::fopen(Staged.c_str(), "wb");
+  if (!Out)
+    return false;
+  bool Ok = std::fwrite(Data.data(), 1, Data.size(), Out) == Data.size();
+  if (std::fclose(Out) != 0)
+    Ok = false;
+  if (Ok && std::rename(Staged.c_str(), Path.c_str()) != 0)
+    Ok = false;
+  if (!Ok)
+    std::remove(Staged.c_str());
+  return Ok;
+}
+
+/// Exclusive advisory lock on <SoPath>.lock, held for the object's scope.
+/// Serializes installers and evictors of one cache entry across processes;
+/// readers stay lock-free (the checksum manifest protects them) and only
+/// take the lock to re-verify before evicting.
+class EntryLock {
+public:
+  explicit EntryLock(const std::string &SoPath) {
+    Fd = open((SoPath + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+              0644);
+    if (Fd >= 0 && flock(Fd, LOCK_EX) != 0) {
+      close(Fd);
+      Fd = -1;
+    }
+  }
+  ~EntryLock() {
+    if (Fd >= 0) {
+      flock(Fd, LOCK_UN);
+      close(Fd);
+    }
+  }
+  bool held() const { return Fd >= 0; }
+  EntryLock(const EntryLock &) = delete;
+  EntryLock &operator=(const EntryLock &) = delete;
+
+private:
+  int Fd = -1;
+};
+
+std::string manifestPath(const std::string &SoPath) {
+  return SoPath + ".sum";
+}
+
+/// True when the bytes at SoPath match the manifest beside it.
+bool checksumMatches(const std::string &SoPath) {
+  std::string Bytes, Want;
+  if (!readWholeFile(SoPath, &Bytes))
+    return false;
+  if (!readWholeFile(manifestPath(SoPath), &Want))
+    return false;
+  return convgen::trim(Want) == convgen::convert::contentHash(Bytes);
+}
+
 } // namespace
 
 using namespace convgen;
 using namespace convgen::convert;
+using support::Degradation;
+using support::DegradationLog;
+using support::FaultSite;
+
+bool convert::readVerifiedCachedObject(const std::string &SoPath) {
+  if (support::faultInjected(FaultSite::CacheRead)) {
+    DegradationLog::instance().record(
+        Degradation::CacheReadFailure,
+        "injected cache-read fault for " + SoPath);
+    return false;
+  }
+  // Fast path: no lock. rename() publishes whole files, so a reader sees
+  // complete bytes; the manifest check catches every other corruption.
+  if (std::FILE *Probe = std::fopen(SoPath.c_str(), "rb"))
+    std::fclose(Probe);
+  else
+    return false; // Plain miss.
+  if (checksumMatches(SoPath))
+    return true;
+  // Mismatch: an installer may have renamed the object but not yet its
+  // manifest. Re-verify under the writer lock before evicting, so a good
+  // fresh object is never deleted out from under its installer.
+  EntryLock Lock(SoPath);
+  if (checksumMatches(SoPath))
+    return true;
+  std::remove(SoPath.c_str());
+  std::remove(manifestPath(SoPath).c_str());
+  DegradationLog::instance().record(
+      Degradation::CacheChecksumEviction,
+      "evicted " + SoPath + " (checksum mismatch or missing manifest)");
+  return false;
+}
+
+bool convert::installCachedObject(const std::string &SoPath,
+                                  const std::string &LocalSo,
+                                  const std::string &LocalC) {
+  auto fail = [&](const std::string &Why) {
+    DegradationLog::instance().record(Degradation::CacheWriteFailure, Why);
+    return false;
+  };
+  if (support::faultInjected(FaultSite::CacheWrite))
+    return fail("injected cache-write fault for " + SoPath);
+  std::string Bytes;
+  if (!readWholeFile(LocalSo, &Bytes))
+    return fail("cannot read freshly compiled object " + LocalSo);
+  EntryLock Lock(SoPath);
+  if (!Lock.held())
+    return fail("cannot lock cache entry " + SoPath);
+  // Object first, manifest second: a crash between the renames leaves an
+  // object whose manifest mismatches, which readers evict and recompile —
+  // never serve.
+  if (!writeFileAtomic(SoPath, Bytes))
+    return fail("cannot install " + SoPath);
+  if (!writeFileAtomic(manifestPath(SoPath), contentHash(Bytes) + "\n"))
+    return fail("cannot install manifest for " + SoPath);
+  // Keep the generated C beside the object for debugging (best effort).
+  std::string CPath = SoPath;
+  std::string::size_type Dot = CPath.rfind(".so");
+  if (!LocalC.empty() && Dot != std::string::npos) {
+    CPath.replace(Dot, 3, ".c");
+    std::string CSource;
+    if (readWholeFile(LocalC, &CSource))
+      writeFileAtomic(CPath, CSource);
+  }
+  return true;
+}
+
+void convert::evictCachedObject(const std::string &SoPath,
+                                const std::string &Why) {
+  EntryLock Lock(SoPath);
+  std::remove(SoPath.c_str());
+  std::remove(manifestPath(SoPath).c_str());
+  DegradationLog::instance().record(Degradation::CacheChecksumEviction,
+                                    "evicted " + SoPath + " (" + Why + ")");
+}
 
 std::string convert::contentHash(const std::string &Data) {
   uint64_t Hash = 1469598103934665603ull; // FNV offset basis.
@@ -174,6 +331,34 @@ PlanCache::plan(const formats::Format &Source, const formats::Format &Target,
   else
     ++Stats.PlanHits;
   return It->second;
+}
+
+StatusOr<std::shared_ptr<const codegen::Conversion>>
+PlanCache::tryPlan(const formats::Format &Source,
+                   const formats::Format &Target,
+                   const codegen::Options &Opts) {
+  std::string Why;
+  bool Supported =
+      Opts.DimsHint.empty()
+          ? codegen::conversionSupported(Source, Target, &Why)
+          : codegen::conversionSupported(Source, Target, Opts.DimsHint, &Why);
+  if (!Supported)
+    return Status::error(ErrorCode::Unsupported, Why);
+  return plan(Source, Target, Opts);
+}
+
+StatusOr<std::shared_ptr<jit::JitConversion>>
+PlanCache::tryJit(const formats::Format &Source, const formats::Format &Target,
+                  const codegen::Options &Opts,
+                  const std::string &ExtraFlags) {
+  StatusOr<std::shared_ptr<const codegen::Conversion>> Plan =
+      tryPlan(Source, Target, Opts);
+  if (!Plan.ok())
+    return Plan.status();
+  // Environment failures below this point degrade inside JitConversion
+  // (which then interprets) rather than surfacing as a Status: the handle
+  // the caller gets always converts.
+  return jit(Source, Target, Opts, ExtraFlags);
 }
 
 std::shared_ptr<jit::JitConversion>

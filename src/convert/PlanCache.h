@@ -19,6 +19,14 @@
 ///     cache keyed by a hash of the emitted C source, the compile flags,
 ///     and the compiler, so *new* processes skip the external compiler too.
 ///
+/// The on-disk cache is crash-safe under concurrent writers: objects are
+/// staged in the cache directory and installed with an atomic rename while
+/// holding a per-entry flock, and every entry carries a checksum manifest
+/// (<object>.sum) that readers verify before dlopen — N processes sharing
+/// one CONVGEN_CACHE_DIR can never serve a torn or stale object. A failed
+/// verification evicts the entry (recorded in the DegradationLog) and the
+/// object is recompiled.
+///
 /// Environment knobs:
 ///   CONVGEN_CACHE_DIR            on-disk cache location (default
 ///                                $XDG_CACHE_HOME/convgen, then
@@ -26,6 +34,8 @@
 ///                                /tmp/convgen-cache)
 ///   CONVGEN_DISABLE_DISK_CACHE   any non-"0" value keeps the cache
 ///                                in-memory only
+///   CONVGEN_FAULT                fault injection at the cache-read /
+///                                cache-write sites (support/Fault.h)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +44,7 @@
 
 #include "codegen/Generator.h"
 #include "jit/Jit.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <map>
@@ -60,18 +71,36 @@ public:
   /// The process-wide instance. All methods are thread-safe.
   static PlanCache &instance();
 
-  /// The generated conversion plan for the triple, memoized.
+  /// The generated conversion plan for the triple, memoized. Aborts on an
+  /// unsupported pair (known-good callers); tryPlan is the checked form.
   std::shared_ptr<const codegen::Conversion>
   plan(const formats::Format &Source, const formats::Format &Target,
        const codegen::Options &Opts = codegen::Options());
 
+  /// Checked plan acquisition: an unsupported pair (or pair-at-dims, when
+  /// Opts.DimsHint is set) returns ErrorCode::Unsupported with the
+  /// planner's diagnostic instead of aborting.
+  StatusOr<std::shared_ptr<const codegen::Conversion>>
+  tryPlan(const formats::Format &Source, const formats::Format &Target,
+          const codegen::Options &Opts = codegen::Options());
+
   /// A live JIT-compiled conversion for the triple, memoized; compiles at
   /// most once per process and reuses on-disk shared objects across
-  /// processes. Requires jit::jitAvailable().
+  /// processes. Aborts on an unsupported pair; environment failures
+  /// (failed compile, dlopen) never abort — the returned handle degrades
+  /// to bit-exact interpreter execution (JitConversion::degraded()).
   std::shared_ptr<jit::JitConversion>
   jit(const formats::Format &Source, const formats::Format &Target,
       const codegen::Options &Opts = codegen::Options(),
       const std::string &ExtraFlags = "");
+
+  /// Checked JIT acquisition: Unsupported pairs come back as a Status;
+  /// environment failures come back as an OK but degraded handle (which
+  /// still converts, through the interpreter). Never aborts.
+  StatusOr<std::shared_ptr<jit::JitConversion>>
+  tryJit(const formats::Format &Source, const formats::Format &Target,
+         const codegen::Options &Opts = codegen::Options(),
+         const std::string &ExtraFlags = "");
 
   PlanCacheStats stats() const;
 
@@ -102,8 +131,37 @@ std::string planKey(const formats::Format &Source,
                     const formats::Format &Target,
                     const codegen::Options &Opts);
 
-/// 64-bit FNV-1a, rendered as 16 hex digits (disk cache file names).
+/// 64-bit FNV-1a, rendered as 16 hex digits (disk cache file names and
+/// the per-entry checksum manifests).
 std::string contentHash(const std::string &Data);
+
+//===------------------------------------------------------------------===//
+// Crash-safe disk-cache entry management (shared with jit/Jit.cpp).
+//===------------------------------------------------------------------===//
+
+/// True when a checksum-verified object exists at \p SoPath: the bytes at
+/// SoPath hash to the manifest at SoPath + ".sum". A missing object is a
+/// plain miss; a mismatch (torn write, bit rot, a pre-manifest cache) is
+/// re-verified under the entry's writer lock — an install may have
+/// renamed the object but not yet its manifest — and then evicted, with a
+/// CacheChecksumEviction recorded. Honors the cache-read fault site.
+bool readVerifiedCachedObject(const std::string &SoPath);
+
+/// Atomically installs \p LocalSo (and \p LocalC beside it, for
+/// debugging) at \p SoPath with its checksum manifest, holding an flock
+/// on SoPath + ".lock" across both renames so concurrent writers cannot
+/// interleave. Best-effort: returns false (recording CacheWriteFailure)
+/// on any I/O failure or an injected cache-write fault; the caller keeps
+/// serving from its locally compiled object. Readers that race the two
+/// renames see a checksum mismatch at worst and recompile — never a torn
+/// object.
+bool installCachedObject(const std::string &SoPath,
+                         const std::string &LocalSo,
+                         const std::string &LocalC);
+
+/// Removes \p SoPath and its manifest under the entry lock (used when a
+/// verified object still fails to dlopen, e.g. a foreign-ISA leftover).
+void evictCachedObject(const std::string &SoPath, const std::string &Why);
 
 } // namespace convert
 } // namespace convgen

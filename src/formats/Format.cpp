@@ -48,36 +48,45 @@ std::string Format::summary() const {
   return Out;
 }
 
-void formats::validateFormat(const Format &F) {
+Status formats::checkFormat(const Format &F) {
   auto failFmt = [&](const std::string &Msg) {
-    fatalError(("format '" + F.Name + "': " + Msg).c_str());
+    return Status::error(ErrorCode::InvalidArgument,
+                         "format '" + F.Name + "': " + Msg);
   };
   if (F.Levels.empty())
-    failFmt("must have at least one level");
+    return failFmt("must have at least one level");
   if (static_cast<int>(F.Remap.srcOrder()) != F.SrcOrder)
-    failFmt("remap source arity does not match the canonical order");
+    return failFmt("remap source arity does not match the canonical order");
   if (F.Remap.dstOrder() != F.Levels.size())
-    failFmt("one level per remapped dimension is required");
+    return failFmt("one level per remapped dimension is required");
   if (static_cast<int>(F.Inverse.srcOrder()) != F.order())
-    failFmt("inverse must be over the stored dimensions d0..dn-1");
+    return failFmt("inverse must be over the stored dimensions d0..dn-1");
   if (static_cast<int>(F.Inverse.dstOrder()) != F.SrcOrder)
-    failFmt("inverse must produce one canonical coordinate per source "
-            "variable");
+    return failFmt("inverse must produce one canonical coordinate per "
+                   "source variable");
   for (size_t K = 0; K < F.Levels.size(); ++K) {
     const LevelSpec &L = F.Levels[K];
     if (L.Dim != static_cast<int>(K))
-      failFmt(strfmt("level %zu must store dimension %zu", K, K));
+      return failFmt(strfmt("level %zu must store dimension %zu", K, K));
     if (L.Kind == LevelKind::Offset) {
       if (L.AddendDims[0] < 0 || L.AddendDims[1] < 0 ||
           L.AddendDims[0] >= static_cast<int>(K) ||
           L.AddendDims[1] >= static_cast<int>(K))
-        failFmt("offset level addends must name two earlier dimensions");
+        return failFmt(
+            "offset level addends must name two earlier dimensions");
     }
     if (L.Kind == LevelKind::Compressed && !L.Unique && K != 0)
-      failFmt("non-unique compressed levels are only supported at the root "
-              "(COO-style formats)");
+      return failFmt("non-unique compressed levels are only supported at "
+                     "the root (COO-style formats)");
     if (L.Kind == LevelKind::Skyline && K == 0)
-      failFmt("skyline levels derive their coordinates from the parent "
-              "level's and cannot be the root");
+      return failFmt("skyline levels derive their coordinates from the "
+                     "parent level's and cannot be the root");
   }
+  return Status();
+}
+
+void formats::validateFormat(const Format &F) {
+  Status S = checkFormat(F);
+  if (!S.ok())
+    fatalError(S.message().c_str());
 }

@@ -26,6 +26,7 @@
 #define CONVGEN_FORMATS_FORMAT_H
 
 #include "remap/Remap.h"
+#include "support/Status.h"
 
 #include <array>
 #include <string>
@@ -102,8 +103,13 @@ struct Format {
   std::string summary() const;
 };
 
-/// Validates internal consistency (arities, level dims, addends) and aborts
-/// with a diagnostic on malformed specifications. Called by the registry.
+/// Checks internal consistency (arities, level dims, addends); returns
+/// ErrorCode::InvalidArgument with a diagnostic on malformed
+/// specifications. The checked form for user-supplied custom formats.
+Status checkFormat(const Format &F);
+
+/// checkFormat, aborting on failure. Called by the registry, whose formats
+/// are known-good by construction.
 void validateFormat(const Format &F);
 
 } // namespace formats

@@ -7,41 +7,136 @@
 #include "jit/Jit.h"
 
 #include "convert/Converter.h"
+#include "convert/PlanCache.h"
+#include "ir/Interpreter.h"
 #include "support/Assert.h"
+#include "support/DegradationLog.h"
+#include "support/Fault.h"
 #include "support/StringUtils.h"
 
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <dlfcn.h>
+#include <fcntl.h>
+#include <map>
+#include <mutex>
+#include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
+#include <vector>
 
 namespace {
 
-/// Byte-for-byte file copy without going through a shell.
-bool copyFile(const std::string &From, const std::string &To) {
-  std::FILE *In = std::fopen(From.c_str(), "rb");
-  if (!In)
-    return false;
-  std::FILE *Out = std::fopen(To.c_str(), "wb");
-  if (!Out) {
-    std::fclose(In);
-    return false;
+/// The scratch root for compile working directories: TMPDIR when set (the
+/// historical hardcoded /tmp broke sandboxes and shared hosts), /tmp
+/// otherwise.
+std::string scratchRoot() {
+  const char *Env = std::getenv("TMPDIR");
+  if (Env && *Env) {
+    std::string Root = Env;
+    while (Root.size() > 1 && Root.back() == '/')
+      Root.pop_back();
+    return Root;
   }
-  char Buf[1 << 16];
-  bool Ok = true;
-  for (size_t Got; (Got = std::fread(Buf, 1, sizeof(Buf), In)) > 0;)
-    if (std::fwrite(Buf, 1, Got, Out) != Got) {
-      Ok = false;
-      break;
+  return "/tmp";
+}
+
+/// mkdtemp under scratchRoot(); empty string on failure (never aborts —
+/// the caller degrades).
+std::string makeScratchDir(const char *Tag) {
+  std::string Template = scratchRoot() + "/convgen-" + Tag + "-XXXXXX";
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  if (!mkdtemp(Buf.data()))
+    return "";
+  return std::string(Buf.data());
+}
+
+/// Removes every file a compile attempt can leave in \p Dir, then the
+/// directory itself. Used on all exit paths — success, failure, and the
+/// destructor — so no scratch tree outlives its JitConversion.
+void removeScratchTree(const std::string &Dir) {
+  if (Dir.empty())
+    return;
+  static const char *const Files[] = {"conv.c", "conv.so", "cc.log",
+                                      "probe.c", "probe.so"};
+  for (const char *F : Files)
+    std::remove((Dir + "/" + F).c_str());
+  rmdir(Dir.c_str());
+}
+
+/// Whitespace-splits a command or flag string into argv tokens (the
+/// compiler spec "ccache cc" is two tokens; quoting inside flags is not
+/// supported and has never been needed).
+std::vector<std::string> splitTokens(const std::string &S) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == ' ' || C == '\t' || C == '\n') {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
     }
-  Ok = Ok && !std::ferror(In);
-  std::fclose(In);
-  if (std::fclose(Out) != 0)
-    Ok = false;
-  return Ok;
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+/// fork/exec of \p Args with stdout+stderr redirected to \p LogPath
+/// ("/dev/null" when empty). No shell is involved, so cache directories,
+/// TMPDIR values, and flag strings with metacharacters cannot be
+/// reinterpreted as shell syntax. Returns the child's exit code, or -1
+/// when the child could not be spawned (including exec failure, reported
+/// as 127 by convention).
+int runCommand(const std::vector<std::string> &Args,
+               const std::string &LogPath) {
+  if (Args.empty())
+    return -1;
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  pid_t Pid = fork();
+  if (Pid < 0)
+    return -1;
+  if (Pid == 0) {
+    const char *Log = LogPath.empty() ? "/dev/null" : LogPath.c_str();
+    int Fd = open(Log, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (Fd >= 0) {
+      dup2(Fd, STDOUT_FILENO);
+      dup2(Fd, STDERR_FILENO);
+      if (Fd > STDERR_FILENO)
+        close(Fd);
+    }
+    execvp(Argv[0], Argv.data());
+    _exit(127);
+  }
+  int Wait = 0;
+  while (waitpid(Pid, &Wait, 0) < 0)
+    if (errno != EINTR)
+      return -1;
+  if (!WIFEXITED(Wait))
+    return -1;
+  return WEXITSTATUS(Wait);
+}
+
+/// First ~4K of a file, for surfacing compiler diagnostics in a Status.
+std::string readDiagnostics(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "r");
+  if (!File)
+    return "";
+  char Buf[4096];
+  size_t Got = std::fread(Buf, 1, sizeof(Buf) - 1, File);
+  Buf[Got] = '\0';
+  std::fclose(File);
+  return Buf;
 }
 
 } // namespace
@@ -49,24 +144,32 @@ bool copyFile(const std::string &From, const std::string &To) {
 using namespace convgen;
 using namespace convgen::jit;
 using formats::LevelKind;
+using support::Degradation;
+using support::DegradationLog;
+using support::FaultSite;
 
-static const char *compilerCommand() {
-  static const char *Cc = [] {
-    const char *Env = std::getenv("CONVGEN_CC");
-    if (Env && *Env)
-      return Env;
-    return "cc";
-  }();
-  return Cc;
+/// The compiler spec, re-read per use so tests can rebind CONVGEN_CC
+/// in-process (availability probes below are memoized per value).
+static std::string compilerSpec() {
+  const char *Env = std::getenv("CONVGEN_CC");
+  if (Env && *Env)
+    return Env;
+  return "cc";
 }
 
 bool jit::jitAvailable() {
-  static bool Available = [] {
-    std::string Cmd =
-        std::string(compilerCommand()) + " --version > /dev/null 2>&1";
-    return std::system(Cmd.c_str()) == 0;
-  }();
-  return Available;
+  static std::mutex Mu;
+  static std::map<std::string, bool> Cache;
+  std::string Cc = compilerSpec();
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Cache.find(Cc);
+  if (It != Cache.end())
+    return It->second;
+  std::vector<std::string> Args = splitTokens(Cc);
+  Args.push_back("--version");
+  bool Ok = runCommand(Args, "") == 0;
+  Cache[Cc] = Ok;
+  return Ok;
 }
 
 bool jit::jitOpenMPAvailable() {
@@ -75,20 +178,25 @@ bool jit::jitOpenMPAvailable() {
   // was not found at build time): keep generated routines serial too.
   return false;
 #else
-  static bool Available = [] {
-    const char *Disable = std::getenv("CONVGEN_NO_OPENMP");
-    if (Disable && *Disable && std::string(Disable) != "0")
-      return false;
-    // Probe once with the most demanding construct generated code uses:
-    // an array-section reduction (OpenMP 4.5). A compiler that accepts
-    // plain -fopenmp but not this (e.g. old gcc) must be treated as
-    // OpenMP-unavailable or every parallel conversion would fail to build.
-    char Template[] = "/tmp/convgen-omp-XXXXXX";
-    char *Dir = mkdtemp(Template);
-    if (!Dir)
-      return false;
-    std::string Probe = std::string(Dir) + "/probe.c";
-    std::string Out = std::string(Dir) + "/probe.so";
+  const char *Disable = std::getenv("CONVGEN_NO_OPENMP");
+  if (Disable && *Disable && std::string(Disable) != "0")
+    return false;
+  static std::mutex Mu;
+  static std::map<std::string, bool> Cache;
+  std::string Cc = compilerSpec();
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Cache.find(Cc);
+  if (It != Cache.end())
+    return It->second;
+  // Probe with the most demanding construct generated code uses: an
+  // array-section reduction (OpenMP 4.5). A compiler that accepts plain
+  // -fopenmp but not this (e.g. old gcc) must be treated as
+  // OpenMP-unavailable or every parallel conversion would fail to build.
+  bool Ok = false;
+  std::string Dir = makeScratchDir("omp");
+  if (!Dir.empty()) {
+    std::string Probe = Dir + "/probe.c";
+    std::string Out = Dir + "/probe.so";
     if (std::FILE *File = std::fopen(Probe.c_str(), "w")) {
       std::fputs("void convgen_probe(int *hist, long n, long m) {\n"
                  "#pragma omp parallel for reduction(+:hist[0:n])\n"
@@ -96,20 +204,17 @@ bool jit::jitOpenMPAvailable() {
                  "}\n",
                  File);
       std::fclose(File);
-    } else {
-      rmdir(Dir);
-      return false;
+      std::vector<std::string> Args = splitTokens(Cc);
+      for (const char *F : {"-fopenmp", "-shared", "-fPIC", "-o"})
+        Args.push_back(F);
+      Args.push_back(Out);
+      Args.push_back(Probe);
+      Ok = runCommand(Args, "") == 0;
     }
-    std::string Cmd =
-        strfmt("%s -fopenmp -shared -fPIC -o %s %s > /dev/null 2>&1",
-               compilerCommand(), Out.c_str(), Probe.c_str());
-    bool Ok = std::system(Cmd.c_str()) == 0;
-    std::remove(Probe.c_str());
-    std::remove(Out.c_str());
-    rmdir(Dir);
-    return Ok;
-  }();
-  return Available;
+    removeScratchTree(Dir);
+  }
+  Cache[Cc] = Ok;
+  return Ok;
 #endif
 }
 
@@ -158,18 +263,26 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
 
 /// Loads the conversion entry point out of an already compiled object.
 /// Returns false (with \p Error set) instead of aborting, so callers can
-/// treat a stale or corrupt cached object as a miss.
+/// treat a stale or corrupt cached object as a miss. Honors the dlopen and
+/// dlsym fault-injection sites.
 static bool loadConversion(const std::string &SoPath,
                            const std::string &FnName, void **Handle,
                            void (**Fn)(const CTensor *, CTensor *),
                            std::string *Error) {
+  if (support::faultInjected(FaultSite::Dlopen)) {
+    *Error = "jit: dlopen failed (injected fault): " + SoPath;
+    return false;
+  }
   *Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!*Handle) {
     *Error = "jit: dlopen failed: " + std::string(dlerror());
     return false;
   }
-  *Fn = reinterpret_cast<void (*)(const CTensor *, CTensor *)>(
-      dlsym(*Handle, FnName.c_str()));
+  if (support::faultInjected(FaultSite::Dlsym))
+    *Fn = nullptr;
+  else
+    *Fn = reinterpret_cast<void (*)(const CTensor *, CTensor *)>(
+        dlsym(*Handle, FnName.c_str()));
   if (!*Fn) {
     *Error = "jit: dlsym cannot find " + FnName;
     dlclose(*Handle);
@@ -188,90 +301,164 @@ static double *loadPhaseSeconds(void *Handle, const std::string &FnName) {
   return Get ? Get() : nullptr;
 }
 
+/// Transient-failure retry budget (CONVGEN_JIT_ATTEMPTS, default 3,
+/// clamped to [1, 10]).
+static int jitCompileAttempts() {
+  if (const char *Env = std::getenv("CONVGEN_JIT_ATTEMPTS")) {
+    char *End = nullptr;
+    long N = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0')
+      return N < 1 ? 1 : (N > 10 ? 10 : static_cast<int>(N));
+  }
+  return 3;
+}
+
+/// Bounded exponential backoff before retry attempt \p Attempt (1-based):
+/// 2ms, 4ms, 8ms, ... capped at 100ms.
+static void backoffSleep(int Attempt) {
+  long Ms = 2L << (Attempt - 1);
+  if (Ms > 100)
+    Ms = 100;
+  struct timespec Ts = {0, Ms * 1000000L};
+  nanosleep(&Ts, nullptr);
+}
+
 JitConversion::JitConversion(const codegen::Conversion &Conversion,
                              const std::string &ExtraFlags,
                              const std::string &CachedSoPath)
     : Conv(Conversion) {
-  std::string Error;
-  // Cache hit: load the previously compiled object, no external compiler.
-  // A corrupt or stale object is evicted and recompiled below rather than
-  // poisoning every future process.
-  if (!CachedSoPath.empty()) {
-    if (std::FILE *Probe = std::fopen(CachedSoPath.c_str(), "rb")) {
-      std::fclose(Probe);
-      if (loadConversion(CachedSoPath, Conv.Func.Name, &Handle, &Fn,
-                         &Error)) {
-        FromCache = true;
-        PhaseSecs = loadPhaseSeconds(Handle, Conv.Func.Name);
-        return;
-      }
-      std::fprintf(stderr, "convgen: evicting bad cached object %s (%s)\n",
-                   CachedSoPath.c_str(), Error.c_str());
-      std::remove(CachedSoPath.c_str());
+  Status S = initialize(ExtraFlags, CachedSoPath);
+  if (S.ok())
+    return;
+  // Environment failure after retries: degrade to interpreter-backed
+  // execution instead of dying. Every subsequent run is still bit-exact
+  // with the native path; the DegradationLog records the event for the
+  // serving layer's metrics.
+  Degraded = true;
+  DegradedWhy = S.message();
+  DegradationLog::instance().record(
+      Degradation::InterpreterFallback,
+      strfmt("%s -> %s: %s", Conv.Source.Name.c_str(),
+             Conv.Target.Name.c_str(), S.message().c_str()));
+}
+
+Status JitConversion::initialize(const std::string &ExtraFlags,
+                                 const std::string &CachedSoPath) {
+  // Cache hit: load the previously compiled, checksum-verified object —
+  // no external compiler. A verified object that still refuses to load
+  // (foreign-ISA leftover, injected dlopen fault) is evicted so future
+  // processes recompile instead of inheriting the poison.
+  if (!CachedSoPath.empty() &&
+      convert::readVerifiedCachedObject(CachedSoPath)) {
+    std::string Error;
+    if (loadConversion(CachedSoPath, Conv.Func.Name, &Handle, &Fn, &Error)) {
+      FromCache = true;
+      PhaseSecs = loadPhaseSeconds(Handle, Conv.Func.Name);
+      return Status();
+    }
+    DegradationLog::instance().record(Degradation::JitLoadFailure, Error);
+    convert::evictCachedObject(CachedSoPath, Error);
+  }
+  if (!jitAvailable())
+    return Status::error(ErrorCode::Unavailable,
+                         "jit: no working C compiler ('" + compilerSpec() +
+                             "'); set CONVGEN_CC");
+  int Attempts = jitCompileAttempts();
+  Status Last;
+  for (int A = 1; A <= Attempts; ++A) {
+    if (A > 1) {
+      DegradationLog::instance().record(Degradation::JitRetry,
+                                        Last.message());
+      backoffSleep(A - 1);
+    }
+    Last = compileAndLoadOnce(ExtraFlags, CachedSoPath);
+    if (Last.ok() || !Last.isEnvironmentError())
+      return Last;
+  }
+  return Last;
+}
+
+Status JitConversion::compileAndLoadOnce(const std::string &ExtraFlags,
+                                         const std::string &CachedSoPath) {
+  std::string Dir = makeScratchDir("jit");
+  if (Dir.empty())
+    return Status::error(ErrorCode::Unavailable,
+                         "jit: cannot create a scratch directory under " +
+                             scratchRoot() + " (set TMPDIR to a writable "
+                                             "location)");
+  std::string CPath = Dir + "/conv.c";
+  std::string SoPath = Dir + "/conv.so";
+  std::string LogPath = Dir + "/cc.log";
+
+  {
+    std::FILE *File = std::fopen(CPath.c_str(), "w");
+    if (!File) {
+      removeScratchTree(Dir);
+      return Status::error(ErrorCode::Unavailable,
+                           "jit: cannot write the generated source in " +
+                               Dir);
+    }
+    std::string Source = Conv.cSource();
+    bool Ok = std::fwrite(Source.data(), 1, Source.size(), File) ==
+              Source.size();
+    if (std::fclose(File) != 0)
+      Ok = false;
+    if (!Ok) {
+      removeScratchTree(Dir);
+      return Status::error(ErrorCode::Unavailable,
+                           "jit: cannot write the generated source (disk "
+                           "full?) in " +
+                               Dir);
     }
   }
 
-  char Template[] = "/tmp/convgen-jit-XXXXXX";
-  char *Dir = mkdtemp(Template);
-  if (!Dir)
-    fatalError("jit: cannot create a temporary directory");
-  WorkDir = Dir;
+  std::vector<std::string> Args = splitTokens(compilerSpec());
+  for (const std::string &F : splitTokens(jitEffectiveFlags(ExtraFlags)))
+    Args.push_back(F);
+  Args.push_back("-o");
+  Args.push_back(SoPath);
+  Args.push_back(CPath);
 
-  std::string CPath = WorkDir + "/conv.c";
-  std::string SoPath = WorkDir + "/conv.so";
-  std::FILE *File = std::fopen(CPath.c_str(), "w");
-  if (!File)
-    fatalError("jit: cannot write the generated source");
-  std::string Source = Conv.cSource();
-  std::fwrite(Source.data(), 1, Source.size(), File);
-  std::fclose(File);
-
-  std::string Cmd = strfmt("%s %s -o %s %s 2> %s/cc.log", compilerCommand(),
-                           jitEffectiveFlags(ExtraFlags).c_str(),
-                           SoPath.c_str(), CPath.c_str(), WorkDir.c_str());
-  auto Begin = std::chrono::steady_clock::now();
-  int Rc = std::system(Cmd.c_str());
-  CompileSecs = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - Begin)
-                    .count();
+  int Rc;
+  if (support::faultInjected(FaultSite::Compile)) {
+    // Injected fault fires before the spawn so 100%-rate harness runs do
+    // not pay one real compile per attempt.
+    Rc = 1;
+  } else {
+    auto Begin = std::chrono::steady_clock::now();
+    Rc = runCommand(Args, LogPath);
+    CompileSecs += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count();
+  }
   if (Rc != 0) {
-    std::string Log;
-    if (std::FILE *LogFile = std::fopen((WorkDir + "/cc.log").c_str(), "r")) {
-      char Buf[4096];
-      size_t Got = std::fread(Buf, 1, sizeof(Buf) - 1, LogFile);
-      Buf[Got] = '\0';
-      Log = Buf;
-      std::fclose(LogFile);
-    }
-    fatalError(("jit: compilation failed:\n" + Log).c_str());
+    std::string Log = readDiagnostics(LogPath);
+    removeScratchTree(Dir);
+    if (Log.empty())
+      Log = "(no compiler diagnostics)";
+    Status S = Status::error(ErrorCode::Unavailable,
+                             "jit: compilation failed:\n" + Log);
+    DegradationLog::instance().record(Degradation::JitCompileFailure,
+                                      S.message());
+    return S;
   }
 
-  // Install into the on-disk cache: rename() within the cache directory is
-  // atomic, so concurrent processes either see the complete object or none.
-  // Copying in-process (no shell) keeps arbitrary cache paths safe, and
-  // the per-thread staging suffix keeps concurrent compiles of the same
-  // key from tearing each other's staged file.
-  if (!CachedSoPath.empty()) {
-    static std::atomic<uint64_t> StageCounter{0};
-    std::string Staged = CachedSoPath + ".tmp." + std::to_string(getpid()) +
-                         "." + std::to_string(++StageCounter);
-    if (copyFile(SoPath, Staged) &&
-        std::rename(Staged.c_str(), CachedSoPath.c_str()) == 0) {
-      // Keep the generated C beside the object for debugging.
-      std::string CCache = CachedSoPath;
-      std::string::size_type Dot = CCache.rfind(".so");
-      if (Dot != std::string::npos) {
-        CCache.replace(Dot, 3, ".c");
-        copyFile(CPath, CCache);
-      }
-    } else {
-      std::remove(Staged.c_str());
-    }
-  }
+  // Install into the shared on-disk cache (atomic rename + checksum
+  // manifest under the entry's flock; see PlanCache.h). Best-effort: a
+  // failed install is recorded and this process keeps serving from its
+  // locally compiled object.
+  if (!CachedSoPath.empty())
+    convert::installCachedObject(CachedSoPath, SoPath, CPath);
 
-  if (!loadConversion(SoPath, Conv.Func.Name, &Handle, &Fn, &Error))
-    fatalError(Error.c_str());
+  std::string Error;
+  if (!loadConversion(SoPath, Conv.Func.Name, &Handle, &Fn, &Error)) {
+    removeScratchTree(Dir);
+    DegradationLog::instance().record(Degradation::JitLoadFailure, Error);
+    return Status::error(ErrorCode::Unavailable, Error);
+  }
+  WorkDir = Dir;
   PhaseSecs = loadPhaseSeconds(Handle, Conv.Func.Name);
+  return Status();
 }
 
 JitConversion::~JitConversion() {
@@ -284,17 +471,7 @@ JitConversion::~JitConversion() {
   // at most one object per (pair, options, flags) through the PlanCache.
   if (Handle && !jitOpenMPAvailable())
     dlclose(Handle);
-  if (!WorkDir.empty()) {
-    std::remove((WorkDir + "/conv.c").c_str());
-    std::remove((WorkDir + "/conv.so").c_str());
-    std::remove((WorkDir + "/cc.log").c_str());
-    rmdir(WorkDir.c_str());
-  }
-}
-
-void JitConversion::runRaw(const CTensor *A, CTensor *B) const {
-  CONVGEN_ASSERT(Fn != nullptr, "jit function not loaded");
-  Fn(A, B);
+  removeScratchTree(WorkDir);
 }
 
 void jit::marshalInput(const tensor::SparseTensor &In, CTensor *Out) {
@@ -354,7 +531,87 @@ void jit::freeOutput(CTensor *B) {
   B->vals = nullptr;
 }
 
-tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
+/// Rebuilds a SparseTensor view of a marshalled input (the degraded runRaw
+/// path has only the ABI struct to work from). Array contents are copied
+/// into owned storage; \p A is not modified.
+static tensor::SparseTensor unmarshalInput(const formats::Format &Source,
+                                           const CTensor &A) {
+  tensor::SparseTensor In;
+  In.Format = Source;
+  In.Dims.assign(A.dims, A.dims + Source.SrcOrder);
+  In.Levels.resize(Source.Levels.size());
+  for (size_t K = 0; K < Source.Levels.size(); ++K) {
+    size_t Slot = K + 1;
+    tensor::LevelStorage &L = In.Levels[K];
+    L.Pos.assign(A.pos[Slot], A.pos[Slot] + A.pos_len[Slot]);
+    L.Crd.assign(A.crd[Slot], A.crd[Slot] + A.crd_len[Slot]);
+    L.Perm.assign(A.perm[Slot], A.perm[Slot] + A.perm_len[Slot]);
+    L.SizeParam = A.params[Slot];
+  }
+  In.Vals.assign(A.vals, A.vals + A.vals_len);
+  return In;
+}
+
+template <typename T>
+static T *mallocCopy(const tensor::OwnedArray<T> &V) {
+  T *P = static_cast<T *>(
+      std::malloc((V.size() ? V.size() : 1) * sizeof(T)));
+  if (P && !V.empty())
+    std::memcpy(P, V.data(), V.size() * sizeof(T));
+  return P;
+}
+
+/// Publishes \p Out through the CTensor ABI as malloc'd copies, matching
+/// what a native routine produces (the caller frees with freeOutput or
+/// adopts via collectOutput).
+static void marshalOutputCopy(const tensor::SparseTensor &Out, CTensor *B) {
+  *B = CTensor();
+  for (size_t D = 0; D < Out.Dims.size(); ++D)
+    B->dims[D] = Out.Dims[D];
+  for (size_t K = 0; K < Out.Levels.size(); ++K) {
+    const tensor::LevelStorage &L = Out.Levels[K];
+    size_t Slot = K + 1;
+    B->pos[Slot] = mallocCopy(L.Pos);
+    B->pos_len[Slot] = static_cast<int64_t>(L.Pos.size());
+    B->crd[Slot] = mallocCopy(L.Crd);
+    B->crd_len[Slot] = static_cast<int64_t>(L.Crd.size());
+    B->perm[Slot] = mallocCopy(L.Perm);
+    B->perm_len[Slot] = static_cast<int64_t>(L.Perm.size());
+    B->params[Slot] = L.SizeParam;
+  }
+  B->vals = mallocCopy(Out.Vals);
+  B->vals_len = static_cast<int64_t>(Out.Vals.size());
+}
+
+tensor::SparseTensor
+JitConversion::interpretRun(const tensor::SparseTensor &In) const {
+  ir::Interpreter Interp;
+  convert::bindSourceTensor(Interp, In);
+  ir::RunResult Result = Interp.run(Conv.Func);
+  return convert::collectTargetTensor(Conv.Target, In.Dims, Result);
+}
+
+void JitConversion::runRaw(const CTensor *A, CTensor *B) const {
+  if (Fn) {
+    Fn(A, B);
+    return;
+  }
+  CONVGEN_ASSERT(Degraded, "jit function not loaded");
+  // Degraded: the interpreter serves the call. The ownership contract is
+  // preserved — B receives malloc'd copies of the interpreter's yields,
+  // released by freeOutput or adopted by collectOutput like any native
+  // output.
+  tensor::SparseTensor In = unmarshalInput(Conv.Source, *A);
+  marshalOutputCopy(interpretRun(In), B);
+}
+
+StatusOr<tensor::SparseTensor>
+JitConversion::tryRun(const tensor::SparseTensor &In) const {
+  if (In.Format.Name != Conv.Source.Name)
+    return Status::error(
+        ErrorCode::InvalidArgument,
+        strfmt("jit conversion compiled for source '%s' got a '%s' tensor",
+               Conv.Source.Name.c_str(), In.Format.Name.c_str()));
   // Size guard: a natively compiled routine cannot switch strategies per
   // tensor, so reject inputs whose dimensions demand sorted-ranking levels
   // this object was not compiled with — running the dense-ranking code
@@ -362,11 +619,13 @@ tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
   // 2^31-extent mode) instead of O(nnz). Callers route such tensors
   // through a dims-specialized plan (codegen::optionsForDims +
   // PlanCache::jit); the interpreter-backed Converter does so
-  // automatically.
+  // automatically. This is a request error, not an environment error — the
+  // interpreter running *this* plan would misbehave identically, so no
+  // fallback.
   codegen::AssemblyPlan Need =
       codegen::planAssembly(Conv.Source, Conv.Target, In.Dims);
   if (!Need.Unsupported.empty())
-    fatalError(Need.Unsupported.c_str());
+    return Status::error(ErrorCode::Unsupported, Need.Unsupported);
   // Compare against the plan recorded at generation time (Conv.Asm), not
   // a re-derivation: re-planning here would read the *current*
   // CONVGEN_RANK_DENSE_MAX_BYTES and silently disagree with the compiled
@@ -374,7 +633,8 @@ tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
   for (size_t K = 0; K < Need.Sorted.size(); ++K)
     if (Need.Sorted[K] &&
         (K >= Conv.Asm.Sorted.size() || !Conv.Asm.Sorted[K]))
-      fatalError(
+      return Status::error(
+          ErrorCode::InvalidArgument,
           strfmt("jit: conversion %s -> %s was compiled without the "
                  "sorted-ranking strategy level %zu needs at these "
                  "dimensions (dense ranking structures would exceed the "
@@ -382,11 +642,31 @@ tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
                  "the plan with codegen::optionsForDims(source, target, "
                  "opts, tensor.Dims)",
                  Conv.Source.Name.c_str(), Conv.Target.Name.c_str(), K + 1,
-                 static_cast<long long>(codegen::rankDenseMaxBytes()))
-              .c_str());
-  convert::checkSourceOrder(Conv, In);
+                 static_cast<long long>(codegen::rankDenseMaxBytes())));
+  Status Order = convert::checkSourceOrder(Conv, In);
+  if (!Order.ok())
+    return Order;
+  if (Degraded)
+    return interpretRun(In);
+  if (support::faultInjected(FaultSite::AllocProbe)) {
+    // The native path's allocation probe reported exhaustion (injected):
+    // serve this run through the interpreter rather than letting the
+    // routine's mallocs fail mid-assembly.
+    DegradationLog::instance().record(
+        Degradation::AllocProbeFailure,
+        strfmt("%s -> %s", Conv.Source.Name.c_str(),
+               Conv.Target.Name.c_str()));
+    return interpretRun(In);
+  }
   CTensor A, B;
   marshalInput(In, &A);
-  runRaw(&A, &B);
+  Fn(&A, &B);
   return collectOutput(Conv.Target, In.Dims, &B);
+}
+
+tensor::SparseTensor JitConversion::run(const tensor::SparseTensor &In) const {
+  StatusOr<tensor::SparseTensor> R = tryRun(In);
+  if (!R.ok())
+    fatalError(R.status().message().c_str());
+  return R.take();
 }

@@ -11,6 +11,21 @@
 /// (paper §7.1). The benchmarks run conversions through this backend; the
 /// test suite checks it agrees bit-for-bit with the reference interpreter.
 ///
+/// Fault tolerance: environment failures (a missing or broken compiler, a
+/// failed dlopen/dlsym, an unwritable scratch directory) never abort.
+/// Construction retries transient failures with bounded backoff and then
+/// degrades the handle — run()/tryRun()/runRaw() keep working by executing
+/// the same generated routine through the reference interpreter, bit-exact
+/// with the native path. Every degradation is counted in the process-wide
+/// support::DegradationLog; degraded() exposes the state per handle.
+/// Request errors (wrong source format, unsorted input, unsupported dims)
+/// are returned from tryRun as a Status and never fall back — the
+/// interpreter would fail identically.
+///
+/// The external compiler is invoked with fork/exec (never a shell), so
+/// paths and flags with shell metacharacters are safe; scratch directories
+/// honor TMPDIR and are removed on every exit path.
+///
 /// Ownership contract at the JIT boundary (no marshalling copies):
 ///
 ///  * Inputs are bound by pointer. marshalInput points the cvg_tensor_t's
@@ -32,6 +47,7 @@
 
 #include "codegen/Generator.h"
 #include "ir/CEmitter.h"
+#include "support/Status.h"
 #include "tensor/SparseTensor.h"
 
 #include <cstdint>
@@ -60,10 +76,13 @@ struct CTensor {
 /// cursor counting), and finalize/yield.
 constexpr int kNumPhases = 4;
 
-/// True if a working C compiler is available (checked once).
+/// True if a working C compiler is available. Probed once per distinct
+/// CONVGEN_CC value (so tests can point CONVGEN_CC at a nonexistent binary
+/// and observe the no-compiler degradation in-process).
 bool jitAvailable();
 
-/// True if the external C compiler accepts -fopenmp (checked once), so the
+/// True if the external C compiler accepts -fopenmp (probed once per
+/// distinct CONVGEN_CC / CONVGEN_NO_OPENMP setting), so the
 /// parallel-annotated loops of generated routines actually run
 /// multi-threaded. Set CONVGEN_NO_OPENMP=1 to force serial compilation;
 /// the emitted pragmas are then ignored and the code stays valid C.
@@ -77,9 +96,12 @@ std::string jitEffectiveFlags(const std::string &ExtraFlags);
 class JitConversion {
 public:
   /// Emits C for \p Conv, compiles it (default flags -O3, plus -fopenmp
-  /// when available), and loads it. Aborts with the compiler's diagnostics
-  /// on failure. When \p CachedSoPath is nonempty, an existing shared
-  /// object there is loaded directly (skipping codegen's external compiler
+  /// when available), and loads it. Never aborts on environment failures:
+  /// a failed compile or load is retried with bounded backoff
+  /// (CONVGEN_JIT_ATTEMPTS, default 3) and the handle then degrades to
+  /// interpreter-backed execution (degraded() == true, every run still
+  /// bit-exact). When \p CachedSoPath is nonempty, a checksum-verified
+  /// object there is loaded directly (skipping the external compiler
   /// entirely, compileSeconds() == 0); otherwise the freshly compiled
   /// object is installed there atomically for future processes.
   explicit JitConversion(const codegen::Conversion &Conv,
@@ -90,18 +112,37 @@ public:
   /// True when the shared object came from the on-disk cache.
   bool loadedFromCache() const { return FromCache; }
 
+  /// True when the native object could not be built or loaded and runs
+  /// execute through the reference interpreter instead.
+  bool degraded() const { return Degraded; }
+
+  /// The diagnostic of the failure that degraded this handle (empty when
+  /// native).
+  const std::string &degradationReason() const { return DegradedWhy; }
+
   JitConversion(const JitConversion &) = delete;
   JitConversion &operator=(const JitConversion &) = delete;
 
   /// Converts via the native routine (marshals in/out of SparseTensor).
+  /// Aborts on request errors; tryRun is the checked form.
   tensor::SparseTensor run(const tensor::SparseTensor &In) const;
+
+  /// Checked conversion: request errors (a tensor in the wrong format, an
+  /// unsorted source where the plan requires order, dimensions this object
+  /// was not compiled for) come back as a Status instead of aborting.
+  /// Environment trouble never surfaces here — a degraded handle serves
+  /// through the interpreter, bit-exact.
+  StatusOr<tensor::SparseTensor> tryRun(const tensor::SparseTensor &In) const;
 
   /// Raw invocation for benchmarking: \p A must be marshalled with
   /// marshalInput; \p B receives malloc'd arrays that the caller releases
-  /// with freeOutput (or adopts via collectOutput).
+  /// with freeOutput (or adopts via collectOutput). On a degraded handle
+  /// the interpreter serves the call and \p B receives malloc'd copies of
+  /// its yields — the same ownership contract either way.
   void runRaw(const CTensor *A, CTensor *B) const;
 
-  /// Wall-clock seconds spent in the external compiler.
+  /// Wall-clock seconds spent in the external compiler (cumulative across
+  /// retry attempts).
   double compileSeconds() const { return CompileSecs; }
 
   /// Cumulative per-phase wall-clock seconds the routine recorded across
@@ -115,6 +156,17 @@ public:
   const codegen::Conversion &conversion() const { return Conv; }
 
 private:
+  /// Cached-load then compile-with-retry; a non-OK result degrades the
+  /// handle instead of propagating.
+  Status initialize(const std::string &ExtraFlags,
+                    const std::string &CachedSoPath);
+  /// One compile + install + load attempt in a fresh scratch directory
+  /// (removed on every failure path).
+  Status compileAndLoadOnce(const std::string &ExtraFlags,
+                            const std::string &CachedSoPath);
+  /// The interpreter path a degraded handle serves runs through.
+  tensor::SparseTensor interpretRun(const tensor::SparseTensor &In) const;
+
   codegen::Conversion Conv;
   void *Handle = nullptr;
   void (*Fn)(const CTensor *, CTensor *) = nullptr;
@@ -122,6 +174,8 @@ private:
   std::string WorkDir;
   double CompileSecs = 0;
   bool FromCache = false;
+  bool Degraded = false;
+  std::string DegradedWhy;
 };
 
 /// Points \p Out's arrays at \p In's storage (no copies; \p In must outlive

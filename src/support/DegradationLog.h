@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-process record of every time the conversion runtime degraded
+/// instead of dying: failed JIT compiles, failed dlopen/dlsym loads,
+/// bounded-backoff retries, interpreter fallbacks, checksum evictions and
+/// failed reads/writes in the shared disk cache, and allocation-probe
+/// failures. The counter set is the export surface a future serving layer
+/// hangs its metrics off; today the fault-injection suite reconciles it
+/// against the injected-fault counts (every injected fault must be
+/// accounted for), and benches print it when nonzero so a silently
+/// degraded measurement cannot masquerade as a native one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_SUPPORT_DEGRADATIONLOG_H
+#define CONVGEN_SUPPORT_DEGRADATIONLOG_H
+
+#include <cstdint>
+#include <string>
+
+namespace convgen {
+namespace support {
+
+enum class Degradation {
+  /// An external JIT compile attempt failed (including injected faults).
+  JitCompileFailure = 0,
+  /// dlopen or dlsym failed on a freshly compiled or cached object.
+  JitLoadFailure,
+  /// A transient failure was retried after bounded backoff.
+  JitRetry,
+  /// A conversion ran through the interpreter because the native path was
+  /// unavailable (degraded JIT handle, missing compiler, alloc probe).
+  InterpreterFallback,
+  /// A disk-cache entry failed checksum verification and was evicted.
+  CacheChecksumEviction,
+  /// A disk-cache lookup failed (injected or I/O).
+  CacheReadFailure,
+  /// A disk-cache install failed (injected or I/O); the conversion still
+  /// served from the locally compiled object.
+  CacheWriteFailure,
+  /// The allocation probe at the native run boundary reported exhaustion.
+  AllocProbeFailure,
+};
+constexpr int kNumDegradations = 8;
+
+/// Stable lowercase name ("jit-compile-failure", ...).
+const char *degradationName(Degradation Kind);
+
+/// A consistent snapshot of the counters.
+struct DegradationCounters {
+  uint64_t Counts[kNumDegradations] = {};
+
+  uint64_t operator[](Degradation Kind) const {
+    return Counts[static_cast<int>(Kind)];
+  }
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+};
+
+class DegradationLog {
+public:
+  /// The process-wide instance. All methods are thread-safe.
+  static DegradationLog &instance();
+
+  /// Counts one degradation; \p Detail (optional) is kept as the most
+  /// recent diagnostic for the kind.
+  void record(Degradation Kind, const std::string &Detail = "");
+
+  DegradationCounters snapshot() const;
+
+  /// The most recent detail string recorded for \p Kind (empty if none).
+  std::string lastDetail(Degradation Kind) const;
+
+  /// "kind=count kind=count ..." over the nonzero counters ("none" when
+  /// the process never degraded). The form benches and services print.
+  std::string summary() const;
+
+  /// Zeroes counters and details (tests).
+  void reset();
+
+private:
+  DegradationLog() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+} // namespace support
+} // namespace convgen
+
+#endif // CONVGEN_SUPPORT_DEGRADATIONLOG_H

@@ -49,11 +49,21 @@ bool tensor::readMatrixMarket(const std::string &Text, Triplets *Out,
   long long Rows = 0, Cols = 0, Nnz = 0;
   if (std::sscanf(Line.c_str(), "%lld %lld %lld", &Rows, &Cols, &Nnz) != 3)
     return failRead("malformed size line: " + Line);
+  if (Rows < 0 || Cols < 0 || Nnz < 0)
+    return failRead("negative dimensions or entry count: " + Line);
+  if ((Rows == 0 || Cols == 0) && Nnz > 0)
+    return failRead("entries declared for an empty matrix: " + Line);
 
   Triplets T;
   T.NumRows = Rows;
   T.NumCols = Cols;
-  T.Entries.reserve(static_cast<size_t>(Nnz));
+  // Reserve by the header's claim, but never beyond what the remaining
+  // text could possibly encode (>= 4 bytes per entry line): a hostile
+  // header claiming 10^18 entries must not commit gigabytes up front —
+  // the loop below fails fast on the missing entries either way.
+  long long MaxEncodable = static_cast<long long>(Text.size() / 4) + 1;
+  T.Entries.reserve(
+      static_cast<size_t>(Nnz < MaxEncodable ? Nnz : MaxEncodable));
   for (long long N = 0; N < Nnz; ++N) {
     if (!std::getline(In, Line))
       return failRead(strfmt("expected %lld entries, found %lld", Nnz, N));

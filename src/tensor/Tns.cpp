@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -65,8 +67,9 @@ bool tensor::readTns(const std::string &Text, Triplets *Out,
         for (const std::string &Tok :
              splitWhitespace(Comment.substr(5))) {
           char *End = nullptr;
+          errno = 0;
           int64_t D = std::strtoll(Tok.c_str(), &End, 10);
-          if (*End != '\0' || D < 1)
+          if (*End != '\0' || errno == ERANGE || D < 1)
             return failRead("malformed dims header: " + Line);
           Dims.push_back(D);
         }
@@ -90,16 +93,18 @@ bool tensor::readTns(const std::string &Text, Triplets *Out,
     std::vector<int64_t> Coords(static_cast<size_t>(Order));
     for (int D = 0; D < Order; ++D) {
       char *End = nullptr;
+      errno = 0;
       int64_t C = std::strtoll(Toks[static_cast<size_t>(D)].c_str(), &End, 10);
-      if (*End != '\0' || C < 1)
+      if (*End != '\0' || errno == ERANGE || C < 1)
         return failRead("malformed coordinate: " + Line);
       Coords[static_cast<size_t>(D)] = C - 1;
       MaxSeen[static_cast<size_t>(D)] =
           std::max(MaxSeen[static_cast<size_t>(D)], C);
     }
     char *End = nullptr;
+    errno = 0;
     double V = std::strtod(Toks.back().c_str(), &End);
-    if (*End != '\0')
+    if (*End != '\0' || (errno == ERANGE && (V == HUGE_VAL || V == -HUGE_VAL)))
       return failRead("malformed value: " + Line);
     Entries.push_back(Entry{Coords, V});
   }

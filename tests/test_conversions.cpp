@@ -207,7 +207,7 @@ TEST(Conversion3, CsfRoundTripSortsUnorderedCoo) {
 // assembly trusts the source's iteration order reject unsorted inputs.
 //===----------------------------------------------------------------------===//
 
-TEST(SourceOrderDeath, ChainedCscCooBcsrErrorsOutOnColumnMajorCoo) {
+TEST(SourceOrder, ChainedCscCooBcsrErrorsOutOnColumnMajorCoo) {
   // csc -> coo legally yields *column-major* coo (a valid tensor whose
   // row crd array is unsorted). Feeding it into coo -> bcsr used to
   // assemble garbage silently, because bcsr's sequenced dedup assembly
@@ -222,7 +222,14 @@ TEST(SourceOrderDeath, ChainedCscCooBcsrErrorsOutOnColumnMajorCoo) {
   EXPECT_FALSE(ColMajorCoo.lexOrderedUpTo(1));
 
   convert::Converter ToBcsr(formats::makeCOO(), formats::makeBCSR(4, 4));
-  EXPECT_DEATH(ToBcsr.run(ColMajorCoo), "lexicographically sorted");
+  // Formerly a death test; the boundary check is now a recoverable error
+  // (run() still aborts with the same message for unchecked callers).
+  StatusOr<tensor::SparseTensor> Rejected = ToBcsr.tryRun(ColMajorCoo);
+  ASSERT_FALSE(Rejected.ok());
+  EXPECT_EQ(Rejected.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(Rejected.status().message().find("lexicographically sorted"),
+            std::string::npos)
+      << Rejected.status().message();
 
   // The same matrix through a sorted coo converts fine and matches the
   // oracle (the check rejects unsorted *inputs*, not the pair).

@@ -27,6 +27,8 @@
 #include "convert/PlanCache.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
+#include "support/DegradationLog.h"
+#include "support/Fault.h"
 #include "support/StringUtils.h"
 #include "tensor/Corpus.h"
 #include "tensor/Oracle.h"
@@ -55,6 +57,13 @@ namespace {
 
 uint64_t FuzzSeed = 0x5eedc0de2026ull; // Deterministic smoke default.
 int FuzzIters = 500;
+// Fault mode (--faults / CONVGEN_FUZZ_FAULTS=1): each case additionally
+// draws a random CONVGEN_FAULT spec — random site subset, random rates,
+// case-derived seeds — so the degradation machinery is fuzzed across the
+// same tuple space as the conversions themselves. The differential checks
+// are unchanged: a degraded handle must still be bit-identical to the
+// interpreter, and no injected fault may ever surface as an abort.
+bool FuzzFaults = false;
 
 /// Pins the OpenMP thread count for the scope (host runtime + the env the
 /// dlopen'd generated routines read).
@@ -159,6 +168,25 @@ void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats) {
     break;
   }
 
+  if (FuzzFaults) {
+    static const char *Sites[] = {"compile",    "dlopen",      "dlsym",
+                                  "cache-read", "cache-write", "alloc-probe"};
+    static const char *Rates[] = {"0.25", "0.5", "0.75", "1"};
+    std::string Spec;
+    for (const char *Site : Sites) {
+      if (Pick(2) == 0)
+        continue; // ~half the sites per case.
+      if (!Spec.empty())
+        Spec += ",";
+      // Rates in {0.25, 0.5, 0.75, 1}; per-case seeds keep the draw
+      // streams independent across cases but replayable from --seed.
+      Spec += strfmt("%s:%s:%llu", Site, Rates[Pick(4)],
+                     static_cast<unsigned long long>(Rng()));
+    }
+    if (!Spec.empty())
+      Knobs.push_back(std::make_unique<ScopedEnv>("CONVGEN_FAULT", Spec));
+  }
+
   formats::Format Src = formats::standardFormatOrDie(SrcName);
   formats::Format Dst = formats::standardFormatOrDie(DstName);
   std::string Why;
@@ -236,6 +264,11 @@ TEST(FuzzConversions, RandomizedDifferentialAgainstTheOracle) {
               "%d JIT bit-compared (seed 0x%llx)\n",
               Stats.Ran, Stats.Skipped, Stats.JitCompared,
               static_cast<unsigned long long>(FuzzSeed));
+  if (FuzzFaults || support::faultsConfigured())
+    std::printf("[  fuzz    ] faults injected: %llu; degradations: %s\n",
+                static_cast<unsigned long long>(
+                    support::faultInjectionTotal()),
+                support::DegradationLog::instance().summary().c_str());
   // The harness must exercise real conversions, not skip everything (tiny
   // random budgets legitimately reject a chunk of the pair space).
   EXPECT_GT(Stats.Ran, FuzzIters / 3);
@@ -296,12 +329,16 @@ int main(int argc, char **argv) {
   if (const char *Env = std::getenv("CONVGEN_FUZZ_ITERS"))
     if (std::atoi(Env) > 0)
       FuzzIters = std::atoi(Env);
+  if (const char *Env = std::getenv("CONVGEN_FUZZ_FAULTS"))
+    FuzzFaults = std::string(Env) != "0";
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--seed=", 0) == 0)
       FuzzSeed = std::strtoull(Arg.c_str() + 7, nullptr, 0);
     else if (Arg.rfind("--iters=", 0) == 0)
       FuzzIters = std::atoi(Arg.c_str() + 8);
+    else if (Arg == "--faults")
+      FuzzFaults = true;
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

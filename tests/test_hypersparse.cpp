@@ -367,7 +367,7 @@ TEST(SortedRankingDiagnostics, ComputedDimensionsCannotTakeTheFallback) {
   EXPECT_NE(Why.find("size grounds"), std::string::npos) << Why;
 }
 
-TEST(SortedRankingDiagnosticsDeathTest, ConverterAbortsWithTheSizeReason) {
+TEST(SortedRankingDiagnostics, ConverterReturnsTheSizeReason) {
   formats::Format Coo = formats::standardFormatOrDie("coo");
   formats::Format Sky = formats::standardFormatOrDie("sky");
   tensor::Triplets T;
@@ -376,10 +376,17 @@ TEST(SortedRankingDiagnosticsDeathTest, ConverterAbortsWithTheSizeReason) {
   T.Entries = {tensor::Entry{5, 2, 1.0}, tensor::Entry{9, 9, 2.0}};
   tensor::SparseTensor In = tensor::buildFromTriplets(Coo, T);
   convert::Converter Conv(Coo, Sky);
-  EXPECT_DEATH(Conv.run(In), "size grounds");
+  // Formerly a death test; the checked API returns the planner's
+  // size-grounds diagnostic as a recoverable error (run() still aborts
+  // with the same message for unchecked callers).
+  StatusOr<tensor::SparseTensor> R = Conv.tryRun(In);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::Unsupported);
+  EXPECT_NE(R.status().message().find("size grounds"), std::string::npos)
+      << R.status().message();
 }
 
-TEST(SortedRankingDiagnosticsDeathTest, JitWithoutTheSortedPlanIsRejected) {
+TEST(SortedRankingDiagnostics, JitWithoutTheSortedPlanIsRejected) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
   formats::Format Coo3 = formats::standardFormatOrDie("coo3");
@@ -389,6 +396,13 @@ TEST(SortedRankingDiagnosticsDeathTest, JitWithoutTheSortedPlanIsRejected) {
   tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
   // A JIT object compiled from the default (dense-ranking) plan must
   // refuse huge-dims inputs instead of allocating by extent products.
+  // This is a request error, not an environment error — tryRun returns it
+  // as a Status and never falls back to the interpreter (which would
+  // misbehave identically under this plan).
   auto Native = convert::PlanCache::instance().jit(Coo3, Csf);
-  EXPECT_DEATH(Native->run(In), "sorted-ranking");
+  StatusOr<tensor::SparseTensor> R = Native->tryRun(In);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::InvalidArgument);
+  EXPECT_NE(R.status().message().find("sorted-ranking"), std::string::npos)
+      << R.status().message();
 }

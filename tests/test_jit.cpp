@@ -6,6 +6,7 @@
 #include "convert/Converter.h"
 #include "formats/Standard.h"
 #include "jit/Jit.h"
+#include "support/Fault.h"
 #include "tensor/Corpus.h"
 #include "tensor/Generators.h"
 #include "tensor/Oracle.h"
@@ -13,6 +14,18 @@
 #include <gtest/gtest.h>
 
 using namespace convgen;
+
+// Most of this suite verifies *behavior* (bit-exactness with the
+// interpreter), which holds even when CONVGEN_FAULT degrades handles to
+// interpreter execution — the CI fault leg runs it unchanged. A few tests
+// assert *native-path artifacts* (compile time measured, phase counters
+// resolved, zero-copy adoption) that a degraded handle legitimately lacks;
+// those skip when fault injection is configured.
+#define SKIP_UNDER_FAULT_INJECTION()                                          \
+  do {                                                                        \
+    if (support::faultsConfigured())                                          \
+      GTEST_SKIP() << "asserts native-path artifacts; CONVGEN_FAULT is set"; \
+  } while (false)
 
 namespace {
 
@@ -112,6 +125,7 @@ TEST(Jit, EmptyMatrix) {
 TEST(Jit, CompileTimeIsMeasured) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
+  SKIP_UNDER_FAULT_INJECTION();
   convert::Converter Conv(formats::makeCSR(), formats::makeELL());
   jit::JitConversion Native(Conv.conversion());
   EXPECT_GT(Native.compileSeconds(), 0.0);
@@ -121,6 +135,7 @@ TEST(Jit, CompileTimeIsMeasured) {
 TEST(Jit, OutputIsAdoptedNotCopied) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
+  SKIP_UNDER_FAULT_INJECTION();
   // collectOutput must take ownership of the routine's malloc'd arrays:
   // the SparseTensor's storage points at the very buffers the generated
   // code yielded, and the CTensor's pointers are nulled.
@@ -159,6 +174,7 @@ TEST(Jit, InputIsBoundByPointer) {
 TEST(Jit, PhaseSecondsAccumulate) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
+  SKIP_UNDER_FAULT_INJECTION();
   tensor::Triplets T = tensor::genBandedRandom(80, 80, 6.0, 15, 3, 17);
   tensor::SparseTensor In =
       tensor::buildFromTriplets(formats::makeCSR(), T);

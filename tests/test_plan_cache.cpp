@@ -9,6 +9,7 @@
 #include "convert/Converter.h"
 #include "convert/PlanCache.h"
 #include "formats/Standard.h"
+#include "support/Fault.h"
 #include "tensor/Generators.h"
 #include "tensor/Oracle.h"
 
@@ -105,6 +106,8 @@ TEST(PlanCacheJit, HandleSharedWithinTheProcess) {
 TEST(PlanCacheJit, DiskCacheSkipsTheExternalCompiler) {
   if (!jit::jitAvailable())
     GTEST_SKIP() << "no system C compiler";
+  if (support::faultsConfigured())
+    GTEST_SKIP() << "asserts native-path artifacts; CONVGEN_FAULT is set";
   char Template[] = "/tmp/convgen-cachetest-XXXXXX";
   char *Dir = mkdtemp(Template);
   ASSERT_NE(Dir, nullptr);

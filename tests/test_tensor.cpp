@@ -333,6 +333,49 @@ TEST(MatrixMarket, RejectsMalformed) {
   EXPECT_NE(Error.find("out of bounds"), std::string::npos);
 }
 
+TEST(MatrixMarket, RejectsHostileInputs) {
+  // Every case here used to be reachable by feeding a file to the CLI;
+  // each must produce an error return, never an abort or a giant
+  // allocation.
+  const char *Head = "%%MatrixMarket matrix coordinate real general\n";
+  Triplets T;
+  std::string Error;
+  // Truncated body: fewer entries than the size line claims.
+  EXPECT_FALSE(
+      readMatrixMarket(std::string(Head) + "3 3 2\n1 1 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("expected 2 entries"), std::string::npos) << Error;
+  // Garbage where an entry should be.
+  EXPECT_FALSE(readMatrixMarket(
+      std::string(Head) + "3 3 1\nnot an entry\n", &T, &Error));
+  EXPECT_NE(Error.find("malformed entry"), std::string::npos) << Error;
+  // Negative dimensions and negative entry counts.
+  EXPECT_FALSE(
+      readMatrixMarket(std::string(Head) + "-3 3 1\n1 1 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("negative"), std::string::npos) << Error;
+  EXPECT_FALSE(
+      readMatrixMarket(std::string(Head) + "3 3 -1\n", &T, &Error));
+  // Entries declared for a zero-extent matrix.
+  EXPECT_FALSE(
+      readMatrixMarket(std::string(Head) + "0 3 1\n1 1 1.0\n", &T, &Error));
+  // Negative coordinates are out of bounds, not array indices.
+  EXPECT_FALSE(
+      readMatrixMarket(std::string(Head) + "3 3 1\n-1 2 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("out of bounds"), std::string::npos) << Error;
+  // A header claiming astronomically many entries must fail fast on the
+  // missing body instead of reserving by the claim (this returns in
+  // milliseconds or the clamp is broken).
+  EXPECT_FALSE(readMatrixMarket(
+      std::string(Head) + "3 3 1000000000000000000\n1 1 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("expected"), std::string::npos) << Error;
+  // Unsupported field/symmetry keywords fail up front.
+  EXPECT_FALSE(readMatrixMarket(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n", &T,
+      &Error));
+  EXPECT_FALSE(readMatrixMarket(
+      "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n", &T,
+      &Error));
+}
+
 //===----------------------------------------------------------------------===//
 // Higher-order tensors: the N-vector coordinate model, the order-3 oracle
 // builders, and FROSTT-style .tns I/O.
@@ -516,6 +559,32 @@ TEST(Tns, RejectsMalformed) {
   EXPECT_NE(Error.find("arity"), std::string::npos);
   EXPECT_FALSE(readTns("0 2 3 1.0\n", &T, &Error)); // 1-based
   EXPECT_FALSE(readTns("# dims: 2 2\n1 2 3 1.0\n", &T, &Error));
+}
+
+TEST(Tns, RejectsHostileInputs) {
+  Triplets T;
+  std::string Error;
+  // Negative coordinates.
+  EXPECT_FALSE(readTns("-1 2 3 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("malformed coordinate"), std::string::npos) << Error;
+  // Coordinate overflowing int64 (strtoll saturates with ERANGE).
+  EXPECT_FALSE(readTns("99999999999999999999999 2 3 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("malformed coordinate"), std::string::npos) << Error;
+  // Dims header with overflow or zero/negative extents.
+  EXPECT_FALSE(
+      readTns("# dims: 99999999999999999999999 2 2\n", &T, &Error));
+  EXPECT_FALSE(readTns("# dims: 2 0 2\n", &T, &Error));
+  EXPECT_FALSE(readTns("# dims: 2 -2 2\n", &T, &Error));
+  // Coordinate exceeding a declared dimension.
+  EXPECT_FALSE(readTns("# dims: 2 2 2\n3 1 1 1.0\n", &T, &Error));
+  EXPECT_NE(Error.find("exceeds declared dimension"), std::string::npos)
+      << Error;
+  // Value overflowing double.
+  EXPECT_FALSE(readTns("1 1 1 1e999\n", &T, &Error));
+  EXPECT_NE(Error.find("malformed value"), std::string::npos) << Error;
+  // Garbage value / garbage trailing characters on a coordinate.
+  EXPECT_FALSE(readTns("1 1 1 abc\n", &T, &Error));
+  EXPECT_FALSE(readTns("1x 1 1 1.0\n", &T, &Error));
 }
 
 TEST(Tensor, DumpMentionsEveryLevel) {
