@@ -134,7 +134,7 @@ public:
   /// must not pass its timings off as native numbers.
   bool write() const {
     std::string Degraded = support::DegradationLog::instance().summary();
-    if (Degraded != "none")
+    if (support::DegradationLog::instance().snapshot().degradedTotal() > 0)
       std::fprintf(stderr,
                    "convgen: runtime degraded during this benchmark (%s); "
                    "affected timings are interpreter timings, not native\n",

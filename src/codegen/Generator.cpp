@@ -1159,6 +1159,16 @@ bool codegen::conversionSupported(const formats::Format &Source,
                                   const formats::Format &Target,
                                   const std::vector<int64_t> &Dims,
                                   std::string *Why) {
+  // Order mismatch must answer "unsupported" here rather than abort in
+  // generateConversion: the serving layer routes arbitrary request pairs
+  // through this predicate.
+  if (Source.SrcOrder != Target.SrcOrder) {
+    if (Why)
+      *Why = "source and target formats have different canonical orders (" +
+             std::to_string(Source.SrcOrder) + " vs " +
+             std::to_string(Target.SrcOrder) + ")";
+    return false;
+  }
   std::string Reason = planAssembly(Source, Target, Dims).Unsupported;
   if (Why)
     *Why = Reason;

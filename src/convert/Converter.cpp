@@ -9,6 +9,7 @@
 #include "convert/PlanCache.h"
 #include "ir/Interpreter.h"
 #include "support/Assert.h"
+#include "support/DegradationLog.h"
 #include "support/StringUtils.h"
 
 using namespace convgen;
@@ -127,7 +128,19 @@ Status convert::checkSourceOrder(const codegen::Conversion &Conv,
 }
 
 StatusOr<tensor::SparseTensor>
-Converter::tryRun(const tensor::SparseTensor &In) const {
+Converter::tryRun(const tensor::SparseTensor &In,
+                  const support::Deadline &Deadline) const {
+  auto deadlineError = [&](const char *Where) {
+    support::DegradationLog::instance().record(
+        support::Degradation::DeadlineExceeded,
+        strfmt("%s -> %s: %s", Conv->Source.Name.c_str(),
+               Conv->Target.Name.c_str(), Where));
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         strfmt("converter: request deadline expired %s",
+                                Where));
+  };
+  if (Deadline.expired())
+    return deadlineError("on entry");
   if (In.Format.Name != Conv->Source.Name)
     return Status::error(
         ErrorCode::InvalidArgument,
@@ -150,6 +163,8 @@ Converter::tryRun(const tensor::SparseTensor &In) const {
       return Specialized.status();
     DimPlan = Specialized.take();
     Plan = DimPlan.get();
+    if (Deadline.expired())
+      return deadlineError("after dims-specialized plan acquisition");
   }
   Status Order = checkSourceOrder(*Plan, In);
   if (!Order.ok())

@@ -29,6 +29,7 @@
 
 #include "codegen/Generator.h"
 #include "ir/Interpreter.h"
+#include "support/Deadline.h"
 #include "support/Status.h"
 #include "tensor/SparseTensor.h"
 
@@ -64,8 +65,14 @@ public:
 
   /// Checked conversion: a tensor in the wrong format, an unsorted source
   /// where the plan requires order, or dimensions no plan supports come
-  /// back as a Status instead of aborting.
-  StatusOr<tensor::SparseTensor> tryRun(const tensor::SparseTensor &In) const;
+  /// back as a Status instead of aborting. \p Deadline (optional) is
+  /// checked at the phase boundaries — on entry and after dims-specialized
+  /// plan acquisition — and returns DeadlineExceeded when expired; the
+  /// interpreter run itself, once started, completes (in-process compute
+  /// is never preempted, only waiting is bounded).
+  StatusOr<tensor::SparseTensor>
+  tryRun(const tensor::SparseTensor &In,
+         const support::Deadline &Deadline = {}) const;
 
 private:
   explicit Converter(std::shared_ptr<const codegen::Conversion> Plan)

@@ -274,8 +274,21 @@ std::string convert::planKey(const formats::Format &Source,
 }
 
 PlanCache &PlanCache::instance() {
-  static PlanCache Cache;
-  return Cache;
+  // Deliberately leaked: request threads (and futures they hold) may
+  // still touch the cache during static destruction in exotic shutdown
+  // orders; a never-destroyed instance makes instance() safe from any
+  // thread at any time.
+  static PlanCache *Cache = new PlanCache();
+  return *Cache;
+}
+
+PlanCache::Shard &PlanCache::shardFor(const std::string &Key) const {
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a, as contentHash.
+  for (unsigned char C : Key) {
+    Hash ^= C;
+    Hash *= 1099511628211ull;
+  }
+  return Shards[Hash % kNumShards];
 }
 
 std::string PlanCache::diskCacheDir() {
@@ -312,31 +325,66 @@ std::shared_ptr<const codegen::Conversion>
 PlanCache::plan(const formats::Format &Source, const formats::Format &Target,
                 const codegen::Options &Opts) {
   std::string Key = planKey(Source, Target, Opts);
+  Shard &S = shardFor(Key);
   {
-    std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Plans.find(Key);
-    if (It != Plans.end()) {
-      ++Stats.PlanHits;
+    std::shared_lock<std::shared_mutex> Read(S.Mu);
+    auto It = S.Plans.find(Key);
+    if (It != S.Plans.end()) {
+      Stats.PlanHits.fetch_add(1, std::memory_order_relaxed);
       return It->second;
     }
   }
-  // Generate outside the lock: codegen is pure, and a rare duplicate
-  // generation under contention beats serializing all misses.
+  // Miss: join or start the key's single flight. Codegen is pure,
+  // millisecond-scale compute, so waiters block unboundedly on the future
+  // (deadlines bound compiles and queues, not in-process codegen).
+  std::shared_ptr<Flight<PlanPtr>> F;
+  {
+    std::unique_lock<std::shared_mutex> Write(S.Mu);
+    auto It = S.Plans.find(Key);
+    if (It != S.Plans.end()) {
+      Stats.PlanHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+    auto [FlightIt, Leader] =
+        S.PlanFlights.emplace(Key, std::shared_ptr<Flight<PlanPtr>>());
+    if (Leader)
+      FlightIt->second = std::make_shared<Flight<PlanPtr>>();
+    F = FlightIt->second;
+    if (!Leader) {
+      // Coalesced waiter: counted as a hit (the plan exists, in flight),
+      // never a miss. Wait outside the lock.
+      Stats.PlanHits.fetch_add(1, std::memory_order_relaxed);
+      Stats.PlanCoalesced.fetch_add(1, std::memory_order_relaxed);
+      Write.unlock();
+      return F->Future.get();
+    }
+  }
+  // Leader: generate outside the lock (other shard traffic proceeds), then
+  // publish to the map and the waiters' future.
   auto Generated = std::make_shared<const codegen::Conversion>(
       codegen::generateConversion(Source, Target, Opts));
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto [It, Inserted] = Plans.emplace(Key, std::move(Generated));
-  if (Inserted)
-    ++Stats.PlanMisses;
-  else
-    ++Stats.PlanHits;
-  return It->second;
+  {
+    std::unique_lock<std::shared_mutex> Write(S.Mu);
+    S.Plans[Key] = Generated;
+    S.PlanFlights.erase(Key);
+  }
+  Stats.PlanMisses.fetch_add(1, std::memory_order_relaxed);
+  F->Promise.set_value(Generated);
+  return Generated;
 }
 
 StatusOr<std::shared_ptr<const codegen::Conversion>>
 PlanCache::tryPlan(const formats::Format &Source,
                    const formats::Format &Target,
-                   const codegen::Options &Opts) {
+                   const codegen::Options &Opts,
+                   const support::Deadline &Deadline) {
+  if (Deadline.expired()) {
+    DegradationLog::instance().record(
+        Degradation::DeadlineExceeded,
+        "plan request arrived with an expired deadline");
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "plan: request deadline expired");
+  }
   std::string Why;
   bool Supported =
       Opts.DimsHint.empty()
@@ -349,30 +397,98 @@ PlanCache::tryPlan(const formats::Format &Source,
 
 StatusOr<std::shared_ptr<jit::JitConversion>>
 PlanCache::tryJit(const formats::Format &Source, const formats::Format &Target,
-                  const codegen::Options &Opts,
-                  const std::string &ExtraFlags) {
-  StatusOr<std::shared_ptr<const codegen::Conversion>> Plan =
-      tryPlan(Source, Target, Opts);
-  if (!Plan.ok())
-    return Plan.status();
+                  const codegen::Options &Opts, const std::string &ExtraFlags,
+                  const support::Deadline &Deadline) {
+  if (Deadline.expired()) {
+    DegradationLog::instance().record(
+        Degradation::DeadlineExceeded,
+        "jit request arrived with an expired deadline");
+    return Status::error(ErrorCode::DeadlineExceeded,
+                         "jit: request deadline expired");
+  }
+  std::string Why;
+  bool Supported =
+      Opts.DimsHint.empty()
+          ? codegen::conversionSupported(Source, Target, &Why)
+          : codegen::conversionSupported(Source, Target, Opts.DimsHint, &Why);
+  if (!Supported)
+    return Status::error(ErrorCode::Unsupported, Why);
   // Environment failures below this point degrade inside JitConversion
   // (which then interprets) rather than surfacing as a Status: the handle
-  // the caller gets always converts.
-  return jit(Source, Target, Opts, ExtraFlags);
+  // the caller gets always converts. Only a finite deadline can turn this
+  // into an error (DeadlineExceeded).
+  return jitImpl(Source, Target, Opts, ExtraFlags, Deadline);
 }
 
 std::shared_ptr<jit::JitConversion>
 PlanCache::jit(const formats::Format &Source, const formats::Format &Target,
                const codegen::Options &Opts, const std::string &ExtraFlags) {
+  StatusOr<JitPtr> R =
+      jitImpl(Source, Target, Opts, ExtraFlags, support::Deadline::never());
+  // Infinite deadline: jitImpl cannot fail (unsupported pairs abort inside
+  // codegen on this unchecked path, as they always have).
+  return R.take();
+}
+
+StatusOr<PlanCache::JitPtr>
+PlanCache::jitImpl(const formats::Format &Source,
+                   const formats::Format &Target,
+                   const codegen::Options &Opts,
+                   const std::string &ExtraFlags,
+                   const support::Deadline &Deadline) {
   std::string Key = planKey(Source, Target, Opts) + " !" + ExtraFlags;
+  Shard &S = shardFor(Key);
   {
-    std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Jits.find(Key);
-    if (It != Jits.end()) {
-      ++Stats.JitHits;
+    std::shared_lock<std::shared_mutex> Read(S.Mu);
+    auto It = S.Jits.find(Key);
+    if (It != S.Jits.end()) {
+      Stats.JitHits.fetch_add(1, std::memory_order_relaxed);
       return It->second;
     }
   }
+  // Miss: join or start the key's single flight.
+  std::shared_ptr<Flight<JitPtr>> F;
+  {
+    std::unique_lock<std::shared_mutex> Write(S.Mu);
+    auto It = S.Jits.find(Key);
+    if (It != S.Jits.end()) {
+      Stats.JitHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+    auto [FlightIt, Leader] =
+        S.JitFlights.emplace(Key, std::shared_ptr<Flight<JitPtr>>());
+    if (Leader)
+      FlightIt->second = std::make_shared<Flight<JitPtr>>();
+    F = FlightIt->second;
+    if (!Leader) {
+      Write.unlock();
+      // Coalesced waiter: block on the leader's future, bounded by this
+      // caller's own deadline (the compile itself keeps running for the
+      // leader and everyone more patient). A successful wait counts as a
+      // hit, never a miss.
+      DegradationLog::instance().record(
+          Degradation::SingleFlightCoalesce,
+          Source.Name + " -> " + Target.Name);
+      if (!Deadline.infinite() &&
+          F->Future.wait_until(Deadline.timePoint()) ==
+              std::future_status::timeout) {
+        DegradationLog::instance().record(
+            Degradation::DeadlineExceeded,
+            Source.Name + " -> " + Target.Name +
+                ": deadline expired waiting on the in-flight compile");
+        return Status::error(ErrorCode::DeadlineExceeded,
+                             "jit: deadline expired waiting on the "
+                             "in-flight compile for " +
+                                 Source.Name + " -> " + Target.Name);
+      }
+      Stats.JitHits.fetch_add(1, std::memory_order_relaxed);
+      Stats.JitCoalesced.fetch_add(1, std::memory_order_relaxed);
+      return F->Future.get();
+    }
+  }
+  // Leader: build outside the lock. plan() is itself single-flight, so a
+  // concurrent Converter construction for the same triple shares the
+  // generation too.
   std::shared_ptr<const codegen::Conversion> Plan =
       plan(Source, Target, Opts);
   // The disk key covers everything that determines the binary: the emitted
@@ -387,28 +503,45 @@ PlanCache::jit(const formats::Format &Source, const formats::Format &Target,
                           (Cc ? Cc : "cc") + "\n" + hostIsaFingerprint();
     SoPath = Dir + "/" + Plan->Func.Name + "-" + contentHash(DiskKey) + ".so";
   }
-  // Compile (or load from disk) outside the lock; insert-or-discard after.
-  auto Compiled =
-      std::make_shared<jit::JitConversion>(*Plan, ExtraFlags, SoPath);
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto [It, Inserted] = Jits.emplace(Key, std::move(Compiled));
-  if (Inserted) {
-    ++Stats.JitMisses;
-    if (It->second->loadedFromCache())
-      ++Stats.DiskHits;
-  } else {
-    ++Stats.JitHits;
+  auto Compiled = std::make_shared<jit::JitConversion>(*Plan, ExtraFlags,
+                                                       SoPath, Deadline);
+  {
+    std::unique_lock<std::shared_mutex> Write(S.Mu);
+    // A handle degraded by *this caller's* deadline is served to this
+    // flight's waiters (they were no more patient) but never cached: the
+    // environment did not fail, this caller just ran out of time, and the
+    // next request should compile for real. Environment-degraded handles
+    // are cached — every caller would fail the same way, and re-failing
+    // per request would pay the full retry ladder every time.
+    if (!Compiled->degradedByRequestDeadline())
+      S.Jits[Key] = Compiled;
+    S.JitFlights.erase(Key);
   }
-  return It->second;
+  Stats.JitMisses.fetch_add(1, std::memory_order_relaxed);
+  if (Compiled->loadedFromCache())
+    Stats.DiskHits.fetch_add(1, std::memory_order_relaxed);
+  F->Promise.set_value(Compiled);
+  return Compiled;
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
+  PlanCacheStats Out;
+  Out.PlanHits = Stats.PlanHits.load(std::memory_order_relaxed);
+  Out.PlanMisses = Stats.PlanMisses.load(std::memory_order_relaxed);
+  Out.PlanCoalesced = Stats.PlanCoalesced.load(std::memory_order_relaxed);
+  Out.JitHits = Stats.JitHits.load(std::memory_order_relaxed);
+  Out.JitMisses = Stats.JitMisses.load(std::memory_order_relaxed);
+  Out.JitCoalesced = Stats.JitCoalesced.load(std::memory_order_relaxed);
+  Out.DiskHits = Stats.DiskHits.load(std::memory_order_relaxed);
+  return Out;
 }
 
 void PlanCache::clearMemory() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Plans.clear();
-  Jits.clear();
+  for (Shard &S : Shards) {
+    std::unique_lock<std::shared_mutex> Write(S.Mu);
+    S.Plans.clear();
+    S.Jits.clear();
+    // Flights stay: their leaders will publish into the cleared maps when
+    // they land, and interrupting them would strand their waiters.
+  }
 }

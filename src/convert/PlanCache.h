@@ -44,28 +44,51 @@
 
 #include "codegen/Generator.h"
 #include "jit/Jit.h"
+#include "support/Deadline.h"
 #include "support/Status.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 namespace convgen {
 namespace convert {
 
-/// Counters exposed for tests and benchmarks.
+/// Counters exposed for tests and benchmarks. Maintained as relaxed
+/// atomics, so stats() is safe (and each field exact) when read from
+/// concurrent request threads; the fields are not sampled in one instant,
+/// but each is monotone, so before/after deltas bracket the truth.
 struct PlanCacheStats {
   uint64_t PlanHits = 0;
   uint64_t PlanMisses = 0;
+  /// Of the PlanHits, how many piggybacked on another thread's in-flight
+  /// generation instead of finding a completed entry.
+  uint64_t PlanCoalesced = 0;
   uint64_t JitHits = 0;
   uint64_t JitMisses = 0;
+  /// Of the JitHits, how many piggybacked on another thread's in-flight
+  /// compile (single-flight waiters; counted as hits, never misses).
+  uint64_t JitCoalesced = 0;
   /// Of the JitMisses, how many loaded a shared object from disk instead
   /// of running the external compiler.
   uint64_t DiskHits = 0;
 };
 
+/// Thread-safety contract: every method may be called from any number of
+/// request threads concurrently. The cache is sharded by key hash; the hit
+/// path takes only a per-shard reader lock over an immutable shared_ptr
+/// entry, so warm lookups from N threads proceed in parallel. Misses are
+/// single-flight: concurrent requests for the same key coalesce onto one
+/// in-flight codegen/compile — the first requester (the leader) does the
+/// work synchronously while the rest block on a per-key shared future
+/// (bounded by their deadline, when they have one) and are counted as
+/// hits, never misses. Exactly one compile per unique key, under any
+/// concurrent-miss storm.
 class PlanCache {
 public:
   /// The process-wide instance. All methods are thread-safe.
@@ -79,10 +102,14 @@ public:
 
   /// Checked plan acquisition: an unsupported pair (or pair-at-dims, when
   /// Opts.DimsHint is set) returns ErrorCode::Unsupported with the
-  /// planner's diagnostic instead of aborting.
+  /// planner's diagnostic instead of aborting. An already expired
+  /// \p Deadline returns DeadlineExceeded without generating anything;
+  /// in-process codegen itself is never interrupted (it is pure
+  /// millisecond-scale compute — only *waiting* is deadline-bounded).
   StatusOr<std::shared_ptr<const codegen::Conversion>>
   tryPlan(const formats::Format &Source, const formats::Format &Target,
-          const codegen::Options &Opts = codegen::Options());
+          const codegen::Options &Opts = codegen::Options(),
+          const support::Deadline &Deadline = {});
 
   /// A live JIT-compiled conversion for the triple, memoized; compiles at
   /// most once per process and reuses on-disk shared objects across
@@ -96,16 +123,28 @@ public:
 
   /// Checked JIT acquisition: Unsupported pairs come back as a Status;
   /// environment failures come back as an OK but degraded handle (which
-  /// still converts, through the interpreter). Never aborts.
+  /// still converts, through the interpreter). \p Deadline bounds the
+  /// caller's waiting: an expired deadline fails fast, a coalesced waiter
+  /// that times out on the in-flight compile gets DeadlineExceeded (the
+  /// compile itself continues for the leader), and a leader's compile wait
+  /// is bounded by min(CONVGEN_COMPILE_TIMEOUT_MS, deadline remaining). A
+  /// handle degraded *by the caller's deadline* is returned but not
+  /// cached — the next, more patient, caller recompiles; a handle degraded
+  /// by the environment (every caller would fail identically) is cached.
   StatusOr<std::shared_ptr<jit::JitConversion>>
   tryJit(const formats::Format &Source, const formats::Format &Target,
          const codegen::Options &Opts = codegen::Options(),
-         const std::string &ExtraFlags = "");
+         const std::string &ExtraFlags = "",
+         const support::Deadline &Deadline = {});
 
+  /// A consistent-enough snapshot for concurrent readers (see
+  /// PlanCacheStats).
   PlanCacheStats stats() const;
 
   /// Drops all memoized plans and JIT handles (tests; outstanding
-  /// shared_ptrs stay valid). The on-disk cache is untouched.
+  /// shared_ptrs stay valid). In-flight builds are not interrupted; they
+  /// repopulate their entry when they land. The on-disk cache is
+  /// untouched.
   void clearMemory();
 
   /// Resolved on-disk cache directory, created on first use; empty when
@@ -115,10 +154,52 @@ public:
 private:
   PlanCache() = default;
 
-  mutable std::mutex Mu;
-  std::map<std::string, std::shared_ptr<const codegen::Conversion>> Plans;
-  std::map<std::string, std::shared_ptr<jit::JitConversion>> Jits;
-  PlanCacheStats Stats;
+  using PlanPtr = std::shared_ptr<const codegen::Conversion>;
+  using JitPtr = std::shared_ptr<jit::JitConversion>;
+
+  /// One in-flight build: the leader fulfills Promise exactly once;
+  /// waiters block on Future (copied under the shard lock).
+  template <typename V> struct Flight {
+    std::promise<V> Promise;
+    std::shared_future<V> Future;
+    Flight() : Future(Promise.get_future().share()) {}
+  };
+
+  /// 16 shards keep unrelated keys off each other's locks; within a
+  /// shard, shared_mutex keeps the (overwhelmingly common) hit path
+  /// reader-parallel. Entries are immutable shared_ptrs — publication
+  /// happens-before any reader sees the pointer via the shard lock.
+  struct Shard {
+    mutable std::shared_mutex Mu;
+    std::map<std::string, PlanPtr> Plans;
+    std::map<std::string, JitPtr> Jits;
+    std::map<std::string, std::shared_ptr<Flight<PlanPtr>>> PlanFlights;
+    std::map<std::string, std::shared_ptr<Flight<JitPtr>>> JitFlights;
+  };
+  static constexpr int kNumShards = 16;
+
+  Shard &shardFor(const std::string &Key) const;
+
+  /// The single-flight JIT path shared by jit() and tryJit(); the only
+  /// error a finite \p Deadline can produce is DeadlineExceeded.
+  StatusOr<JitPtr> jitImpl(const formats::Format &Source,
+                           const formats::Format &Target,
+                           const codegen::Options &Opts,
+                           const std::string &ExtraFlags,
+                           const support::Deadline &Deadline);
+
+  mutable std::array<Shard, kNumShards> Shards;
+
+  struct Counters {
+    std::atomic<uint64_t> PlanHits{0};
+    std::atomic<uint64_t> PlanMisses{0};
+    std::atomic<uint64_t> PlanCoalesced{0};
+    std::atomic<uint64_t> JitHits{0};
+    std::atomic<uint64_t> JitMisses{0};
+    std::atomic<uint64_t> JitCoalesced{0};
+    std::atomic<uint64_t> DiskHits{0};
+  };
+  mutable Counters Stats;
 };
 
 /// Stable semantic fingerprint of a format: name, canonical order, both

@@ -16,6 +16,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,14 +89,62 @@ std::vector<std::string> splitTokens(const std::string &S) {
   return Out;
 }
 
+/// Watchdog wait: reaps \p Pid, SIGKILLing it first if it is still running
+/// after \p TimeoutMs (<= 0 waits unboundedly — the historical behavior).
+/// The bounded path polls waitpid(WNOHANG) with an escalating nanosleep
+/// (1ms doubling to a 20ms cap) so a fast compile pays ~1ms of latency and
+/// a hung one is detected within ~20ms of the bound. Always reaps — no
+/// zombie survives, even on the kill path. Sets \p TimedOut (when
+/// non-null) and returns -1 if the child had to be killed.
+int waitBounded(pid_t Pid, int64_t TimeoutMs, bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
+  int Wait = 0;
+  if (TimeoutMs <= 0) {
+    while (waitpid(Pid, &Wait, 0) < 0)
+      if (errno != EINTR)
+        return -1;
+    return WIFEXITED(Wait) ? WEXITSTATUS(Wait) : -1;
+  }
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  long SleepNs = 1000000; // 1ms
+  for (;;) {
+    pid_t Got = waitpid(Pid, &Wait, WNOHANG);
+    if (Got == Pid)
+      return WIFEXITED(Wait) ? WEXITSTATUS(Wait) : -1;
+    if (Got < 0 && errno != EINTR)
+      return -1;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      break;
+    struct timespec Ts = {0, SleepNs};
+    nanosleep(&Ts, nullptr);
+    if (SleepNs < 20000000) // escalate to a 20ms cap
+      SleepNs *= 2;
+  }
+  // Timed out: kill and reap. SIGKILL cannot be caught, so the blocking
+  // reap below terminates promptly.
+  kill(Pid, SIGKILL);
+  while (waitpid(Pid, &Wait, 0) < 0)
+    if (errno != EINTR)
+      break;
+  if (TimedOut)
+    *TimedOut = true;
+  return -1;
+}
+
 /// fork/exec of \p Args with stdout+stderr redirected to \p LogPath
 /// ("/dev/null" when empty). No shell is involved, so cache directories,
 /// TMPDIR values, and flag strings with metacharacters cannot be
 /// reinterpreted as shell syntax. Returns the child's exit code, or -1
 /// when the child could not be spawned (including exec failure, reported
-/// as 127 by convention).
+/// as 127 by convention) or exceeded \p TimeoutMs and was killed (see
+/// waitBounded).
 int runCommand(const std::vector<std::string> &Args,
-               const std::string &LogPath) {
+               const std::string &LogPath, int64_t TimeoutMs = 0,
+               bool *TimedOut = nullptr) {
+  if (TimedOut)
+    *TimedOut = false;
   if (Args.empty())
     return -1;
   std::vector<char *> Argv;
@@ -118,13 +167,27 @@ int runCommand(const std::vector<std::string> &Args,
     execvp(Argv[0], Argv.data());
     _exit(127);
   }
-  int Wait = 0;
-  while (waitpid(Pid, &Wait, 0) < 0)
-    if (errno != EINTR)
-      return -1;
-  if (!WIFEXITED(Wait))
+  return waitBounded(Pid, TimeoutMs, TimedOut);
+}
+
+/// The compile-hang injection: forks a child that blocks forever (the
+/// moral equivalent of a wedged compiler), then runs the *real* watchdog
+/// against it. Only the fork differs from a genuine hang — detection,
+/// SIGKILL, and reaping all exercise the production path.
+int runHangingChild(int64_t TimeoutMs, bool *TimedOut) {
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    if (TimedOut)
+      *TimedOut = false;
     return -1;
-  return WEXITSTATUS(Wait);
+  }
+  if (Pid == 0) {
+    // Child of a possibly multithreaded parent: async-signal-safe calls
+    // only. pause() in a loop sleeps until SIGKILL arrives.
+    for (;;)
+      pause();
+  }
+  return waitBounded(Pid, TimeoutMs, TimedOut);
 }
 
 /// First ~4K of a file, for surfacing compiler diagnostics in a Status.
@@ -157,6 +220,16 @@ static std::string compilerSpec() {
   return "cc";
 }
 
+int64_t jit::compileTimeoutMillis() {
+  if (const char *Env = std::getenv("CONVGEN_COMPILE_TIMEOUT_MS")) {
+    char *End = nullptr;
+    long long Ms = std::strtoll(Env, &End, 10);
+    if (End != Env && *End == '\0')
+      return Ms <= 0 ? 0 : Ms; // 0 disables the watchdog
+  }
+  return 120000; // 2 minutes: far beyond any honest compile of emitted C
+}
+
 bool jit::jitAvailable() {
   static std::mutex Mu;
   static std::map<std::string, bool> Cache;
@@ -167,7 +240,7 @@ bool jit::jitAvailable() {
     return It->second;
   std::vector<std::string> Args = splitTokens(Cc);
   Args.push_back("--version");
-  bool Ok = runCommand(Args, "") == 0;
+  bool Ok = runCommand(Args, "", compileTimeoutMillis()) == 0;
   Cache[Cc] = Ok;
   return Ok;
 }
@@ -209,7 +282,7 @@ bool jit::jitOpenMPAvailable() {
         Args.push_back(F);
       Args.push_back(Out);
       Args.push_back(Probe);
-      Ok = runCommand(Args, "") == 0;
+      Ok = runCommand(Args, "", compileTimeoutMillis()) == 0;
     }
     removeScratchTree(Dir);
   }
@@ -325,9 +398,10 @@ static void backoffSleep(int Attempt) {
 
 JitConversion::JitConversion(const codegen::Conversion &Conversion,
                              const std::string &ExtraFlags,
-                             const std::string &CachedSoPath)
+                             const std::string &CachedSoPath,
+                             support::Deadline RequestDeadline)
     : Conv(Conversion) {
-  Status S = initialize(ExtraFlags, CachedSoPath);
+  Status S = initialize(ExtraFlags, CachedSoPath, RequestDeadline);
   if (S.ok())
     return;
   // Environment failure after retries: degrade to interpreter-backed
@@ -343,7 +417,8 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
 }
 
 Status JitConversion::initialize(const std::string &ExtraFlags,
-                                 const std::string &CachedSoPath) {
+                                 const std::string &CachedSoPath,
+                                 const support::Deadline &RequestDeadline) {
   // Cache hit: load the previously compiled, checksum-verified object —
   // no external compiler. A verified object that still refuses to load
   // (foreign-ISA leftover, injected dlopen fault) is evicted so future
@@ -371,15 +446,34 @@ Status JitConversion::initialize(const std::string &ExtraFlags,
                                         Last.message());
       backoffSleep(A - 1);
     }
-    Last = compileAndLoadOnce(ExtraFlags, CachedSoPath);
+    if (RequestDeadline.expired()) {
+      // Out of time before this attempt even starts: degrade now. Flagged
+      // as deadline-bound so the cache does not pin the degraded handle on
+      // callers with more patience.
+      DeadlineBound = true;
+      DegradationLog::instance().record(
+          Degradation::DeadlineExceeded,
+          strfmt("%s -> %s: request deadline expired before compile "
+                 "attempt %d",
+                 Conv.Source.Name.c_str(), Conv.Target.Name.c_str(), A));
+      return Status::error(ErrorCode::DeadlineExceeded,
+                           "jit: request deadline expired before the "
+                           "compile could " +
+                               std::string(A > 1 ? "be retried" : "start"));
+    }
+    Last = compileAndLoadOnce(ExtraFlags, CachedSoPath, RequestDeadline);
+    // DeadlineExceeded is deliberately not an environment error: a timed
+    // out compile is not retried (each retry would pay the full bound
+    // again), so the loop exits here and the handle degrades immediately.
     if (Last.ok() || !Last.isEnvironmentError())
       return Last;
   }
   return Last;
 }
 
-Status JitConversion::compileAndLoadOnce(const std::string &ExtraFlags,
-                                         const std::string &CachedSoPath) {
+Status JitConversion::compileAndLoadOnce(
+    const std::string &ExtraFlags, const std::string &CachedSoPath,
+    const support::Deadline &RequestDeadline) {
   std::string Dir = makeScratchDir("jit");
   if (Dir.empty())
     return Status::error(ErrorCode::Unavailable,
@@ -419,17 +513,55 @@ Status JitConversion::compileAndLoadOnce(const std::string &ExtraFlags,
   Args.push_back(SoPath);
   Args.push_back(CPath);
 
+  // The watchdog bound on this attempt: the lesser of the environment-wide
+  // CONVGEN_COMPILE_TIMEOUT_MS knob and the caller's remaining deadline
+  // budget. Which one binds decides the post-timeout policy — a
+  // knob-bound kill means a wedged compiler every caller would hit (the
+  // degraded handle is cacheable), a deadline-bound kill is one impatient
+  // caller's problem (the handle must not poison the shared cache).
+  int64_t KnobMs = compileTimeoutMillis();
+  int64_t LeftMs = RequestDeadline.remainingMillis();
+  bool DeadlineBinds =
+      !RequestDeadline.infinite() && (KnobMs <= 0 || LeftMs < KnobMs);
+  int64_t BoundMs = DeadlineBinds ? (LeftMs > 0 ? LeftMs : 1) : KnobMs;
+
   int Rc;
+  bool TimedOut = false;
   if (support::faultInjected(FaultSite::Compile)) {
     // Injected fault fires before the spawn so 100%-rate harness runs do
     // not pay one real compile per attempt.
     Rc = 1;
-  } else {
+  } else if (BoundMs > 0 &&
+             support::faultInjected(FaultSite::CompileHang)) {
+    // Injected hang: a child that blocks forever stands in for the wedged
+    // compiler, and the genuine watchdog kills and reaps it. Drawn only
+    // under a finite bound — with the watchdog disabled the injection
+    // would hang the harness itself.
     auto Begin = std::chrono::steady_clock::now();
-    Rc = runCommand(Args, LogPath);
+    Rc = runHangingChild(BoundMs, &TimedOut);
     CompileSecs += std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - Begin)
                        .count();
+  } else {
+    auto Begin = std::chrono::steady_clock::now();
+    Rc = runCommand(Args, LogPath, BoundMs, &TimedOut);
+    CompileSecs += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count();
+  }
+  if (TimedOut) {
+    removeScratchTree(Dir);
+    std::string What = strfmt(
+        "%s -> %s: compiler child exceeded %lldms and was killed",
+        Conv.Source.Name.c_str(), Conv.Target.Name.c_str(),
+        static_cast<long long>(BoundMs));
+    if (DeadlineBinds) {
+      DeadlineBound = true;
+      DegradationLog::instance().record(Degradation::DeadlineExceeded, What);
+    } else {
+      DegradationLog::instance().record(Degradation::CompileTimeout, What);
+    }
+    return Status::error(ErrorCode::DeadlineExceeded, "jit: " + What);
   }
   if (Rc != 0) {
     std::string Log = readDiagnostics(LogPath);

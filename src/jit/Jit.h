@@ -24,7 +24,12 @@
 ///
 /// The external compiler is invoked with fork/exec (never a shell), so
 /// paths and flags with shell metacharacters are safe; scratch directories
-/// honor TMPDIR and are removed on every exit path.
+/// honor TMPDIR and are removed on every exit path. A watchdog bounds the
+/// wait on the compiler child: a child exceeding
+/// min(CONVGEN_COMPILE_TIMEOUT_MS, request-deadline remaining) is
+/// SIGKILLed and reaped, and the handle degrades immediately — a hung
+/// compiler can stall one request thread for at most the bound, never
+/// forever.
 ///
 /// Ownership contract at the JIT boundary (no marshalling copies):
 ///
@@ -47,6 +52,7 @@
 
 #include "codegen/Generator.h"
 #include "ir/CEmitter.h"
+#include "support/Deadline.h"
 #include "support/Status.h"
 #include "tensor/SparseTensor.h"
 
@@ -92,6 +98,13 @@ bool jitOpenMPAvailable();
 /// extra flags (exposed so the plan cache can key shared objects on it).
 std::string jitEffectiveFlags(const std::string &ExtraFlags);
 
+/// The hung-compiler watchdog bound in milliseconds
+/// (CONVGEN_COMPILE_TIMEOUT_MS, default 120000; 0 or negative disables the
+/// watchdog). A compiler child exceeding it is SIGKILLed and reaped, the
+/// attempt fails with DeadlineExceeded (no retry — a hung compiler will
+/// hang again), and the handle degrades to the interpreter.
+int64_t compileTimeoutMillis();
+
 /// A conversion routine compiled to native code.
 class JitConversion {
 public:
@@ -104,9 +117,17 @@ public:
   /// object there is loaded directly (skipping the external compiler
   /// entirely, compileSeconds() == 0); otherwise the freshly compiled
   /// object is installed there atomically for future processes.
+  ///
+  /// \p RequestDeadline (optional) bounds each external compile wait by
+  /// min(CONVGEN_COMPILE_TIMEOUT_MS, time remaining) and skips further
+  /// retry attempts once expired. A handle degraded because the *request*
+  /// deadline was the binding bound reports degradedByRequestDeadline();
+  /// PlanCache declines to cache such handles, since a more patient caller
+  /// could still compile successfully.
   explicit JitConversion(const codegen::Conversion &Conv,
                          const std::string &ExtraFlags = "",
-                         const std::string &CachedSoPath = "");
+                         const std::string &CachedSoPath = "",
+                         support::Deadline RequestDeadline = {});
   ~JitConversion();
 
   /// True when the shared object came from the on-disk cache.
@@ -115,6 +136,12 @@ public:
   /// True when the native object could not be built or loaded and runs
   /// execute through the reference interpreter instead.
   bool degraded() const { return Degraded; }
+
+  /// True when the handle degraded only because the caller's request
+  /// deadline expired (as opposed to the environment-wide
+  /// CONVGEN_COMPILE_TIMEOUT_MS watchdog or a failed compile/load, which
+  /// would fail for every caller).
+  bool degradedByRequestDeadline() const { return DeadlineBound; }
 
   /// The diagnostic of the failure that degraded this handle (empty when
   /// native).
@@ -159,11 +186,15 @@ private:
   /// Cached-load then compile-with-retry; a non-OK result degrades the
   /// handle instead of propagating.
   Status initialize(const std::string &ExtraFlags,
-                    const std::string &CachedSoPath);
+                    const std::string &CachedSoPath,
+                    const support::Deadline &RequestDeadline);
   /// One compile + install + load attempt in a fresh scratch directory
-  /// (removed on every failure path).
+  /// (removed on every failure path). The compiler wait is bounded by
+  /// min(CONVGEN_COMPILE_TIMEOUT_MS, deadline remaining) when either is
+  /// finite; a child exceeding the bound is SIGKILLed and reaped.
   Status compileAndLoadOnce(const std::string &ExtraFlags,
-                            const std::string &CachedSoPath);
+                            const std::string &CachedSoPath,
+                            const support::Deadline &RequestDeadline);
   /// The interpreter path a degraded handle serves runs through.
   tensor::SparseTensor interpretRun(const tensor::SparseTensor &In) const;
 
@@ -175,6 +206,7 @@ private:
   double CompileSecs = 0;
   bool FromCache = false;
   bool Degraded = false;
+  bool DeadlineBound = false;
   std::string DegradedWhy;
 };
 

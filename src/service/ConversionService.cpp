@@ -1,0 +1,218 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ConversionService.h"
+
+#include "convert/Converter.h"
+#include "convert/PlanCache.h"
+#include "jit/Jit.h"
+#include "support/DegradationLog.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <thread>
+
+using namespace convgen;
+using namespace convgen::convert;
+using support::Deadline;
+using support::Degradation;
+using support::DegradationLog;
+
+static int64_t envInt(const char *Name, int64_t Default) {
+  if (const char *Env = std::getenv(Name)) {
+    char *End = nullptr;
+    long long V = std::strtoll(Env, &End, 10);
+    if (End != Env && *End == '\0')
+      return V;
+  }
+  return Default;
+}
+
+ServiceLimits ServiceLimits::fromEnv() {
+  int Hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (Hw < 1)
+    Hw = 1;
+  ServiceLimits L;
+  // 2x the hardware threads: conversion is memory-bound enough that a
+  // little oversubscription keeps cores busy across the marshal/compile
+  // gaps without drowning the allocator.
+  L.MaxInflight =
+      static_cast<int>(envInt("CONVGEN_MAX_INFLIGHT", 2LL * Hw));
+  if (L.MaxInflight < 1)
+    L.MaxInflight = 1;
+  L.QueueDepth = static_cast<int>(
+      envInt("CONVGEN_QUEUE_DEPTH", 2LL * L.MaxInflight));
+  if (L.QueueDepth < 0)
+    L.QueueDepth = 0;
+  L.DefaultDeadlineMs = envInt("CONVGEN_DEFAULT_DEADLINE_MS", 0);
+  if (L.DefaultDeadlineMs < 0)
+    L.DefaultDeadlineMs = 0;
+  return L;
+}
+
+ConversionService::ConversionService(ServiceLimits L) : Limits(L) {
+  if (Limits.MaxInflight < 1)
+    Limits.MaxInflight = 1;
+  if (Limits.QueueDepth < 0)
+    Limits.QueueDepth = 0;
+}
+
+ConversionService &ConversionService::instance() {
+  // Leaked like PlanCache::instance(): request threads may outlive static
+  // destruction in exotic shutdown orders.
+  static ConversionService *S = new ConversionService();
+  return *S;
+}
+
+Status ConversionService::admit(const Deadline &D) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  if (Inflight < Limits.MaxInflight) {
+    ++Inflight;
+    return Status();
+  }
+  if (Queued >= Limits.QueueDepth) {
+    Counts.Shed.fetch_add(1, std::memory_order_relaxed);
+    DegradationLog::instance().record(
+        Degradation::LoadShed,
+        strfmt("shed at capacity (%d in flight, %d queued)", Inflight,
+               Queued));
+    return Status::error(
+        ErrorCode::ResourceExhausted,
+        strfmt("service: at capacity (%d in flight, queue of %d full); "
+               "retry later",
+               Limits.MaxInflight, Limits.QueueDepth));
+  }
+  ++Queued;
+  while (Inflight >= Limits.MaxInflight) {
+    if (D.infinite()) {
+      SlotFreed.wait(Lock);
+      continue;
+    }
+    if (SlotFreed.wait_until(Lock, D.timePoint()) ==
+            std::cv_status::timeout &&
+        Inflight >= Limits.MaxInflight) {
+      --Queued;
+      Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+      DegradationLog::instance().record(
+          Degradation::DeadlineExceeded,
+          "request deadline expired in the admission queue");
+      return Status::error(ErrorCode::DeadlineExceeded,
+                           "service: deadline expired while queued for "
+                           "admission");
+    }
+  }
+  --Queued;
+  ++Inflight;
+  return Status();
+}
+
+void ConversionService::release() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    --Inflight;
+  }
+  SlotFreed.notify_one();
+}
+
+StatusOr<tensor::SparseTensor>
+ConversionService::convert(const ConversionRequest &Request) {
+  Counts.Submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!Request.Input) {
+    Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+    return Status::error(ErrorCode::InvalidArgument,
+                         "service: request carries no input tensor");
+  }
+  int64_t Ms = Request.DeadlineMs < 0 ? Limits.DefaultDeadlineMs
+                                      : Request.DeadlineMs;
+  Deadline D = Ms > 0 ? Deadline::afterMillis(Ms) : Deadline::never();
+
+  Status Admitted = admit(D);
+  if (!Admitted.ok())
+    return Admitted; // Shed / queue-deadline counters recorded in admit().
+  struct SlotReleaser {
+    ConversionService *S;
+    ~SlotReleaser() { S->release(); }
+  } Releaser{this};
+
+  auto deadlineExpired = [&](const char *Where) {
+    Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    DegradationLog::instance().record(
+        Degradation::DeadlineExceeded,
+        strfmt("%s -> %s: %s", Request.Source.Name.c_str(),
+               Request.Target.Name.c_str(), Where));
+    return Status::error(
+        ErrorCode::DeadlineExceeded,
+        strfmt("service: request deadline expired %s", Where));
+  };
+  if (D.expired())
+    return deadlineExpired("entering execution");
+
+  if (Request.ForceInterpreter) {
+    // Oracle traffic: the Converter routes dims-specialized plans itself
+    // and checks the deadline at its own phase boundaries.
+    StatusOr<Converter> C =
+        Converter::tryCreate(Request.Source, Request.Target, Request.Opts);
+    if (!C.ok()) {
+      Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+      return C.status();
+    }
+    StatusOr<tensor::SparseTensor> Out = C->tryRun(*Request.Input, D);
+    if (!Out.ok()) {
+      if (Out.status().code() == ErrorCode::DeadlineExceeded)
+        Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+      else
+        Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+      return Out;
+    }
+    Counts.Completed.fetch_add(1, std::memory_order_relaxed);
+    return Out;
+  }
+
+  // Native path. Route to the dims-specialized plan up front (a JIT handle
+  // compiled with dense ranking rejects huge-dims tensors; see Jit.h), so
+  // the shared cache is keyed the same way the Converter would key it.
+  codegen::Options Opts = codegen::optionsForDims(
+      Request.Source, Request.Target, Request.Opts, Request.Input->Dims);
+  StatusOr<std::shared_ptr<jit::JitConversion>> Handle =
+      PlanCache::instance().tryJit(Request.Source, Request.Target, Opts, "",
+                                   D);
+  if (!Handle.ok()) {
+    if (Handle.status().code() == ErrorCode::DeadlineExceeded)
+      Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    else
+      Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+    return Handle.status();
+  }
+  if (D.expired())
+    return deadlineExpired("after plan/JIT acquisition");
+  StatusOr<tensor::SparseTensor> Out = (*Handle)->tryRun(*Request.Input);
+  if (!Out.ok()) {
+    Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+    return Out;
+  }
+  if ((*Handle)->degraded())
+    Counts.DegradedRuns.fetch_add(1, std::memory_order_relaxed);
+  Counts.Completed.fetch_add(1, std::memory_order_relaxed);
+  return Out;
+}
+
+ServiceStats ConversionService::stats() const {
+  ServiceStats Out;
+  Out.Submitted = Counts.Submitted.load(std::memory_order_relaxed);
+  Out.Completed = Counts.Completed.load(std::memory_order_relaxed);
+  Out.Shed = Counts.Shed.load(std::memory_order_relaxed);
+  Out.DeadlineExpired =
+      Counts.DeadlineExpired.load(std::memory_order_relaxed);
+  Out.DegradedRuns = Counts.DegradedRuns.load(std::memory_order_relaxed);
+  Out.RequestErrors =
+      Counts.RequestErrors.load(std::memory_order_relaxed);
+  return Out;
+}
+
+int ConversionService::inflight() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Inflight;
+}

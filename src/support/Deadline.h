@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic-clock request deadline, threaded from the serving layer down
+/// through Converter::tryRun / PlanCache::tryJit / JIT construction. A
+/// deadline bounds *waiting* — admission queues, coalesced-flight waits,
+/// and the watchdog wait on an external compiler child — and is checked at
+/// phase boundaries; it does not preempt compute that is already running.
+/// Default-constructed deadlines are infinite, so every API taking one
+/// keeps its old unbounded behavior when the caller passes nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_SUPPORT_DEADLINE_H
+#define CONVGEN_SUPPORT_DEADLINE_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace convgen {
+namespace support {
+
+class Deadline {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  static Deadline never() { return Deadline(); }
+
+  /// Expires \p Ms milliseconds from now (clamped at zero: an already
+  /// expired deadline, useful for fail-fast tests).
+  static Deadline afterMillis(int64_t Ms) {
+    Deadline D;
+    D.Finite = true;
+    D.At = Clock::now() + std::chrono::milliseconds(Ms < 0 ? 0 : Ms);
+    return D;
+  }
+
+  /// Expires at \p At on the monotonic clock.
+  static Deadline at(Clock::time_point At) {
+    Deadline D;
+    D.Finite = true;
+    D.At = At;
+    return D;
+  }
+
+  bool infinite() const { return !Finite; }
+  bool expired() const { return Finite && Clock::now() >= At; }
+
+  /// Milliseconds until expiry: 0 when already expired, INT64_MAX when
+  /// infinite (safe to min() against other bounds).
+  int64_t remainingMillis() const {
+    if (!Finite)
+      return INT64_MAX;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        At - Clock::now());
+    return Left.count() < 0 ? 0 : Left.count();
+  }
+
+  /// The expiry instant; only meaningful when !infinite() (callers gate on
+  /// that before handing it to wait_until / wait_for conversions).
+  Clock::time_point timePoint() const { return At; }
+
+private:
+  bool Finite = false;
+  Clock::time_point At{};
+};
+
+} // namespace support
+} // namespace convgen
+
+#endif // CONVGEN_SUPPORT_DEADLINE_H

@@ -32,6 +32,14 @@ const char *support::degradationName(Degradation Kind) {
     return "cache-write-failure";
   case Degradation::AllocProbeFailure:
     return "alloc-probe-failure";
+  case Degradation::CompileTimeout:
+    return "compile-timeout";
+  case Degradation::DeadlineExceeded:
+    return "deadline-exceeded";
+  case Degradation::LoadShed:
+    return "load-shed";
+  case Degradation::SingleFlightCoalesce:
+    return "single-flight-coalesce";
   }
   return "unknown";
 }

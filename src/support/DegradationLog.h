@@ -45,8 +45,20 @@ enum class Degradation {
   CacheWriteFailure,
   /// The allocation probe at the native run boundary reported exhaustion.
   AllocProbeFailure,
+  /// The watchdog SIGKILLed an external compiler child that exceeded
+  /// CONVGEN_COMPILE_TIMEOUT_MS; the handle degraded to the interpreter.
+  CompileTimeout,
+  /// A request deadline expired (while queued, while waiting on a
+  /// coalesced in-flight compile, or bounding a compile it led).
+  DeadlineExceeded,
+  /// The serving layer rejected an admission at capacity
+  /// (CONVGEN_MAX_INFLIGHT in flight and the queue full).
+  LoadShed,
+  /// Informational: a cache miss piggybacked on another thread's in-flight
+  /// build instead of compiling redundantly. Normal under concurrent load.
+  SingleFlightCoalesce,
 };
-constexpr int kNumDegradations = 8;
+constexpr int kNumDegradations = 12;
 
 /// Stable lowercase name ("jit-compile-failure", ...).
 const char *degradationName(Degradation Kind);
@@ -63,6 +75,16 @@ struct DegradationCounters {
     for (uint64_t C : Counts)
       Sum += C;
     return Sum;
+  }
+
+  /// Sum of the counters that mean an execution actually degraded.
+  /// Excludes the service-flow kinds — coalesced waits, load sheds, and
+  /// request-deadline expiries — which are normal under concurrent load
+  /// and never turn a native timing into an interpreter timing.
+  uint64_t degradedTotal() const {
+    return total() - (*this)[Degradation::SingleFlightCoalesce] -
+           (*this)[Degradation::LoadShed] -
+           (*this)[Degradation::DeadlineExceeded];
   }
 };
 

@@ -34,6 +34,8 @@ const char *support::faultSiteName(FaultSite Site) {
     return "cache-write";
   case FaultSite::AllocProbe:
     return "alloc-probe";
+  case FaultSite::CompileHang:
+    return "compile-hang";
   }
   return "unknown";
 }
@@ -73,7 +75,7 @@ Status parseClause(const std::string &Clause, FaultSite *Site, double *Rate,
     return Status::error(ErrorCode::InvalidArgument,
                          "unknown fault site '" + trim(Parts[0]) +
                              "' (sites: compile, dlopen, dlsym, cache-read, "
-                             "cache-write, alloc-probe)");
+                             "cache-write, alloc-probe, compile-hang)");
   *Rate = 1.0;
   *HaveSeed = false;
   if (Parts.size() >= 2) {

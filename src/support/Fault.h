@@ -13,7 +13,8 @@
 /// Sites: compile (the external JIT compile step), dlopen, dlsym (loading
 /// a compiled object), cache-read (disk-cache lookup), cache-write
 /// (disk-cache install), alloc-probe (the allocation probe at the native
-/// run boundary). Rate is a probability in [0,1], default 1 (always
+/// run boundary), compile-hang (the compiler child hangs until the
+/// watchdog kills it). Rate is a probability in [0,1], default 1 (always
 /// fails); seed makes the per-site Bernoulli stream reproducible.
 ///
 /// The variable is re-read on every query (the same convention as the
@@ -45,8 +46,13 @@ enum class FaultSite {
   CacheRead,
   CacheWrite,
   AllocProbe,
+  /// The external compiler child hangs instead of compiling; only drawn
+  /// when a compile-wait bound is in force (CONVGEN_COMPILE_TIMEOUT_MS or
+  /// a request deadline), so the watchdog's SIGKILL path — not an
+  /// unbounded stall — is what the injection exercises.
+  CompileHang,
 };
-constexpr int kNumFaultSites = 6;
+constexpr int kNumFaultSites = 7;
 
 /// The spelling used in CONVGEN_FAULT ("compile", "cache-read", ...).
 const char *faultSiteName(FaultSite Site);

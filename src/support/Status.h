@@ -50,7 +50,14 @@ enum class ErrorCode {
   /// Evict and regenerate.
   DataLoss,
   /// An allocation probe or resource limit failed. Degrade or retry later.
+  /// The serving layer also sheds admissions with this code when in-flight
+  /// work exceeds CONVGEN_MAX_INFLIGHT and the queue is full.
   ResourceExhausted,
+  /// The request's deadline (or the CONVGEN_COMPILE_TIMEOUT_MS bound on an
+  /// external compile) expired before the work finished. Deliberately NOT
+  /// an environment error: retrying immediately would pay the same bound
+  /// again, so callers degrade or re-submit with a larger deadline instead.
+  DeadlineExceeded,
   /// A should-not-happen condition reported instead of aborting because a
   /// serving layer sits above; treat like Unavailable.
   Internal,
@@ -71,6 +78,8 @@ inline const char *errorCodeName(ErrorCode Code) {
     return "data-loss";
   case ErrorCode::ResourceExhausted:
     return "resource-exhausted";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
   case ErrorCode::Internal:
     return "internal";
   }

@@ -36,6 +36,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -268,6 +269,54 @@ TEST(FaultMatrix, DlsymFaultsNeverAbortAndReconcile) {
   EXPECT_EQ(Log[Degradation::JitLoadFailure],
             support::faultInjectionCount(FaultSite::Dlsym));
   EXPECT_GT(support::faultInjectionCount(FaultSite::Dlsym), 0u);
+}
+
+TEST(FaultMatrix, CompileHangsAreKilledAndReconcile) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no C compiler; the compile path is never reached";
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+  // Every compile wedges; the watchdog must SIGKILL each child at ~250ms.
+  // Hung compilers are not retried (a wedged toolchain would wedge again,
+  // and the caller already paid the full bound), so injections reconcile
+  // 1:1 with recorded timeouts.
+  ScopedEnv Fault("CONVGEN_FAULT", "compile-hang:1");
+  ScopedEnv Timeout("CONVGEN_COMPILE_TIMEOUT_MS", "250");
+  resetBooks();
+
+  tensor::Triplets T = smallMatrix();
+  std::vector<std::pair<const char *, const char *>> Pairs = {
+      {"coo", "csr"}, {"csr", "csc"}, {"coo", "ell"}};
+  for (auto [SrcName, DstName] : Pairs) {
+    formats::Format Src = formats::standardFormatOrDie(SrcName);
+    formats::Format Dst = formats::standardFormatOrDie(DstName);
+    codegen::Options Opts =
+        codegen::optionsForDims(Src, Dst, codegen::Options(), {6, 6});
+    auto Begin = std::chrono::steady_clock::now();
+    StatusOr<std::shared_ptr<jit::JitConversion>> H =
+        convert::PlanCache::instance().tryJit(Src, Dst, Opts);
+    double Secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Begin)
+                      .count();
+    ASSERT_TRUE(H.ok()) << H.status().toString();
+    EXPECT_LT(Secs, 5.0) << SrcName << " -> " << DstName
+                         << ": hung child outlived the watchdog";
+    EXPECT_TRUE(H.value()->degraded());
+    EXPECT_FALSE(H.value()->degradedByRequestDeadline())
+        << "knob-bound kills are environment degradation, not deadline";
+    EXPECT_NE(H.value()->degradationReason().find("killed"),
+              std::string::npos)
+        << H.value()->degradationReason();
+    tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+    expectMatchesInterpreter(Src, Dst, T, H.value()->run(In));
+  }
+
+  support::DegradationCounters Log = DegradationLog::instance().snapshot();
+  EXPECT_EQ(Log[Degradation::CompileTimeout],
+            support::faultInjectionCount(FaultSite::CompileHang));
+  EXPECT_EQ(support::faultInjectionCount(FaultSite::CompileHang),
+            static_cast<uint64_t>(Pairs.size()));
+  EXPECT_EQ(Log[Degradation::JitRetry], 0u);
+  EXPECT_EQ(Log[Degradation::JitCompileFailure], 0u);
 }
 
 //===------------------------------------------------------------------===//

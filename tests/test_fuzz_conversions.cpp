@@ -20,6 +20,13 @@
 // --seed / --iters (or CONVGEN_FUZZ_SEED / CONVGEN_FUZZ_ITERS) override
 // the defaults; the per-push CI legs run the default smoke count, the
 // nightly leg a larger count with a date-rotated seed under ASan.
+//
+// --threads=N (or CONVGEN_FUZZ_THREADS) additionally runs the same case
+// stream concurrently from N threads through the shared PlanCache — the
+// concurrency stress the TSan leg drives. Concurrent cases use the
+// library-default knob profile only: setenv is not thread-safe, so the
+// per-case ScopedEnv randomization (and the OpenMP thread flips) stay
+// confined to the serial harness.
 //===----------------------------------------------------------------------===//
 
 #include "codegen/Generator.h"
@@ -43,6 +50,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #ifdef _OPENMP
@@ -64,6 +72,10 @@ int FuzzIters = 500;
 // are unchanged: a degraded handle must still be bit-identical to the
 // interpreter, and no injected fault may ever surface as an abort.
 bool FuzzFaults = false;
+// Concurrency mode (--threads=N / CONVGEN_FUZZ_THREADS): N threads drain
+// the same case stream through the shared PlanCache. 0/1 skips the
+// concurrent test (the serial harness already ran the cases).
+int FuzzThreads = 0;
 
 /// Pins the OpenMP thread count for the scope (host runtime + the env the
 /// dlopen'd generated routines read).
@@ -107,8 +119,12 @@ void expectBitIdentical(const tensor::SparseTensor &Want,
 }
 
 /// One random case: draws the tuple, runs interpreter-vs-oracle and (when
-/// a compiler exists) JIT-vs-interpreter at 1 and 4 threads.
-void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats) {
+/// a compiler exists) JIT-vs-interpreter at 1 and 4 threads. With \p
+/// Concurrent set the case must stay thread-safe: no setenv (knob/fault
+/// randomization) and no process-wide OpenMP thread flips — the tuple,
+/// pattern, and differential checks are unchanged.
+void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats,
+                 bool Concurrent = false) {
   std::mt19937_64 Rng(CaseSeed);
   auto Pick = [&](int N) { return static_cast<int>(Rng() % static_cast<uint64_t>(N)); };
 
@@ -145,7 +161,7 @@ void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats) {
   // the oracle is cheap. The profile set is deliberately small: each
   // distinct (pair, strategy-bits) combination costs one JIT compile.
   std::vector<std::unique_ptr<ScopedEnv>> Knobs;
-  switch (Pick(4)) {
+  switch (Concurrent ? 0 : Pick(4)) {
   case 0:
     break; // Library defaults.
   case 1:
@@ -168,7 +184,7 @@ void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats) {
     break;
   }
 
-  if (FuzzFaults) {
+  if (FuzzFaults && !Concurrent) {
     static const char *Sites[] = {"compile",    "dlopen",      "dlsym",
                                   "cache-read", "cache-write", "alloc-probe"};
     static const char *Rates[] = {"0.25", "0.5", "0.75", "1"};
@@ -229,13 +245,32 @@ void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats) {
   codegen::Options Opts =
       codegen::optionsForDims(Src, Dst, codegen::Options(), Dims);
   auto Native = convert::PlanCache::instance().jit(Src, Dst, Opts);
-  for (int Threads : {1, 4}) {
-    setThreads(Threads);
+  if (Concurrent) {
+    // No OMP_NUM_THREADS flips from worker threads; the routine runs at
+    // the ambient thread count (nested parallel regions when several
+    // workers convert at once — itself part of the stress).
     tensor::SparseTensor FromJit = Native->run(In);
-    expectBitIdentical(Out, FromJit, Threads);
+    expectBitIdentical(Out, FromJit, 0);
+  } else {
+    for (int Threads : {1, 4}) {
+      setThreads(Threads);
+      tensor::SparseTensor FromJit = Native->run(In);
+      expectBitIdentical(Out, FromJit, Threads);
+    }
+    restoreThreads();
   }
-  restoreThreads();
   ++Stats.JitCompared;
+}
+
+/// The splitmix64 per-case seed shared by the serial and concurrent
+/// harnesses: a failing concurrent case replays serially from --seed.
+uint64_t caseSeed(int Case) {
+  uint64_t S = FuzzSeed +
+               0x9e3779b97f4a7c15ull * static_cast<uint64_t>(Case + 1);
+  S ^= S >> 30;
+  S *= 0xbf58476d1ce4e5b9ull;
+  S ^= S >> 27;
+  return S;
 }
 
 } // namespace
@@ -245,11 +280,7 @@ TEST(FuzzConversions, RandomizedDifferentialAgainstTheOracle) {
   for (int Case = 0; Case < FuzzIters; ++Case) {
     // splitmix64 over (base seed, case index): independent per-case
     // streams, and a failing case replays from the same --seed.
-    uint64_t CaseSeed = FuzzSeed + 0x9e3779b97f4a7c15ull *
-                                       static_cast<uint64_t>(Case + 1);
-    CaseSeed ^= CaseSeed >> 30;
-    CaseSeed *= 0xbf58476d1ce4e5b9ull;
-    CaseSeed ^= CaseSeed >> 27;
+    uint64_t CaseSeed = caseSeed(Case);
     SCOPED_TRACE(strfmt("case %d of %d, case seed 0x%llx — replay: "
                         "./test_fuzz_conversions --seed=0x%llx --iters=%d",
                         Case, FuzzIters,
@@ -272,6 +303,48 @@ TEST(FuzzConversions, RandomizedDifferentialAgainstTheOracle) {
   // The harness must exercise real conversions, not skip everything (tiny
   // random budgets legitimately reject a chunk of the pair space).
   EXPECT_GT(Stats.Ran, FuzzIters / 3);
+}
+
+TEST(FuzzConversions, ConcurrentCaseStreamThroughTheSharedCache) {
+  if (FuzzThreads <= 1)
+    GTEST_SKIP() << "pass --threads=N (or CONVGEN_FUZZ_THREADS) to run the "
+                    "concurrent stream";
+  // The same deterministic case stream as the serial harness, drained
+  // round-robin by N threads through the shared single-flight PlanCache.
+  // Identical seeds mean identical coverage regardless of thread count,
+  // and a failing case replays serially with the printed --seed.
+  std::vector<FuzzStats> PerThread(static_cast<size_t>(FuzzThreads));
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < FuzzThreads; ++T) {
+    Pool.emplace_back([&, T] {
+      for (int Case = T; Case < FuzzIters; Case += FuzzThreads) {
+        uint64_t CaseSeed = caseSeed(Case);
+        SCOPED_TRACE(strfmt(
+            "concurrent case %d (thread %d), case seed 0x%llx — serial "
+            "replay: ./test_fuzz_conversions --seed=0x%llx --iters=%d",
+            Case, T, static_cast<unsigned long long>(CaseSeed),
+            static_cast<unsigned long long>(FuzzSeed), FuzzIters));
+        runFuzzCase(CaseSeed, PerThread[static_cast<size_t>(T)],
+                    /*Concurrent=*/true);
+        if (::testing::Test::HasFatalFailure())
+          break;
+      }
+    });
+  }
+  for (std::thread &Th : Pool)
+    Th.join();
+  FuzzStats Total;
+  for (const FuzzStats &S : PerThread) {
+    Total.Ran += S.Ran;
+    Total.Skipped += S.Skipped;
+    Total.JitCompared += S.JitCompared;
+  }
+  std::printf("[  fuzz    ] concurrent: %d threads, %d cases run, "
+              "%d unsupported-pair skips, %d JIT bit-compared "
+              "(seed 0x%llx)\n",
+              FuzzThreads, Total.Ran, Total.Skipped, Total.JitCompared,
+              static_cast<unsigned long long>(FuzzSeed));
+  EXPECT_GT(Total.Ran, FuzzIters / 3);
 }
 
 //===----------------------------------------------------------------------===//
@@ -331,6 +404,8 @@ int main(int argc, char **argv) {
       FuzzIters = std::atoi(Env);
   if (const char *Env = std::getenv("CONVGEN_FUZZ_FAULTS"))
     FuzzFaults = std::string(Env) != "0";
+  if (const char *Env = std::getenv("CONVGEN_FUZZ_THREADS"))
+    FuzzThreads = std::atoi(Env);
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--seed=", 0) == 0)
@@ -339,6 +414,8 @@ int main(int argc, char **argv) {
       FuzzIters = std::atoi(Arg.c_str() + 8);
     else if (Arg == "--faults")
       FuzzFaults = true;
+    else if (Arg.rfind("--threads=", 0) == 0)
+      FuzzThreads = std::atoi(Arg.c_str() + 10);
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();
