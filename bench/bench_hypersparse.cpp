@@ -18,11 +18,28 @@
 //   hashed     CONVGEN_RANK_STRATEGY=hashed — open-addressing dedup before
 //              the (shared) sort
 //
+// A second leg pits the two sort lowerings against each other at
+// dimensions whose coordinate tuple packs into 64 bits (2^24 x 2^20 x
+// 2^20 = exactly 64 key bits — still far past the dense-rank budget, so
+// every level stays sorted): "merge" forces the fully unpacked strategy
+// (comparison merge sort + a tuple-compare binary search per inserted
+// nonzero), "radix" the packed-key strategy (fused LSD radix sort +
+// dedup whose source-slot payload precomputes every insertion rank — no
+// searches at all) that is the auto default whenever the dims hint
+// proves the fit. The two variants run in interleaved pairs and the
+// speedup is the median of per-rep ratios (see runPairedRows: sequential
+// timing see-saws with container load drift). Every row
+// carries the routine's own
+// per-phase seconds (analysis / edge_insert / insertion / finalize plus
+// the sorted-ranking sub-phases collect / sort / pos / crd), so a sort-
+// strategy win is attributable to the sort phase, not smeared over the
+// whole conversion.
+//
 // Emits a human-readable table and machine-readable BENCH_hypersparse.json
 // (speedup columns included). Environment: CONVGEN_BENCH_SCALE /
 // CONVGEN_BENCH_REPS as usual; scale 1.0 runs the full 10^6-nonzero point
-// the shared-vs-per-level acceptance number is defined at, the default 0.2
-// a 200k smoke point.
+// the shared-vs-per-level and radix-vs-merge acceptance numbers are
+// defined at, the default 0.2 a 200k smoke point.
 //===----------------------------------------------------------------------===//
 
 #include "Common.h"
@@ -46,10 +63,24 @@ int64_t scaled(int64_t V) {
       64, static_cast<int64_t>(static_cast<double>(V) * benchScale()));
 }
 
+const char *const kPhaseNames[jit::kNumPhases] = {
+    "analysis", "edge_insert", "insertion", "finalize",
+    "collect",  "sort",        "pos",       "crd"};
+
+std::string phasesJson(const double Phases[jit::kNumPhases]) {
+  std::string S = "{";
+  for (int P = 0; P < jit::kNumPhases; ++P)
+    S += strfmt("%s\"%s\": %.6f", P ? ", " : "", kPhaseNames[P], Phases[P]);
+  return S + "}";
+}
+
 /// One list-construction variant: a label plus the env overrides that
 /// select it. Overrides are applied for plan acquisition AND the timed
 /// runs (the plan key re-derives its strategy bits from the environment,
-/// so each variant lands on its own cached plan and JIT object).
+/// so each variant lands on its own cached plan and JIT object). Every
+/// variant pins ALL three strategy knobs — including CONVGEN_SORT_STRATEGY
+/// — so an ambient setting in the caller's environment cannot relabel a
+/// row.
 struct Variant {
   const char *Label;
   std::vector<std::pair<const char *, const char *>> Env;
@@ -81,6 +112,106 @@ private:
   std::vector<std::pair<const char *, std::optional<std::string>>> Saved;
 };
 
+/// Prints + records one timed row from precomputed stats and phases.
+void emitRow(const char *Leg, const char *VariantLabel, int64_t Nnz,
+             const TimeStats &S, const double Phases[jit::kNumPhases],
+             BenchReport &Report) {
+  std::string Label = strfmt("%s.%lldk.%s", Leg,
+                             static_cast<long long>(Nnz / 1000), VariantLabel);
+  double NsPerNnz =
+      Nnz ? S.MedianSeconds * 1e9 / static_cast<double>(Nnz) : 0;
+  std::printf("%-26s %12.3f %12.3f %14.1f\n", Label.c_str(),
+              S.MedianSeconds * 1e3, S.MinSeconds * 1e3, NsPerNnz);
+  std::printf("  phases:");
+  for (int P = 0; P < jit::kNumPhases; ++P)
+    std::printf(" %s %.3fms", kPhaseNames[P], Phases[P] * 1e3);
+  std::printf("\n");
+  Report.add(strfmt("{\"label\": \"%s\", \"variant\": \"%s\", "
+                    "\"nnz\": %lld, \"median_seconds\": %.6g, "
+                    "\"min_seconds\": %.6g, \"ns_per_nnz\": %.1f, "
+                    "\"phases\": %s}",
+                    Label.c_str(), VariantLabel, static_cast<long long>(Nnz),
+                    S.MedianSeconds, S.MinSeconds, NsPerNnz,
+                    phasesJson(Phases).c_str()));
+}
+
+/// Times coo3->csf under \p V at \p Dims, prints the table row, records
+/// the JSON row (with the per-phase breakdown), and returns the median.
+double runVariantRow(const Variant &V, const std::vector<int64_t> &Dims,
+                     const tensor::SparseTensor &In, int64_t Nnz,
+                     const char *Leg, BenchReport &Report) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  ScopedVariant Env(V);
+  codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
+  const jit::JitConversion &Fwd = jitConversion("coo3", "csf", Opts);
+  double Phases[jit::kNumPhases] = {};
+  TimeStats S = timeJitWithPhases(Fwd, In, Phases);
+  emitRow(Leg, V.Label, Nnz, S, Phases, Report);
+  return S.MedianSeconds;
+}
+
+/// Times two variants of the same conversion in interleaved pairs: every
+/// rep runs variant A then variant B back-to-back on the same input, and
+/// the returned speedup is the MEDIAN OF THE PER-REP RATIOS time(A)/
+/// time(B). On a shared dev container, load drift between two separately
+/// timed variants easily exceeds the effect under measurement; pairing
+/// puts both sides of every ratio under near-identical machine state, so
+/// the ratio median converges where sequential medians see-saw. Emits the
+/// same per-variant rows (median/min/phases over the paired reps).
+double runPairedRows(const Variant &VA, const Variant &VB,
+                     const std::vector<int64_t> &Dims,
+                     const tensor::SparseTensor &In, int64_t Nnz,
+                     const char *Leg, BenchReport &Report) {
+  const jit::JitConversion *Convs[2];
+  for (int V = 0; V < 2; ++V) {
+    ScopedVariant Env(V == 0 ? VA : VB);
+    formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+    formats::Format Csf = formats::standardFormatOrDie("csf");
+    codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
+    Convs[V] = &jitConversion("coo3", "csf", Opts);
+  }
+  jit::CTensor A;
+  jit::marshalInput(In, &A);
+  int Reps = benchReps();
+  std::vector<double> Times[2];
+  std::vector<double> Before[2];
+  for (int V = 0; V < 2; ++V) {
+    Before[V].assign(static_cast<size_t>(jit::kNumPhases), 0);
+    if (const double *P = Convs[V]->phaseSeconds())
+      Before[V].assign(P, P + jit::kNumPhases);
+  }
+  for (int Rep = 0; Rep < Reps; ++Rep)
+    for (int V = 0; V < 2; ++V) {
+      auto Begin = std::chrono::steady_clock::now();
+      jit::CTensor B;
+      Convs[V]->runRaw(&A, &B);
+      jit::freeOutput(&B);
+      Times[V].push_back(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - Begin)
+                             .count());
+    }
+  std::vector<double> Ratios;
+  for (int Rep = 0; Rep < Reps; ++Rep)
+    if (Times[1][static_cast<size_t>(Rep)] > 0)
+      Ratios.push_back(Times[0][static_cast<size_t>(Rep)] /
+                       Times[1][static_cast<size_t>(Rep)]);
+  std::sort(Ratios.begin(), Ratios.end());
+  double Speedup = Ratios.empty() ? 0 : Ratios[Ratios.size() / 2];
+  for (int V = 0; V < 2; ++V) {
+    std::vector<double> Sorted = Times[V];
+    std::sort(Sorted.begin(), Sorted.end());
+    TimeStats S{Sorted.front(), Sorted[Sorted.size() / 2]};
+    double Phases[jit::kNumPhases] = {};
+    if (const double *P = Convs[V]->phaseSeconds())
+      for (int I = 0; I < jit::kNumPhases; ++I)
+        Phases[I] = (P[I] - Before[V][static_cast<size_t>(I)]) /
+                    static_cast<double>(Reps);
+    emitRow(Leg, (V == 0 ? VA : VB).Label, Nnz, S, Phases, Report);
+  }
+  return Speedup;
+}
+
 } // namespace
 
 int main() {
@@ -97,6 +228,12 @@ int main() {
 
   const std::vector<int64_t> Dims = {int64_t(1) << 31, int64_t(1) << 20,
                                      int64_t(1) << 20};
+  // 24 + 20 + 20 = 64 key bits: the largest extents whose coordinate
+  // tuple still packs into one uint64_t, and still 5 * 2^24 bytes past the
+  // dense-rank budget, so the plan keeps every CSF level sorted.
+  const std::vector<int64_t> PackedDims = {int64_t(1) << 24,
+                                           int64_t(1) << 20,
+                                           int64_t(1) << 20};
   formats::Format Coo3 = formats::standardFormatOrDie("coo3");
   formats::Format Csf = formats::standardFormatOrDie("csf");
 
@@ -126,15 +263,23 @@ int main() {
   }
 
   // Every knob is pinned in every variant, so an ambient
-  // CONVGEN_RANK_STRATEGY / CONVGEN_NO_SHARED_SORT in the caller's
-  // environment cannot relabel a row.
+  // CONVGEN_RANK_STRATEGY / CONVGEN_NO_SHARED_SORT / CONVGEN_SORT_STRATEGY
+  // in the caller's environment cannot relabel a row. The huge-dims leg
+  // pins auto sort: a 2^31 extent cannot pack into 64 bits, so auto is the
+  // merge sort there by construction.
   const Variant Variants[] = {
       {"shared",
-       {{"CONVGEN_NO_SHARED_SORT", "0"}, {"CONVGEN_RANK_STRATEGY", "sorted"}}},
+       {{"CONVGEN_NO_SHARED_SORT", "0"},
+        {"CONVGEN_RANK_STRATEGY", "sorted"},
+        {"CONVGEN_SORT_STRATEGY", "auto"}}},
       {"perlevel",
-       {{"CONVGEN_NO_SHARED_SORT", "1"}, {"CONVGEN_RANK_STRATEGY", "sorted"}}},
+       {{"CONVGEN_NO_SHARED_SORT", "1"},
+        {"CONVGEN_RANK_STRATEGY", "sorted"},
+        {"CONVGEN_SORT_STRATEGY", "auto"}}},
       {"hashed",
-       {{"CONVGEN_NO_SHARED_SORT", "0"}, {"CONVGEN_RANK_STRATEGY", "hashed"}}},
+       {{"CONVGEN_NO_SHARED_SORT", "0"},
+        {"CONVGEN_RANK_STRATEGY", "hashed"},
+        {"CONVGEN_SORT_STRATEGY", "auto"}}},
   };
 
   std::printf("%-26s %12s %12s %14s\n", "case", "median_ms", "min_ms",
@@ -146,27 +291,9 @@ int main() {
         tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], Nnz, 401);
     tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
     double MedianByVariant[3] = {0, 0, 0};
-    for (size_t V = 0; V < 3; ++V) {
-      ScopedVariant Env(Variants[V]);
-      codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
-      const jit::JitConversion &Fwd = jitConversion("coo3", "csf", Opts);
-      TimeStats S = timeJitStats(Fwd, In);
-      MedianByVariant[V] = S.MedianSeconds;
-      std::string Label =
-          strfmt("coo3_to_csf.%lldk.%s",
-                 static_cast<long long>(T.nnz() / 1000), Variants[V].Label);
-      double NsPerNnz = T.nnz() ? S.MedianSeconds * 1e9 /
-                                      static_cast<double>(T.nnz())
-                                : 0;
-      std::printf("%-26s %12.3f %12.3f %14.1f\n", Label.c_str(),
-                  S.MedianSeconds * 1e3, S.MinSeconds * 1e3, NsPerNnz);
-      Report.add(strfmt("{\"label\": \"%s\", \"variant\": \"%s\", "
-                        "\"nnz\": %lld, \"median_seconds\": %.6g, "
-                        "\"min_seconds\": %.6g, \"ns_per_nnz\": %.1f}",
-                        Label.c_str(), Variants[V].Label,
-                        static_cast<long long>(T.nnz()), S.MedianSeconds,
-                        S.MinSeconds, NsPerNnz));
-    }
+    for (size_t V = 0; V < 3; ++V)
+      MedianByVariant[V] = runVariantRow(Variants[V], Dims, In, T.nnz(),
+                                         "coo3_to_csf", Report);
     double Speedup = MedianByVariant[0] > 0
                          ? MedianByVariant[1] / MedianByVariant[0]
                          : 0;
@@ -188,6 +315,41 @@ int main() {
   Report.meta("shared_vs_perlevel_speedup_full",
               strfmt("%.3f", SharedVsPerLevel));
 
+  // Radix-vs-merge leg at the packable dims: identical plan except for the
+  // SortTuples lowering, so the phase breakdown localizes the difference
+  // to the sort slot.
+  const Variant SortVariants[] = {
+      {"merge",
+       {{"CONVGEN_NO_SHARED_SORT", "0"},
+        {"CONVGEN_RANK_STRATEGY", "sorted"},
+        {"CONVGEN_SORT_STRATEGY", "merge"}}},
+      {"radix",
+       {{"CONVGEN_NO_SHARED_SORT", "0"},
+        {"CONVGEN_RANK_STRATEGY", "sorted"},
+        {"CONVGEN_SORT_STRATEGY", "radix"}}},
+  };
+  std::printf("\npacked-key sort strategy at (2^24, 2^20, 2^20):\n");
+  double RadixVsMerge = 0;
+  for (int64_t Nnz : {FullNnz / 4, FullNnz / 2, FullNnz}) {
+    tensor::Triplets T = tensor::genHyperSparse3(
+        PackedDims[0], PackedDims[1], PackedDims[2], Nnz, 401);
+    tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
+    double Speedup =
+        runPairedRows(SortVariants[0], SortVariants[1], PackedDims, In,
+                      T.nnz(), "coo3_to_csf_packed", Report);
+    std::printf("  %-24s %.2fx (median of paired per-rep ratios)\n",
+                "radix-vs-merge speedup:", Speedup);
+    Report.add(strfmt("{\"label\": \"coo3_to_csf_packed.%lldk.speedups\", "
+                      "\"nnz\": %lld, "
+                      "\"radix_vs_merge_speedup\": %.3f, "
+                      "\"method\": \"median_of_paired_rep_ratios\"}",
+                      static_cast<long long>(T.nnz() / 1000),
+                      static_cast<long long>(T.nnz()), Speedup));
+    if (Nnz == FullNnz)
+      RadixVsMerge = Speedup;
+  }
+  Report.meta("radix_vs_merge_speedup_full", strfmt("%.3f", RadixVsMerge));
+
   // Round-trip leg: csf back to coo3 at the full point (needs no sorted
   // levels — the coo3 target has no dense ranking structures — so it also
   // documents that huge dims alone do not force the strategy).
@@ -198,7 +360,7 @@ int main() {
     codegen::Options Back = codegen::optionsForDims(Csf, Coo3, {}, Dims);
     const jit::JitConversion &Rev = jitConversion("csf", "coo3", Back);
     TimeStats S = timeJitStats(Rev, InCsf);
-    std::printf("%-26s %12.3f %12.3f %14.1f\n", "csf_to_coo3",
+    std::printf("\n%-26s %12.3f %12.3f %14.1f\n", "csf_to_coo3",
                 S.MedianSeconds * 1e3, S.MinSeconds * 1e3,
                 T.nnz() ? S.MedianSeconds * 1e9 /
                               static_cast<double>(T.nnz())

@@ -54,8 +54,9 @@ struct ThreadPoint {
   double Phases[jit::kNumPhases] = {};
 };
 
-const char *const kPhaseNames[jit::kNumPhases] = {"analysis", "edge_insert",
-                                                  "insertion", "finalize"};
+const char *const kPhaseNames[jit::kNumPhases] = {
+    "analysis", "edge_insert", "insertion", "finalize",
+    "collect",  "sort",        "pos",       "crd"};
 
 } // namespace
 

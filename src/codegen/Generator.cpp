@@ -703,6 +703,36 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
     }
   }
 
+  // Packed-key sort lowering: when every destination extent is known and
+  // the full-order coordinate tuple packs into one 64-bit key (sum of
+  // per-dim ceil(log2(extent)) widths <= 64), every grouping prefix fits
+  // too, so all sorted levels can radix-sort packed keys instead of
+  // merge-sorting tuples. Packability is a property of the extents; the
+  // CONVGEN_SORT_STRATEGY knob only vetoes it (merge) or requests it
+  // (radix/auto) — it cannot make unpackable keys fit. The sorted output
+  // is the identical pure function of the input either way.
+  if (Plan.anySorted() && sortStrategyKnob() != SortStrategy::Merge) {
+    std::vector<int64_t> Widths;
+    int64_t TotalBits = 0;
+    bool Fits = !Ext.empty();
+    for (int64_t E : Ext) {
+      if (E < 1) {
+        Fits = false;
+        break;
+      }
+      int64_t W = 0;
+      while (W < 33 && (int64_t(1) << W) < E)
+        ++W;
+      Fits = Fits && W <= 32;
+      Widths.push_back(W);
+      TotalBits += W;
+    }
+    if (Fits && TotalBits <= 64) {
+      Plan.PackedSort = true;
+      Plan.PackWidths = std::move(Widths);
+    }
+  }
+
   // The sequenced workspace survives only where neither ranked nor sorted
   // replaced it; note when its prefix spans non-dense source levels, whose
   // order is data-dependent (csc -> coo legally yields column-major coo)
@@ -931,6 +961,15 @@ Conversion Generator::run() {
     }
     return P;
   };
+  Ctx.PackWidths = Plan.PackWidths;
+  // A sorted level whose parent is itself sorted and groups exactly one
+  // dim fewer can derive parent positions by prefix ranking (flag + scan
+  // over its own sorted list) instead of per-block-end binary searches.
+  Ctx.PrefixRankParent.assign(Levels.size() + 1, false);
+  for (size_t K = 2; K <= Levels.size(); ++K)
+    Ctx.PrefixRankParent[K] =
+        Plan.Sorted[K - 1] && Plan.Sorted[K - 2] &&
+        Dst.Levels[K - 1].Dim == Dst.Levels[K - 2].Dim + 1;
 
   // Insertion strategy for cursor-based compressed levels: decided before
   // any emission because emitPos/emitFinalize specialize on it.
@@ -1128,6 +1167,18 @@ RankStrategy codegen::rankStrategyKnob() {
   if (V == "hashed")
     return RankStrategy::Hashed;
   return RankStrategy::Auto;
+}
+
+SortStrategy codegen::sortStrategyKnob() {
+  const char *Env = std::getenv("CONVGEN_SORT_STRATEGY");
+  if (!Env)
+    return SortStrategy::Auto;
+  std::string V = Env;
+  if (V == "merge")
+    return SortStrategy::Merge;
+  if (V == "radix")
+    return SortStrategy::Radix;
+  return SortStrategy::Auto;
 }
 
 AssemblyPlan codegen::planAssembly(const formats::Format &Source,

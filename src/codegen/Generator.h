@@ -83,6 +83,16 @@ struct AssemblyPlan {
   /// independently (fewer than two sorted levels, non-nested grouping
   /// tuples, or CONVGEN_NO_SHARED_SORT=1).
   int SharedSortAnchor = 0;
+  /// Sorted levels lower their tuple sorts through the packed-key radix
+  /// sort: every destination extent is known, the full-order coordinate
+  /// tuple packs into one uint64_t (sum of per-dim ceil(log2(extent))
+  /// widths <= 64), and sortStrategyKnob() allows it (auto = radix
+  /// whenever the keys fit). The sorted output is the identical pure
+  /// function of the input either way, so results never depend on the bit.
+  bool PackedSort = false;
+  /// PackedSort only: the per-destination-dim bit widths (dimension
+  /// order); empty otherwise.
+  std::vector<int64_t> PackWidths;
   /// Leading source levels whose lexicographic order the sequenced dedup
   /// workspace trusts but the source format cannot guarantee structurally;
   /// the converter validates them at run time. 0 when no check is needed.
@@ -130,6 +140,21 @@ enum class RankStrategy : uint8_t { Auto, Sorted, Hashed };
 /// every call. The knob participates in plan keys and JIT compile flags so
 /// flipping it can never hit a stale cached plan or shared object.
 RankStrategy rankStrategyKnob();
+
+/// How sorted-ranking levels lower their tuple sorts. Auto packs the
+/// coordinates into one 64-bit key and radix-sorts whenever the dims hint
+/// proves they fit (ceil(log2(extent)) bits per dim, total <= 64); Merge
+/// forces the comparison merge sort everywhere; Radix asks for the packed
+/// sort but still falls back to merge when the keys do not fit or no hint
+/// exists — packability is a property of the extents, not a preference.
+enum class SortStrategy : uint8_t { Auto, Merge, Radix };
+
+/// The CONVGEN_SORT_STRATEGY environment knob ("auto" | "merge" | "radix";
+/// anything else, including unset, reads as auto). Re-read on every call.
+/// Participates in plan keys (via the re-derived PackedSort bit) and JIT
+/// compile flags so flipping it can never hit a stale cached plan or
+/// shared object.
+SortStrategy sortStrategyKnob();
 
 /// Returns \p Opts with DimsHint populated iff these dims change the
 /// pair's assembly plan (a sorted level or a size-grounds rejection);

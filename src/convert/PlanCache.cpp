@@ -9,6 +9,7 @@
 #include "support/Assert.h"
 #include "support/DegradationLog.h"
 #include "support/Fault.h"
+#include "support/Hash.h"
 #include "support/StringUtils.h"
 
 #include <atomic>
@@ -213,12 +214,8 @@ void convert::evictCachedObject(const std::string &SoPath,
 }
 
 std::string convert::contentHash(const std::string &Data) {
-  uint64_t Hash = 1469598103934665603ull; // FNV offset basis.
-  for (unsigned char C : Data) {
-    Hash ^= C;
-    Hash *= 1099511628211ull; // FNV prime.
-  }
-  return strfmt("%016llx", static_cast<unsigned long long>(Hash));
+  return strfmt("%016llx",
+                static_cast<unsigned long long>(support::fnv1a(Data)));
 }
 
 std::string convert::formatFingerprint(const formats::Format &F) {
@@ -249,8 +246,8 @@ std::string convert::planKey(const formats::Format &Source,
   // rather than the raw dims: every huge-dims tensor that lands on the
   // same strategy shares one plan and one JIT object. The bits are
   // re-derived from the *current* environment on every lookup, so flipping
-  // CONVGEN_RANK_STRATEGY / CONVGEN_NO_SHARED_SORT /
-  // CONVGEN_RANK_DENSE_MAX_BYTES can never hit a stale cached plan.
+  // CONVGEN_RANK_STRATEGY / CONVGEN_SORT_STRATEGY / CONVGEN_NO_SHARED_SORT
+  // / CONVGEN_RANK_DENSE_MAX_BYTES can never hit a stale cached plan.
   // optionsForDims() keeps the hint empty whenever the dims do not affect
   // the plan, so ordinary tensors share the default entry per pair.
   if (!Opts.DimsHint.empty()) {
@@ -262,6 +259,14 @@ std::string convert::planKey(const formats::Format &Source,
                             : (Plan.Ranked[K] ? 'r' : '0');
     if (Plan.SharedSortAnchor > 0)
       Key += ":g" + std::to_string(Plan.SharedSortAnchor);
+    // The packed-sort bit alone is not enough: the per-dim bit widths are
+    // baked into the emitted pack/unpack code, so dims with different
+    // widths must not share an entry.
+    if (Plan.PackedSort) {
+      Key += ":p";
+      for (int64_t W : Plan.PackWidths)
+        Key += "." + std::to_string(W);
+    }
     if (!Plan.Unsupported.empty()) {
       // Unsupported-at-these-dims plans abort in codegen; keep their keys
       // distinct per dims so the diagnostic mentions the right sizes.
@@ -283,12 +288,7 @@ PlanCache &PlanCache::instance() {
 }
 
 PlanCache::Shard &PlanCache::shardFor(const std::string &Key) const {
-  uint64_t Hash = 1469598103934665603ull; // FNV-1a, as contentHash.
-  for (unsigned char C : Key) {
-    Hash ^= C;
-    Hash *= 1099511628211ull;
-  }
-  return Shards[Hash % kNumShards];
+  return Shards[support::fnv1a(Key) % kNumShards];
 }
 
 std::string PlanCache::diskCacheDir() {

@@ -273,6 +273,24 @@ Expr ir::lowerBound(const std::string &Buffer, Expr Count,
   return E;
 }
 
+Expr ir::lowerBoundPacked(const std::string &Buffer, Expr Count,
+                          std::vector<Expr> Keys,
+                          std::vector<int64_t> PackWidths) {
+  if (PackWidths.size() != Keys.size())
+    fatalError("lowerBoundPacked requires one bit width per key component");
+  int64_t TotalBits = 0;
+  for (int64_t W : PackWidths) {
+    if (W < 0 || W > 32)
+      fatalError("lowerBoundPacked widths are int32 coordinate widths");
+    TotalBits += W;
+  }
+  if (TotalBits > 64)
+    fatalError("lowerBoundPacked requires the tuple to fit 64 bits");
+  Expr E = lowerBound(Buffer, std::move(Count), std::move(Keys));
+  const_cast<ExprNode &>(*E).PackWidths = std::move(PackWidths);
+  return E;
+}
+
 Expr ir::select(Expr Cond, Expr IfTrue, Expr IfFalse) {
   int64_t C = 0;
   if (isIntConst(Cond, &C))
@@ -437,6 +455,40 @@ Stmt ir::sortTuples(const std::string &Buffer, Expr Count, int64_t Arity) {
   return S;
 }
 
+Stmt ir::sortTuplesPacked(const std::string &Buffer, Expr Count,
+                          int64_t Arity, std::vector<int64_t> PackWidths) {
+  // Hard errors even in release builds: a bad width vector would silently
+  // mis-sort (keys aliasing or truncating coordinates).
+  if (static_cast<int64_t>(PackWidths.size()) != Arity)
+    fatalError("sortTuplesPacked requires one bit width per component");
+  int64_t TotalBits = 0;
+  for (int64_t W : PackWidths) {
+    if (W < 0 || W > 32)
+      fatalError("sortTuplesPacked widths are int32 coordinate widths");
+    TotalBits += W;
+  }
+  if (TotalBits > 64)
+    fatalError("sortTuplesPacked requires the tuple to fit 64 bits");
+  Stmt S = sortTuples(Buffer, std::move(Count), Arity);
+  const_cast<StmtNode &>(*S).PackWidths = std::move(PackWidths);
+  return S;
+}
+
+Stmt ir::sortUniqueTuplesPacked(const std::string &Buffer, Expr Count,
+                                int64_t Arity,
+                                std::vector<int64_t> PackWidths,
+                                const std::string &CountVar,
+                                const std::string &RankBuffer) {
+  if (CountVar.empty())
+    fatalError("sortUniqueTuplesPacked requires a result name");
+  Stmt S =
+      sortTuplesPacked(Buffer, std::move(Count), Arity, std::move(PackWidths));
+  StmtNode &N = const_cast<StmtNode &>(*S);
+  N.Slot = CountVar;
+  N.Buffer2 = RankBuffer;
+  return S;
+}
+
 Stmt ir::uniqueTuples(const std::string &Buffer, Expr Count, int64_t Arity,
                       const std::string &CountVar) {
   CONVGEN_ASSERT(Count != nullptr, "uniqueTuples requires a tuple count");
@@ -586,13 +638,23 @@ std::string ir::printExpr(const Expr &E) {
     // count (1 without OpenMP); the interpreter evaluates it to 1.
     return "cvg_nparts()";
   case ExprKind::LowerBound: {
-    // The C prelude defines cvg_lower_bound; the key tuple is passed as a
-    // C99 compound literal so the call stays a plain expression. The same
-    // spelling doubles as the readable view.
+    // The C prelude defines cvg_lower_bound (and the packed-key variant);
+    // the key tuple is passed as a C99 compound literal so the call stays
+    // a plain expression. The same spelling doubles as the readable view.
     std::vector<std::string> Keys;
     Keys.reserve(E->Args.size());
     for (const Expr &K : E->Args)
       Keys.push_back(printExpr(K));
+    if (!E->PackWidths.empty()) {
+      std::vector<std::string> Widths;
+      Widths.reserve(E->PackWidths.size());
+      for (int64_t W : E->PackWidths)
+        Widths.push_back(std::to_string(W));
+      return "cvg_lower_bound_packed(" + E->Name + ", " + printExpr(E->A) +
+             ", " + std::to_string(E->Args.size()) + ", (const int64_t[]){" +
+             join(Widths, ",") + "}, (const int64_t[]){" + join(Keys, ", ") +
+             "})";
+    }
     return "cvg_lower_bound(" + E->Name + ", " + printExpr(E->A) + ", " +
            std::to_string(E->Args.size()) + ", (const int64_t[]){" +
            join(Keys, ", ") + "})";
@@ -821,6 +883,46 @@ static void printStmtInto(const Stmt &S, int Indent, std::string &Out,
     }
     return;
   case StmtKind::SortTuples:
+    if (!S->PackWidths.empty()) {
+      // Packed lowering: the per-component widths travel as a compound
+      // literal (like cvg_lower_bound keys); the readable view shows them
+      // as a bits= annotation.
+      std::string Widths;
+      for (int64_t W : S->PackWidths) {
+        if (!Widths.empty())
+          Widths += ",";
+        Widths += std::to_string(W);
+      }
+      // A non-empty Slot is the fused form: dedup the sorted packed keys
+      // and declare the unique count (the dedup argument toggles the
+      // compaction; the return value is n when it is off). A non-empty
+      // Buffer2 additionally scatters per-slot ranks into that buffer.
+      if (CMode) {
+        std::string Decl =
+            S->Slot.empty() ? "" : strfmt("int64_t %s = ", S->Slot.c_str());
+        Out += Pad + strfmt("%scvg_radix_sort_packed(%s, %s, %lld, "
+                            "(const int64_t[]){%s}, %d, %s);\n",
+                            Decl.c_str(), S->Name.c_str(),
+                            printExpr(S->A).c_str(),
+                            static_cast<long long>(S->Arity), Widths.c_str(),
+                            S->Slot.empty() ? 0 : 1,
+                            S->Buffer2.empty() ? "NULL" : S->Buffer2.c_str());
+      } else if (S->Slot.empty()) {
+        Out += Pad + strfmt("sort_tuples_packed(%s, %s, %lld, bits=[%s]);\n",
+                            S->Name.c_str(), printExpr(S->A).c_str(),
+                            static_cast<long long>(S->Arity), Widths.c_str());
+      } else {
+        std::string Rank =
+            S->Buffer2.empty() ? "" : strfmt(", rank=%s", S->Buffer2.c_str());
+        Out += Pad + strfmt("int64_t %s = sort_unique_tuples_packed(%s, %s, "
+                            "%lld, bits=[%s]%s);\n",
+                            S->Slot.c_str(), S->Name.c_str(),
+                            printExpr(S->A).c_str(),
+                            static_cast<long long>(S->Arity), Widths.c_str(),
+                            Rank.c_str());
+      }
+      return;
+    }
     if (CMode) {
       Out += Pad + strfmt("cvg_sort_tuples(%s, %s, %lld);\n", S->Name.c_str(),
                           printExpr(S->A).c_str(),

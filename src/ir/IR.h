@@ -94,6 +94,12 @@ struct ExprNode {
   /// LowerBound only: the key tuple's component expressions (the arity of
   /// the searched tuples is Args.size()).
   std::vector<Expr> Args;
+  /// LowerBound only; when non-empty, the searched tuples pack into a
+  /// single uint64_t key (component d occupies PackWidths[d] bits,
+  /// component 0 most significant) and the C lowering compares packed
+  /// keys instead of looping cvg_tuple_cmp — same lexicographic result,
+  /// set via lowerBoundPacked. Empty means the generic tuple compare.
+  std::vector<int64_t> PackWidths;
   BinOp BOp = BinOp::Add;
   UnOp UOp = UnOp::Neg;
 };
@@ -148,6 +154,18 @@ bool isIntConst(const Expr &E, int64_t *Value = nullptr);
 /// the interpreter runs a binary search, the C emitter lowers to the
 /// prelude helper cvg_lower_bound.
 Expr lowerBound(const std::string &Buffer, Expr Count, std::vector<Expr> Keys);
+
+/// lowerBound with the packed-key compare: \p PackWidths gives the bit
+/// width of each tuple component (one per key, each in [0, 32], total at
+/// most 64 — the same planner-proven fit as sortTuplesPacked), so the C
+/// lowering packs the key tuple and each probed tuple into single
+/// uint64_t values and compares those. Unsigned packed order equals
+/// lexicographic tuple order whenever every stored coordinate fits its
+/// width, so the result is identical to lowerBound — the interpreter
+/// evaluates both with the same tuple-wise binary search.
+Expr lowerBoundPacked(const std::string &Buffer, Expr Count,
+                      std::vector<Expr> Keys,
+                      std::vector<int64_t> PackWidths);
 
 //===----------------------------------------------------------------------===//
 // Statements
@@ -209,6 +227,13 @@ struct StmtNode {
   ScanKind Scan = ScanKind::Inclusive; ///< Scan only.
   int64_t Phase = 0;                   ///< PhaseMark only: phase index.
   int64_t Arity = 1; ///< Tuple ops only: ints per (source) tuple.
+  /// SortTuples only: when non-empty, one bit width per tuple component
+  /// (size() == Arity) selecting the packed-key radix lowering — each tuple
+  /// packs into a single uint64_t key (component d occupies PackWidths[d]
+  /// bits, component 0 most significant, so key order == lexicographic
+  /// tuple order). The factory asserts the widths sum to <= 64. Empty
+  /// selects the comparison merge sort.
+  std::vector<int64_t> PackWidths;
   /// UniquePrefix/HashDistinct only: the destination buffer.
   std::string Buffer2;
   /// UniquePrefix only: ints per destination tuple (the prefix length).
@@ -271,6 +296,41 @@ Stmt scan(const std::string &Buffer, Expr Length,
 /// O(nnz)-memory replacement for dense rank arrays in sorted-ranking
 /// assembly (huge-dimension hyper-sparse tensors).
 Stmt sortTuples(const std::string &Buffer, Expr Count, int64_t Arity);
+
+/// sortTuples with the packed-key radix lowering: \p PackWidths gives the
+/// bit width of each tuple component (one per component, summing to at most
+/// 64), and every stored coordinate must satisfy 0 <= c < 2^width. The C
+/// emitter lowers to cvg_radix_sort_packed — pack each tuple into one
+/// uint64_t key (component 0 most significant), LSD radix sort with 8-bit
+/// digits (per-partition histograms + a serial digit-offset scan), unpack.
+/// The sorted sequence is the same pure function of the input multiset as
+/// the merge lowering (packed-key order == lexicographic tuple order), so
+/// the serial interpreter stays the bit-exact oracle by construction and
+/// any thread count produces identical buffers. Callers fall back to
+/// sortTuples when extents are unknown or the widths do not fit.
+/// sortTuplesPacked fused with the adjacent-duplicate compaction of
+/// uniqueTuples: sorts, drops duplicate tuples, and declares \p CountVar
+/// (int64) with the unique count — exactly the result of sortTuplesPacked
+/// followed by uniqueTuples, but the C lowering deduplicates the packed
+/// uint64 keys BEFORE unpacking (one compare per adjacent pair instead of
+/// a tuple-compare compaction pass over the unpacked buffer). Equal
+/// packed keys and equal tuples are the same predicate under the width
+/// contract, so the fusion is semantics-preserving by construction.
+///
+/// A non-empty \p RankBuffer names a pre-allocated int32 buffer of
+/// \p Count slots that the sort additionally fills with each slot's rank:
+/// RankBuffer[i] = index of the (pre-sort) tuple at slot i in the deduped
+/// sorted list — exactly what lowerBound over the result returns for that
+/// tuple, precomputed for every slot. The C lowering carries the slot
+/// index as a payload through the radix scatters (no searches); consumers
+/// can then resolve a stored nonzero's position with one load.
+Stmt sortUniqueTuplesPacked(const std::string &Buffer, Expr Count,
+                            int64_t Arity, std::vector<int64_t> PackWidths,
+                            const std::string &CountVar,
+                            const std::string &RankBuffer = "");
+
+Stmt sortTuplesPacked(const std::string &Buffer, Expr Count, int64_t Arity,
+                      std::vector<int64_t> PackWidths);
 
 /// Compacts adjacent duplicate tuples of the (sorted) \p Buffer in place
 /// and declares the int64 variable \p CountVar holding the number of

@@ -451,6 +451,42 @@ void ExecState::exec(const Stmt &S) {
                 Ints.begin() + (Order[static_cast<size_t>(I)] + 1) * R,
                 Sorted.begin() + I * R);
     std::copy(Sorted.begin(), Sorted.end(), Buf.Ints.begin());
+    if (!S->Slot.empty() && !S->Buffer2.empty()) {
+      // Rank scatter: slot i's rank in the deduped list is the number of
+      // distinct tuples at or before its sorted position, minus one.
+      // Equal tuples share a rank, so the tie order inside Order is
+      // irrelevant — same pure function of the multiset as the C payload.
+      RuntimeBuffer &Rank = buffer(S->Buffer2);
+      if (Rank.Elem != ScalarKind::Int || Rank.size() < N)
+        fail("sort_unique_tuples_packed rank buffer '" + S->Buffer2 +
+             "' missing or too small");
+      int64_t U = 0;
+      for (int64_t I = 0; I < N; ++I) {
+        if (I == 0 || !std::equal(Buf.Ints.begin() + I * R,
+                                  Buf.Ints.begin() + (I + 1) * R,
+                                  Buf.Ints.begin() + (I - 1) * R))
+          ++U;
+        Rank.Ints[static_cast<size_t>(Order[static_cast<size_t>(I)])] =
+            static_cast<int32_t>(U - 1);
+      }
+    }
+    if (!S->Slot.empty()) {
+      // Fused form (sortUniqueTuplesPacked): compact adjacent duplicates
+      // and bind the unique count — byte-identical to running the
+      // UniqueTuples compaction below on the sorted buffer.
+      int64_t U = 0;
+      for (int64_t I = 0; I < N; ++I) {
+        if (U > 0 && std::equal(Buf.Ints.begin() + I * R,
+                                Buf.Ints.begin() + (I + 1) * R,
+                                Buf.Ints.begin() + (U - 1) * R))
+          continue;
+        if (U != I)
+          std::copy(Buf.Ints.begin() + I * R, Buf.Ints.begin() + (I + 1) * R,
+                    Buf.Ints.begin() + U * R);
+        ++U;
+      }
+      Env[S->Slot] = Value::makeInt(U);
+    }
     return;
   }
   case StmtKind::UniqueTuples: {

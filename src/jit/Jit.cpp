@@ -329,6 +329,16 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
     if (*Env && std::string(Env) != "0")
       Flags += " -DCONVGEN_NO_SHARED_SORT=1";
   }
+  switch (codegen::sortStrategyKnob()) {
+  case codegen::SortStrategy::Auto:
+    break;
+  case codegen::SortStrategy::Merge:
+    Flags += " -DCONVGEN_SORT_STRATEGY_MERGE=1";
+    break;
+  case codegen::SortStrategy::Radix:
+    Flags += " -DCONVGEN_SORT_STRATEGY_RADIX=1";
+    break;
+  }
   if (!ExtraFlags.empty())
     Flags += " " + ExtraFlags;
   return Flags;

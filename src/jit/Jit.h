@@ -79,8 +79,12 @@ struct CTensor {
 /// Phase slots of the `<fn>_phase_seconds` array generated routines
 /// export: analysis (attribute queries + remap materialization), edge
 /// insertion / initialization, coordinate insertion (including blocked
-/// cursor counting), and finalize/yield.
-constexpr int kNumPhases = 4;
+/// cursor counting), and finalize/yield. Slots 4-7 are the sorted-ranking
+/// sub-phases carved out of edge insertion — tuple collect, sort + unique
+/// list construction, pos build, crd/perm write — and stay zero in
+/// routines without sorted levels (whose slot 1 then covers the whole
+/// phase, as before).
+constexpr int kNumPhases = 8;
 
 /// True if a working C compiler is available. Probed once per distinct
 /// CONVGEN_CC value (so tests can point CONVGEN_CC at a nonexistent binary

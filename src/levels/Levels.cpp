@@ -282,6 +282,16 @@ public:
     ir::Expr RImm = ir::intImm(R);
     std::string Srt = Ctx.srtName(K);
     std::string U = Ctx.uniqueVar(K);
+    // Packed radix lowering when the planner derived component widths for
+    // every grouping dim (any prefix of a 64-bit-packable full tuple fits).
+    auto sortCall = [&](const std::string &Buf, ir::Expr Count) {
+      if (static_cast<int64_t>(Ctx.PackWidths.size()) >= R)
+        return ir::sortTuplesPacked(
+            Buf, std::move(Count), R,
+            std::vector<int64_t>(Ctx.PackWidths.begin(),
+                                 Ctx.PackWidths.begin() + R));
+      return ir::sortTuples(Buf, std::move(Count), R);
+    };
     std::string Collect =
         Hashed ? "B" + std::to_string(K) + "_tup" : Srt;
     Out.add(ir::comment(
@@ -301,16 +311,39 @@ public:
                             Coords[static_cast<size_t>(D)]));
           return B.build();
         }));
+    // Sub-phase clocks (slots 4/5 of <fn>_phase_seconds): sort-vs-assembly
+    // time stays visible in the bench trajectory without re-instrumenting.
+    Out.add(ir::phaseMark(4, "tuple collect"));
     if (Hashed) {
       Out.add(ir::alloc(Srt, ir::ScalarKind::Int,
                         ir::mul(Ctx.StoredSize, RImm), false));
       Out.add(ir::hashDistinct(Collect, Ctx.StoredSize, R, Srt, U));
       Out.add(ir::freeBuffer(Collect));
-      Out.add(ir::sortTuples(Srt, ir::var(U), R));
+      Out.add(sortCall(Srt, ir::var(U)));
+    } else if (static_cast<int64_t>(Ctx.PackWidths.size()) >= R) {
+      // Fused form: dedup runs on the sorted packed keys before they are
+      // unpacked, skipping a tuple-compare pass over 3x the bytes. When
+      // this list covers the full coordinate order, the sort also carries
+      // each stored nonzero's slot as a payload and scatters its rank —
+      // the destination position insertion would otherwise binary-search
+      // for, one search per nonzero (the dominant insertion cost).
+      std::string Rank;
+      if (R == static_cast<int64_t>(Ctx.Bounds.size())) {
+        Rank = "B" + std::to_string(K) + "_rank";
+        Out.add(ir::alloc(Rank, ir::ScalarKind::Int, Ctx.StoredSize, false));
+        Ctx.RankBuffer = Rank;
+        Ctx.RankLevel = K;
+      }
+      Out.add(ir::sortUniqueTuplesPacked(
+          Srt, Ctx.StoredSize, R,
+          std::vector<int64_t>(Ctx.PackWidths.begin(),
+                               Ctx.PackWidths.begin() + R),
+          U, Rank));
     } else {
-      Out.add(ir::sortTuples(Srt, Ctx.StoredSize, R));
+      Out.add(sortCall(Srt, Ctx.StoredSize));
       Out.add(ir::uniqueTuples(Srt, Ctx.StoredSize, R, U));
     }
+    Out.add(ir::phaseMark(5, "list sort"));
   }
 
   void emitSharedListBuild(AsmCtx &Ctx,
@@ -365,6 +398,7 @@ public:
       Out.add(ir::uniquePrefix(Ctx.srtName(Ctx.SharedSortAnchor),
                                ir::var(Ctx.uniqueVar(Ctx.SharedSortAnchor)),
                                Ctx.SharedSortArity, Srt, R, U));
+      Out.add(ir::phaseMark(5, "list sort"));
     } else {
       emitListBuild(Ctx, Out);
     }
@@ -378,6 +412,47 @@ public:
     };
     Out.add(ir::alloc(Pos, ir::ScalarKind::Int,
                       ir::add(ParentSize, ir::intImm(1)), true));
+    // Whether the parent position of every block end is derivable from the
+    // list itself: the parent is a sorted level grouping exactly dims
+    // 0..Dim-1, so its positions are the ranks of the distinct prefixes of
+    // this (sorted) list — computable by prefix-change flags plus one
+    // additive scan, with zero searches in construction. Set by the
+    // generator; false falls back to the pure ParentPos fold (dense
+    // arithmetic / ranked loads — no searches there either).
+    bool PrefixRank = Spec.Dim > 0 &&
+                      static_cast<size_t>(K) < Ctx.PrefixRankParent.size() &&
+                      Ctx.PrefixRankParent[static_cast<size_t>(K)];
+    std::string Flg = "B" + std::to_string(K) + "_pfx";
+    if (PrefixRank) {
+      // flg[u] = 1 iff tuple u starts a new parent block (u == 0 or its
+      // dims 0..Dim-1 prefix differs from tuple u-1's). After an inclusive
+      // additive scan, flg[u] - 1 is tuple u's parent position: the rank
+      // of its prefix among the distinct prefixes seen so far, which is
+      // exactly the sorted parent's position for that prefix. Disjoint
+      // per-u writes, so the fill parallelizes; the scan is the blocked
+      // deterministic lowering.
+      std::string UV = "g" + std::to_string(K);
+      Out.add(ir::alloc(Flg, ir::ScalarKind::Int, ir::var(U), false));
+      ir::Expr PrevDiffers;
+      for (int D = 0; D < Spec.Dim; ++D) {
+        auto At = [&](ir::Expr Index) {
+          return ir::load(Srt,
+                          ir::add(ir::mul(Index, RImm), ir::intImm(D)));
+        };
+        ir::Expr Ne = ir::ne(At(ir::var(UV)),
+                             At(ir::sub(ir::var(UV), ir::intImm(1))));
+        PrevDiffers = PrevDiffers ? ir::logicalOr(PrevDiffers, Ne) : Ne;
+      }
+      Out.add(ir::markLoopParallel(ir::forRange(
+          UV, ir::intImm(0), ir::var(U),
+          ir::ifThen(ir::eq(ir::var(UV), ir::intImm(0)),
+                     ir::store(Flg, ir::var(UV), ir::intImm(1)),
+                     ir::store(Flg, ir::var(UV),
+                               ir::select(PrevDiffers, ir::intImm(1),
+                                          ir::intImm(0)))))));
+      Out.add(ir::scan(Flg, ir::var(U), ir::ScanKind::Inclusive,
+                       ir::ReduceOp::Add));
+    }
     {
       std::string UV = "u" + std::to_string(K);
       std::string PV = "up" + std::to_string(K);
@@ -386,11 +461,14 @@ public:
       // adjacent sorted tuples share a parent iff their parent-coordinate
       // prefixes (dims 0..Dim-1) are equal — ancestor positions are pure
       // functions of those coordinates — so the block-end test is a few
-      // loads, and the (binary-search) parent position is computed only
-      // for the one tuple per block that actually stores.
+      // loads, and the parent position is computed only for the one tuple
+      // per block that actually stores: the scanned prefix-change rank
+      // when available (search-free), otherwise the pure ParentPos fold.
       ir::BlockBuilder MarkEndB;
-      MarkEndB.add(
-          ir::decl(PV, Ctx.ParentPos(K, tupleCoords(ir::var(UV)))));
+      MarkEndB.add(ir::decl(
+          PV, PrefixRank
+                  ? ir::sub(ir::load(Flg, ir::var(UV)), ir::intImm(1))
+                  : Ctx.ParentPos(K, tupleCoords(ir::var(UV)))));
       MarkEndB.add(ir::store(Pos, ir::add(ir::var(PV), ir::intImm(1)),
                              ir::add(ir::var(UV), ir::intImm(1))));
       ir::Stmt MarkEnd = MarkEndB.build();
@@ -411,11 +489,14 @@ public:
       Out.add(ir::markLoopParallel(
           ir::forRange(UV, ir::intImm(0), ir::var(U), Body.build())));
     }
+    if (PrefixRank)
+      Out.add(ir::freeBuffer(Flg));
     // Parents with no tuples inherit the previous block's end, pos[0]
     // stays 0: an inclusive prefix max over non-negative end markers,
     // lowered to the blocked parallel scan.
     Out.add(ir::scan(Pos, ir::add(ParentSize, ir::intImm(1)),
                      ir::ScanKind::Inclusive, ir::ReduceOp::Max));
+    Out.add(ir::phaseMark(6, "pos build"));
     Out.add(ir::alloc(Ctx.crdName(K), ir::ScalarKind::Int,
                       ir::load(Pos, ParentSize), false));
     {
@@ -426,6 +507,7 @@ public:
                     ir::load(Srt, ir::add(ir::mul(ir::var(UV), RImm),
                                           ir::intImm(Spec.Dim)))))));
     }
+    Out.add(ir::phaseMark(7, "crd write"));
   }
 
   ir::Expr pureChildPos(AsmCtx &Ctx, ir::Expr ParentPos,
@@ -437,6 +519,14 @@ public:
       std::vector<ir::Expr> Keys;
       for (int D = 0; D <= Spec.Dim; ++D)
         Keys.push_back(Coords[static_cast<size_t>(D)]);
+      // The planner's packed-fit proof covers every prefix of the packed
+      // tuple, so a packed plan searches with single-uint64 key compares
+      // instead of the tuple-compare loop (same index by construction).
+      size_t R = static_cast<size_t>(Spec.Dim) + 1;
+      if (Ctx.PackWidths.size() >= R)
+        return ir::lowerBoundPacked(
+            Ctx.srtName(K), ir::var(Ctx.uniqueVar(K)), Keys,
+            {Ctx.PackWidths.begin(), Ctx.PackWidths.begin() + R});
       return ir::lowerBound(Ctx.srtName(K), ir::var(Ctx.uniqueVar(K)), Keys);
     }
     if (Ranked) {
@@ -454,6 +544,12 @@ public:
     std::string Pos = Ctx.posName(K);
     std::string PVar = "pB" + std::to_string(K);
     if (Sorted) {
+      // The list build precomputed this nonzero's rank per source slot
+      // (see AsmCtx::RankBuffer): one load replaces the binary search.
+      if (Ctx.RankLevel == K && !Ctx.RankBuffer.empty()) {
+        Out.add(ir::decl(PVar, ir::load(Ctx.RankBuffer, Env.SrcPos)));
+        return ir::var(PVar);
+      }
       Out.add(ir::decl(PVar, pureChildPos(Ctx, Env.ParentPos, Env.DstCoords)));
       return ir::var(PVar);
     }
@@ -537,6 +633,8 @@ public:
       // under shared sort too (the anchor's IS the shared buffer).
       (void)ParentSize;
       Out.add(ir::freeBuffer(Ctx.srtName(K)));
+      if (Ctx.RankLevel == K && !Ctx.RankBuffer.empty())
+        Out.add(ir::freeBuffer(Ctx.RankBuffer));
       return;
     }
     if (Ranked) {

@@ -148,6 +148,33 @@ struct AsmCtx {
   /// Arity of the anchor's tuples (anchor grouping dims 0..Arity-1).
   int64_t SharedSortArity = 0;
 
+  /// Packed-key radix sort (set by the generator when the plan records
+  /// PackedSort): bit width per destination dimension, in dimension order.
+  /// Non-empty only when every extent is known and the full-order tuple
+  /// packs into 64 bits, so any grouping prefix fits too; sorted levels
+  /// then lower their sorts through ir::sortTuplesPacked. Empty keeps the
+  /// comparison merge sort.
+  std::vector<int64_t> PackWidths;
+
+  /// 1-based levels whose parent position, inside the sorted pos build,
+  /// equals the rank of the tuple's dims 0..Dim-1 prefix among the
+  /// distinct prefixes of the level's own sorted unique list — true when
+  /// the parent is itself a sorted level grouping exactly those dims (the
+  /// CSF chain case). emitSortedInit then derives every block end's parent
+  /// position from prefix-change flags plus one additive scan instead of
+  /// per-block-end binary searches. Index 0 unused.
+  std::vector<bool> PrefixRankParent;
+
+  /// Rank-scatter insertion (packed plans, full-order sorted list only):
+  /// name of an nnz-sized int32 buffer mapping every stored source
+  /// position to its tuple's rank in level RankLevel's sorted unique
+  /// list, filled by the fused packed sort carrying the source slot as a
+  /// payload. Coordinate insertion then resolves the deepest position
+  /// with one load per nonzero instead of a binary search over the list.
+  /// Empty when unavailable (unpacked, hashed, or partial-arity list).
+  std::string RankBuffer;
+  int RankLevel = 0;
+
   /// Use unsequenced edge insertion (calloc + scatter + prefix sum) even
   /// where sequenced insertion is available; exercised by tests/ablations.
   bool ForceUnseqEdges = false;

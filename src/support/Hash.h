@@ -1,0 +1,39 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a hashing, shared by the plan cache's content checksums and shard
+/// router. One definition keeps the constants (and thus on-disk manifest
+/// compatibility) in a single place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CONVGEN_SUPPORT_HASH_H
+#define CONVGEN_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace convgen {
+namespace support {
+
+/// 64-bit FNV-1a over \p Data. Stable across platforms and processes; used
+/// both for disk-cache manifests (rendered via fnv1aHex) and for in-memory
+/// shard selection, so do not change the constants without migrating every
+/// persisted manifest.
+inline uint64_t fnv1a(std::string_view Data) {
+  uint64_t Hash = 1469598103934665603ull; // FNV offset basis.
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 1099511628211ull; // FNV prime.
+  }
+  return Hash;
+}
+
+} // namespace support
+} // namespace convgen
+
+#endif // CONVGEN_SUPPORT_HASH_H

@@ -184,6 +184,20 @@ void runFuzzCase(uint64_t CaseSeed, FuzzStats &Stats,
     break;
   }
 
+  // Sort-strategy randomization, orthogonal to the rank profile: huge
+  // order-3 dims with a narrow second mode pack into 64 bits, so "radix"
+  // (and auto under the tiny-budget profiles) exercises the packed sort
+  // differentially against the interpreter's comparison sort; "merge"
+  // pins the comparison path even where keys fit.
+  const char *SortStrategy = "ambient";
+  if (!Concurrent) {
+    static const char *Strategies[] = {"auto", "merge", "radix"};
+    SortStrategy = Strategies[Pick(3)];
+    Knobs.push_back(
+        std::make_unique<ScopedEnv>("CONVGEN_SORT_STRATEGY", SortStrategy));
+  }
+  SCOPED_TRACE(strfmt("CONVGEN_SORT_STRATEGY=%s", SortStrategy));
+
   if (FuzzFaults && !Concurrent) {
     static const char *Sites[] = {"compile",    "dlopen",      "dlsym",
                                   "cache-read", "cache-write", "alloc-probe"};

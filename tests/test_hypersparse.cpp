@@ -38,6 +38,14 @@ std::vector<int64_t> hugeDims() {
   return {int64_t(1) << 31, int64_t(1) << 20, int64_t(1) << 20};
 }
 
+/// Dims whose coordinate tuple packs into exactly 64 bits (24 + 20 + 20)
+/// while level 1's dense rank structures (5 * 2^24 bytes) still exceed the
+/// default budget: the sorted strategy engages AND the packed radix sort
+/// applies. hugeDims() is the complement — sorted but unpackable (71 bits).
+std::vector<int64_t> packedDims() {
+  return {int64_t(1) << 24, int64_t(1) << 20, int64_t(1) << 20};
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -188,11 +196,20 @@ TEST(SortedRankingPlan, SingleSortedLevelNeedsNoSharing) {
   codegen::Options Opts;
   Opts.DimsHint = {100, 100};
   codegen::Conversion Conv = codegen::generateConversion(Coo, Csr, Opts);
-  EXPECT_NE(Conv.cSource().find("cvg_sort_tuples(B2_srt"),
+  // At {100,100} the coordinate tuple packs into 14 bits, so auto lowers
+  // the level's sort to the packed radix variant.
+  EXPECT_NE(Conv.cSource().find("cvg_radix_sort_packed(B2_srt"),
             std::string::npos);
   // No prefix derivation anywhere (the prelude always defines the helper;
   // only call sites reference a B<k>_srt buffer).
   EXPECT_EQ(Conv.cSource().find("cvg_unique_prefix(B"), std::string::npos);
+  // Forcing merge restores the comparison sort at the same dims.
+  ScopedEnv Merge("CONVGEN_SORT_STRATEGY", "merge");
+  codegen::Conversion MConv = codegen::generateConversion(Coo, Csr, Opts);
+  EXPECT_NE(MConv.cSource().find("cvg_sort_tuples(B2_srt"),
+            std::string::npos);
+  EXPECT_EQ(MConv.cSource().find("cvg_radix_sort_packed("),
+            std::string::npos);
 }
 
 TEST(SortedRankingPlan, NoSharedSortKnobForcesPerLevelSorts) {
@@ -230,6 +247,198 @@ TEST(SortedRankingPlan, OptionsForDimsSetsTheHintOnlyWhenThePlanChanges) {
   EXPECT_TRUE(Small.DimsHint.empty());
   codegen::Options Huge = codegen::optionsForDims(Coo3, Csf, {}, hugeDims());
   EXPECT_EQ(Huge.DimsHint, hugeDims());
+}
+
+//===----------------------------------------------------------------------===//
+// Packed-key radix sort: plan bits, strategy knob, generated-code census
+//===----------------------------------------------------------------------===//
+
+TEST(PackedSortPlan, PackedBitTracksKeyWidthAndKnob) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  // 24 + 20 + 20 = 64 bits: fits exactly.
+  codegen::AssemblyPlan Fits = codegen::planAssembly(Coo3, Csf, packedDims());
+  ASSERT_TRUE(Fits.Unsupported.empty()) << Fits.Unsupported;
+  EXPECT_TRUE(Fits.anySorted());
+  EXPECT_TRUE(Fits.PackedSort);
+  EXPECT_EQ(Fits.PackWidths, (std::vector<int64_t>{24, 20, 20}));
+  // 31 + 20 + 20 = 71 bits: the tuple cannot pack, whatever the knob says.
+  codegen::AssemblyPlan Wide = codegen::planAssembly(Coo3, Csf, hugeDims());
+  EXPECT_FALSE(Wide.PackedSort);
+  EXPECT_TRUE(Wide.PackWidths.empty());
+  {
+    ScopedEnv Radix("CONVGEN_SORT_STRATEGY", "radix");
+    EXPECT_FALSE(codegen::planAssembly(Coo3, Csf, hugeDims()).PackedSort);
+  }
+  // merge vetoes packing even where the keys fit.
+  {
+    ScopedEnv Merge("CONVGEN_SORT_STRATEGY", "merge");
+    EXPECT_FALSE(codegen::planAssembly(Coo3, Csf, packedDims()).PackedSort);
+  }
+  // No dims hint: extents unknown, nothing to pack.
+  EXPECT_FALSE(codegen::planAssembly(Coo3, Csf).PackedSort);
+}
+
+TEST(PackedSortPlan, PlanKeyCarriesThePackedBitAndWidths) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts;
+  Opts.DimsHint = packedDims();
+  std::string Auto = convert::planKey(Coo3, Csf, Opts);
+  EXPECT_NE(Auto.find(":p.24.20.20"), std::string::npos) << Auto;
+  // Flipping the knob must change the key — a merge-forced lookup can
+  // never hit the radix plan, and dims with different widths never alias.
+  ScopedEnv Merge("CONVGEN_SORT_STRATEGY", "merge");
+  std::string Forced = convert::planKey(Coo3, Csf, Opts);
+  EXPECT_EQ(Forced.find(":p"), std::string::npos) << Forced;
+  EXPECT_NE(Auto, Forced);
+}
+
+TEST(PackedSortCodegen, SharedSortLowersToOnePackedRadixCall) {
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  codegen::Options Opts;
+  Opts.DimsHint = packedDims();
+  codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+  std::string Code = Conv.cSource();
+  auto count = [&](const char *Needle) {
+    size_t Hits = 0;
+    for (size_t At = Code.find(Needle); At != std::string::npos;
+         At = Code.find(Needle, At + 1))
+      ++Hits;
+    return Hits;
+  };
+  // One shared full-arity sort, lowered to the packed radix variant; the
+  // comparison merge sort is not called anywhere.
+  EXPECT_EQ(count("cvg_radix_sort_packed(B3_srt"), 1u) << Code;
+  EXPECT_EQ(count("cvg_sort_tuples(B"), 0u) << Code;
+  // The readable view names the (fused) lowering and the per-dim widths.
+  EXPECT_NE(Conv.pretty().find("sort_unique_tuples_packed"),
+            std::string::npos);
+  EXPECT_NE(Conv.pretty().find("bits=[24,20,20]"), std::string::npos);
+}
+
+TEST(PackedSortCodegen, SortedChainPosBuildEmitsZeroSearches) {
+  // The acceptance pin for the search-free construction: in the csf chain
+  // every level's parent is the sorted level one dim narrower, so parent
+  // positions come from prefix-change flags + an additive scan. On the
+  // unpacked plan the ONLY surviving binary search is the insertion-time
+  // deepest rank over B3_srt, once per nonzero; the packed plan
+  // precomputes even that via the sort's rank payload, leaving ZERO
+  // searches anywhere in the routine.
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  for (const std::vector<int64_t> &Dims : {packedDims(), hugeDims()}) {
+    bool Packed = Dims == packedDims();
+    codegen::Options Opts;
+    Opts.DimsHint = Dims;
+    codegen::Conversion Conv = codegen::generateConversion(Coo3, Csf, Opts);
+    std::string Code = Conv.cSource();
+    auto count = [&](const char *Needle) {
+      size_t Hits = 0;
+      for (size_t At = Code.find(Needle); At != std::string::npos;
+           At = Code.find(Needle, At + 1))
+        ++Hits;
+      return Hits;
+    };
+    EXPECT_EQ(count("cvg_lower_bound(B1_srt"), 0u) << Code;
+    EXPECT_EQ(count("cvg_lower_bound(B2_srt"), 0u) << Code;
+    EXPECT_EQ(count("cvg_lower_bound_packed(B1_srt"), 0u) << Code;
+    EXPECT_EQ(count("cvg_lower_bound_packed(B2_srt"), 0u) << Code;
+    // The unpacked huge-dims plan keeps one tuple-compare search for the
+    // insertion-time deepest rank; the packed plan reads the rank array
+    // the fused sort scattered and searches nowhere at all.
+    EXPECT_EQ(count("cvg_lower_bound_packed(B3_srt"), 0u) << Code;
+    EXPECT_EQ(count("cvg_lower_bound(B3_srt"), Packed ? 0u : 1u) << Code;
+    EXPECT_EQ(count("B3_rank[pA1]"), Packed ? 1u : 0u) << Code;
+    // The flag + scan machinery is present for both derived levels.
+    EXPECT_EQ(count("inclusive scan of B2_pfx"), 1u) << Code;
+    EXPECT_EQ(count("inclusive scan of B3_pfx"), 1u) << Code;
+  }
+}
+
+TEST(PackedSortJit, RadixPathBitIdenticalAtOneAndFourThreads) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  ScopedEnv Radix("CONVGEN_SORT_STRATEGY", "radix");
+  formats::Format Coo3 = formats::standardFormatOrDie("coo3");
+  formats::Format Csf = formats::standardFormatOrDie("csf");
+  std::vector<int64_t> Dims = packedDims();
+  tensor::Triplets T =
+      tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], 20000, 177);
+  tensor::SparseTensor In = tensor::buildFromTriplets(Coo3, T);
+
+  convert::Converter Interp(Coo3, Csf);
+  tensor::SparseTensor Reference = Interp.run(In);
+
+  codegen::Options Opts = codegen::optionsForDims(Coo3, Csf, {}, Dims);
+  ASSERT_EQ(Opts.DimsHint, Dims);
+  auto Native = convert::PlanCache::instance().jit(Coo3, Csf, Opts);
+  ASSERT_NE(Native->conversion().cSource().find("cvg_radix_sort_packed"),
+            std::string::npos);
+  for (int Threads : {1, 4}) {
+    setenv("OMP_NUM_THREADS", std::to_string(Threads).c_str(), 1);
+#ifdef _OPENMP
+    omp_set_num_threads(Threads);
+#endif
+    tensor::SparseTensor FromJit = Native->run(In);
+    ASSERT_EQ(Reference.Levels.size(), FromJit.Levels.size());
+    for (size_t K = 0; K < Reference.Levels.size(); ++K) {
+      EXPECT_EQ(Reference.Levels[K].Pos, FromJit.Levels[K].Pos)
+          << "level " << K << " with " << Threads << " threads";
+      EXPECT_EQ(Reference.Levels[K].Crd, FromJit.Levels[K].Crd)
+          << "level " << K << " with " << Threads << " threads";
+    }
+    EXPECT_EQ(Reference.Vals, FromJit.Vals) << Threads << " threads";
+  }
+  unsetenv("OMP_NUM_THREADS");
+#ifdef _OPENMP
+  omp_set_num_threads(omp_get_num_procs());
+#endif
+}
+
+TEST(PackedSortConversions, RadixAndMergeAgreeOnTheHugeCorpusAllPairs) {
+  // Differential: the same conversions, radix-forced vs merge-forced, must
+  // produce identical tensors (the sorted output is a pure function of the
+  // input multiset either way). packedDims tensors exercise the packed
+  // path through the interpreter-vs-oracle equality as well.
+  const char *Names[] = {"coo3", "csf", "csf_102", "csf_021"};
+  std::vector<int64_t> Dims = packedDims();
+  tensor::Triplets T =
+      tensor::genHyperSparse3(Dims[0], Dims[1], Dims[2], 5000, 23);
+  for (const char *SrcName : Names) {
+    for (const char *DstName : Names) {
+      formats::Format Src = formats::standardFormatOrDie(SrcName);
+      formats::Format Dst = formats::standardFormatOrDie(DstName);
+      tensor::SparseTensor In = tensor::buildFromTriplets(Src, T);
+      tensor::SparseTensor FromRadix, FromMerge;
+      {
+        ScopedEnv Force("CONVGEN_SORT_STRATEGY", "radix");
+        convert::Converter Conv(Src, Dst);
+        FromRadix = Conv.run(In);
+        FromRadix.validate();
+      }
+      {
+        ScopedEnv Force("CONVGEN_SORT_STRATEGY", "merge");
+        convert::Converter Conv(Src, Dst);
+        FromMerge = Conv.run(In);
+        FromMerge.validate();
+      }
+      ASSERT_EQ(FromRadix.Levels.size(), FromMerge.Levels.size());
+      for (size_t K = 0; K < FromRadix.Levels.size(); ++K) {
+        EXPECT_EQ(FromRadix.Levels[K].Pos, FromMerge.Levels[K].Pos)
+            << SrcName << " -> " << DstName << " level " << K;
+        EXPECT_EQ(FromRadix.Levels[K].Crd, FromMerge.Levels[K].Crd)
+            << SrcName << " -> " << DstName << " level " << K;
+      }
+      EXPECT_EQ(FromRadix.Vals, FromMerge.Vals)
+          << SrcName << " -> " << DstName;
+      tensor::SparseTensor Want = tensor::buildFromTriplets(Dst, T);
+      EXPECT_TRUE(tensor::equal(tensor::toTriplets(FromRadix),
+                                tensor::toTriplets(Want)))
+          << SrcName << " -> " << DstName;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

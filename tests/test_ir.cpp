@@ -569,6 +569,257 @@ TEST(IrInterpDeath, SortTuplesRangeOutOfBoundsAborts) {
 }
 
 //===----------------------------------------------------------------------===//
+// Packed-key radix sort: sortTuplesPacked
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sorts \p Data as \p N tuples through the packed lowering and returns
+/// the buffer. The interpreter executes packed sorts through the same
+/// lexicographic index sort as the unpacked form — identical semantics by
+/// construction — so this exercises the factory + the oracle the emitted
+/// radix code is pinned against elsewhere.
+std::vector<int32_t> runPackedSort(std::vector<int32_t> Data, int64_t N,
+                                   int64_t Arity,
+                                   std::vector<int64_t> Widths) {
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(N * Arity), false));
+  B.add(forRange("i", intImm(0), intImm(N * Arity),
+                 store("buf", var("i"), load("in", var("i")))));
+  B.add(sortTuplesPacked("buf", intImm(N), Arity, std::move(Widths)));
+  B.add(yieldBuffer("B1_crd", "buf", intImm(N * Arity)));
+  Function F{"dopacked", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("in", std::move(Data));
+  return Interp.run(F).Buffers["B1_crd"].Ints;
+}
+
+} // namespace
+
+TEST(IrPackedSort, InterpreterSortsLexicographically) {
+  EXPECT_EQ(runPackedSort({2, 1, 0, 5, 2, 1, 0, 3, 2, 0}, 5, 2, {2, 3}),
+            (std::vector<int32_t>{0, 3, 0, 5, 2, 0, 2, 1, 2, 1}));
+}
+
+TEST(IrPackedSort, EmptyAndSingletonAreNoOps) {
+  EXPECT_TRUE(runPackedSort({}, 0, 3, {10, 10, 10}).empty());
+  EXPECT_EQ(runPackedSort({7, 8, 9}, 1, 3, {4, 4, 4}),
+            (std::vector<int32_t>{7, 8, 9}));
+}
+
+TEST(IrPackedSort, MaxWidthKeysRoundTrip) {
+  // Two 32-bit components fill the key exactly; INT32_MAX coordinates
+  // must survive the pack/sort/unpack round trip.
+  const int32_t M = 2147483647;
+  EXPECT_EQ(runPackedSort({M, 0, 0, M, M, M, 0, 0}, 4, 2, {32, 32}),
+            (std::vector<int32_t>{0, 0, 0, M, M, 0, M, M}));
+}
+
+TEST(IrPackedSort, DuplicateHeavyInputMatchesTheUnpackedSort) {
+  // 64 tuples drawn from an 8-value space: heavy duplication. The packed
+  // sort must agree with the plain comparison sort on the whole multiset.
+  std::vector<int32_t> Data;
+  uint32_t S = 12345;
+  for (int I = 0; I < 128; ++I) {
+    S = S * 1664525u + 1013904223u;
+    Data.push_back(static_cast<int32_t>((S >> 16) & 3));
+  }
+  std::vector<int32_t> FromPacked = runPackedSort(Data, 64, 2, {2, 2});
+  BlockBuilder B;
+  B.add(alloc("buf", ScalarKind::Int, intImm(128), false));
+  B.add(forRange("i", intImm(0), intImm(128),
+                 store("buf", var("i"), load("in", var("i")))));
+  B.add(sortTuples("buf", intImm(64), 2));
+  B.add(yieldBuffer("B1_crd", "buf", intImm(128)));
+  Function F{"doplain", {{"in", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("in", Data);
+  EXPECT_EQ(FromPacked, Interp.run(F).Buffers["B1_crd"].Ints);
+}
+
+TEST(IrPackedSort, FusedSortUniqueMatchesSortThenUnique) {
+  // sortUniqueTuplesPacked == sortTuplesPacked + uniqueTuples: same
+  // compacted prefix, same unique count.
+  std::vector<int32_t> Data;
+  uint32_t S = 999;
+  for (int I = 0; I < 96; ++I) {
+    S = S * 1664525u + 1013904223u;
+    Data.push_back(static_cast<int32_t>((S >> 16) & 3));
+  }
+  auto run = [&](bool Fused) {
+    BlockBuilder B;
+    B.add(alloc("buf", ScalarKind::Int, intImm(96), false));
+    B.add(forRange("i", intImm(0), intImm(96),
+                   store("buf", var("i"), load("in", var("i")))));
+    if (Fused) {
+      B.add(alloc("rnk", ScalarKind::Int, intImm(48), false));
+      B.add(sortUniqueTuplesPacked("buf", intImm(48), 2, {2, 2}, "u", "rnk"));
+      B.add(yieldBuffer("B2_crd", "rnk", intImm(48)));
+    } else {
+      B.add(sortTuplesPacked("buf", intImm(48), 2, {2, 2}));
+      B.add(uniqueTuples("buf", intImm(48), 2, "u"));
+    }
+    B.add(yieldScalar("unique", var("u")));
+    B.add(yieldBuffer("B1_crd", "buf", mul(var("u"), intImm(2))));
+    Function F{"dofused", {{"in", ScalarKind::Int, true}}, B.build()};
+    Interpreter Interp;
+    Interp.bindIntBuffer("in", Data);
+    return Interp.run(F);
+  };
+  RunResult Fused = run(true), Split = run(false);
+  EXPECT_EQ(Fused.Scalars["unique"], Split.Scalars["unique"]);
+  EXPECT_EQ(Fused.Buffers["B1_crd"].Ints, Split.Buffers["B1_crd"].Ints);
+  // Every slot's scattered rank is what a binary search for its tuple in
+  // the deduped list returns.
+  const std::vector<int32_t> &Uniq = Split.Buffers["B1_crd"].Ints;
+  const std::vector<int32_t> &Rank = Fused.Buffers["B2_crd"].Ints;
+  ASSERT_EQ(Rank.size(), 48u);
+  for (size_t I = 0; I < 48; ++I) {
+    int32_t A = Data[I * 2], B2 = Data[I * 2 + 1];
+    int64_t Lo = 0;
+    while (Lo * 2 < static_cast<int64_t>(Uniq.size()) &&
+           (Uniq[Lo * 2] < A || (Uniq[Lo * 2] == A && Uniq[Lo * 2 + 1] < B2)))
+      ++Lo;
+    EXPECT_EQ(Rank[I], Lo) << "slot " << I;
+  }
+}
+
+TEST(IrPackedSort, PrintingInBothViews) {
+  Stmt Sort = sortTuplesPacked("B3_srt", var("n"), 3, {24, 20, 20});
+  EXPECT_EQ(printStmt(Sort),
+            "sort_tuples_packed(B3_srt, n, 3, bits=[24,20,20]);\n");
+  EXPECT_EQ(printStmtAsC(Sort),
+            "cvg_radix_sort_packed(B3_srt, n, 3, "
+            "(const int64_t[]){24,20,20}, 0, NULL);\n");
+  // The fused sort+dedup form declares the unique count and sets the
+  // dedup flag in C.
+  Stmt Fused = sortUniqueTuplesPacked("B3_srt", var("n"), 3, {24, 20, 20}, "u3");
+  EXPECT_EQ(printStmt(Fused),
+            "int64_t u3 = sort_unique_tuples_packed(B3_srt, n, 3, "
+            "bits=[24,20,20]);\n");
+  EXPECT_EQ(printStmtAsC(Fused),
+            "int64_t u3 = cvg_radix_sort_packed(B3_srt, n, 3, "
+            "(const int64_t[]){24,20,20}, 1, NULL);\n");
+  // With a rank buffer the payload variant is named in both views.
+  Stmt Ranked = sortUniqueTuplesPacked("B3_srt", var("n"), 3, {24, 20, 20},
+                                       "u3", "B3_rank");
+  EXPECT_EQ(printStmt(Ranked),
+            "int64_t u3 = sort_unique_tuples_packed(B3_srt, n, 3, "
+            "bits=[24,20,20], rank=B3_rank);\n");
+  EXPECT_EQ(printStmtAsC(Ranked),
+            "int64_t u3 = cvg_radix_sort_packed(B3_srt, n, 3, "
+            "(const int64_t[]){24,20,20}, 1, B3_rank);\n");
+}
+
+TEST(IrPackedSort, PreludeHelperIsEmittedOnlyWhenUsed) {
+  BlockBuilder With;
+  With.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  With.add(sortTuplesPacked("b", intImm(2), 2, {8, 8}));
+  Function FWith{"f", {{"dim0", ScalarKind::Int, false}}, With.build()};
+  EXPECT_NE(emitC(FWith).find("static int64_t cvg_radix_sort_packed"),
+            std::string::npos);
+  // The unpacked merge-sort helper is NOT dragged in by a packed sort.
+  EXPECT_EQ(emitC(FWith).find("static void cvg_sort_tuples"),
+            std::string::npos);
+  BlockBuilder Without;
+  Without.add(alloc("b", ScalarKind::Int, intImm(4), false));
+  Without.add(sortTuples("b", intImm(2), 2));
+  Function FWithout{"f", {{"dim0", ScalarKind::Int, false}},
+                    Without.build()};
+  EXPECT_EQ(emitC(FWithout).find("cvg_radix_sort_packed"),
+            std::string::npos);
+}
+
+TEST(IrPackedSortDeath, MismatchedWidthsAbort) {
+  EXPECT_DEATH(sortTuplesPacked("b", intImm(2), 3, {8, 8}),
+               "one bit width per component");
+  EXPECT_DEATH(sortTuplesPacked("b", intImm(2), 2, {40, 40}),
+               "int32 coordinate widths");
+  EXPECT_DEATH(sortTuplesPacked("b", intImm(2), 3, {32, 32, 32}),
+               "fit 64 bits");
+}
+
+namespace {
+
+/// Evaluates one lowerBound (packed when \p Widths is non-empty) against a
+/// bound sorted tuple buffer and returns the rank.
+int64_t runSearch(std::vector<int32_t> Srt, int64_t N,
+                  const std::vector<int64_t> &Key,
+                  std::vector<int64_t> Widths) {
+  std::vector<Expr> Keys;
+  for (int64_t K : Key)
+    Keys.push_back(intImm(K));
+  Expr Rank = Widths.empty()
+                  ? lowerBound("srt", intImm(N), std::move(Keys))
+                  : lowerBoundPacked("srt", intImm(N), std::move(Keys),
+                                     std::move(Widths));
+  BlockBuilder B;
+  B.add(decl("r", Rank));
+  B.add(yieldScalar("B1_param", var("r")));
+  Function F{"dosearch", {{"srt", ScalarKind::Int, true}}, B.build()};
+  Interpreter Interp;
+  Interp.bindIntBuffer("srt", std::move(Srt));
+  return Interp.run(F).Scalars["B1_param"];
+}
+
+} // namespace
+
+TEST(IrPackedSearch, InterpreterMatchesTheUnpackedSearch) {
+  // The packed form is a pure lowering choice: the interpreter evaluates
+  // both with the same tuple-wise binary search, so every probe — hit,
+  // gap, before-front, past-end — ranks identically.
+  const std::vector<int32_t> Srt = {0, 1, 0, 5, 2, 0, 2, 3};
+  const std::vector<std::vector<int64_t>> Probes = {
+      {0, 0}, {0, 1}, {0, 5}, {1, 0}, {2, 0}, {2, 3}, {3, 7}};
+  const std::vector<int64_t> Expected = {0, 0, 1, 2, 2, 3, 4};
+  for (size_t I = 0; I < Probes.size(); ++I) {
+    EXPECT_EQ(runSearch(Srt, 4, Probes[I], {2, 3}), Expected[I]) << I;
+    EXPECT_EQ(runSearch(Srt, 4, Probes[I], {}), Expected[I]) << I;
+  }
+}
+
+TEST(IrPackedSearch, PrintingNamesThePackedHelper) {
+  Stmt S = decl("r", lowerBoundPacked("B3_srt", var("u3"),
+                                      {var("i"), var("j"), var("k")},
+                                      {24, 20, 20}));
+  EXPECT_NE(printStmtAsC(S).find(
+                "cvg_lower_bound_packed(B3_srt, u3, 3, "
+                "(const int64_t[]){24,20,20}, (const int64_t[]){i, j, k})"),
+            std::string::npos)
+      << printStmtAsC(S);
+}
+
+TEST(IrPackedSearch, PreludeHelperIsEmittedOnlyWhenUsed) {
+  auto bodyWith = [](std::vector<int64_t> Widths) {
+    BlockBuilder B;
+    std::vector<Expr> Keys = {intImm(1), intImm(2)};
+    Expr Rank = Widths.empty()
+                    ? lowerBound("b", intImm(0), std::move(Keys))
+                    : lowerBoundPacked("b", intImm(0), std::move(Keys),
+                                       std::move(Widths));
+    B.add(alloc("b", ScalarKind::Int, intImm(4), false));
+    B.add(decl("r", Rank));
+    return B.build();
+  };
+  Function FPacked{"f", {{"dim0", ScalarKind::Int, false}}, bodyWith({8, 8})};
+  EXPECT_NE(emitC(FPacked).find("static int64_t cvg_lower_bound_packed"),
+            std::string::npos);
+  Function FPlain{"f", {{"dim0", ScalarKind::Int, false}}, bodyWith({})};
+  EXPECT_EQ(emitC(FPlain).find("cvg_lower_bound_packed"), std::string::npos);
+}
+
+TEST(IrPackedSearchDeath, MismatchedWidthsAbort) {
+  std::vector<Expr> Keys = {intImm(0), intImm(0)};
+  EXPECT_DEATH(lowerBoundPacked("b", intImm(0), Keys, {8}),
+               "one bit width per key component");
+  EXPECT_DEATH(lowerBoundPacked("b", intImm(0), Keys, {40, 8}),
+               "int32 coordinate widths");
+  std::vector<Expr> Keys3 = {intImm(0), intImm(0), intImm(0)};
+  EXPECT_DEATH(lowerBoundPacked("b", intImm(0), Keys3, {32, 32, 32}),
+               "fit 64 bits");
+}
+
+//===----------------------------------------------------------------------===//
 // Shared-sort constructs: uniquePrefix / hashDistinct
 //===----------------------------------------------------------------------===//
 
