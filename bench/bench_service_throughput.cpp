@@ -10,6 +10,13 @@
 // queue, tiny deadlines) and reports the shed / deadline / coalesce
 // accounting — the observability surface the serving layer exports.
 //
+// A third section compares submitBatch against an equivalent convert()
+// loop over the same request stream (the grouping's saved cache traversal,
+// with the BatchStats breakout), and a fourth measures cold-boot vs
+// warm-boot time-to-first-conversion: a fresh cache directory and a cold
+// compile on one side, manifest export + eager preload standing in for a
+// process restart on the other.
+//
 // Usage: bench_service_throughput
 //   CONVGEN_BENCH_SCALE (default 0.2) scales the corpus matrices;
 //   CONVGEN_BENCH_REPS (default 5) repetitions per thread count.
@@ -18,11 +25,15 @@
 #include "Common.h"
 
 #include "convert/Converter.h"
+#include "convert/PlanCache.h"
+#include "jit/Jit.h"
 #include "service/ConversionService.h"
 #include "support/DegradationLog.h"
+#include "support/Fault.h"
 #include "tensor/Generators.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <thread>
 
 using namespace convgen;
@@ -221,6 +232,178 @@ int main() {
     // Only completed requests may carry bad bits; rejected ones return
     // Status errors, which the checker counts — expected under overload.
     (void)OverloadBad;
+  }
+
+  // Batched vs individual submission over one identical request stream.
+  // Handles are warm (the throughput section just hammered them), so the
+  // delta is pure serving overhead: per-request cache traversal and
+  // admission bookkeeping vs one handle acquisition per plan-key group.
+  {
+    ServiceLimits Limits;
+    Limits.MaxInflight = 2;
+    Limits.QueueDepth = 64;
+    ConversionService Service(Limits);
+    const int StreamLen = 8 * PerClient;
+    std::vector<const PoolItem *> Stream;
+    for (int I = 0; I < StreamLen; ++I)
+      Stream.push_back(&Pool[I % Pool.size()]);
+
+    std::atomic<uint64_t> BatchBad{0};
+    double IndividualRps = 0, BatchedRps = 0;
+    convert::BatchStats BS;
+    {
+      // Hold every result until the run ends, like submitBatch must:
+      // freeing each result before the next conversion lets the allocator
+      // recycle hot buffers, which mismeasures the loop as faster than
+      // any caller who actually keeps the batch's outputs.
+      TimeStats T = timeStats([&] {
+        std::vector<StatusOr<tensor::SparseTensor>> Held;
+        Held.reserve(Stream.size());
+        for (const PoolItem *P : Stream) {
+          ConversionRequest R;
+          R.Source = P->Src;
+          R.Target = P->Dst;
+          R.Input = P->In;
+          Held.push_back(Service.convert(R));
+          StatusOr<tensor::SparseTensor> &Out = Held.back();
+          if (!Out.ok() || !identical(P->Want, *Out))
+            BatchBad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      IndividualRps = T.MedianSeconds > 0 ? StreamLen / T.MedianSeconds : 0;
+    }
+    {
+      std::vector<ConversionRequest> Requests;
+      for (const PoolItem *P : Stream) {
+        ConversionRequest R;
+        R.Source = P->Src;
+        R.Target = P->Dst;
+        R.Input = P->In;
+        Requests.push_back(R);
+      }
+      TimeStats T = timeStats([&] {
+        BS = convert::BatchStats();
+        std::vector<StatusOr<tensor::SparseTensor>> Results =
+            Service.submitBatch(Requests, &BS);
+        for (size_t I = 0; I < Results.size(); ++I)
+          if (!Results[I].ok() || !identical(Stream[I]->Want, *Results[I]))
+            BatchBad.fetch_add(1, std::memory_order_relaxed);
+      });
+      BatchedRps = T.MedianSeconds > 0 ? StreamLen / T.MedianSeconds : 0;
+    }
+    if (BatchBad.load() != 0) {
+      std::fprintf(stderr, "%llu batch-section results diverged\n",
+                   static_cast<unsigned long long>(BatchBad.load()));
+      return 1;
+    }
+    double Ratio = IndividualRps > 0 ? BatchedRps / IndividualRps : 0;
+    std::printf("\nbatch (%d requests, %llu plan-key groups): individual "
+                "%.1f req/s, batched %.1f req/s (%.2fx), %llu handle "
+                "acquisition(s) for %llu requests\n",
+                StreamLen, static_cast<unsigned long long>(BS.Groups),
+                IndividualRps, BatchedRps, Ratio,
+                static_cast<unsigned long long>(BS.HandleAcquisitions),
+                static_cast<unsigned long long>(BS.Requests));
+    Report.add(strfmt("{\"section\": \"batch\", \"label\": \"individual\", "
+                      "\"clients\": 1, \"requests_per_second\": %.2f}",
+                      IndividualRps));
+    Report.add(strfmt(
+        "{\"section\": \"batch\", \"label\": \"batched\", \"clients\": 1, "
+        "\"requests_per_second\": %.2f, \"batched_vs_individual\": %.3f, "
+        "\"groups\": %llu, \"handle_acquisitions\": %llu, "
+        "\"requests\": %llu}",
+        BatchedRps, Ratio, static_cast<unsigned long long>(BS.Groups),
+        static_cast<unsigned long long>(BS.HandleAcquisitions),
+        static_cast<unsigned long long>(BS.Requests)));
+  }
+
+  // Cold boot vs warm boot: time-to-first-conversion with an empty cache
+  // directory (plan + external compile + dlopen) against a restart that
+  // preloads the exported manifest first (revalidate + dlopen, no
+  // compiler). Each rep gets a fresh cache directory; clearMemory() stands
+  // in for the process restart. Skipped when no compiler is available —
+  // a degraded cold boot would not measure a compile.
+  if (jit::jitAvailable() && !support::faultsConfigured()) {
+    convert::PlanCache &Cache = convert::PlanCache::instance();
+    std::vector<double> ColdSecs, WarmSecs, PreloadSecs;
+    for (int Rep = 0; Rep < benchReps(); ++Rep) {
+      char Template[] = "/tmp/convgen-boot-XXXXXX";
+      char *Dir = mkdtemp(Template);
+      if (!Dir)
+        break;
+      setenv("CONVGEN_CACHE_DIR", Dir, 1);
+      setenv("CONVGEN_DISABLE_DISK_CACHE", "0", 1);
+      Cache.clearMemory();
+
+      const PoolItem &First = Pool.front();
+      auto timeFirstConversion = [&]() -> double {
+        ConversionService Boot;
+        ConversionRequest R;
+        R.Source = First.Src;
+        R.Target = First.Dst;
+        R.Input = First.In;
+        auto Begin = std::chrono::steady_clock::now();
+        StatusOr<tensor::SparseTensor> Out = Boot.convert(R);
+        double Secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - Begin)
+                          .count();
+        return Out.ok() && identical(First.Want, *Out) ? Secs : -1;
+      };
+
+      double Cold = timeFirstConversion();
+      // Warm the full pool so the manifest describes a realistic server's
+      // working set, then "restart" and preload.
+      {
+        ConversionService Warm;
+        for (const PoolItem &P : Pool) {
+          ConversionRequest R;
+          R.Source = P.Src;
+          R.Target = P.Dst;
+          R.Input = P.In;
+          (void)Warm.convert(R);
+        }
+      }
+      (void)Cache.exportManifest();
+      Cache.clearMemory();
+      auto PreBegin = std::chrono::steady_clock::now();
+      convert::PreloadStats PS =
+          Cache.preload("", convert::PreloadMode::Eager);
+      double Pre = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - PreBegin)
+                       .count();
+      double Warm = timeFirstConversion();
+      if (Cold > 0 && Warm > 0 && PS.Loaded > 0 && PS.Evicted == 0) {
+        ColdSecs.push_back(Cold);
+        WarmSecs.push_back(Warm + Pre);
+        PreloadSecs.push_back(Pre);
+      }
+      std::string Cleanup = std::string("rm -rf ") + Dir;
+      (void)std::system(Cleanup.c_str());
+    }
+    if (!ColdSecs.empty()) {
+      std::sort(ColdSecs.begin(), ColdSecs.end());
+      std::sort(WarmSecs.begin(), WarmSecs.end());
+      std::sort(PreloadSecs.begin(), PreloadSecs.end());
+      double Cold = ColdSecs[ColdSecs.size() / 2];
+      double Warm = WarmSecs[WarmSecs.size() / 2];
+      double Pre = PreloadSecs[PreloadSecs.size() / 2];
+      std::printf("\nboot: cold first conversion %.3fs, warm (preload + "
+                  "first conversion) %.4fs (%.0fx faster; preload alone "
+                  "%.4fs)\n",
+                  Cold, Warm, Warm > 0 ? Cold / Warm : 0, Pre);
+      Report.add(strfmt("{\"section\": \"boot\", \"label\": \"cold_boot\", "
+                        "\"median_seconds\": %.6g}",
+                        Cold));
+      Report.add(strfmt("{\"section\": \"boot\", \"label\": \"warm_boot\", "
+                        "\"median_seconds\": %.6g, "
+                        "\"preload_seconds\": %.6g, "
+                        "\"cold_vs_warm\": %.3f}",
+                        Warm, Pre, Warm > 0 ? Cold / Warm : 0));
+    } else {
+      std::printf("\nboot: skipped (cold/warm reps did not all succeed)\n");
+    }
+  } else {
+    std::printf("\nboot: skipped (no JIT compiler available)\n");
   }
 
   Report.write();

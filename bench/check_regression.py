@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_*.json files against the
+checked-in baselines and fail on regressions beyond a tolerance.
+
+Usage:
+    python3 bench/check_regression.py --baseline-dir . --fresh-dir build \
+        [--tolerance 0.25]
+
+For every BENCH_*.json present in BOTH directories (matched by filename):
+
+  * Provenance gate. If the two files disagree on "host_threads",
+    "scale", or "reps", the file is SKIPPED with a notice — numbers
+    recorded on a different host shape or workload size are not
+    comparable (the checked-in baselines come from a 1-CPU container;
+    CI smoke runs use a smaller scale and real cores).
+
+  * Entry matching. Result entries pair up by their "label" field when
+    present, else by the ("section", "clients") pair. Entries present on
+    only one side are reported as notices, never failures (new sections
+    appear as benches grow).
+
+  * Regression test, tolerance t (default 0.25):
+      - "median_seconds"       regressed when fresh > baseline * (1 + t)
+      - "requests_per_second"  regressed when fresh < baseline * (1 - t)
+    Improvements never fail; tiny baselines (< 1 ms / < 1 req/s) are
+    ignored as noise-dominated.
+
+Exit status: 1 if any regression was found, 0 otherwise (including
+"nothing comparable").
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+PROVENANCE_KEYS = ("host_threads", "scale", "reps")
+# Below these, timer noise and scheduler jitter dominate the measurement.
+MIN_SECONDS = 1e-3
+MIN_RPS = 1.0
+
+
+def entry_key(entry):
+    if "label" in entry:
+        return ("label", entry.get("section", ""), entry["label"])
+    return ("pair", entry.get("section", ""), entry.get("clients", ""))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def compare_file(name, base, fresh, tolerance, notices, regressions):
+    for key in PROVENANCE_KEYS:
+        if base.get(key) != fresh.get(key):
+            notices.append(
+                f"{name}: skipped ({key} differs: baseline "
+                f"{base.get(key)!r} vs fresh {fresh.get(key)!r})"
+            )
+            return
+
+    base_entries = {entry_key(e): e for e in base.get("results", [])}
+    fresh_entries = {entry_key(e): e for e in fresh.get("results", [])}
+
+    for key, b in base_entries.items():
+        f = fresh_entries.get(key)
+        tag = f"{name}:{'/'.join(str(k) for k in key[1:])}"
+        if f is None:
+            notices.append(f"{tag}: entry missing from fresh run")
+            continue
+        if "median_seconds" in b and "median_seconds" in f:
+            bv, fv = b["median_seconds"], f["median_seconds"]
+            if bv >= MIN_SECONDS and fv > bv * (1 + tolerance):
+                regressions.append(
+                    f"{tag}: median_seconds {bv:.6g} -> {fv:.6g} "
+                    f"(+{(fv / bv - 1) * 100:.0f}%, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+        if "requests_per_second" in b and "requests_per_second" in f:
+            bv, fv = b["requests_per_second"], f["requests_per_second"]
+            if bv >= MIN_RPS and fv < bv * (1 - tolerance):
+                regressions.append(
+                    f"{tag}: requests_per_second {bv:.6g} -> {fv:.6g} "
+                    f"({(fv / bv - 1) * 100:.0f}%, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+    for key in fresh_entries:
+        if key not in base_entries:
+            tag = f"{name}:{'/'.join(str(k) for k in key[1:])}"
+            notices.append(f"{tag}: new entry with no baseline")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", required=True,
+                    help="directory with the checked-in BENCH_*.json")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory with the just-recorded BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slowdown (default 0.25)")
+    args = ap.parse_args()
+
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}")
+        return 0
+
+    notices, regressions, compared = [], [], 0
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            notices.append(f"{name}: no fresh recording; skipped")
+            continue
+        try:
+            base, fresh = load(base_path), load(fresh_path)
+        except (json.JSONDecodeError, OSError) as e:
+            regressions.append(f"{name}: unreadable ({e})")
+            continue
+        compared += 1
+        compare_file(name, base, fresh, args.tolerance, notices,
+                     regressions)
+
+    for n in notices:
+        print(f"note: {n}")
+    if regressions:
+        print(f"\n{len(regressions)} bench regression(s) beyond "
+              f"{args.tolerance * 100:.0f}% tolerance:")
+        for r in regressions:
+            print(f"  REGRESSION {r}")
+        return 1
+    print(f"\nbench regression gate: {compared} file(s) compared, "
+          f"no regressions beyond {args.tolerance * 100:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

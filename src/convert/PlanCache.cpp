@@ -6,6 +6,7 @@
 
 #include "convert/PlanCache.h"
 
+#include "formats/Standard.h"
 #include "support/Assert.h"
 #include "support/DegradationLog.h"
 #include "support/Fault.h"
@@ -22,7 +23,9 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/utsname.h>
+#include <thread>
 #include <unistd.h>
+#include <vector>
 
 namespace {
 
@@ -131,6 +134,93 @@ bool checksumMatches(const std::string &SoPath) {
   if (!readWholeFile(manifestPath(SoPath), &Want))
     return false;
   return convgen::trim(Want) == convgen::convert::contentHash(Bytes);
+}
+
+/// Warm-start manifest format version. Bumped whenever the line layout
+/// changes; a preloader seeing another version drops the whole file.
+const char kManifestHeader[] = "convgen-manifest-v1";
+
+/// Everything outside the plan that determines whether a cached object is
+/// loadable here: the full effective flag string (strategy knobs and
+/// CONVGEN_JIT_FLAGS baked in), the compiler identity, and the host ISA.
+/// A preloader whose hash differs from the manifest writer's is
+/// version-skewed and must evict, not serve.
+std::string environmentHash(const std::string &ExtraFlags) {
+  const char *Cc = std::getenv("CONVGEN_CC");
+  return convgen::convert::contentHash(
+      convgen::jit::jitEffectiveFlags(ExtraFlags) + "\n" +
+      (Cc ? Cc : "cc") + "\n" + hostIsaFingerprint());
+}
+
+std::vector<std::string> splitTabs(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::string::size_type Start = 0;
+  for (std::string::size_type Tab = Line.find('\t');
+       Tab != std::string::npos; Tab = Line.find('\t', Start)) {
+    Out.push_back(Line.substr(Start, Tab - Start));
+    Start = Tab + 1;
+  }
+  Out.push_back(Line.substr(Start));
+  return Out;
+}
+
+std::string serializeDims(const std::vector<int64_t> &Dims) {
+  if (Dims.empty())
+    return "-";
+  std::string Out;
+  for (int64_t D : Dims) {
+    if (!Out.empty())
+      Out += ",";
+    Out += std::to_string(D);
+  }
+  return Out;
+}
+
+bool parseDims(const std::string &Field, std::vector<int64_t> *Dims) {
+  Dims->clear();
+  if (Field == "-")
+    return true;
+  std::string Cur;
+  for (size_t I = 0; I <= Field.size(); ++I) {
+    if (I == Field.size() || Field[I] == ',') {
+      if (Cur.empty())
+        return false;
+      char *End = nullptr;
+      long long V = std::strtoll(Cur.c_str(), &End, 10);
+      if (!End || *End != '\0')
+        return false;
+      Dims->push_back(V);
+      Cur.clear();
+    } else {
+      Cur += Field[I];
+    }
+  }
+  return !Dims->empty();
+}
+
+/// "q1c1u0m0" <-> option bits.
+std::string serializeOptBits(const convgen::codegen::Options &Opts) {
+  return convgen::strfmt("q%dc%du%dm%d", Opts.OptimizeQueries ? 1 : 0,
+                         Opts.CounterReuse ? 1 : 0,
+                         Opts.ForceUnseqEdges ? 1 : 0,
+                         Opts.MaterializeRemap ? 1 : 0);
+}
+
+bool parseOptBits(const std::string &Field,
+                  convgen::codegen::Options *Opts) {
+  if (Field.size() != 8 || Field[0] != 'q' || Field[2] != 'c' ||
+      Field[4] != 'u' || Field[6] != 'm')
+    return false;
+  auto Bit = [](char C, bool *Out) {
+    if (C != '0' && C != '1')
+      return false;
+    *Out = C == '1';
+    return true;
+  };
+  return Bit(Field[1], &Opts->OptimizeQueries) &&
+         Bit(Field[3], &Opts->CounterReuse) &&
+         Bit(Field[5], &Opts->ForceUnseqEdges) &&
+         Bit(Field[7], &Opts->MaterializeRemap);
 }
 
 } // namespace
@@ -520,6 +610,13 @@ PlanCache::jitImpl(const formats::Format &Source,
   Stats.JitMisses.fetch_add(1, std::memory_order_relaxed);
   if (Compiled->loadedFromCache())
     Stats.DiskHits.fetch_add(1, std::memory_order_relaxed);
+  // A healthy native handle with a disk-cache slot is warm-start material:
+  // remember enough to describe it in an exported manifest. Degraded
+  // handles have no object to preload; deadline-degraded ones were not
+  // even cached.
+  if (!SoPath.empty() && !Compiled->degraded() &&
+      !Compiled->degradedByRequestDeadline())
+    registerManifestRecord(Key, Source, Target, Opts, ExtraFlags, SoPath);
   F->Promise.set_value(Compiled);
   return Compiled;
 }
@@ -544,4 +641,291 @@ void PlanCache::clearMemory() {
     // Flights stay: their leaders will publish into the cleared maps when
     // they land, and interrupting them would strand their waiters.
   }
+  // Manifest records go with the handles they describe, so a cleared cache
+  // behaves like a fresh process (tests export before clearing).
+  std::lock_guard<std::mutex> Lock(RecordsMu);
+  Records.clear();
+}
+
+void PlanCache::registerManifestRecord(const std::string &JitKey,
+                                       const formats::Format &Source,
+                                       const formats::Format &Target,
+                                       const codegen::Options &Opts,
+                                       const std::string &ExtraFlags,
+                                       const std::string &SoPath) {
+  ManifestRecord Rec;
+  Rec.SrcName = Source.Name;
+  Rec.DstName = Target.Name;
+  Rec.Opts = Opts;
+  Rec.ExtraFlags = ExtraFlags;
+  // JitKey is planKey + " !" + ExtraFlags; strip the suffix rather than
+  // re-deriving the key (planKey runs the assembly planner per call).
+  Rec.PlanKey = JitKey.substr(0, JitKey.size() - ExtraFlags.size() - 2);
+  Rec.SoPath = SoPath;
+  std::lock_guard<std::mutex> Lock(RecordsMu);
+  Records[JitKey] = std::move(Rec);
+}
+
+std::string PlanCache::manifestFilePath() {
+  if (const char *Env = std::getenv("CONVGEN_MANIFEST")) {
+    if (*Env)
+      return Env;
+  }
+  std::string Dir = diskCacheDir();
+  return Dir.empty() ? "" : Dir + "/manifest.txt";
+}
+
+Status PlanCache::exportManifest(const std::string &Path) {
+  std::string Resolved = Path.empty() ? manifestFilePath() : Path;
+  if (Resolved.empty())
+    return Status::error(ErrorCode::Unavailable,
+                         "manifest: disk cache disabled and no "
+                         "CONVGEN_MANIFEST path set");
+  std::map<std::string, ManifestRecord> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(RecordsMu);
+    Snapshot = Records;
+  }
+  std::string Out = std::string(kManifestHeader) + "\n";
+  for (const auto &[JitKey, Rec] : Snapshot) {
+    (void)JitKey;
+    // Only entries a fresh process can rebuild from names make the file:
+    // the formats must round-trip through the standard registry onto the
+    // same plan key (custom formats and knob drift since recording fail
+    // this and are skipped, not exported broken).
+    std::optional<formats::Format> Src =
+        formats::standardFormat(Rec.SrcName);
+    std::optional<formats::Format> Dst =
+        formats::standardFormat(Rec.DstName);
+    if (!Src || !Dst)
+      continue;
+    if (planKey(*Src, *Dst, Rec.Opts) != Rec.PlanKey)
+      continue;
+    if (Rec.ExtraFlags.find('\t') != std::string::npos ||
+        Rec.ExtraFlags.find('\n') != std::string::npos)
+      continue;
+    // The object digest comes from the entry's own checksum manifest; an
+    // entry whose object (or .sum) is already gone is not exportable.
+    std::string Digest;
+    if (!readWholeFile(manifestPath(Rec.SoPath), &Digest))
+      continue;
+    std::string Line = Rec.SrcName + "\t" + Rec.DstName + "\t" +
+                       serializeOptBits(Rec.Opts) + "\t" +
+                       serializeDims(Rec.Opts.DimsHint) + "\t" +
+                       Rec.ExtraFlags + "\t" +
+                       environmentHash(Rec.ExtraFlags) + "\t" +
+                       contentHash(Rec.PlanKey) + "\t" + Rec.SoPath +
+                       "\t" + trim(Digest);
+    Out += Line + "\t" + contentHash(Line) + "\n";
+  }
+  EntryLock Lock(Resolved);
+  if (!writeFileAtomic(Resolved, Out))
+    return Status::error(ErrorCode::Unavailable,
+                         "manifest: cannot write " + Resolved);
+  return Status();
+}
+
+PreloadStats PlanCache::preloadEager(
+    const std::string &ManifestPath) {
+  PreloadStats S;
+  std::string Contents;
+  if (ManifestPath.empty() || !readWholeFile(ManifestPath, &Contents))
+    return S; // No manifest: a cold boot, not an error.
+  std::vector<std::string> Kept;
+  bool Dropped = false;
+  std::string::size_type Pos = 0;
+  bool First = true;
+  bool HeaderOk = false;
+  while (Pos <= Contents.size()) {
+    std::string::size_type Nl = Contents.find('\n', Pos);
+    std::string Line = Contents.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    Pos = Nl == std::string::npos ? Contents.size() + 1 : Nl + 1;
+    if (First) {
+      First = false;
+      HeaderOk = Line == kManifestHeader;
+      if (!HeaderOk) {
+        // Unknown version or corrupt header: nothing in the file can be
+        // trusted. Drop it wholesale.
+        DegradationLog::instance().record(
+            Degradation::PreloadEviction,
+            "manifest " + ManifestPath + ": bad header, dropped");
+        Dropped = true;
+        break;
+      }
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    S.Entries++;
+    auto Evict = [&](const std::string &Why) {
+      S.Evicted++;
+      Dropped = true;
+      DegradationLog::instance().record(Degradation::PreloadEviction,
+                                        "manifest entry evicted: " + Why);
+    };
+    std::vector<std::string> F = splitTabs(Line);
+    if (F.size() != 10) {
+      Evict("malformed line (" + std::to_string(F.size()) + " fields)");
+      continue;
+    }
+    std::string Prefix = Line.substr(0, Line.rfind('\t'));
+    if (F[9] != contentHash(Prefix)) {
+      Evict("line integrity hash mismatch");
+      continue;
+    }
+    std::optional<formats::Format> Src = formats::standardFormat(F[0]);
+    std::optional<formats::Format> Dst = formats::standardFormat(F[1]);
+    if (!Src || !Dst) {
+      Evict("unknown format '" + (Src ? F[1] : F[0]) + "'");
+      continue;
+    }
+    codegen::Options Opts;
+    if (!parseOptBits(F[2], &Opts) || !parseDims(F[3], &Opts.DimsHint)) {
+      Evict("malformed options for " + F[0] + " -> " + F[1]);
+      continue;
+    }
+    const std::string &ExtraFlags = F[4];
+    if (F[5] != environmentHash(ExtraFlags)) {
+      Evict(F[0] + " -> " + F[1] +
+            ": environment skew (compiler/ISA/flags changed)");
+      continue;
+    }
+    std::string Key = planKey(*Src, *Dst, Opts);
+    if (F[6] != contentHash(Key)) {
+      Evict(F[0] + " -> " + F[1] +
+            ": plan key drift (strategy knobs or codegen changed)");
+      continue;
+    }
+    std::string JitKey = Key + " !" + ExtraFlags;
+    Shard &Sh = shardFor(JitKey);
+    {
+      std::shared_lock<std::shared_mutex> Read(Sh.Mu);
+      if (Sh.Jits.count(JitKey)) {
+        S.Skipped++;
+        Kept.push_back(Line);
+        continue;
+      }
+    }
+    StatusOr<PlanPtr> Plan = tryPlan(*Src, *Dst, Opts);
+    if (!Plan.ok()) {
+      Evict(F[0] + " -> " + F[1] + ": " + Plan.status().message());
+      continue;
+    }
+    std::string Dir = diskCacheDir();
+    if (Dir.empty()) {
+      Evict("disk cache disabled");
+      continue;
+    }
+    const char *Cc = std::getenv("CONVGEN_CC");
+    std::string DiskKey = (*Plan)->cSource() + "\n" +
+                          jit::jitEffectiveFlags(ExtraFlags) + "\n" +
+                          (Cc ? Cc : "cc") + "\n" + hostIsaFingerprint();
+    std::string SoPath =
+        Dir + "/" + (*Plan)->Func.Name + "-" + contentHash(DiskKey) + ".so";
+    if (SoPath != F[7]) {
+      Evict(F[0] + " -> " + F[1] +
+            ": recorded object path does not match this environment");
+      continue;
+    }
+    if (!readVerifiedCachedObject(SoPath)) {
+      Evict(F[0] + " -> " + F[1] + ": cached object missing or corrupt");
+      continue;
+    }
+    std::string Digest;
+    if (!readWholeFile(manifestPath(SoPath), &Digest) ||
+        trim(Digest) != F[8]) {
+      Evict(F[0] + " -> " + F[1] + ": object digest mismatch");
+      continue;
+    }
+    JitPtr Handle = jit::JitConversion::loadCachedOnly(**Plan, SoPath);
+    if (!Handle) {
+      Evict(F[0] + " -> " + F[1] + ": cached object failed to load");
+      continue;
+    }
+    {
+      std::unique_lock<std::shared_mutex> Write(Sh.Mu);
+      if (Sh.Jits.count(JitKey)) {
+        // A request raced the preload and built the entry first; its
+        // handle wins, ours is discarded.
+        S.Skipped++;
+        Kept.push_back(Line);
+        continue;
+      }
+      Sh.Jits[JitKey] = Handle;
+    }
+    registerManifestRecord(JitKey, *Src, *Dst, Opts, ExtraFlags, SoPath);
+    DegradationLog::instance().record(Degradation::PreloadHit,
+                                      F[0] + " -> " + F[1]);
+    S.Loaded++;
+    Kept.push_back(Line);
+  }
+  if (Dropped) {
+    // Rewrite without the evicted lines (best-effort; the per-line
+    // validation would drop them again next boot regardless).
+    std::string Out = std::string(kManifestHeader) + "\n";
+    for (const std::string &L : Kept)
+      Out += L + "\n";
+    EntryLock Lock(ManifestPath);
+    writeFileAtomic(ManifestPath, Out);
+  }
+  return S;
+}
+
+PreloadStats PlanCache::preload(
+    const std::string &ManifestPath, PreloadMode Mode) {
+  if (Mode == PreloadMode::Off)
+    return PreloadStats();
+  std::string Resolved =
+      ManifestPath.empty() ? manifestFilePath() : ManifestPath;
+  {
+    std::lock_guard<std::mutex> Lock(PreloadMu);
+    PreloadStarted = true;
+    PreloadDone = false;
+  }
+  if (Mode == PreloadMode::Eager) {
+    PreloadStats S = preloadEager(Resolved);
+    {
+      std::lock_guard<std::mutex> Lock(PreloadMu);
+      PreloadResult = S;
+      PreloadDone = true;
+    }
+    PreloadCv.notify_all();
+    return S;
+  }
+  // Background: a detached warmer thread runs the same pass. Detached
+  // because PlanCache is deliberately leaked — there is no destructor to
+  // join from; waitForPreload() synchronizes on the done flag instead.
+  std::thread([this, Resolved] {
+    PreloadStats S = preloadEager(Resolved);
+    {
+      std::lock_guard<std::mutex> Lock(PreloadMu);
+      PreloadResult = S;
+      PreloadDone = true;
+    }
+    PreloadCv.notify_all();
+  }).detach();
+  return PreloadStats();
+}
+
+PreloadStats PlanCache::waitForPreload() {
+  std::unique_lock<std::mutex> Lock(PreloadMu);
+  if (!PreloadStarted)
+    return PreloadStats();
+  PreloadCv.wait(Lock, [this] { return PreloadDone; });
+  return PreloadResult;
+}
+
+void PlanCache::maybePreloadFromEnv() {
+  std::call_once(PreloadOnce, [this] {
+    const char *Env = std::getenv("CONVGEN_PRELOAD");
+    if (!Env || !*Env)
+      return;
+    std::string Mode = Env;
+    if (Mode == "eager")
+      preload("", PreloadMode::Eager);
+    else if (Mode == "background")
+      preload("", PreloadMode::Background);
+    // Anything else (including "off") boots cold.
+  });
 }

@@ -49,10 +49,12 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 
@@ -77,6 +79,26 @@ struct PlanCacheStats {
   /// Of the JitMisses, how many loaded a shared object from disk instead
   /// of running the external compiler.
   uint64_t DiskHits = 0;
+};
+
+/// How preload() acquires the manifest's entries.
+enum class PreloadMode {
+  Off,        ///< Do nothing (the CONVGEN_PRELOAD=off default).
+  Eager,      ///< Validate and dlopen every entry before returning.
+  Background, ///< Return immediately; a detached warmer thread validates
+              ///< and dlopens. waitForPreload() joins the result.
+};
+
+/// Outcome counters of one preload() pass.
+struct PreloadStats {
+  uint64_t Entries = 0; ///< Manifest lines examined.
+  uint64_t Loaded = 0;  ///< Entries revalidated, dlopen'd, and installed
+                        ///< into the in-memory cache (preload-hit).
+  uint64_t Evicted = 0; ///< Entries that failed revalidation — corrupt
+                        ///< line, env/version skew, checksum mismatch,
+                        ///< failed load — dropped, never served
+                        ///< (preload-evict).
+  uint64_t Skipped = 0; ///< Entries already warm in memory.
 };
 
 /// Thread-safety contract: every method may be called from any number of
@@ -151,6 +173,49 @@ public:
   /// the disk cache is disabled or cannot be created.
   static std::string diskCacheDir();
 
+  //===----------------------------------------------------------------===//
+  // Warm-start: manifest export on the way down, preload on the way up.
+  //===----------------------------------------------------------------===//
+
+  /// Resolved warm-start manifest path: CONVGEN_MANIFEST when set,
+  /// otherwise <diskCacheDir()>/manifest.txt; empty when the disk cache is
+  /// disabled and no explicit path is set.
+  static std::string manifestFilePath();
+
+  /// Persists a warm-start manifest describing every standard-format JIT
+  /// entry this process compiled or loaded: plan key + strategy bits,
+  /// extra compile flags, an environment hash (effective flags, compiler
+  /// identity, host ISA), the cached object's path and content digest, and
+  /// a per-line integrity hash. Written atomically under the entry flock
+  /// (crash-safe, like object installs). Entries whose formats are not in
+  /// the standard registry, or whose plan key no longer matches the
+  /// current strategy knobs, are skipped — preload could never revalidate
+  /// them. \p Path defaults to manifestFilePath().
+  Status exportManifest(const std::string &Path = "");
+
+  /// Re-validates and dlopens every manifest entry so a restarted server's
+  /// first requests hit warm. Per entry, in order: line integrity hash,
+  /// environment hash (compiler/ISA/flags — version skew), plan-key
+  /// recomputation from the current strategy knobs, object checksum, and
+  /// recorded-vs-actual object digest must all pass before
+  /// jit::JitConversion::loadCachedOnly installs the handle; any failure
+  /// evicts the entry (DegradationLog preload-evict), never serves it, and
+  /// the external compiler is never invoked. The manifest is rewritten
+  /// without the evicted lines. Background mode returns immediately with
+  /// Entries=0 and runs the same pass on a detached warmer thread;
+  /// waitForPreload() joins it.
+  PreloadStats preload(const std::string &ManifestPath = "",
+                       PreloadMode Mode = PreloadMode::Eager);
+
+  /// Blocks until a Background preload (if any was started) finishes and
+  /// returns its stats; returns zeroes immediately when none was started.
+  PreloadStats waitForPreload();
+
+  /// One-shot boot hook honoring CONVGEN_PRELOAD=off|eager|background
+  /// (default off): the first call may run preload(), every later call is
+  /// a no-op. ConversionService construction invokes this.
+  void maybePreloadFromEnv();
+
 private:
   PlanCache() = default;
 
@@ -189,6 +254,41 @@ private:
                            const support::Deadline &Deadline);
 
   mutable std::array<Shard, kNumShards> Shards;
+
+  /// What exportManifest() needs to describe one JIT entry so preload()
+  /// can rebuild and revalidate it in a fresh process. Registered on the
+  /// leader path of jitImpl for non-degraded handles with a disk-cache
+  /// slot; keyed by the in-memory JIT key.
+  struct ManifestRecord {
+    std::string SrcName;
+    std::string DstName;
+    codegen::Options Opts; // DimsHint included (strategy-bit recomputation)
+    std::string ExtraFlags;
+    std::string PlanKey; // as recorded — export skips on knob drift
+    std::string SoPath;
+  };
+  mutable std::mutex RecordsMu;
+  std::map<std::string, ManifestRecord> Records;
+
+  /// Result slot of the background warmer thread (the thread is detached —
+  /// PlanCache is deliberately leaked, so joinable members would terminate
+  /// at exit).
+  std::mutex PreloadMu;
+  std::condition_variable PreloadCv;
+  bool PreloadStarted = false;
+  bool PreloadDone = false;
+  PreloadStats PreloadResult;
+  std::once_flag PreloadOnce;
+
+  void registerManifestRecord(const std::string &JitKey,
+                              const formats::Format &Source,
+                              const formats::Format &Target,
+                              const codegen::Options &Opts,
+                              const std::string &ExtraFlags,
+                              const std::string &SoPath);
+
+  /// The eager validation pass preload() and the warmer thread share.
+  PreloadStats preloadEager(const std::string &ManifestPath);
 
   struct Counters {
     std::atomic<uint64_t> PlanHits{0};

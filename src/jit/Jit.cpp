@@ -426,6 +426,28 @@ JitConversion::JitConversion(const codegen::Conversion &Conversion,
              Conv.Target.Name.c_str(), S.message().c_str()));
 }
 
+std::shared_ptr<JitConversion>
+JitConversion::loadCachedOnly(const codegen::Conversion &Conversion,
+                              const std::string &CachedSoPath) {
+  if (CachedSoPath.empty() ||
+      !convert::readVerifiedCachedObject(CachedSoPath))
+    return nullptr;
+  // Same load-or-evict policy as the constructor's cached branch, minus
+  // the compile fallback: a verified object that refuses to dlopen/dlsym
+  // is evicted so the entry's first real request recompiles cleanly.
+  std::shared_ptr<JitConversion> J(new JitConversion(Conversion, nullptr));
+  std::string Error;
+  if (!loadConversion(CachedSoPath, J->Conv.Func.Name, &J->Handle, &J->Fn,
+                      &Error)) {
+    DegradationLog::instance().record(Degradation::JitLoadFailure, Error);
+    convert::evictCachedObject(CachedSoPath, Error);
+    return nullptr;
+  }
+  J->FromCache = true;
+  J->PhaseSecs = loadPhaseSeconds(J->Handle, J->Conv.Func.Name);
+  return J;
+}
+
 Status JitConversion::initialize(const std::string &ExtraFlags,
                                  const std::string &CachedSoPath,
                                  const support::Deadline &RequestDeadline) {

@@ -57,6 +57,7 @@
 #include "tensor/SparseTensor.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace convgen {
@@ -134,6 +135,18 @@ public:
                          support::Deadline RequestDeadline = {});
   ~JitConversion();
 
+  /// Cache-only acquisition for warm-start preload: loads the
+  /// checksum-verified object at \p CachedSoPath and returns a live native
+  /// handle, or nullptr when no verified object can be loaded there. Never
+  /// invokes the external compiler and never returns a degraded handle —
+  /// preload must be free to fail per entry without burning a compile or
+  /// poisoning the in-memory cache with interpreter-backed handles. An
+  /// object that verifies but refuses to dlopen is evicted from the disk
+  /// cache exactly as on the regular path.
+  static std::shared_ptr<JitConversion>
+  loadCachedOnly(const codegen::Conversion &Conv,
+                 const std::string &CachedSoPath);
+
   /// True when the shared object came from the on-disk cache.
   bool loadedFromCache() const { return FromCache; }
 
@@ -187,6 +200,11 @@ public:
   const codegen::Conversion &conversion() const { return Conv; }
 
 private:
+  /// Bare handle for loadCachedOnly: no initialize(), no degradation — the
+  /// factory fills in Handle/Fn itself or discards the object.
+  JitConversion(const codegen::Conversion &Conversion, std::nullptr_t)
+      : Conv(Conversion) {}
+
   /// Cached-load then compile-with-retry; a non-OK result degrades the
   /// handle instead of propagating.
   Status initialize(const std::string &ExtraFlags,

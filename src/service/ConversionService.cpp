@@ -9,11 +9,15 @@
 #include "convert/Converter.h"
 #include "convert/PlanCache.h"
 #include "jit/Jit.h"
+#include "support/Assert.h"
 #include "support/DegradationLog.h"
 #include "support/StringUtils.h"
 
 #include <cstdlib>
+#include <map>
+#include <optional>
 #include <thread>
+#include <utility>
 
 using namespace convgen;
 using namespace convgen::convert;
@@ -58,6 +62,19 @@ ConversionService::ConversionService(ServiceLimits L) : Limits(L) {
     Limits.MaxInflight = 1;
   if (Limits.QueueDepth < 0)
     Limits.QueueDepth = 0;
+  // Warm-start hook: under CONVGEN_PRELOAD=eager|background the shared
+  // PlanCache revalidates and dlopens the manifest's entries now, so the
+  // first requests hit warm. One-shot per process — a second service
+  // instance does not re-preload.
+  PlanCache::instance().maybePreloadFromEnv();
+}
+
+ConversionService::~ConversionService() {
+  // Outstanding submit() workers hold `this`; leaving before they finish
+  // would be a use-after-free. Futures already handed out stay valid
+  // (shared state is owned by the future/promise pair, not the service).
+  std::unique_lock<std::mutex> Lock(AsyncMu);
+  AsyncDrained.wait(Lock, [this] { return AsyncOutstanding == 0; });
 }
 
 ConversionService &ConversionService::instance() {
@@ -199,6 +216,198 @@ ConversionService::convert(const ConversionRequest &Request) {
   return Out;
 }
 
+std::vector<StatusOr<tensor::SparseTensor>>
+ConversionService::submitBatch(const std::vector<ConversionRequest> &Requests,
+                               BatchStats *Stats) {
+  Counts.Batches.fetch_add(1, std::memory_order_relaxed);
+  Counts.BatchRequests.fetch_add(Requests.size(),
+                                 std::memory_order_relaxed);
+  BatchStats Local;
+  BatchStats &B = Stats ? *Stats : Local;
+  B = BatchStats();
+  B.Requests = Requests.size();
+
+  // Group member indices by plan key, first-appearance order. The key is
+  // the dims-routed one (optionsForDims), exactly as convert() would key
+  // the cache — two tensors whose dims land on the same assembly strategy
+  // share one group and one handle. ForceInterpreter and null-input
+  // requests cannot share a native handle; each is its own singleton
+  // group, executed through convert().
+  std::vector<std::pair<std::string, std::vector<size_t>>> Groups;
+  std::map<std::string, size_t> GroupIndex;
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    const ConversionRequest &R = Requests[I];
+    if (R.ForceInterpreter || !R.Input) {
+      Groups.push_back({"", {I}});
+      continue;
+    }
+    codegen::Options Opts = codegen::optionsForDims(R.Source, R.Target,
+                                                    R.Opts, R.Input->Dims);
+    std::string Key = planKey(R.Source, R.Target, Opts);
+    auto [It, New] = GroupIndex.emplace(Key, Groups.size());
+    if (New)
+      Groups.push_back({Key, {}});
+    Groups[It->second].second.push_back(I);
+  }
+  B.Groups = Groups.size();
+  Counts.BatchGroups.fetch_add(Groups.size(), std::memory_order_relaxed);
+
+  // Deadlines resolve once, at batch entry: a member's budget covers its
+  // whole stay in the batch, including the members ahead of it in FIFO
+  // order (that wait is exactly what the deadline is for).
+  std::vector<Deadline> Deadlines(Requests.size());
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    int64_t Ms = Requests[I].DeadlineMs < 0 ? Limits.DefaultDeadlineMs
+                                            : Requests[I].DeadlineMs;
+    Deadlines[I] = Ms > 0 ? Deadline::afterMillis(Ms) : Deadline::never();
+  }
+
+  std::vector<std::optional<StatusOr<tensor::SparseTensor>>> Results(
+      Requests.size());
+  auto NoteFailure = [&B](const Status &S) {
+    if (S.code() == ErrorCode::ResourceExhausted)
+      B.Shed++;
+    else if (S.code() == ErrorCode::DeadlineExceeded)
+      B.DeadlineExpired++;
+    else
+      B.RequestErrors++;
+  };
+
+  for (const auto &[Key, Members] : Groups) {
+    if (Key.empty()) {
+      // Singleton: convert() does all the accounting; mirror the outcome
+      // into the batch breakout.
+      size_t Idx = Members.front();
+      StatusOr<tensor::SparseTensor> Out = convert(Requests[Idx]);
+      if (Out.ok())
+        B.Completed++;
+      else
+        NoteFailure(Out.status());
+      Results[Idx] = std::move(Out);
+      continue;
+    }
+
+    // One handle acquisition serves the group, bounded by the most
+    // patient member (the handle outlives any single member; an impatient
+    // first member must not starve the rest of the group).
+    bool AnyInfinite = false;
+    Deadline::Clock::time_point Latest{};
+    for (size_t Idx : Members) {
+      if (Deadlines[Idx].infinite())
+        AnyInfinite = true;
+      else if (Deadlines[Idx].timePoint() > Latest)
+        Latest = Deadlines[Idx].timePoint();
+    }
+    Deadline GroupD =
+        AnyInfinite ? Deadline::never() : Deadline::at(Latest);
+
+    std::shared_ptr<jit::JitConversion> Handle;
+    for (size_t Idx : Members) {
+      const ConversionRequest &R = Requests[Idx];
+      Counts.Submitted.fetch_add(1, std::memory_order_relaxed);
+      const Deadline &D = Deadlines[Idx];
+      Status Admitted = admit(D);
+      if (!Admitted.ok()) {
+        // Shed / queue-deadline service counters recorded in admit(); the
+        // member fails alone, the batch continues.
+        NoteFailure(Admitted);
+        Results[Idx] = Admitted;
+        continue;
+      }
+      struct SlotReleaser {
+        ConversionService *S;
+        ~SlotReleaser() { S->release(); }
+      } Releaser{this};
+
+      auto deadlineExpired = [&](const char *Where) {
+        Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+        B.DeadlineExpired++;
+        DegradationLog::instance().record(
+            Degradation::DeadlineExceeded,
+            strfmt("%s -> %s: %s (batch member)", R.Source.Name.c_str(),
+                   R.Target.Name.c_str(), Where));
+        return Status::error(
+            ErrorCode::DeadlineExceeded,
+            strfmt("service: request deadline expired %s", Where));
+      };
+      if (D.expired()) {
+        Results[Idx] = deadlineExpired("entering execution");
+        continue;
+      }
+      if (!Handle) {
+        codegen::Options Opts = codegen::optionsForDims(
+            R.Source, R.Target, R.Opts, R.Input->Dims);
+        StatusOr<std::shared_ptr<jit::JitConversion>> H =
+            PlanCache::instance().tryJit(R.Source, R.Target, Opts, "",
+                                         GroupD);
+        if (!H.ok()) {
+          if (H.status().code() == ErrorCode::DeadlineExceeded)
+            Counts.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+          else
+            Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+          NoteFailure(H.status());
+          Results[Idx] = H.status();
+          continue; // The next member retries the acquisition.
+        }
+        Handle = *H;
+        B.HandleAcquisitions++;
+      }
+      if (D.expired()) {
+        Results[Idx] = deadlineExpired("after plan/JIT acquisition");
+        continue;
+      }
+      StatusOr<tensor::SparseTensor> Out = Handle->tryRun(*R.Input);
+      if (!Out.ok()) {
+        Counts.RequestErrors.fetch_add(1, std::memory_order_relaxed);
+        NoteFailure(Out.status());
+        Results[Idx] = std::move(Out);
+        continue;
+      }
+      if (Handle->degraded()) {
+        Counts.DegradedRuns.fetch_add(1, std::memory_order_relaxed);
+        B.DegradedRuns++;
+      }
+      Counts.Completed.fetch_add(1, std::memory_order_relaxed);
+      B.Completed++;
+      Results[Idx] = std::move(Out);
+    }
+  }
+
+  std::vector<StatusOr<tensor::SparseTensor>> Out;
+  Out.reserve(Requests.size());
+  for (auto &R : Results) {
+    CONVGEN_ASSERT(R.has_value(), "batch member left without an outcome");
+    Out.push_back(std::move(*R));
+  }
+  return Out;
+}
+
+std::future<StatusOr<tensor::SparseTensor>>
+ConversionService::submit(ConversionRequest Request) {
+  Counts.AsyncSubmitted.fetch_add(1, std::memory_order_relaxed);
+  // The packaged_task owns the promise; the caller's future stays valid
+  // even if the service dies right after the worker finishes. The worker
+  // thread holds `this` only until it decrements AsyncOutstanding, which
+  // the destructor waits on.
+  auto Task = std::make_shared<
+      std::packaged_task<StatusOr<tensor::SparseTensor>()>>(
+      [this, Request = std::move(Request)] { return convert(Request); });
+  std::future<StatusOr<tensor::SparseTensor>> Fut = Task->get_future();
+  {
+    std::lock_guard<std::mutex> Lock(AsyncMu);
+    ++AsyncOutstanding;
+  }
+  std::thread([this, Task] {
+    (*Task)();
+    {
+      std::lock_guard<std::mutex> Lock(AsyncMu);
+      --AsyncOutstanding;
+    }
+    AsyncDrained.notify_all();
+  }).detach();
+  return Fut;
+}
+
 ServiceStats ConversionService::stats() const {
   ServiceStats Out;
   Out.Submitted = Counts.Submitted.load(std::memory_order_relaxed);
@@ -209,6 +418,12 @@ ServiceStats ConversionService::stats() const {
   Out.DegradedRuns = Counts.DegradedRuns.load(std::memory_order_relaxed);
   Out.RequestErrors =
       Counts.RequestErrors.load(std::memory_order_relaxed);
+  Out.Batches = Counts.Batches.load(std::memory_order_relaxed);
+  Out.BatchRequests =
+      Counts.BatchRequests.load(std::memory_order_relaxed);
+  Out.BatchGroups = Counts.BatchGroups.load(std::memory_order_relaxed);
+  Out.AsyncSubmitted =
+      Counts.AsyncSubmitted.load(std::memory_order_relaxed);
   return Out;
 }
 

@@ -40,6 +40,10 @@ const char *support::degradationName(Degradation Kind) {
     return "load-shed";
   case Degradation::SingleFlightCoalesce:
     return "single-flight-coalesce";
+  case Degradation::PreloadEviction:
+    return "preload-evict";
+  case Degradation::PreloadHit:
+    return "preload-hit";
   }
   return "unknown";
 }

@@ -683,3 +683,357 @@ TEST(Service, DefaultDeadlineFromLimitsApplies) {
   EXPECT_EQ(Service.stats().DegradedRuns, 0u)
       << "the deadline-bound handle leaked into the shared cache";
 }
+
+//===------------------------------------------------------------------===//
+// submitBatch: plan-key grouping, per-member admission and deadlines.
+//===------------------------------------------------------------------===//
+
+TEST(Batch, GroupsByPlanKeyAndAcquiresOneHandlePerGroup) {
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+
+  WorkItem A1 = makeItem("coo", "csr", smallMatrix());
+  WorkItem A2 =
+      makeItem("coo", "csr", tensor::genBandedRandom(20, 20, 3.0, 5, 2, 9));
+  WorkItem B = makeItem("csr", "csc", smallMatrix());
+  WorkItem C = makeItem("coo3", "csf", smallTensor3());
+  resetBooks();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 4;
+  ConversionService Service(Limits);
+
+  // Five members, three plan keys: both coo->csr tensors (and the repeat)
+  // share one group and one handle acquisition.
+  std::vector<const WorkItem *> Order = {&A1, &B, &A2, &C, &A1};
+  std::vector<ConversionRequest> Requests;
+  for (const WorkItem *W : Order) {
+    ConversionRequest R;
+    R.Source = W->Src;
+    R.Target = W->Dst;
+    R.Input = &W->In;
+    Requests.push_back(R);
+  }
+
+  PlanCacheStats Before = PlanCache::instance().stats();
+  convert::BatchStats BS;
+  std::vector<StatusOr<tensor::SparseTensor>> Results =
+      Service.submitBatch(Requests, &BS);
+
+  ASSERT_EQ(Results.size(), Requests.size());
+  for (size_t I = 0; I < Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].ok())
+        << Order[I]->Label << ": " << Results[I].status().toString();
+    expectBitIdentical(Order[I]->Want, *Results[I], Order[I]->Label);
+  }
+  EXPECT_EQ(BS.Requests, Requests.size());
+  EXPECT_EQ(BS.Groups, 3u);
+  EXPECT_EQ(BS.HandleAcquisitions, 3u);
+  EXPECT_EQ(BS.Completed, Requests.size());
+  EXPECT_EQ(BS.Shed + BS.DeadlineExpired + BS.RequestErrors, 0u);
+
+  // The grouping's whole point: one cache traversal per group, zero for
+  // the other members (single-flight would at best have made them
+  // coalesced hits; the batch skips the traversal entirely).
+  PlanCacheStats After = PlanCache::instance().stats();
+  EXPECT_EQ(After.JitMisses - Before.JitMisses, 3u);
+  EXPECT_EQ(After.JitHits - Before.JitHits, 0u);
+
+  convert::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Submitted, Requests.size());
+  EXPECT_EQ(S.Completed, Requests.size());
+  EXPECT_EQ(S.Batches, 1u);
+  EXPECT_EQ(S.BatchRequests, Requests.size());
+  EXPECT_EQ(S.BatchGroups, 3u);
+}
+
+TEST(Batch, ShedMembersFailAloneAndTheBatchContinues) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "needs a slow (hung) compile to hold the one slot";
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+  resetBooks();
+
+  WorkItem Slow = makeItem("coo", "csr", smallMatrix());
+  WorkItem Fast = makeItem("csr", "csc", smallMatrix());
+  PlanCache::instance().clearMemory();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 1;
+  Limits.QueueDepth = 0;
+  ConversionService Service(Limits);
+
+  std::vector<ConversionRequest> Requests(2);
+  for (ConversionRequest &R : Requests) {
+    R.Source = Fast.Src;
+    R.Target = Fast.Dst;
+    R.Input = &Fast.In;
+  }
+  {
+    // Occupy the single slot with a request whose compile hangs; every
+    // batch member must then shed individually (ResourceExhausted in its
+    // own result slot), and the batch call itself returns normally.
+    ScopedEnv Hang("CONVGEN_FAULT", "compile-hang");
+    ScopedEnv Timeout("CONVGEN_COMPILE_TIMEOUT_MS", "1500");
+    std::thread Occupant([&] {
+      ConversionRequest Req;
+      Req.Source = Slow.Src;
+      Req.Target = Slow.Dst;
+      Req.Input = &Slow.In;
+      StatusOr<tensor::SparseTensor> Out = Service.convert(Req);
+      ASSERT_TRUE(Out.ok()) << Out.status().toString();
+    });
+    auto SlotTaken =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (Service.inflight() < 1 &&
+           std::chrono::steady_clock::now() < SlotTaken)
+      std::this_thread::yield();
+    ASSERT_EQ(Service.inflight(), 1);
+
+    convert::BatchStats BS;
+    std::vector<StatusOr<tensor::SparseTensor>> Results =
+        Service.submitBatch(Requests, &BS);
+    ASSERT_EQ(Results.size(), 2u);
+    for (const auto &R : Results) {
+      ASSERT_FALSE(R.ok());
+      EXPECT_EQ(R.status().code(), ErrorCode::ResourceExhausted);
+    }
+    EXPECT_EQ(BS.Shed, 2u);
+    EXPECT_EQ(BS.Completed, 0u);
+    EXPECT_EQ(BS.HandleAcquisitions, 0u);
+    Occupant.join();
+  }
+
+  // Capacity freed: the same batch now completes, and the service-wide
+  // conservation identity holds across both calls.
+  convert::BatchStats BS;
+  std::vector<StatusOr<tensor::SparseTensor>> Results =
+      Service.submitBatch(Requests, &BS);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    ASSERT_TRUE(Results[I].ok()) << Results[I].status().toString();
+    expectBitIdentical(Fast.Want, *Results[I], Fast.Label);
+  }
+  EXPECT_EQ(BS.Completed, 2u);
+  EXPECT_EQ(BS.HandleAcquisitions, 1u);
+  convert::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Submitted,
+            S.Completed + S.Shed + S.DeadlineExpired + S.RequestErrors);
+}
+
+TEST(Batch, MemberDeadlineExpiresMidBatchWhileOthersComplete) {
+  if (!jit::jitAvailable())
+    GTEST_SKIP() << "needs a real compile to consume the member's budget";
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+  resetBooks();
+
+  WorkItem W = makeItem("coo", "csr", smallMatrix());
+  PlanCache::instance().clearMemory();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 2;
+  ConversionService Service(Limits);
+
+  // Member 0 is unbounded and pays the group's compile; member 1 budgets
+  // 1ms, resolved at batch entry — the compile ahead of it in FIFO order
+  // exhausts that budget, so it must expire alone while member 0 (and the
+  // group's handle) succeed.
+  std::vector<ConversionRequest> Requests(2);
+  for (ConversionRequest &R : Requests) {
+    R.Source = W.Src;
+    R.Target = W.Dst;
+    R.Input = &W.In;
+  }
+  Requests[1].DeadlineMs = 1;
+
+  convert::BatchStats BS;
+  std::vector<StatusOr<tensor::SparseTensor>> Results =
+      Service.submitBatch(Requests, &BS);
+  ASSERT_TRUE(Results[0].ok()) << Results[0].status().toString();
+  expectBitIdentical(W.Want, *Results[0], W.Label);
+  ASSERT_FALSE(Results[1].ok());
+  EXPECT_EQ(Results[1].status().code(), ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(BS.Completed, 1u);
+  EXPECT_EQ(BS.DeadlineExpired, 1u);
+  EXPECT_EQ(BS.HandleAcquisitions, 1u);
+}
+
+TEST(Batch, ForceInterpreterAndInvalidRequestsRunUngrouped) {
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+  WorkItem W = makeItem("coo", "csr", smallMatrix());
+  resetBooks();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 2;
+  ConversionService Service(Limits);
+
+  std::vector<ConversionRequest> Requests(3);
+  Requests[0].Source = W.Src;
+  Requests[0].Target = W.Dst;
+  Requests[0].Input = &W.In;
+  Requests[1] = Requests[0];
+  Requests[1].ForceInterpreter = true;
+  Requests[2].Source = W.Src;
+  Requests[2].Target = W.Dst;
+  Requests[2].Input = nullptr; // Malformed: no input tensor.
+
+  convert::BatchStats BS;
+  std::vector<StatusOr<tensor::SparseTensor>> Results =
+      Service.submitBatch(Requests, &BS);
+  ASSERT_TRUE(Results[0].ok()) << Results[0].status().toString();
+  expectBitIdentical(W.Want, *Results[0], W.Label + " (native)");
+  ASSERT_TRUE(Results[1].ok()) << Results[1].status().toString();
+  expectBitIdentical(W.Want, *Results[1], W.Label + " (interpreter)");
+  ASSERT_FALSE(Results[2].ok());
+  EXPECT_EQ(Results[2].status().code(), ErrorCode::InvalidArgument);
+
+  // The interpreter and malformed members are singleton groups — a native
+  // handle must not be shared with (or acquired for) them.
+  EXPECT_EQ(BS.Groups, 3u);
+  EXPECT_EQ(BS.HandleAcquisitions, 1u);
+  EXPECT_EQ(BS.Completed, 2u);
+  EXPECT_EQ(BS.RequestErrors, 1u);
+  convert::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Submitted, 3u);
+  EXPECT_EQ(S.Submitted,
+            S.Completed + S.Shed + S.DeadlineExpired + S.RequestErrors);
+}
+
+//===------------------------------------------------------------------===//
+// Async submit().
+//===------------------------------------------------------------------===//
+
+TEST(Async, SubmitResolvesFuturesBitExactThroughAdmission) {
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+
+  std::vector<WorkItem> Items;
+  Items.push_back(makeItem("coo", "csr", smallMatrix()));
+  Items.push_back(makeItem("csr", "csc", smallMatrix()));
+  Items.push_back(makeItem("coo3", "csf", smallTensor3()));
+  resetBooks();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 2;
+  Limits.QueueDepth = 64;
+  ConversionService Service(Limits);
+
+  const int Reps = 4;
+  std::vector<std::future<StatusOr<tensor::SparseTensor>>> Futures;
+  for (int R = 0; R < Reps; ++R) {
+    for (const WorkItem &W : Items) {
+      ConversionRequest Req;
+      Req.Source = W.Src;
+      Req.Target = W.Dst;
+      Req.Input = &W.In;
+      Futures.push_back(Service.submit(Req));
+    }
+  }
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    const WorkItem &W = Items[I % Items.size()];
+    StatusOr<tensor::SparseTensor> Out = Futures[I].get();
+    ASSERT_TRUE(Out.ok()) << W.Label << ": " << Out.status().toString();
+    expectBitIdentical(W.Want, *Out, W.Label);
+  }
+  convert::ServiceStats S = Service.stats();
+  EXPECT_EQ(S.AsyncSubmitted, Futures.size());
+  EXPECT_EQ(S.Submitted, Futures.size());
+  EXPECT_EQ(S.Completed, Futures.size());
+}
+
+//===------------------------------------------------------------------===//
+// Stats monotonicity under concurrent batch + async submission.
+//===------------------------------------------------------------------===//
+
+TEST(Batch, StatsStayMonotoneAndConservedUnderConcurrentBatches) {
+  ScopedEnv NoDisk("CONVGEN_DISABLE_DISK_CACHE", "1");
+
+  std::vector<WorkItem> Items;
+  Items.push_back(makeItem("coo", "csr", smallMatrix()));
+  Items.push_back(makeItem("csr", "csc", smallMatrix()));
+  Items.push_back(makeItem("coo3", "csf", smallTensor3()));
+  resetBooks();
+
+  ServiceLimits Limits;
+  Limits.MaxInflight = 4;
+  Limits.QueueDepth = 64;
+  ConversionService Service(Limits);
+
+  StartGate Gate;
+  std::atomic<bool> StopReader{false};
+  // The mid-flight contract under test: every ServiceStats field is
+  // monotone, and Submitted never undercounts the outcomes (a request is
+  // submitted before it resolves, so Submitted >= the outcome sum at
+  // every instant).
+  std::thread Reader([&] {
+    convert::ServiceStats Prev = Service.stats();
+    Gate.wait();
+    while (!StopReader.load(std::memory_order_acquire)) {
+      convert::ServiceStats Now = Service.stats();
+      EXPECT_GE(Now.Submitted, Prev.Submitted);
+      EXPECT_GE(Now.Completed, Prev.Completed);
+      EXPECT_GE(Now.Shed, Prev.Shed);
+      EXPECT_GE(Now.DeadlineExpired, Prev.DeadlineExpired);
+      EXPECT_GE(Now.RequestErrors, Prev.RequestErrors);
+      EXPECT_GE(Now.Batches, Prev.Batches);
+      EXPECT_GE(Now.BatchRequests, Prev.BatchRequests);
+      EXPECT_GE(Now.BatchGroups, Prev.BatchGroups);
+      EXPECT_GE(Now.AsyncSubmitted, Prev.AsyncSubmitted);
+      EXPECT_GE(Now.Submitted, Now.Completed + Now.Shed +
+                                   Now.DeadlineExpired + Now.RequestErrors);
+      Prev = Now;
+      std::this_thread::yield();
+    }
+  });
+
+  const int Threads = 4;
+  const int BatchesPerThread = 6;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T) {
+    Pool.emplace_back([&, T] {
+      Gate.wait();
+      for (int Rep = 0; Rep < BatchesPerThread; ++Rep) {
+        std::vector<ConversionRequest> Requests;
+        for (size_t I = 0; I < Items.size() * 2; ++I) {
+          const WorkItem &W = Items[(T + I) % Items.size()];
+          ConversionRequest R;
+          R.Source = W.Src;
+          R.Target = W.Dst;
+          R.Input = &W.In;
+          Requests.push_back(R);
+        }
+        std::vector<StatusOr<tensor::SparseTensor>> Results =
+            Service.submitBatch(Requests);
+        for (size_t I = 0; I < Results.size(); ++I) {
+          const WorkItem &W = Items[(T + I) % Items.size()];
+          ASSERT_TRUE(Results[I].ok())
+              << W.Label << ": " << Results[I].status().toString();
+          expectBitIdentical(W.Want, *Results[I], W.Label);
+        }
+        // Interleave an async request so the hammer covers both new
+        // submission paths at once.
+        ConversionRequest Async;
+        const WorkItem &W = Items[Rep % Items.size()];
+        Async.Source = W.Src;
+        Async.Target = W.Dst;
+        Async.Input = &W.In;
+        StatusOr<tensor::SparseTensor> Out = Service.submit(Async).get();
+        ASSERT_TRUE(Out.ok()) << Out.status().toString();
+        expectBitIdentical(W.Want, *Out, W.Label);
+      }
+    });
+  }
+  Gate.open();
+  for (std::thread &Th : Pool)
+    Th.join();
+  StopReader.store(true, std::memory_order_release);
+  Reader.join();
+
+  convert::ServiceStats S = Service.stats();
+  uint64_t BatchTotal =
+      uint64_t(Threads) * BatchesPerThread * Items.size() * 2;
+  uint64_t AsyncTotal = uint64_t(Threads) * BatchesPerThread;
+  EXPECT_EQ(S.Submitted, BatchTotal + AsyncTotal);
+  EXPECT_EQ(S.Completed, BatchTotal + AsyncTotal);
+  EXPECT_EQ(S.Batches, uint64_t(Threads) * BatchesPerThread);
+  EXPECT_EQ(S.BatchRequests, BatchTotal);
+  EXPECT_EQ(S.AsyncSubmitted, AsyncTotal);
+  EXPECT_EQ(S.Submitted,
+            S.Completed + S.Shed + S.DeadlineExpired + S.RequestErrors);
+}

@@ -1,0 +1,327 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of convgen. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache warm-start: PlanCache::exportManifest persists the process's JIT
+/// entries, PlanCache::preload revalidates and dlopens them in a "fresh
+/// process" (clearMemory stands in for the restart). The contract under
+/// test: a valid manifest preloads every entry with zero compiler
+/// invocations; any skew — compile flags, corrupt line, corrupt object —
+/// evicts the entry (never serves it) and leaves the rest loadable; the
+/// DegradationLog reconciles exactly with the preload stats.
+///
+//===----------------------------------------------------------------------===//
+
+#include "convert/Converter.h"
+#include "convert/PlanCache.h"
+#include "formats/Standard.h"
+#include "jit/Jit.h"
+#include "support/DegradationLog.h"
+#include "support/Fault.h"
+#include "tensor/Generators.h"
+#include "tensor/Oracle.h"
+
+#include "ScopedEnv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace convgen;
+using convert::PlanCache;
+using convert::PlanCacheStats;
+using convert::PreloadMode;
+using convert::PreloadStats;
+using support::Degradation;
+using support::DegradationLog;
+using convgen::testing::ScopedEnv;
+
+namespace {
+
+/// mkdtemp'd cache directory + env scoping for one test, removed on exit.
+struct ScopedCacheDir {
+  ScopedCacheDir()
+      : Dir(makeDir()), CacheDir("CONVGEN_CACHE_DIR", Dir),
+        Enable("CONVGEN_DISABLE_DISK_CACHE", "0") {}
+  ~ScopedCacheDir() {
+    std::string Cleanup = "rm -rf " + Dir;
+    (void)std::system(Cleanup.c_str());
+  }
+  static std::string makeDir() {
+    char Template[] = "/tmp/convgen-warmstart-XXXXXX";
+    char *D = mkdtemp(Template);
+    return D ? D : "";
+  }
+  std::string Dir;
+  ScopedEnv CacheDir;
+  ScopedEnv Enable;
+};
+
+/// The deterministic population every test warms the cache with: three
+/// distinct standard-format pairs, all default options.
+std::vector<std::pair<std::string, std::string>> pairPool() {
+  return {{"coo", "csr"}, {"csr", "csc"}, {"coo3", "csf"}};
+}
+
+/// Compiles (or disk-loads) a JIT handle per pool pair; returns how many
+/// are native (tests skip entirely when the compiler is missing, so this
+/// should equal the pool size).
+int populate(PlanCache &Cache) {
+  int Native = 0;
+  for (const auto &[Src, Dst] : pairPool()) {
+    auto H = Cache.jit(formats::standardFormatOrDie(Src),
+                       formats::standardFormatOrDie(Dst));
+    if (!H->degraded())
+      ++Native;
+  }
+  return Native;
+}
+
+bool skipWithoutJit() {
+  return !jit::jitAvailable() || support::faultsConfigured();
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::stringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+void writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Data;
+}
+
+} // namespace
+
+TEST(WarmStart, ManifestPathHonorsEnvOverride) {
+  ScopedEnv Manifest("CONVGEN_MANIFEST", "/some/explicit/manifest.txt");
+  EXPECT_EQ(PlanCache::manifestFilePath(), "/some/explicit/manifest.txt");
+}
+
+TEST(WarmStart, MissingManifestIsAColdBootNotAnError) {
+  PreloadStats S =
+      PlanCache::instance().preload("/nonexistent/convgen-manifest");
+  EXPECT_EQ(S.Entries, 0u);
+  EXPECT_EQ(S.Loaded, 0u);
+  EXPECT_EQ(S.Evicted, 0u);
+}
+
+TEST(WarmStart, ExportPreloadRoundTripLoadsEveryEntryWithoutCompiling) {
+  if (skipWithoutJit())
+    GTEST_SKIP() << "needs a native compiler without injected faults";
+  ScopedCacheDir Scope;
+  ASSERT_FALSE(Scope.Dir.empty());
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  ASSERT_EQ(populate(Cache), static_cast<int>(pairPool().size()));
+  ASSERT_TRUE(Cache.exportManifest().ok());
+
+  // "Restart": the in-memory cache is gone; the manifest and objects stay.
+  Cache.clearMemory();
+  auto Before = DegradationLog::instance().snapshot();
+  PreloadStats S = Cache.preload();
+  auto After = DegradationLog::instance().snapshot();
+
+  EXPECT_EQ(S.Entries, pairPool().size());
+  EXPECT_EQ(S.Loaded, pairPool().size());
+  EXPECT_EQ(S.Evicted, 0u);
+  EXPECT_EQ(After[Degradation::PreloadHit] - Before[Degradation::PreloadHit],
+            pairPool().size());
+  EXPECT_EQ(After[Degradation::PreloadEviction],
+            Before[Degradation::PreloadEviction]);
+  // Preload never runs the compiler and never degrades.
+  EXPECT_EQ(After[Degradation::InterpreterFallback],
+            Before[Degradation::InterpreterFallback]);
+  EXPECT_EQ(After[Degradation::JitCompileFailure],
+            Before[Degradation::JitCompileFailure]);
+
+  // First requests hit the preloaded handles: pure in-memory hits, no
+  // misses, no compile time, and still bit-identical to the interpreter.
+  PlanCacheStats Mid = Cache.stats();
+  for (const auto &[Src, Dst] : pairPool()) {
+    auto H = Cache.jit(formats::standardFormatOrDie(Src),
+                       formats::standardFormatOrDie(Dst));
+    EXPECT_FALSE(H->degraded());
+    EXPECT_TRUE(H->loadedFromCache());
+    EXPECT_EQ(H->compileSeconds(), 0.0);
+  }
+  PlanCacheStats End = Cache.stats();
+  EXPECT_EQ(End.JitMisses, Mid.JitMisses);
+  EXPECT_EQ(End.JitHits - Mid.JitHits, pairPool().size());
+
+  tensor::Triplets T = tensor::genBandedRandom(40, 40, 4.0, 7, 3, 5);
+  tensor::SparseTensor In =
+      tensor::buildFromTriplets(formats::standardFormatOrDie("coo"), T);
+  auto H = Cache.jit(formats::standardFormatOrDie("coo"),
+                     formats::standardFormatOrDie("csr"));
+  tensor::SparseTensor FromJit = H->run(In);
+  convert::Converter Interp(formats::standardFormatOrDie("coo"),
+                            formats::standardFormatOrDie("csr"));
+  tensor::SparseTensor FromInterp = Interp.run(In);
+  ASSERT_EQ(FromInterp.Levels.size(), FromJit.Levels.size());
+  for (size_t K = 0; K < FromInterp.Levels.size(); ++K) {
+    EXPECT_EQ(FromInterp.Levels[K].Pos, FromJit.Levels[K].Pos);
+    EXPECT_EQ(FromInterp.Levels[K].Crd, FromJit.Levels[K].Crd);
+  }
+  EXPECT_EQ(FromInterp.Vals, FromJit.Vals);
+}
+
+TEST(WarmStart, FlagSkewEvictsEveryEntryThenRecompilesCleanly) {
+  if (skipWithoutJit())
+    GTEST_SKIP() << "needs a native compiler without injected faults";
+  ScopedCacheDir Scope;
+  ASSERT_FALSE(Scope.Dir.empty());
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  ASSERT_EQ(populate(Cache), static_cast<int>(pairPool().size()));
+  ASSERT_TRUE(Cache.exportManifest().ok());
+  Cache.clearMemory();
+
+  // The preloader runs under different compile flags than the manifest
+  // writer: version skew. Every entry must evict — a handle compiled
+  // under the old flags must never serve.
+  ScopedEnv Skew("CONVGEN_JIT_FLAGS", "-DCONVGEN_WARMSTART_SKEW=1");
+  auto Before = DegradationLog::instance().snapshot();
+  PreloadStats S = Cache.preload();
+  auto After = DegradationLog::instance().snapshot();
+  EXPECT_EQ(S.Entries, pairPool().size());
+  EXPECT_EQ(S.Loaded, 0u);
+  EXPECT_EQ(S.Evicted, pairPool().size());
+  EXPECT_EQ(After[Degradation::PreloadEviction] -
+                Before[Degradation::PreloadEviction],
+            pairPool().size());
+  EXPECT_EQ(After[Degradation::PreloadHit], Before[Degradation::PreloadHit]);
+
+  // The rewritten manifest dropped the skewed lines: a second preload
+  // sees an empty (but well-formed) file.
+  PreloadStats Again = Cache.preload();
+  EXPECT_EQ(Again.Entries, 0u);
+
+  // And the skewed environment still compiles fresh handles on demand —
+  // eviction degraded nothing.
+  auto H = Cache.jit(formats::standardFormatOrDie("coo"),
+                     formats::standardFormatOrDie("csr"));
+  EXPECT_FALSE(H->degraded());
+  EXPECT_FALSE(H->loadedFromCache());
+}
+
+TEST(WarmStart, CorruptManifestLineEvictsOnlyThatEntry) {
+  if (skipWithoutJit())
+    GTEST_SKIP() << "needs a native compiler without injected faults";
+  ScopedCacheDir Scope;
+  ASSERT_FALSE(Scope.Dir.empty());
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  ASSERT_EQ(populate(Cache), static_cast<int>(pairPool().size()));
+  std::string ManifestPath = PlanCache::manifestFilePath();
+  ASSERT_TRUE(Cache.exportManifest().ok());
+  Cache.clearMemory();
+
+  // Flip one byte inside the second entry's line (its integrity hash can
+  // no longer match). The other entries must still preload.
+  std::string Contents = readFile(ManifestPath);
+  ASSERT_FALSE(Contents.empty());
+  std::vector<std::string::size_type> LineStarts;
+  for (std::string::size_type P = Contents.find('\n');
+       P != std::string::npos; P = Contents.find('\n', P + 1))
+    LineStarts.push_back(P + 1);
+  ASSERT_GE(LineStarts.size(), 2u); // header + at least two entries
+  std::string::size_type Target = LineStarts[1]; // second entry line
+  Contents[Target] = Contents[Target] == 'x' ? 'y' : 'x';
+  writeFile(ManifestPath, Contents);
+
+  auto Before = DegradationLog::instance().snapshot();
+  PreloadStats S = Cache.preload();
+  auto After = DegradationLog::instance().snapshot();
+  EXPECT_EQ(S.Entries, pairPool().size());
+  EXPECT_EQ(S.Evicted, 1u);
+  EXPECT_EQ(S.Loaded, pairPool().size() - 1);
+  EXPECT_EQ(After[Degradation::PreloadEviction] -
+                Before[Degradation::PreloadEviction],
+            1u);
+
+  // The rewrite keeps only the surviving lines; a second preload over
+  // them is clean (they are already warm, so they count as skipped).
+  PreloadStats Again = Cache.preload();
+  EXPECT_EQ(Again.Entries, pairPool().size() - 1);
+  EXPECT_EQ(Again.Evicted, 0u);
+  EXPECT_EQ(Again.Loaded + Again.Skipped, pairPool().size() - 1);
+}
+
+TEST(WarmStart, CorruptObjectEvictsAtPreloadAndNeverServes) {
+  if (skipWithoutJit())
+    GTEST_SKIP() << "needs a native compiler without injected faults";
+  ScopedCacheDir Scope;
+  ASSERT_FALSE(Scope.Dir.empty());
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  ASSERT_EQ(populate(Cache), static_cast<int>(pairPool().size()));
+  ASSERT_TRUE(Cache.exportManifest().ok());
+  Cache.clearMemory();
+
+  // Truncate one cached object in place (torn write / bit rot): its
+  // checksum can no longer verify, so preload must evict that entry.
+  std::string Victim;
+  {
+    std::string Cmd = "ls " + Scope.Dir + "/*.so";
+    std::FILE *Ls = popen(Cmd.c_str(), "r");
+    ASSERT_NE(Ls, nullptr);
+    char Buf[512];
+    if (std::fgets(Buf, sizeof(Buf), Ls)) {
+      Victim = Buf;
+      while (!Victim.empty() &&
+             (Victim.back() == '\n' || Victim.back() == ' '))
+        Victim.pop_back();
+    }
+    pclose(Ls);
+  }
+  ASSERT_FALSE(Victim.empty());
+  writeFile(Victim, "not a shared object");
+
+  PreloadStats S = Cache.preload();
+  EXPECT_EQ(S.Entries, pairPool().size());
+  EXPECT_EQ(S.Evicted, 1u);
+  EXPECT_EQ(S.Loaded, pairPool().size() - 1);
+}
+
+TEST(WarmStart, BackgroundPreloadJoinsWithTheSameResult) {
+  if (skipWithoutJit())
+    GTEST_SKIP() << "needs a native compiler without injected faults";
+  ScopedCacheDir Scope;
+  ASSERT_FALSE(Scope.Dir.empty());
+  PlanCache &Cache = PlanCache::instance();
+  Cache.clearMemory();
+  ASSERT_EQ(populate(Cache), static_cast<int>(pairPool().size()));
+  ASSERT_TRUE(Cache.exportManifest().ok());
+  Cache.clearMemory();
+
+  // Background mode returns immediately; the warmer thread does the same
+  // pass and waitForPreload() hands back its stats. Capture the manifest
+  // path before launching — the warmer runs concurrently with this
+  // thread, and the ScopedEnv teardown must not race it (waitForPreload
+  // synchronizes before this scope unwinds).
+  PreloadStats Immediate =
+      Cache.preload(PlanCache::manifestFilePath(), PreloadMode::Background);
+  EXPECT_EQ(Immediate.Entries, 0u);
+  PreloadStats Joined = Cache.waitForPreload();
+  EXPECT_EQ(Joined.Entries, pairPool().size());
+  EXPECT_EQ(Joined.Loaded, pairPool().size());
+  EXPECT_EQ(Joined.Evicted, 0u);
+
+  for (const auto &[Src, Dst] : pairPool()) {
+    auto H = Cache.jit(formats::standardFormatOrDie(Src),
+                       formats::standardFormatOrDie(Dst));
+    EXPECT_FALSE(H->degraded());
+    EXPECT_TRUE(H->loadedFromCache());
+  }
+}
