@@ -44,6 +44,7 @@
 
 #include "Common.h"
 
+#include "codegen/Knobs.h"
 #include "support/StringUtils.h"
 #include "tensor/Generators.h"
 
@@ -95,6 +96,9 @@ public:
                                    : std::nullopt);
       setenv(Name, Value, 1);
     }
+    // The strategy knobs are a one-time snapshot; flipping the
+    // environment only takes effect through an explicit reload.
+    codegen::reloadKnobsFromEnv();
   }
   ~ScopedVariant() {
     // Restore, don't unset: an ambient knob (e.g. the README-documented
@@ -106,6 +110,7 @@ public:
       else
         unsetenv(Name);
     }
+    codegen::reloadKnobsFromEnv();
   }
 
 private:
@@ -246,7 +251,7 @@ int main() {
     std::string Why;
     bool Rejected = !codegen::conversionSupported(
         formats::standardFormatOrDie("csr"), formats::standardFormatOrDie("sky"),
-        {Dims[0], Dims[0]}, &Why);
+        std::vector<int64_t>{Dims[0], Dims[0]}, &Why);
     std::printf("dense-path rejection (csr->sky at 2^31 rows):\n  %s\n\n",
                 Rejected ? Why.c_str() : "UNEXPECTEDLY ACCEPTED");
     Report.meta("dense_path_rejected", Rejected ? "true" : "false");

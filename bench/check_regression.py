@@ -19,6 +19,12 @@ For every BENCH_*.json present in BOTH directories (matched by filename):
     only one side are reported as notices, never failures (new sections
     appear as benches grow).
 
+  * Malformed or incomparable baselines never crash the gate. A baseline
+    whose entries lack a metric the fresh run has (or carry a null or
+    non-numeric value), or whose JSON has an unexpected shape, is treated
+    as "no baseline": the file or entry is skipped with a notice and the
+    gate still exits 0. Only genuine measured regressions fail CI.
+
   * Regression test, tolerance t (default 0.25):
       - "median_seconds"       regressed when fresh > baseline * (1 + t)
       - "requests_per_second"  regressed when fresh < baseline * (1 - t)
@@ -43,8 +49,25 @@ MIN_RPS = 1.0
 
 def entry_key(entry):
     if "label" in entry:
-        return ("label", entry.get("section", ""), entry["label"])
-    return ("pair", entry.get("section", ""), entry.get("clients", ""))
+        return ("label", str(entry.get("section", "")), str(entry["label"]))
+    return ("pair", str(entry.get("section", "")),
+            str(entry.get("clients", "")))
+
+
+def numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def entries_by_key(doc):
+    """Results indexed by entry_key, or None when the shape is wrong."""
+    results = doc.get("results", []) if isinstance(doc, dict) else None
+    if not isinstance(results, list):
+        return None
+    out = {}
+    for e in results:
+        if isinstance(e, dict):
+            out[entry_key(e)] = e
+    return out
 
 
 def load(path):
@@ -53,6 +76,9 @@ def load(path):
 
 
 def compare_file(name, base, fresh, tolerance, notices, regressions):
+    if not isinstance(base, dict) or not isinstance(fresh, dict):
+        notices.append(f"{name}: skipped (not a JSON object; no baseline)")
+        return
     for key in PROVENANCE_KEYS:
         if base.get(key) != fresh.get(key):
             notices.append(
@@ -61,8 +87,12 @@ def compare_file(name, base, fresh, tolerance, notices, regressions):
             )
             return
 
-    base_entries = {entry_key(e): e for e in base.get("results", [])}
-    fresh_entries = {entry_key(e): e for e in fresh.get("results", [])}
+    base_entries = entries_by_key(base)
+    fresh_entries = entries_by_key(fresh)
+    if base_entries is None or fresh_entries is None:
+        notices.append(
+            f"{name}: skipped (\"results\" is not a list; no baseline)")
+        return
 
     for key, b in base_entries.items():
         f = fresh_entries.get(key)
@@ -72,7 +102,11 @@ def compare_file(name, base, fresh, tolerance, notices, regressions):
             continue
         if "median_seconds" in b and "median_seconds" in f:
             bv, fv = b["median_seconds"], f["median_seconds"]
-            if bv >= MIN_SECONDS and fv > bv * (1 + tolerance):
+            if not numeric(bv) or not numeric(fv):
+                notices.append(
+                    f"{tag}: non-numeric median_seconds; treated as no "
+                    f"baseline")
+            elif bv >= MIN_SECONDS and fv > bv * (1 + tolerance):
                 regressions.append(
                     f"{tag}: median_seconds {bv:.6g} -> {fv:.6g} "
                     f"(+{(fv / bv - 1) * 100:.0f}%, tolerance "
@@ -80,7 +114,11 @@ def compare_file(name, base, fresh, tolerance, notices, regressions):
                 )
         if "requests_per_second" in b and "requests_per_second" in f:
             bv, fv = b["requests_per_second"], f["requests_per_second"]
-            if bv >= MIN_RPS and fv < bv * (1 - tolerance):
+            if not numeric(bv) or not numeric(fv):
+                notices.append(
+                    f"{tag}: non-numeric requests_per_second; treated as "
+                    f"no baseline")
+            elif bv >= MIN_RPS and fv < bv * (1 - tolerance):
                 regressions.append(
                     f"{tag}: requests_per_second {bv:.6g} -> {fv:.6g} "
                     f"({(fv / bv - 1) * 100:.0f}%, tolerance "
@@ -118,11 +156,17 @@ def main():
         try:
             base, fresh = load(base_path), load(fresh_path)
         except (json.JSONDecodeError, OSError) as e:
-            regressions.append(f"{name}: unreadable ({e})")
+            notices.append(f"{name}: unreadable ({e}); treated as no "
+                           f"baseline")
             continue
         compared += 1
-        compare_file(name, base, fresh, args.tolerance, notices,
-                     regressions)
+        try:
+            compare_file(name, base, fresh, args.tolerance, notices,
+                         regressions)
+        except (TypeError, KeyError, AttributeError, ValueError) as e:
+            # A malformed baseline must never crash the gate: treat the
+            # whole file as having no baseline.
+            notices.append(f"{name}: not comparable ({e}); skipped")
 
     for n in notices:
         print(f"note: {n}")

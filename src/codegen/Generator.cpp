@@ -459,7 +459,8 @@ int64_t satMulUnknown(int64_t A, int64_t B) {
 AssemblyPlan planAssemblyImpl(const formats::Format &Src,
                               const formats::Format &Dst,
                               const levels::SourceIterator &SrcIt,
-                              const std::vector<int64_t> &Dims) {
+                              const Options &Opts) {
+  const std::vector<int64_t> &Dims = Opts.DimsHint;
   AssemblyPlan Plan;
   size_t N = Dst.Levels.size();
   Plan.Dedup.assign(N, false);
@@ -608,7 +609,10 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
     bool AncestorSorted = false;
     for (size_t P = 0; P < K; ++P)
       AncestorSorted = AncestorSorted || Plan.Sorted[P];
-    if (!(F >= 0 && overBudget(F)) && !AncestorSorted)
+    bool OverBudget = F >= 0 && overBudget(F);
+    // The planner's sort-first direct variant forces every eligible
+    // compressed level onto sorted ranking even under the dense budget.
+    if (!OverBudget && !AncestorSorted && !Opts.ForceSortedRanking)
       continue;
     // The level wants sorted ranking; check the strategy's preconditions.
     std::string NoFallback;
@@ -634,12 +638,13 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
                             P + 1);
     }
     if (!NoFallback.empty()) {
-      // This path is also reachable through AncestorSorted with this
-      // level's own footprint small or unknown; claiming "-1 bytes over
-      // the budget" would be nonsense, so name the real cause instead.
-      if (F >= 0 && overBudget(F))
+      // This path is also reachable through AncestorSorted (or a planner
+      // force) with this level's own footprint small or unknown; claiming
+      // "-1 bytes over the budget" would be nonsense, so name the real
+      // cause instead.
+      if (OverBudget)
         Plan.Unsupported = sizeDiagnostic(K, What, F, NoFallback);
-      else
+      else if (AncestorSorted)
         Plan.Unsupported = strfmt(
             "conversion %s -> %s rejected on size grounds: an ancestor "
             "level's dense ranking structures exceed the "
@@ -648,6 +653,11 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
             "%s",
             Src.Name.c_str(), Dst.Name.c_str(),
             static_cast<long long>(Budget), K + 1, NoFallback.c_str());
+      else
+        Plan.Unsupported = strfmt(
+            "conversion %s -> %s: the planner forced the sorted-ranking "
+            "strategy, which does not apply to level %zu: %s",
+            Src.Name.c_str(), Dst.Name.c_str(), K + 1, NoFallback.c_str());
       return Plan;
     }
     Plan.Sorted[K] = true;
@@ -662,7 +672,12 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
   // data the pre-dedup finds none and costs one O(nnz) hash pass, which
   // the saved comparison depth of the wider-tuple sort does not always
   // repay — width is a heuristic, not a proof, and the knob overrides it).
+  // Precedence: an explicit environment knob always wins (pinning tests
+  // and operators override everything), then the planner-forced field,
+  // then the auto heuristic.
   RankStrategy Strategy = rankStrategyKnob();
+  if (Strategy == RankStrategy::Auto)
+    Strategy = Opts.ForceRank;
   for (size_t K = 0; K < N; ++K) {
     if (!Plan.Sorted[K])
       continue;
@@ -689,8 +704,7 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
     for (size_t I = 0; I + 1 < SortedLevels.size(); ++I)
       Nested = Nested && Dst.Levels[SortedLevels[I]].Dim <
                              Dst.Levels[SortedLevels[I + 1]].Dim;
-    const char *Disable = std::getenv("CONVGEN_NO_SHARED_SORT");
-    if (Disable && *Disable && std::string(Disable) != "0")
+    if (knobs().NoSharedSort || Opts.ForceNoSharedSort)
       Nested = false;
     if (Nested) {
       Plan.SharedSortAnchor = static_cast<int>(SortedLevels.back()) + 1;
@@ -711,7 +725,10 @@ AssemblyPlan planAssemblyImpl(const formats::Format &Src,
   // CONVGEN_SORT_STRATEGY knob only vetoes it (merge) or requests it
   // (radix/auto) — it cannot make unpackable keys fit. The sorted output
   // is the identical pure function of the input either way.
-  if (Plan.anySorted() && sortStrategyKnob() != SortStrategy::Merge) {
+  SortStrategy SortKnob = sortStrategyKnob();
+  if (SortKnob == SortStrategy::Auto)
+    SortKnob = Opts.ForceSort;
+  if (Plan.anySorted() && SortKnob != SortStrategy::Merge) {
     std::vector<int64_t> Widths;
     int64_t TotalBits = 0;
     bool Fits = !Ext.empty();
@@ -890,7 +907,7 @@ std::vector<ir::Expr> Generator::dstCoords(const levels::IterEnv &Env,
 }
 
 Conversion Generator::run() {
-  AssemblyPlan Plan = planAssemblyImpl(Src, Dst, SrcIt, Opts.DimsHint);
+  AssemblyPlan Plan = planAssemblyImpl(Src, Dst, SrcIt, Opts);
   if (!Plan.Unsupported.empty())
     fatalError(Plan.Unsupported.c_str());
   planCounters();
@@ -1146,46 +1163,29 @@ Conversion Generator::run() {
 } // namespace
 
 int64_t codegen::rankDenseMaxBytes() {
-  // Re-read on every call so tests (and long-lived processes) can adjust
-  // the budget through the environment.
-  if (const char *Env = std::getenv("CONVGEN_RANK_DENSE_MAX_BYTES")) {
-    char *End = nullptr;
-    long long V = std::strtoll(Env, &End, 10);
-    if (End != Env && V > 0)
-      return static_cast<int64_t>(V);
-  }
-  return int64_t(64) << 20;
+  // Snapshot read (codegen/Knobs.h): tests adjust the budget through
+  // ScopedEnv, which reloads the snapshot; concurrent planners never race
+  // a setenv.
+  return knobs().RankDenseMaxBytes;
 }
 
-RankStrategy codegen::rankStrategyKnob() {
-  const char *Env = std::getenv("CONVGEN_RANK_STRATEGY");
-  if (!Env)
-    return RankStrategy::Auto;
-  std::string V = Env;
-  if (V == "sorted")
-    return RankStrategy::Sorted;
-  if (V == "hashed")
-    return RankStrategy::Hashed;
-  return RankStrategy::Auto;
-}
+RankStrategy codegen::rankStrategyKnob() { return knobs().Rank; }
 
-SortStrategy codegen::sortStrategyKnob() {
-  const char *Env = std::getenv("CONVGEN_SORT_STRATEGY");
-  if (!Env)
-    return SortStrategy::Auto;
-  std::string V = Env;
-  if (V == "merge")
-    return SortStrategy::Merge;
-  if (V == "radix")
-    return SortStrategy::Radix;
-  return SortStrategy::Auto;
-}
+SortStrategy codegen::sortStrategyKnob() { return knobs().Sort; }
 
 AssemblyPlan codegen::planAssembly(const formats::Format &Source,
                                    const formats::Format &Target,
                                    const std::vector<int64_t> &Dims) {
+  Options Opts;
+  Opts.DimsHint = Dims;
+  return planAssembly(Source, Target, Opts);
+}
+
+AssemblyPlan codegen::planAssembly(const formats::Format &Source,
+                                   const formats::Format &Target,
+                                   const Options &Opts) {
   levels::SourceIterator SrcIt(Source);
-  return planAssemblyImpl(Source, Target, SrcIt, Dims);
+  return planAssemblyImpl(Source, Target, SrcIt, Opts);
 }
 
 Options codegen::optionsForDims(const formats::Format &Source,
@@ -1193,23 +1193,31 @@ Options codegen::optionsForDims(const formats::Format &Source,
                                 const Options &Opts,
                                 const std::vector<int64_t> &Dims) {
   Options Out = Opts;
-  Out.DimsHint.clear();
-  AssemblyPlan Plan = planAssembly(Source, Target, Dims);
-  if (Plan.anySorted() || !Plan.Unsupported.empty())
-    Out.DimsHint = Dims;
+  Out.DimsHint = Dims;
+  AssemblyPlan Plan = planAssembly(Source, Target, Out);
+  if (!Plan.anySorted() && Plan.Unsupported.empty())
+    Out.DimsHint.clear();
   return Out;
 }
 
 bool codegen::conversionSupported(const formats::Format &Source,
                                   const formats::Format &Target,
                                   std::string *Why) {
-  return conversionSupported(Source, Target, {}, Why);
+  return conversionSupported(Source, Target, std::vector<int64_t>(), Why);
 }
 
 bool codegen::conversionSupported(const formats::Format &Source,
                                   const formats::Format &Target,
                                   const std::vector<int64_t> &Dims,
                                   std::string *Why) {
+  Options Opts;
+  Opts.DimsHint = Dims;
+  return conversionSupported(Source, Target, Opts, Why);
+}
+
+bool codegen::conversionSupported(const formats::Format &Source,
+                                  const formats::Format &Target,
+                                  const Options &Opts, std::string *Why) {
   // Order mismatch must answer "unsupported" here rather than abort in
   // generateConversion: the serving layer routes arbitrary request pairs
   // through this predicate.
@@ -1220,7 +1228,7 @@ bool codegen::conversionSupported(const formats::Format &Source,
              std::to_string(Target.SrcOrder) + ")";
     return false;
   }
-  std::string Reason = planAssembly(Source, Target, Dims).Unsupported;
+  std::string Reason = planAssembly(Source, Target, Opts).Unsupported;
   if (Why)
     *Why = Reason;
   return Reason.empty();

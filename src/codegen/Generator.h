@@ -18,6 +18,7 @@
 #ifndef CONVGEN_CODEGEN_GENERATOR_H
 #define CONVGEN_CODEGEN_GENERATOR_H
 
+#include "codegen/Knobs.h"
 #include "formats/Format.h"
 #include "ir/IR.h"
 #include "query/Cin.h"
@@ -52,6 +53,40 @@ struct Options {
   /// to populate it only when the dims actually change the plan, so small
   /// tensors keep sharing one cached plan per pair.
   std::vector<int64_t> DimsHint;
+
+  //===--- Planner-forced strategy assignments -------------------------===//
+  // The conversion path planner (src/planner/) expresses its candidate
+  // strategy assignments through these fields. Precedence per decision:
+  // a non-Auto environment knob always wins (explicit pinning overrides
+  // the planner — existing knob tests keep passing), then the forced
+  // field, then the auto heuristic. All forced fields participate in plan
+  // keys and JIT compile flags, so a planner decision can never alias a
+  // differently-generated cached object.
+
+  /// Force the sorted-ranking list-construction variant (plain sorted or
+  /// hashed pre-dedup) when CONVGEN_RANK_STRATEGY is auto/unset.
+  RankStrategy ForceRank = RankStrategy::Auto;
+  /// Force the sort lowering (merge or packed radix) when
+  /// CONVGEN_SORT_STRATEGY is auto/unset. Radix still requires packable
+  /// extents, exactly like the env knob.
+  SortStrategy ForceSort = SortStrategy::Auto;
+  /// Disable the shared full-arity sort, like CONVGEN_NO_SHARED_SORT=1.
+  bool ForceNoSharedSort = false;
+  /// Put every eligible compressed level on the O(nnz) sorted-ranking
+  /// strategy even under the dense-footprint budget (the planner's
+  /// "sort-first" direct variant). planAssembly() reports Unsupported with
+  /// a planner-specific diagnostic when a level fails the strategy's
+  /// preconditions instead of silently keeping dense ranking.
+  bool ForceSortedRanking = false;
+
+  /// True when any planner-forced field deviates from its default. Forced
+  /// plans are excluded from the warm-start manifest (its compact option
+  /// encoding carries only the paper-ablation bits).
+  bool anyForced() const {
+    return ForceRank != RankStrategy::Auto ||
+           ForceSort != SortStrategy::Auto || ForceNoSharedSort ||
+           ForceSortedRanking;
+  }
 };
 
 /// Per-level assembly strategy decisions plus the support verdict for a
@@ -121,39 +156,31 @@ AssemblyPlan planAssembly(const formats::Format &Source,
                           const formats::Format &Target,
                           const std::vector<int64_t> &Dims = {});
 
+/// Options-aware variant: reads the dims hint *and* the planner-forced
+/// strategy fields from \p Opts. The three-field overload is equivalent to
+/// default options with DimsHint = Dims.
+AssemblyPlan planAssembly(const formats::Format &Source,
+                          const formats::Format &Target,
+                          const Options &Opts);
+
 /// Byte budget for dense per-level ranking structures (rank arrays,
 /// presence bit sets, grouped query buffers): levels whose estimated
-/// footprint exceeds it take the sorted-ranking fallback. Read from
-/// CONVGEN_RANK_DENSE_MAX_BYTES on every call (so tests can vary it);
-/// defaults to 64 MiB.
+/// footprint exceeds it take the sorted-ranking fallback. Reads the
+/// CONVGEN_RANK_DENSE_MAX_BYTES snapshot (knobs(); tests vary it through
+/// ScopedEnv, which reloads the snapshot); defaults to 64 MiB.
 int64_t rankDenseMaxBytes();
 
-/// How sorted-ranking levels build their unique tuple lists. Auto applies
-/// the width heuristic (hash-dedup before sorting whenever the level's
-/// grouping tuple is narrower than the tensor order, i.e. duplicates are
-/// guaranteed); Sorted forces the plain sort+unique; Hashed forces the
-/// hash-dedup pre-pass everywhere.
-enum class RankStrategy : uint8_t { Auto, Sorted, Hashed };
-
-/// The CONVGEN_RANK_STRATEGY environment knob ("auto" | "sorted" |
-/// "hashed"; anything else, including unset, reads as auto). Re-read on
-/// every call. The knob participates in plan keys and JIT compile flags so
-/// flipping it can never hit a stale cached plan or shared object.
+/// The CONVGEN_RANK_STRATEGY knob ("auto" | "sorted" | "hashed"; anything
+/// else, including unset, reads as auto), from the knobs() snapshot. The
+/// knob participates in plan keys and JIT compile flags so flipping it
+/// (and reloading) can never hit a stale cached plan or shared object.
 RankStrategy rankStrategyKnob();
 
-/// How sorted-ranking levels lower their tuple sorts. Auto packs the
-/// coordinates into one 64-bit key and radix-sorts whenever the dims hint
-/// proves they fit (ceil(log2(extent)) bits per dim, total <= 64); Merge
-/// forces the comparison merge sort everywhere; Radix asks for the packed
-/// sort but still falls back to merge when the keys do not fit or no hint
-/// exists — packability is a property of the extents, not a preference.
-enum class SortStrategy : uint8_t { Auto, Merge, Radix };
-
-/// The CONVGEN_SORT_STRATEGY environment knob ("auto" | "merge" | "radix";
-/// anything else, including unset, reads as auto). Re-read on every call.
+/// The CONVGEN_SORT_STRATEGY knob ("auto" | "merge" | "radix"; anything
+/// else, including unset, reads as auto), from the knobs() snapshot.
 /// Participates in plan keys (via the re-derived PackedSort bit) and JIT
-/// compile flags so flipping it can never hit a stale cached plan or
-/// shared object.
+/// compile flags so flipping it (and reloading) can never hit a stale
+/// cached plan or shared object.
 SortStrategy sortStrategyKnob();
 
 /// Returns \p Opts with DimsHint populated iff these dims change the
@@ -216,6 +243,13 @@ bool conversionSupported(const formats::Format &Source,
                          const formats::Format &Target,
                          const std::vector<int64_t> &Dims,
                          std::string *Why = nullptr);
+
+/// Options-aware variant: honors the dims hint *and* the planner-forced
+/// strategy fields (a forced strategy whose preconditions fail makes the
+/// pair unsupported under those options, never a silent fallback).
+bool conversionSupported(const formats::Format &Source,
+                         const formats::Format &Target,
+                         const Options &Opts, std::string *Why = nullptr);
 
 } // namespace codegen
 } // namespace convgen

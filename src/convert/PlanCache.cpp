@@ -6,6 +6,7 @@
 
 #include "convert/PlanCache.h"
 
+#include "codegen/Knobs.h"
 #include "formats/Standard.h"
 #include "support/Assert.h"
 #include "support/DegradationLog.h"
@@ -13,6 +14,7 @@
 #include "support/Hash.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -340,9 +342,11 @@ std::string convert::planKey(const formats::Format &Source,
   // / CONVGEN_RANK_DENSE_MAX_BYTES can never hit a stale cached plan.
   // optionsForDims() keeps the hint empty whenever the dims do not affect
   // the plan, so ordinary tensors share the default entry per pair.
-  if (!Opts.DimsHint.empty()) {
-    codegen::AssemblyPlan Plan =
-        codegen::planAssembly(Source, Target, Opts.DimsHint);
+  // Planner-forced options always carry their strategy bits (and a forced
+  // marker below): a planner decision can never alias the default plan's
+  // cached object even at hint-free dims.
+  if (!Opts.DimsHint.empty() || Opts.anyForced()) {
+    codegen::AssemblyPlan Plan = codegen::planAssembly(Source, Target, Opts);
     Key += " [s";
     for (size_t K = 0; K < Plan.Sorted.size(); ++K)
       Key += Plan.Sorted[K] ? (Plan.Hashed[K] ? 'h' : '1')
@@ -364,6 +368,11 @@ std::string convert::planKey(const formats::Format &Source,
         Key += ":" + std::to_string(D);
     }
     Key += "]";
+    if (Opts.anyForced())
+      Key += strfmt(" [f:r%ds%dg%dS%d]", static_cast<int>(Opts.ForceRank),
+                    static_cast<int>(Opts.ForceSort),
+                    Opts.ForceNoSharedSort ? 1 : 0,
+                    Opts.ForceSortedRanking ? 1 : 0);
   }
   return Key;
 }
@@ -476,10 +485,7 @@ PlanCache::tryPlan(const formats::Format &Source,
                          "plan: request deadline expired");
   }
   std::string Why;
-  bool Supported =
-      Opts.DimsHint.empty()
-          ? codegen::conversionSupported(Source, Target, &Why)
-          : codegen::conversionSupported(Source, Target, Opts.DimsHint, &Why);
+  bool Supported = codegen::conversionSupported(Source, Target, Opts, &Why);
   if (!Supported)
     return Status::error(ErrorCode::Unsupported, Why);
   return plan(Source, Target, Opts);
@@ -497,10 +503,7 @@ PlanCache::tryJit(const formats::Format &Source, const formats::Format &Target,
                          "jit: request deadline expired");
   }
   std::string Why;
-  bool Supported =
-      Opts.DimsHint.empty()
-          ? codegen::conversionSupported(Source, Target, &Why)
-          : codegen::conversionSupported(Source, Target, Opts.DimsHint, &Why);
+  bool Supported = codegen::conversionSupported(Source, Target, Opts, &Why);
   if (!Supported)
     return Status::error(ErrorCode::Unsupported, Why);
   // Environment failures below this point degrade inside JitConversion
@@ -589,7 +592,7 @@ PlanCache::jitImpl(const formats::Format &Source,
   if (!Dir.empty()) {
     const char *Cc = std::getenv("CONVGEN_CC");
     std::string DiskKey = Plan->cSource() + "\n" +
-                          jit::jitEffectiveFlags(ExtraFlags) + "\n" +
+                          jit::jitEffectiveFlags(ExtraFlags, Opts) + "\n" +
                           (Cc ? Cc : "cc") + "\n" + hostIsaFingerprint();
     SoPath = Dir + "/" + Plan->Func.Name + "-" + contentHash(DiskKey) + ".so";
   }
@@ -693,6 +696,11 @@ Status PlanCache::exportManifest(const std::string &Path) {
     // the formats must round-trip through the standard registry onto the
     // same plan key (custom formats and knob drift since recording fail
     // this and are skipped, not exported broken).
+    // Planner-forced plans cannot round-trip through the manifest's
+    // compact option encoding (q/c/u/m bits only); a fresh process
+    // re-plans and recompiles them on demand instead.
+    if (Rec.Opts.anyForced())
+      continue;
     std::optional<formats::Format> Src =
         formats::standardFormat(Rec.SrcName);
     std::optional<formats::Format> Dst =
@@ -928,4 +936,132 @@ void PlanCache::maybePreloadFromEnv() {
       preload("", PreloadMode::Background);
     // Anything else (including "off") boots cold.
   });
+}
+
+//===--------------------------------------------------------------------===//
+// Measured per-strategy outcomes (the planner's auto-tuning memory).
+//===--------------------------------------------------------------------===//
+
+namespace {
+/// Outcome store format version; an unknown header drops the whole file
+/// (measurements are advisory — losing them costs re-measurement, never
+/// correctness).
+const char kOutcomesHeader[] = "convgen-outcomes-v1";
+} // namespace
+
+std::string PlanCache::outcomesFilePath() {
+  if (const char *Env = std::getenv("CONVGEN_OUTCOMES"))
+    return Env; // Empty value = memory-only, by request.
+  std::string Dir = diskCacheDir();
+  return Dir.empty() ? "" : Dir + "/outcomes.txt";
+}
+
+void PlanCache::loadOutcomesLocked() {
+  if (OutcomesLoaded)
+    return;
+  OutcomesLoaded = true;
+  std::string Path = outcomesFilePath();
+  std::string Contents;
+  if (Path.empty() || !readWholeFile(Path, &Contents))
+    return; // Cold start: nothing learned yet.
+  std::string::size_type Pos = 0;
+  bool First = true;
+  while (Pos <= Contents.size()) {
+    std::string::size_type Nl = Contents.find('\n', Pos);
+    std::string Line = Contents.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    Pos = Nl == std::string::npos ? Contents.size() + 1 : Nl + 1;
+    if (First) {
+      First = false;
+      if (Line != kOutcomesHeader)
+        return; // Unknown version or corrupt header: start cold.
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    std::vector<std::string> F = splitTabs(Line);
+    if (F.size() != 5)
+      continue; // Torn or foreign line: skip it, keep the rest.
+    if (F[4] != contentHash(Line.substr(0, Line.rfind('\t'))))
+      continue;
+    char *End = nullptr;
+    OutcomeRecord Rec;
+    unsigned long long Count = std::strtoull(F[1].c_str(), &End, 10);
+    if (!End || *End != '\0' || Count == 0)
+      continue;
+    Rec.Count = Count;
+    Rec.TotalSeconds = std::strtod(F[2].c_str(), &End);
+    if (!End || *End != '\0' || !(Rec.TotalSeconds >= 0))
+      continue;
+    Rec.MinSeconds = std::strtod(F[3].c_str(), &End);
+    if (!End || *End != '\0' || !(Rec.MinSeconds >= 0))
+      continue;
+    Outcomes[F[0]] = Rec;
+  }
+}
+
+void PlanCache::persistOutcomesLocked() {
+  std::string Path = outcomesFilePath();
+  if (Path.empty())
+    return;
+  std::string Out = std::string(kOutcomesHeader) + "\n";
+  for (const auto &[Key, Rec] : Outcomes) {
+    if (Key.find('\t') != std::string::npos ||
+        Key.find('\n') != std::string::npos)
+      continue;
+    std::string Line = Key + "\t" + std::to_string(Rec.Count) + "\t" +
+                       strfmt("%.9g", Rec.TotalSeconds) + "\t" +
+                       strfmt("%.9g", Rec.MinSeconds);
+    Out += Line + "\t" + contentHash(Line) + "\n";
+  }
+  EntryLock Lock(Path);
+  if (!writeFileAtomic(Path, Out))
+    DegradationLog::instance().record(
+        Degradation::CacheWriteFailure,
+        "outcomes: cannot write " + Path);
+}
+
+void PlanCache::recordOutcome(const std::string &Key, double Seconds) {
+  if (!(Seconds >= 0) || Seconds != Seconds)
+    return; // Negative or NaN: a broken clock teaches nothing.
+  std::lock_guard<std::mutex> Lock(OutcomesMu);
+  loadOutcomesLocked();
+  OutcomeRecord &Rec = Outcomes[Key];
+  Rec.Count++;
+  Rec.TotalSeconds += Seconds;
+  Rec.MinSeconds =
+      Rec.Count == 1 ? Seconds : std::min(Rec.MinSeconds, Seconds);
+  // A key still below the trust threshold flushes immediately: a
+  // short-lived process (a CLI run) records only a handful of outcomes,
+  // and those early observations are exactly the ones cross-process
+  // auto-tuning needs to reach trust. Established keys batch the writes.
+  if (Rec.Count <= static_cast<uint64_t>(
+                       std::max<int64_t>(1, codegen::knobs().PlannerTrustAfter)) ||
+      ++OutcomesSinceFlush >= kOutcomePersistEvery) {
+    OutcomesSinceFlush = 0;
+    persistOutcomesLocked();
+  }
+}
+
+bool PlanCache::outcomeFor(const std::string &Key, OutcomeRecord *Out) {
+  std::lock_guard<std::mutex> Lock(OutcomesMu);
+  loadOutcomesLocked();
+  auto It = Outcomes.find(Key);
+  if (It == Outcomes.end())
+    return false;
+  if (Out)
+    *Out = It->second;
+  return true;
+}
+
+void PlanCache::resetOutcomes() {
+  std::lock_guard<std::mutex> Lock(OutcomesMu);
+  Outcomes.clear();
+  OutcomesLoaded = true; // The empty state is authoritative now.
+  OutcomesSinceFlush = 0;
+  std::string Path = outcomesFilePath();
+  if (!Path.empty()) {
+    EntryLock Lock2(Path);
+    std::remove(Path.c_str());
+  }
 }

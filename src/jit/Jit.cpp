@@ -325,10 +325,8 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
     Flags += " -DCONVGEN_RANK_STRATEGY_HASHED=1";
     break;
   }
-  if (const char *Env = std::getenv("CONVGEN_NO_SHARED_SORT")) {
-    if (*Env && std::string(Env) != "0")
-      Flags += " -DCONVGEN_NO_SHARED_SORT=1";
-  }
+  if (codegen::knobs().NoSharedSort)
+    Flags += " -DCONVGEN_NO_SHARED_SORT=1";
   switch (codegen::sortStrategyKnob()) {
   case codegen::SortStrategy::Auto:
     break;
@@ -341,6 +339,39 @@ std::string jit::jitEffectiveFlags(const std::string &ExtraFlags) {
   }
   if (!ExtraFlags.empty())
     Flags += " " + ExtraFlags;
+  return Flags;
+}
+
+std::string jit::jitEffectiveFlags(const std::string &ExtraFlags,
+                                   const codegen::Options &Opts) {
+  std::string Flags = jitEffectiveFlags(ExtraFlags);
+  // Planner-forced strategies change the generated C exactly like their
+  // env-knob counterparts; baking them in as defines keeps the flag string
+  // the other half of every cache key honest (see the knob defines above).
+  switch (Opts.ForceRank) {
+  case codegen::RankStrategy::Auto:
+    break;
+  case codegen::RankStrategy::Sorted:
+    Flags += " -DCONVGEN_PLANNER_FORCE_RANK_SORTED=1";
+    break;
+  case codegen::RankStrategy::Hashed:
+    Flags += " -DCONVGEN_PLANNER_FORCE_RANK_HASHED=1";
+    break;
+  }
+  switch (Opts.ForceSort) {
+  case codegen::SortStrategy::Auto:
+    break;
+  case codegen::SortStrategy::Merge:
+    Flags += " -DCONVGEN_PLANNER_FORCE_SORT_MERGE=1";
+    break;
+  case codegen::SortStrategy::Radix:
+    Flags += " -DCONVGEN_PLANNER_FORCE_SORT_RADIX=1";
+    break;
+  }
+  if (Opts.ForceNoSharedSort)
+    Flags += " -DCONVGEN_PLANNER_NO_SHARED_SORT=1";
+  if (Opts.ForceSortedRanking)
+    Flags += " -DCONVGEN_PLANNER_FORCE_SORTED_RANKING=1";
   return Flags;
 }
 
@@ -539,7 +570,8 @@ Status JitConversion::compileAndLoadOnce(
   }
 
   std::vector<std::string> Args = splitTokens(compilerSpec());
-  for (const std::string &F : splitTokens(jitEffectiveFlags(ExtraFlags)))
+  for (const std::string &F :
+       splitTokens(jitEffectiveFlags(ExtraFlags, Conv.Opts)))
     Args.push_back(F);
   Args.push_back("-o");
   Args.push_back(SoPath);
@@ -786,8 +818,13 @@ JitConversion::tryRun(const tensor::SparseTensor &In) const {
   // automatically. This is a request error, not an environment error — the
   // interpreter running *this* plan would misbehave identically, so no
   // fallback.
+  // Re-plan with this object's own options (planner-forced strategies
+  // included) at the tensor's dims — comparing a default-strategy need
+  // against a forced-strategy compile would misfire both ways.
+  codegen::Options NeedOpts = Conv.Opts;
+  NeedOpts.DimsHint = In.Dims;
   codegen::AssemblyPlan Need =
-      codegen::planAssembly(Conv.Source, Conv.Target, In.Dims);
+      codegen::planAssembly(Conv.Source, Conv.Target, NeedOpts);
   if (!Need.Unsupported.empty())
     return Status::error(ErrorCode::Unsupported, Need.Unsupported);
   // Compare against the plan recorded at generation time (Conv.Asm), not

@@ -103,6 +103,14 @@ bool jitOpenMPAvailable();
 /// extra flags (exposed so the plan cache can key shared objects on it).
 std::string jitEffectiveFlags(const std::string &ExtraFlags);
 
+/// Options-aware variant: additionally bakes any planner-forced strategy
+/// fields of \p Opts in as benign -D defines, so a planner-forced object
+/// can never alias the default-strategy object on disk or in memory even
+/// when the environment knobs agree. Identical to the env-only overload
+/// when nothing is forced.
+std::string jitEffectiveFlags(const std::string &ExtraFlags,
+                              const codegen::Options &Opts);
+
 /// The hung-compiler watchdog bound in milliseconds
 /// (CONVGEN_COMPILE_TIMEOUT_MS, default 120000; 0 or negative disables the
 /// watchdog). A compiler child exceeding it is SIGKILLed and reaped, the

@@ -44,6 +44,8 @@ const char *support::degradationName(Degradation Kind) {
     return "preload-evict";
   case Degradation::PreloadHit:
     return "preload-hit";
+  case Degradation::PlannerFallback:
+    return "planner-fallback";
   }
   return "unknown";
 }

@@ -65,8 +65,12 @@ enum class Degradation {
   /// object into the in-memory cache, so the entry's first request hits
   /// warm with no compiler invocation.
   PreloadHit,
+  /// A planner-chosen variant path failed at execution and the conversion
+  /// fell back to the default direct plan (which then served the request;
+  /// the input never fails because of a planner choice).
+  PlannerFallback,
 };
-constexpr int kNumDegradations = 14;
+constexpr int kNumDegradations = 15;
 
 /// Stable lowercase name ("jit-compile-failure", ...).
 const char *degradationName(Degradation Kind);
@@ -94,7 +98,8 @@ struct DegradationCounters {
     return total() - (*this)[Degradation::SingleFlightCoalesce] -
            (*this)[Degradation::LoadShed] -
            (*this)[Degradation::DeadlineExceeded] -
-           (*this)[Degradation::PreloadHit];
+           (*this)[Degradation::PreloadHit] -
+           (*this)[Degradation::PlannerFallback];
   }
 };
 

@@ -7,14 +7,20 @@
 /// \file
 /// Shared RAII environment override for the test suite: sets a variable
 /// for the scope and restores the previous value (or unsets) on exit. The
-/// library re-reads its knobs (CONVGEN_RANK_DENSE_MAX_BYTES,
-/// CONVGEN_RANK_STRATEGY, CONVGEN_NO_SHARED_SORT, cache settings) on
-/// every call, so scoping the environment scopes the behavior.
+/// strategy knobs (CONVGEN_RANK_DENSE_MAX_BYTES, CONVGEN_RANK_STRATEGY,
+/// CONVGEN_SORT_STRATEGY, CONVGEN_NO_SHARED_SORT, CONVGEN_PLANNER*) are
+/// snapshotted once into a thread-safe config object rather than re-read
+/// per call — getenv racing setenv is undefined behavior under threads —
+/// so the constructor and destructor reload the snapshot explicitly.
+/// Cache/JIT settings (CONVGEN_CACHE_DIR, CONVGEN_CC, ...) are still read
+/// at their use sites and need no reload.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CONVGEN_TESTS_SCOPEDENV_H
 #define CONVGEN_TESTS_SCOPEDENV_H
+
+#include "codegen/Knobs.h"
 
 #include <cstdlib>
 #include <string>
@@ -30,12 +36,14 @@ public:
       Saved = Old;
     }
     setenv(Name, Value.c_str(), 1);
+    codegen::reloadKnobsFromEnv();
   }
   ~ScopedEnv() {
     if (Had)
       setenv(Name, Saved.c_str(), 1);
     else
       unsetenv(Name);
+    codegen::reloadKnobsFromEnv();
   }
   ScopedEnv(const ScopedEnv &) = delete;
   ScopedEnv &operator=(const ScopedEnv &) = delete;

@@ -62,7 +62,7 @@ TEST(SortedRankingPlan, BudgetBoundaryPinsTheStrategy) {
   // level to sorted.
   {
     ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "320");
-    codegen::AssemblyPlan At = codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+    codegen::AssemblyPlan At = codegen::planAssembly(Coo3, Csf, std::vector<int64_t>{64, 2, 2});
     EXPECT_TRUE(At.Unsupported.empty()) << At.Unsupported;
     EXPECT_TRUE(At.Ranked[0]);
     EXPECT_FALSE(At.Sorted[0]);
@@ -70,7 +70,7 @@ TEST(SortedRankingPlan, BudgetBoundaryPinsTheStrategy) {
   {
     ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "319");
     codegen::AssemblyPlan Above =
-        codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+        codegen::planAssembly(Coo3, Csf, std::vector<int64_t>{64, 2, 2});
     EXPECT_TRUE(Above.Unsupported.empty()) << Above.Unsupported;
     EXPECT_TRUE(Above.Sorted[0]);
     EXPECT_FALSE(Above.Ranked[0]);
@@ -79,7 +79,7 @@ TEST(SortedRankingPlan, BudgetBoundaryPinsTheStrategy) {
     // Well below the budget nothing changes.
     ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1000000");
     codegen::AssemblyPlan Below =
-        codegen::planAssembly(Coo3, Csf, {64, 2, 2});
+        codegen::planAssembly(Coo3, Csf, std::vector<int64_t>{64, 2, 2});
     EXPECT_FALSE(Below.anySorted());
     EXPECT_TRUE(Below.Ranked[0]);
     EXPECT_TRUE(Below.Ranked[1]);
@@ -176,7 +176,7 @@ TEST(SortedRankingPlan, NonNestedGroupingKeepsPerLevelSorts) {
   formats::Format Coo = formats::standardFormatOrDie("coo");
   ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1");
   codegen::AssemblyPlan Plan =
-      codegen::planAssembly(Coo, Weird, {1000, 1000});
+      codegen::planAssembly(Coo, Weird, std::vector<int64_t>{1000, 1000});
   ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
   EXPECT_TRUE(Plan.Sorted[0]);
   EXPECT_TRUE(Plan.Sorted[1]);
@@ -189,7 +189,7 @@ TEST(SortedRankingPlan, SingleSortedLevelNeedsNoSharing) {
   ScopedEnv Budget("CONVGEN_RANK_DENSE_MAX_BYTES", "1");
   formats::Format Coo = formats::standardFormatOrDie("coo");
   formats::Format Csr = formats::standardFormatOrDie("csr");
-  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo, Csr, {100, 100});
+  codegen::AssemblyPlan Plan = codegen::planAssembly(Coo, Csr, std::vector<int64_t>{100, 100});
   ASSERT_TRUE(Plan.Unsupported.empty()) << Plan.Unsupported;
   EXPECT_TRUE(Plan.Sorted[1]);
   EXPECT_EQ(Plan.SharedSortAnchor, 0);
